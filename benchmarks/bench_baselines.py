@@ -1,0 +1,182 @@
+"""Ablation D — hierarchy versus centralized and home-server baselines.
+
+The paper argues the hierarchy is what makes a *large-scale* LS viable;
+related work contrasts it with PCS-style home registers.  This bench
+runs the same operations against all three architectures on identical
+latency/cost models and reports per-operation latency and messages:
+
+* **central** — every operation pays one round trip to the single
+  server; range queries are cheap (one spatial index) but the one CPU
+  serialises the entire offered load (no scale-out).
+* **home servers** — position operations are one hop (hash the id), but
+  range/NN queries must scatter to every server, losing all locality.
+* **hierarchy** — local operations stay at one leaf; remote operations
+  pay tree hops; range queries touch only the leaves they overlap.
+"""
+
+import pytest
+
+from benchreport import report
+from repro.baselines import CentralLocationServer, build_home_service
+from repro.core import LocationClient, TrackedObject
+from repro.geo import Point, Rect
+from repro.model import SightingRecord
+from repro.runtime.latency import LatencyModel
+from repro.runtime.simnet import SimNetwork
+from repro.sim.calibration import default_cost_model
+from repro.sim.metrics import format_table
+from repro.sim.scenario import DistributedHarness, table2_service
+from repro.sim.workload import scatter_objects
+
+OBJECTS = 2_000
+OPS = 150
+AREA = Rect(0, 0, 1500, 1500)
+RANGE_AREA = Rect(700, 700, 800, 800)  # spans all four quadrants' corner
+
+_rows = []
+
+
+def _measure(loop, recorder, name, op_factory, count=OPS):
+    async def batch():
+        for _ in range(count):
+            start = loop.now
+            await op_factory()
+            recorder.record(name, loop.now - start)
+
+    return batch()
+
+
+def run_hierarchy():
+    from repro.sim.metrics import LatencyRecorder
+
+    svc, homes = table2_service(object_count=OBJECTS, costs=default_cost_model())
+    harness = DistributedHarness(svc, homes)
+    client = svc.new_client(entry_server="root.0")
+    recorder = LatencyRecorder()
+    loop = svc.loop
+    svc.network.stats.reset()
+
+    svc.run(_measure(loop, recorder, "local pos", lambda: harness.op_pos_query("root.0", "root.0")))
+    svc.run(_measure(loop, recorder, "remote pos", lambda: harness.op_pos_query("root.0", "root.3")))
+    svc.run(
+        _measure(
+            loop,
+            recorder,
+            "range (center)",
+            lambda: client.range_query(RANGE_AREA, req_acc=50.0, req_overlap=0.3),
+        )
+    )
+    messages = svc.network.stats.messages_sent / (3 * OPS)
+    return recorder, messages
+
+
+def run_central():
+    from repro.sim.metrics import LatencyRecorder
+
+    net = SimNetwork(latency=LatencyModel(base=350e-6, per_entry=1e-6), costs=default_cost_model())
+    server = net.join(CentralLocationServer(AREA))
+    for oid, pos in scatter_objects_area(OBJECTS):
+        server.store.register(SightingRecord(oid, 0.0, pos, 10.0), 25.0, 100.0, "b", now=0.0)
+    client = net.join(LocationClient("c", entry_server="central"))
+    recorder = LatencyRecorder()
+    loop = net.loop
+    ids = [f"obj-{i}" for i in range(OBJECTS)]
+    state = {"i": 0}
+
+    def next_id():
+        state["i"] += 1
+        return ids[state["i"] % OBJECTS]
+
+    net.stats.reset()
+    net.run_coro(_measure(loop, recorder, "local pos", lambda: client.pos_query(next_id())))
+    net.run_coro(_measure(loop, recorder, "remote pos", lambda: client.pos_query(next_id())))
+    net.run_coro(
+        _measure(
+            loop,
+            recorder,
+            "range (center)",
+            lambda: client.range_query(RANGE_AREA, req_acc=50.0, req_overlap=0.3),
+        )
+    )
+    messages = net.stats.messages_sent / (3 * OPS)
+    return recorder, messages
+
+
+def run_home():
+    from repro.sim.metrics import LatencyRecorder
+
+    net = SimNetwork(latency=LatencyModel(base=350e-6, per_entry=1e-6), costs=default_cost_model())
+    net_, client = build_home_service(AREA, n_servers=4, network=net)
+    recorder = LatencyRecorder()
+    loop = net.loop
+
+    async def populate():
+        for oid, pos in scatter_objects_area(OBJECTS):
+            await client.register(oid, pos, 25.0, 100.0)
+
+    net.run_coro(populate())
+    ids = [f"obj-{i}" for i in range(OBJECTS)]
+    state = {"i": 0}
+
+    def next_id():
+        state["i"] += 1
+        return ids[state["i"] % OBJECTS]
+
+    net.stats.reset()
+    net.run_coro(_measure(loop, recorder, "local pos", lambda: client.pos_query(next_id())))
+    net.run_coro(_measure(loop, recorder, "remote pos", lambda: client.pos_query(next_id())))
+    net.run_coro(
+        _measure(
+            loop,
+            recorder,
+            "range (center)",
+            lambda: client.range_query(RANGE_AREA, req_acc=50.0, req_overlap=0.3),
+        )
+    )
+    messages = net.stats.messages_sent / (3 * OPS)
+    return recorder, messages
+
+
+def scatter_objects_area(count):
+    import random
+
+    rng = random.Random(5)
+    return [
+        (f"obj-{i}", Point(rng.uniform(0, 1500), rng.uniform(0, 1500)))
+        for i in range(count)
+    ]
+
+
+def test_baseline_comparison(benchmark):
+    results = {
+        "hierarchy": run_hierarchy(),
+        "central": run_central(),
+        "home servers (HLR)": run_home(),
+    }
+    for arch, (recorder, messages) in results.items():
+        _rows.append(
+            (
+                arch,
+                f"{recorder.summary('local pos').mean * 1e3:.2f} ms",
+                f"{recorder.summary('remote pos').mean * 1e3:.2f} ms",
+                f"{recorder.summary('range (center)').mean * 1e3:.2f} ms",
+                f"{messages:.1f}",
+            )
+        )
+    report(
+        format_table(
+            "Ablation D — architecture comparison "
+            f"({OBJECTS:,} objects; 'local/remote' relative to the hierarchy's leaves)",
+            ("architecture", "local pos", "remote pos", "range", "msgs/op"),
+            _rows,
+        )
+    )
+    hier = results["hierarchy"][0]
+    central = results["central"][0]
+    home = results["home servers (HLR)"][0]
+    # Locality wins: a hierarchy's local query beats the central round trip
+    # (same latency floor) and remote queries cost more than home-server
+    # single hops — the trade the paper accepts for spatial queries.
+    assert hier.summary("local pos").mean <= central.summary("local pos").mean * 1.05
+    assert home.summary("remote pos").mean <= hier.summary("remote pos").mean
+    benchmark(lambda: None)

@@ -1,0 +1,150 @@
+"""Ablation A — the §6.5 leaf-server caches.
+
+The paper's prototype measured *without* caching and predicted that the
+mechanisms of Section 6.5 "should definitely bring an improvement" for
+remote operations.  This bench quantifies each cache on the Table-2
+topology (virtual time):
+
+* agent cache — repeated remote position queries for the same objects;
+* descriptor cache — the same, when the client tolerates aged accuracy;
+* area cache — remote range queries and handovers bypassing the root.
+
+Metrics: mean response time and server-to-server messages per operation,
+cache off versus on.
+"""
+
+import pytest
+
+from benchreport import report
+from repro.core import CacheConfig
+from repro.geo import Point, Rect
+from repro.sim.calibration import default_cost_model
+from repro.sim.metrics import format_table
+from repro.sim.scenario import DistributedHarness, table2_service
+
+OBJECTS = 2_000
+QUERIES = 200
+
+_rows: list[tuple] = []
+
+
+def _run_pos_queries(cache_config, req_acc=None):
+    svc, homes = table2_service(
+        object_count=OBJECTS, costs=default_cost_model(), cache_config=cache_config
+    )
+    harness = DistributedHarness(svc, homes)
+    client = svc.new_client(entry_server="root.0")
+    targets = [harness.random_object("root.3") for _ in range(20)]
+    state = {"i": 0}
+
+    def op():
+        oid = targets[state["i"] % len(targets)]
+        state["i"] += 1
+        return client.pos_query(oid, req_acc=req_acc)
+
+    svc.network.stats.reset()
+    harness.measure_response_time("q", op, QUERIES)
+    mean_ms = harness.latencies.summary("q").mean * 1e3
+    messages = svc.network.stats.messages_sent / QUERIES
+    return mean_ms, messages
+
+
+def _run_range_queries(cache_config):
+    svc, homes = table2_service(
+        object_count=OBJECTS, costs=default_cost_model(), cache_config=cache_config
+    )
+    harness = DistributedHarness(svc, homes)
+    client = svc.new_client(entry_server="root.0")
+    area = Rect(1300, 1300, 1400, 1400)  # remote: inside root.3
+
+    def op():
+        return client.range_query(area, req_acc=50.0, req_overlap=0.3)
+
+    svc.network.stats.reset()
+    harness.measure_response_time("q", op, QUERIES)
+    mean_ms = harness.latencies.summary("q").mean * 1e3
+    messages = svc.network.stats.messages_sent / QUERIES
+    return mean_ms, messages
+
+
+def _run_handovers(cache_config):
+    svc, homes = table2_service(
+        object_count=OBJECTS, costs=default_cost_model(), cache_config=cache_config
+    )
+    # Warm the area cache with one spanning range query from each leaf.
+    if cache_config is not None and cache_config.area_cache:
+        for leaf in svc.hierarchy.leaf_ids():
+            svc.range_query(
+                Rect(10, 10, 1490, 1490), req_acc=60.0, req_overlap=0.1, entry_server=leaf
+            )
+    obj = svc.register("pingpong", Point(700, 100))
+    svc.network.stats.reset()
+    count = 100
+    west, east = Point(700, 100), Point(800, 100)
+
+    async def bounce():
+        for i in range(count):
+            await obj.report(east if i % 2 == 0 else west)
+
+    start = svc.loop.now
+    svc.run(bounce())
+    svc.settle()
+    svc.check_consistency()
+    mean_ms = (svc.loop.now - start) / count * 1e3
+    messages = svc.network.stats.messages_sent / count
+    return mean_ms, messages
+
+
+def test_agent_cache(benchmark):
+    off = _run_pos_queries(None)
+    on = _run_pos_queries(CacheConfig(agent_cache=True))
+    _rows.append(
+        ("remote pos query", "agent cache",
+         f"{off[0]:.2f} ms / {off[1]:.1f} msgs", f"{on[0]:.2f} ms / {on[1]:.1f} msgs")
+    )
+    assert on[0] < off[0]
+    assert on[1] < off[1]
+    benchmark(lambda: None)
+
+
+def test_descriptor_cache(benchmark):
+    off = _run_pos_queries(None, req_acc=10_000.0)
+    on = _run_pos_queries(
+        CacheConfig(descriptor_cache=True, max_speed=1.0), req_acc=10_000.0
+    )
+    _rows.append(
+        ("remote pos query (loose reqAcc)", "descriptor cache",
+         f"{off[0]:.2f} ms / {off[1]:.1f} msgs", f"{on[0]:.2f} ms / {on[1]:.1f} msgs")
+    )
+    assert on[0] < off[0]
+    benchmark(lambda: None)
+
+
+def test_area_cache_range(benchmark):
+    off = _run_range_queries(None)
+    on = _run_range_queries(CacheConfig(area_cache=True))
+    _rows.append(
+        ("remote range query", "area cache",
+         f"{off[0]:.2f} ms / {off[1]:.1f} msgs", f"{on[0]:.2f} ms / {on[1]:.1f} msgs")
+    )
+    assert on[0] < off[0]
+    benchmark(lambda: None)
+
+
+def test_area_cache_handover(benchmark):
+    off = _run_handovers(None)
+    on = _run_handovers(CacheConfig(area_cache=True))
+    _rows.append(
+        ("handover (boundary ping-pong)", "area cache",
+         f"{off[0]:.2f} ms / {off[1]:.1f} msgs", f"{on[0]:.2f} ms / {on[1]:.1f} msgs")
+    )
+    # Direct handover must reduce the critical-path latency.
+    assert on[0] < off[0]
+    benchmark(lambda: None)
+    report(
+        format_table(
+            "Ablation A — §6.5 caching (Table-2 topology, per-operation)",
+            ("operation", "cache", "cache off", "cache on"),
+            _rows,
+        )
+    )

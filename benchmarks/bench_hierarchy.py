@@ -1,0 +1,146 @@
+"""Ablation B — hierarchy height/fan-out and query locality (paper §4).
+
+The paper: "The performance of the system is influenced by the height of
+the hierarchy, the fan-out of nodes and the size of the (leaf) service
+areas" and announces a future-work study of query locality.  This bench
+runs both sweeps on the simulated runtime:
+
+1. **shape sweep** — 64 leaves arranged as one flat level (fan-out 64),
+   two levels of 8, or three levels of 4: remote-position-query latency
+   and messages trade hop count against root fan-out.
+2. **locality sweep** — a mixed workload at locality 0.2 / 0.5 / 0.9 on
+   a 3-level tree: higher locality means fewer hierarchy traversals and
+   lower mean latency, the effect the paper's design bets on.
+"""
+
+import pytest
+
+from benchreport import report
+from repro.core import LocationService, build_grid_hierarchy
+from repro.geo import Rect
+from repro.sim.calibration import default_cost_model
+from repro.sim.metrics import LatencyRecorder, format_table
+from repro.sim.workload import WorkloadGenerator, WorkloadSpec, scatter_objects
+from repro.model import SightingRecord
+
+ROOT = Rect(0, 0, 8_000, 8_000)
+OBJECTS = 1_500
+OPERATIONS = 400
+
+SHAPES = {
+    "1 level, fan-out 64": [(8, 8)],
+    "2 levels, fan-out 8": [(4, 2), (2, 4)],
+    "3 levels, fan-out 4": [(2, 2), (2, 2), (2, 2)],
+}
+
+
+def build_service(levels):
+    hierarchy = build_grid_hierarchy(ROOT, levels)
+    svc = LocationService(hierarchy, costs=default_cost_model(), sighting_ttl=1e9)
+    homes = {}
+    for oid, pos in scatter_objects(hierarchy, OBJECTS, seed=3):
+        leaf_id = hierarchy.leaf_for_point(pos)
+        svc.servers[leaf_id].store.register(
+            SightingRecord(oid, 0.0, pos, 10.0), 25.0, 100.0, "bench", now=0.0
+        )
+        homes[oid] = leaf_id
+        path = hierarchy.path_to_root(leaf_id)
+        for below, above in zip(path, path[1:]):
+            svc.servers[above].visitors.insert_forward(oid, below)
+    return svc, homes
+
+
+def run_workload(svc, homes, locality, operations=OPERATIONS, seed=11):
+    spec = WorkloadSpec(
+        update_fraction=0.5,
+        pos_query_fraction=0.3,
+        range_query_fraction=0.15,
+        nn_query_fraction=0.05,
+        locality=locality,
+        range_size_m=200.0,
+    )
+    gen = WorkloadGenerator(svc.hierarchy, list(homes), homes, spec, seed=seed)
+    recorder = LatencyRecorder()
+    clients = {leaf: svc.new_client(entry_server=leaf) for leaf in svc.hierarchy.leaf_ids()}
+    svc.network.stats.reset()
+    loop = svc.loop
+
+    async def drive():
+        for op in gen.operations(operations):
+            start = loop.now
+            if op.kind == "update":
+                client = clients[op.entry_leaf]
+                from repro.core import messages as m
+
+                rid = client.next_request_id()
+                await client.request(
+                    op.entry_leaf,
+                    m.UpdateReq(
+                        request_id=rid,
+                        reply_to=client.address,
+                        sighting=SightingRecord(op.object_id, loop.now, op.pos, 10.0),
+                    ),
+                )
+            elif op.kind == "pos_query":
+                await clients[op.entry_leaf].pos_query(op.object_id)
+            elif op.kind == "range_query":
+                await clients[op.entry_leaf].range_query(
+                    op.area, req_acc=60.0, req_overlap=0.3
+                )
+            else:
+                await clients[op.entry_leaf].neighbor_query(op.pos, req_acc=60.0)
+            recorder.record(op.kind, loop.now - start)
+            recorder.record("all", loop.now - start)
+
+    svc.run(drive())
+    messages = svc.network.stats.messages_sent / operations
+    return recorder, messages
+
+
+def test_shape_sweep(benchmark):
+    rows = []
+    latencies = {}
+    for name, levels in SHAPES.items():
+        svc, homes = build_service(levels)
+        recorder, messages = run_workload(svc, homes, locality=0.5)
+        mean_ms = recorder.summary("all").mean * 1e3
+        pos_ms = recorder.summary("pos_query").mean * 1e3
+        latencies[name] = mean_ms
+        rows.append((name, f"{mean_ms:.2f} ms", f"{pos_ms:.2f} ms", f"{messages:.1f}"))
+    report(
+        format_table(
+            "Ablation B1 — hierarchy shape (64 leaves, mixed workload, locality 0.5)",
+            ("shape", "mean latency", "pos query", "msgs/op"),
+            rows,
+        )
+    )
+    assert latencies  # all shapes measured
+    benchmark(lambda: None)
+
+
+def test_locality_sweep(benchmark):
+    rows = []
+    means = []
+    for locality in (0.2, 0.5, 0.9):
+        svc, homes = build_service(SHAPES["3 levels, fan-out 4"])
+        recorder, messages = run_workload(svc, homes, locality=locality)
+        mean_ms = recorder.summary("all").mean * 1e3
+        means.append(mean_ms)
+        rows.append(
+            (
+                f"locality {locality}",
+                f"{mean_ms:.2f} ms",
+                f"{recorder.summary('pos_query').mean * 1e3:.2f} ms",
+                f"{messages:.1f}",
+            )
+        )
+    report(
+        format_table(
+            "Ablation B2 — query locality (3-level tree, mixed workload)",
+            ("workload", "mean latency", "pos query", "msgs/op"),
+            rows,
+        )
+    )
+    # The design bet: higher locality => cheaper operations.
+    assert means[2] < means[0]
+    benchmark(lambda: None)

@@ -1,0 +1,93 @@
+"""Ablation C — spatial-index comparison (paper §5).
+
+The paper picks a Point Quadtree and names the R-tree as the
+alternative; this bench quantifies the choice on the Table-1 workload
+(scaled to 5 000 objects to keep bench time short), adding the uniform
+grid and a linear scan as anchors.  Expected shape: the quadtree and the
+grid lead on updates; all indexed structures beat the linear scan on
+range queries by orders of magnitude.
+"""
+
+import random
+
+import pytest
+
+from benchreport import report
+from repro.geo import Point, Rect
+from repro.model import RangeQuery, SightingRecord
+from repro.sim.metrics import format_table
+from repro.sim.scenario import table1_store
+
+OBJECTS = 5_000
+AREA_SIDE = 10_000.0
+INDEX_KINDS = ["quadtree", "rtree", "grid", "linear"]
+
+_results: dict[str, dict[str, float]] = {}
+
+
+def _note(kind: str, operation: str, ops_per_second: float) -> None:
+    _results.setdefault(kind, {})[operation] = ops_per_second
+    done = all(
+        len(_results.get(k, {})) == 3 for k in INDEX_KINDS
+    )
+    if done:
+        rows = [
+            (
+                kind,
+                f"{_results[kind]['updates']:,.0f}",
+                f"{_results[kind]['range 100 m']:,.0f}",
+                f"{_results[kind]['range 1 km']:,.0f}",
+            )
+            for kind in INDEX_KINDS
+        ]
+        report(
+            format_table(
+                f"Ablation C — spatial index comparison ({OBJECTS:,} objects, ops/s)",
+                ("index", "updates", "range 100 m", "range 1 km"),
+                rows,
+            )
+        )
+
+
+@pytest.fixture(scope="module", params=INDEX_KINDS)
+def store_of_kind(request):
+    store, ids = table1_store(object_count=OBJECTS, index_kind=request.param)
+    return request.param, store, ids
+
+
+def test_updates(benchmark, store_of_kind):
+    kind, store, ids = store_of_kind
+    rng = random.Random(1)
+    batch = 2_000
+
+    def run():
+        for _ in range(batch):
+            oid = ids[rng.randrange(len(ids))]
+            pos = Point(rng.uniform(0, AREA_SIDE), rng.uniform(0, AREA_SIDE))
+            store.update(SightingRecord(oid, 1.0, pos, 10.0), now=1.0)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _note(kind, "updates", batch / benchmark.stats.stats.mean)
+
+
+@pytest.mark.parametrize(
+    "label,side,batch", [("range 100 m", 100.0, 2_000), ("range 1 km", 1_000.0, 200)]
+)
+def test_range_queries(benchmark, store_of_kind, label, side, batch):
+    kind, store, ids = store_of_kind
+    rng = random.Random(2)
+    areas = [
+        Rect.from_center(
+            Point(rng.uniform(side, AREA_SIDE - side), rng.uniform(side, AREA_SIDE - side)),
+            side,
+            side,
+        )
+        for _ in range(batch)
+    ]
+
+    def run():
+        for area in areas:
+            store.range_query(RangeQuery(area, req_acc=50.0, req_overlap=0.3))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _note(kind, label, batch / benchmark.stats.stats.mean)

@@ -1,0 +1,145 @@
+"""Table 1 — throughput of the data-storage component (paper §7.1).
+
+Paper setup: one location server's main-memory store, 10 km x 10 km
+service area, 25 000 tracked objects at random positions; then 10 000
+position updates, 10 000 position queries, and 10 000 range queries for
+three area sizes.  Paper numbers (SUN Ultra, 450 MHz, Java 1.2):
+
+    creating index            24 015 1/s
+    position updates          41 494 1/s
+    position query           384 615 1/s
+    range query 10 m x 10 m   21 834 1/s
+    range query 100 m x 100 m 18 450 1/s
+    range query 1 km x 1 km    1 813 1/s
+
+We reproduce the workload exactly (25 000 objects, same area and query
+sizes) and compare the *shape*: index build and updates in the tens of
+thousands per second, position queries an order of magnitude faster than
+updates, range-query throughput falling with area size and dropping
+roughly 10x from 100 m to 1 km.
+"""
+
+import random
+
+import pytest
+
+from benchreport import report
+from repro.geo import Point, Rect
+from repro.model import RangeQuery, SightingRecord
+from repro.sim.metrics import format_table
+from repro.sim.scenario import TABLE1_AREA_SIDE, TABLE1_OBJECTS, table1_store
+
+PAPER = {
+    "creating index": 24_015,
+    "position updates": 41_494,
+    "position query": 384_615,
+    "range query (10 m x 10 m)": 21_834,
+    "range query (100 m x 100 m)": 18_450,
+    "range query (1 km x 1 km)": 1_813,
+}
+
+_measured: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def populated_store():
+    store, ids = table1_store(object_count=TABLE1_OBJECTS)
+    return store, ids
+
+
+def _note(operation: str, ops_per_second: float) -> None:
+    _measured[operation] = ops_per_second
+    if len(_measured) == len(PAPER):
+        rows = [
+            (
+                op,
+                f"{PAPER[op]:,} 1/s",
+                f"{_measured[op]:,.0f} 1/s",
+                f"{_measured[op] / PAPER[op]:.2f}x",
+            )
+            for op in PAPER
+        ]
+        report(
+            format_table(
+                "Table 1 — data-storage throughput "
+                f"({TABLE1_OBJECTS:,} objects, {TABLE1_AREA_SIDE / 1000:.0f} km square area)",
+                ("operation", "paper", "measured", "ratio"),
+                rows,
+            )
+        )
+
+
+def test_index_build(benchmark):
+    """Register 25 000 objects into an empty store (index creation)."""
+
+    def build():
+        store, _ = table1_store(object_count=TABLE1_OBJECTS)
+        return store
+
+    store = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert store.sighting_count == TABLE1_OBJECTS
+    _note("creating index", TABLE1_OBJECTS / benchmark.stats.stats.mean)
+
+
+def test_position_updates(benchmark, populated_store):
+    store, ids = populated_store
+    rng = random.Random(1)
+    batch = 10_000
+
+    def run_updates():
+        for _ in range(batch):
+            oid = ids[rng.randrange(len(ids))]
+            pos = Point(rng.uniform(0, TABLE1_AREA_SIDE), rng.uniform(0, TABLE1_AREA_SIDE))
+            store.update(SightingRecord(oid, 1.0, pos, 10.0), now=1.0)
+
+    benchmark.pedantic(run_updates, rounds=3, iterations=1)
+    _note("position updates", batch / benchmark.stats.stats.mean)
+
+
+def test_position_queries(benchmark, populated_store):
+    store, ids = populated_store
+    rng = random.Random(2)
+    batch = 10_000
+    targets = [ids[rng.randrange(len(ids))] for _ in range(batch)]
+
+    def run_queries():
+        for oid in targets:
+            store.position_query(oid)
+
+    benchmark.pedantic(run_queries, rounds=3, iterations=1)
+    _note("position query", batch / benchmark.stats.stats.mean)
+
+
+@pytest.mark.parametrize(
+    "label,side,batch",
+    [
+        ("range query (10 m x 10 m)", 10.0, 10_000),
+        ("range query (100 m x 100 m)", 100.0, 10_000),
+        ("range query (1 km x 1 km)", 1_000.0, 1_000),
+    ],
+)
+def test_range_queries(benchmark, populated_store, label, side, batch):
+    store, ids = populated_store
+    rng = random.Random(3)
+    areas = [
+        Rect.from_center(
+            Point(
+                rng.uniform(side, TABLE1_AREA_SIDE - side),
+                rng.uniform(side, TABLE1_AREA_SIDE - side),
+            ),
+            side,
+            side,
+        )
+        for _ in range(batch)
+    ]
+
+    def run_queries():
+        total = 0
+        for area in areas:
+            total += len(
+                store.range_query(RangeQuery(area, req_acc=50.0, req_overlap=0.3))
+            )
+        return total
+
+    benchmark.pedantic(run_queries, rounds=3, iterations=1)
+    _note(label, batch / benchmark.stats.stats.mean)

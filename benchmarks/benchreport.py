@@ -1,0 +1,10 @@
+"""Collector for paper-versus-measured tables (shared bench state)."""
+
+from __future__ import annotations
+
+REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Register a formatted comparison table for the terminal summary."""
+    REPORTS.append(text)

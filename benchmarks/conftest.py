@@ -1,0 +1,36 @@
+"""Shared infrastructure for the reproduction benches.
+
+Each bench registers one or more *paper-versus-measured* tables with
+:func:`benchreport.report`; the terminal-summary hook below prints them
+after the pytest-benchmark output (pytest captures ordinary prints, the
+summary hook is always visible).  The tables are also written to
+``benchmarks/RESULTS.txt`` so EXPERIMENTS.md can be refreshed from a file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import benchreport
+
+_RESULTS_FILE = pathlib.Path(__file__).parent / "RESULTS.txt"
+
+
+def pytest_configure(config):
+    benchreport.REPORTS.clear()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not benchreport.REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper-versus-measured reproduction tables")
+    body = "\n\n".join(benchreport.REPORTS)
+    terminalreporter.write_line(body)
+    try:
+        _RESULTS_FILE.write_text(body + "\n", encoding="utf-8")
+        terminalreporter.write_line(f"\n(also written to {_RESULTS_FILE})")
+    except OSError:
+        pass

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Event mechanism walkthrough (paper Section 1 / future work).
+
+"Applications should be able to register for predicates, such as 'more
+than five objects are in a certain area' or 'two users of the system
+meet', at the location service, which asynchronously informs the
+registered applications when the predicate becomes true."
+
+This example registers both predicate types and drives a small crowd
+until they fire:
+
+* a venue operator is notified when at least 5 people are inside the
+  event hall (area-occupancy predicate), and again when the hall clears;
+* two friends get a notification the moment their recorded positions
+  come within 30 m of each other (proximity predicate).
+
+Run:  python examples/event_monitoring.py
+"""
+
+from repro import LocationService, Point, Rect, build_table2_hierarchy
+from repro.core.events import AreaOccupancy, Proximity
+
+HALL = Rect(600, 600, 900, 900)
+
+
+def drain(service, seconds):
+    async def wait():
+        await service.loop.sleep(seconds)
+
+    service.run(wait())
+
+
+def main() -> None:
+    service = LocationService(build_table2_hierarchy())
+    operator = service.new_client(entry_server="root.0")
+    matchmaker = service.new_client(entry_server="root.1")
+
+    # -- subscriptions ------------------------------------------------------
+    hall_sub = service.run(
+        operator.subscribe(
+            AreaOccupancy(HALL, threshold=5, req_acc=60.0, req_overlap=0.5),
+            poll_interval=2.0,
+            notify_on_clear=True,
+        )
+    )
+    meet_sub = service.run(
+        matchmaker.subscribe(Proximity("alice", "bob", distance=30.0), poll_interval=2.0)
+    )
+    print(f"subscriptions registered: {hall_sub}, {meet_sub}")
+
+    # -- the crowd arrives ---------------------------------------------------
+    crowd = {}
+    for i in range(8):
+        crowd[f"guest-{i}"] = service.register(f"guest-{i}", Point(100 + 40.0 * i, 150))
+    alice = service.register("alice", Point(1200, 200))
+    bob = service.register("bob", Point(200, 1200))
+    drain(service, 5.0)
+    print(f"hall notifications so far: {len(operator.notifications)} (hall still empty)")
+
+    # Guests stream into the hall one by one.
+    for i, guest in enumerate(crowd.values()):
+        service.update(guest, Point(650 + 20.0 * i, 700 + 15.0 * i))
+        drain(service, 3.0)
+        if operator.notifications:
+            fired = operator.notifications[-1]
+            print(
+                f"after guest #{i + 1} entered: predicate fired={fired.fired} "
+                f"({fired.detail})"
+            )
+            break
+
+    # -- alice walks toward bob -----------------------------------------------
+    waypoints = [Point(900, 500), Point(600, 800), Point(300, 1100), Point(210, 1195)]
+    for pos in waypoints:
+        service.update(alice, pos)
+        drain(service, 3.0)
+        if matchmaker.notifications:
+            break
+    meeting = matchmaker.notifications[-1]
+    print(f"meeting notification: {meeting.detail} between {meeting.matched}")
+
+    # -- the hall empties -------------------------------------------------------
+    for guest in crowd.values():
+        service.update(guest, Point(100, 100))
+    drain(service, 5.0)
+    cleared = [n for n in operator.notifications if not n.fired]
+    print(f"hall-cleared notification received: {bool(cleared)}")
+
+    # -- cleanup -----------------------------------------------------------------
+    service.run(operator.unsubscribe(hall_sub))
+    service.run(matchmaker.unsubscribe(meet_sub))
+    print("unsubscribed; active subscriptions:",
+          sum(s.events.active_count for s in service.servers.values()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a location service and use every query type.
+
+Builds the paper's own testbed topology (one root server over four
+quadrant leaf servers, Fig. 8), registers a handful of tracked objects,
+and walks through position updates, handover, position / range / nearest
+neighbor queries, and accuracy renegotiation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LocationService,
+    Point,
+    Rect,
+    build_table2_hierarchy,
+)
+
+
+def main() -> None:
+    # A 1.5 km x 1.5 km service area split into four quadrant leaves.
+    service = LocationService(build_table2_hierarchy(side_m=1500.0))
+    print("servers:", ", ".join(service.hierarchy.server_ids()))
+
+    # -- registration (Section 3.1) ---------------------------------------
+    # The client desires 25 m accuracy and accepts anything up to 100 m;
+    # the service offers the best it can manage, never better than asked.
+    taxi = service.register("taxi-7", Point(200, 300), des_acc=25.0, min_acc=100.0)
+    print(f"taxi-7 registered at agent {taxi.agent}, offered accuracy {taxi.offered_acc} m")
+
+    bus = service.register("bus-42", Point(1200, 300), des_acc=25.0, min_acc=100.0)
+    pedestrian = service.register("alice", Point(400, 900), des_acc=25.0, min_acc=100.0)
+
+    # -- position updates & handover (Algorithms 6-2 / 6-3) -----------------
+    service.update(taxi, Point(600, 350))  # still inside root.0: local update
+    print(f"after local update, taxi agent: {taxi.agent}")
+
+    service.update(taxi, Point(900, 350))  # crosses into root.1: handover
+    print(f"after crossing the quadrant boundary, taxi agent: {taxi.agent}")
+
+    # -- position query (Algorithm 6-4) ---------------------------------------
+    descriptor = service.pos_query("taxi-7", entry_server="root.2")  # remote entry
+    print(
+        f"posQuery(taxi-7) -> position ({descriptor.pos.x:.0f}, {descriptor.pos.y:.0f}),"
+        f" accuracy {descriptor.acc} m"
+    )
+
+    # -- range query (Algorithm 6-5) --------------------------------------------
+    # Who is currently in the eastern half, with at least 30 % overlap?
+    answer = service.range_query(
+        Rect(750, 0, 1500, 1500), req_acc=50.0, req_overlap=0.3, entry_server="root.0"
+    )
+    names = ", ".join(oid for oid, _ in answer.entries)
+    print(f"rangeQuery(eastern half) -> {{{names}}} via {answer.servers_involved} leaf server(s)")
+
+    # -- nearest-neighbor query (Section 3.2) -------------------------------------
+    nn = service.neighbor_query(
+        Point(450, 880), req_acc=50.0, near_qual=500.0, entry_server="root.2"
+    )
+    nearest_id, nearest_ld = nn.result.nearest
+    print(
+        f"neighborQuery(450, 880) -> nearest={nearest_id}, "
+        f"guaranteed min distance {nn.result.guaranteed_min_distance:.0f} m, "
+        f"{len(nn.result.near_set)} additional near neighbor(s)"
+    )
+
+    # -- accuracy renegotiation (changeAcc) -----------------------------------------
+    offered = service.run(pedestrian.change_accuracy(des_acc=60.0, min_acc=200.0))
+    print(f"alice coarsened her reported accuracy to {offered} m (privacy knob)")
+
+    # -- deregistration ----------------------------------------------------------------
+    service.deregister(bus)
+    print("bus-42 deregistered; tracked objects remaining:", service.total_tracked())
+
+    # The virtual clock advanced only by simulated network latency.
+    print(f"virtual time elapsed: {service.loop.now * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP 660
+editable installs cannot build an editable wheel.  This shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Comparison baselines: centralized and GSM-HLR-style home servers."""
+
+from repro.baselines.central import CentralLocationServer
+from repro.baselines.home import (
+    HomeServer,
+    HomeServerClient,
+    build_home_service,
+    home_of,
+)
+
+__all__ = [
+    "CentralLocationServer",
+    "HomeServer",
+    "HomeServerClient",
+    "build_home_service",
+    "home_of",
+]

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: the hierarchical location service.
+
+Public surface: :class:`LocationService` (facade), :class:`LocationServer`
+(one hierarchy node), :class:`Hierarchy` + builders, client endpoints and
+the §6.5 cache configuration.
+"""
+
+from repro.core.caching import CacheConfig, CacheStats, LeafCaches
+from repro.core.client import LocationClient, NeighborAnswer, RangeAnswer, TrackedObject
+from repro.core.events import AreaOccupancy, EventEngine, Proximity
+from repro.core.geo_service import GeoLocationService
+from repro.core.hierarchy import (
+    ChildRef,
+    Hierarchy,
+    ServerConfig,
+    build_fig6_hierarchy,
+    build_grid_hierarchy,
+    build_quad_hierarchy,
+    build_table2_hierarchy,
+)
+from repro.core.server import LocationServer, ServerStats
+from repro.core.service import LocationService
+from repro.core.tracking import SensorCell, StationaryTracker
+
+__all__ = [
+    "AreaOccupancy",
+    "CacheConfig",
+    "CacheStats",
+    "ChildRef",
+    "EventEngine",
+    "GeoLocationService",
+    "Hierarchy",
+    "LeafCaches",
+    "LocationClient",
+    "LocationServer",
+    "LocationService",
+    "NeighborAnswer",
+    "Proximity",
+    "RangeAnswer",
+    "SensorCell",
+    "ServerConfig",
+    "ServerStats",
+    "StationaryTracker",
+    "TrackedObject",
+    "build_fig6_hierarchy",
+    "build_grid_hierarchy",
+    "build_quad_hierarchy",
+    "build_table2_hierarchy",
+]

@@ -1,0 +1,183 @@
+"""Leaf-server caches (paper Section 6.5).
+
+Three caches, each individually switchable so the caching ablation bench
+can isolate their effects:
+
+* **(leaf server, service area)** — learned from every message that
+  carries a leaf origin area; lets handovers and range queries contact
+  responsible leaves directly instead of traversing the hierarchy.
+  Service areas are static in this reproduction, so entries never go
+  stale (the paper expects them to "change seldomly").
+* **(tracked object, current agent)** — learned from position-query
+  answers; entries go stale when the object hands over, so a direct
+  probe can miss and must fall back to the hierarchy.
+* **(tracked object, position descriptor)** — learned from position-query
+  answers; served only while the descriptor, aged by the object's
+  maximum speed, still satisfies the client's requested accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo import Rect
+from repro.model import LocationDescriptor
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Which §6.5 caches a leaf server runs."""
+
+    area_cache: bool = False
+    agent_cache: bool = False
+    descriptor_cache: bool = False
+    #: assumed maximum object speed (m/s) for descriptor aging.
+    max_speed: float = 50.0
+
+    @classmethod
+    def disabled(cls) -> "CacheConfig":
+        """The paper's measured prototype: no caching (Section 7)."""
+        return cls()
+
+    @classmethod
+    def all_enabled(cls, max_speed: float = 50.0) -> "CacheConfig":
+        return cls(
+            area_cache=True, agent_cache=True, descriptor_cache=True, max_speed=max_speed
+        )
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.area_cache or self.agent_cache or self.descriptor_cache
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, read by the caching ablation bench."""
+
+    area_hits: int = 0
+    area_misses: int = 0
+    agent_hits: int = 0
+    agent_stale: int = 0
+    agent_misses: int = 0
+    descriptor_hits: int = 0
+    descriptor_misses: int = 0
+
+
+@dataclass
+class _CachedDescriptor:
+    descriptor: LocationDescriptor
+    as_of: float
+
+
+class LeafCaches:
+    """The cache state attached to one leaf location server."""
+
+    __slots__ = ("config", "stats", "_areas", "_agents", "_descriptors")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._areas: dict[str, Rect] = {}
+        self._agents: dict[str, str] = {}
+        self._descriptors: dict[str, _CachedDescriptor] = {}
+
+    # -- (leaf server, service area) -----------------------------------------
+
+    def note_leaf_area(self, leaf_id: str, area: Rect | None) -> None:
+        if self.config.area_cache and area is not None:
+            self._areas[leaf_id] = area
+
+    def leaf_for_point(self, x: float, y: float):
+        """The cached leaf whose area contains the point, if any."""
+        if not self.config.area_cache:
+            return None
+        from repro.geo import Point
+
+        p = Point(x, y)
+        for leaf_id, area in self._areas.items():
+            if area.contains_point_halfopen(p):
+                self.stats.area_hits += 1
+                return leaf_id
+        self.stats.area_misses += 1
+        return None
+
+    def leaves_covering(self, dispatch: Rect) -> list[tuple[str, Rect]] | None:
+        """Cached leaves that *fully* tile ``dispatch``, or ``None``.
+
+        Because service areas are disjoint, the cached leaves cover the
+        dispatch rect exactly when their intersection areas sum to its
+        area.
+        """
+        if not self.config.area_cache:
+            return None
+        touching = [
+            (leaf_id, area)
+            for leaf_id, area in self._areas.items()
+            if area.intersection_area(dispatch) > 0.0
+        ]
+        covered = sum(area.intersection_area(dispatch) for _, area in touching)
+        if covered + 1e-6 * max(dispatch.area, 1.0) >= dispatch.area:
+            self.stats.area_hits += 1
+            return touching
+        self.stats.area_misses += 1
+        return None
+
+    def known_leaf_count(self) -> int:
+        return len(self._areas)
+
+    # -- (tracked object, current agent) ------------------------------------------
+
+    def note_agent(self, object_id: str, agent: str | None) -> None:
+        if self.config.agent_cache and agent is not None:
+            self._agents[object_id] = agent
+
+    def agent_of(self, object_id: str) -> str | None:
+        if not self.config.agent_cache:
+            return None
+        agent = self._agents.get(object_id)
+        if agent is None:
+            self.stats.agent_misses += 1
+        else:
+            self.stats.agent_hits += 1
+        return agent
+
+    def invalidate_agent(self, object_id: str) -> None:
+        """Called after a direct probe missed (the object handed over)."""
+        if self._agents.pop(object_id, None) is not None:
+            self.stats.agent_stale += 1
+            # The optimistic hit turned out stale; correct the books.
+            self.stats.agent_hits -= 1
+
+    # -- (tracked object, position descriptor) ---------------------------------------
+
+    def note_descriptor(
+        self, object_id: str, descriptor: LocationDescriptor | None, as_of: float
+    ) -> None:
+        if self.config.descriptor_cache and descriptor is not None:
+            self._descriptors[object_id] = _CachedDescriptor(descriptor, as_of)
+
+    def fresh_descriptor(
+        self, object_id: str, now: float, req_acc: float | None
+    ) -> LocationDescriptor | None:
+        """The cached descriptor aged to ``now``, if still accurate enough.
+
+        Aging follows Section 3 footnote 1: worst-case accuracy grows by
+        ``max_speed`` per second since the cached sighting.  Without a
+        requested accuracy there is no freshness criterion, so the cache
+        is bypassed (the hierarchy always has the authoritative answer).
+        """
+        if not self.config.descriptor_cache or req_acc is None:
+            return None
+        cached = self._descriptors.get(object_id)
+        if cached is None:
+            self.stats.descriptor_misses += 1
+            return None
+        aged_acc = cached.descriptor.acc + self.config.max_speed * max(0.0, now - cached.as_of)
+        if aged_acc <= req_acc:
+            self.stats.descriptor_hits += 1
+            return cached.descriptor.with_accuracy(aged_acc)
+        self.stats.descriptor_misses += 1
+        return None
+
+    def invalidate_descriptor(self, object_id: str) -> None:
+        self._descriptors.pop(object_id, None)

@@ -1,0 +1,295 @@
+"""Service-area hierarchies and server configuration (paper Section 4).
+
+A location service covers a *root service area* recursively partitioned
+into child areas; one location server is associated with each area.  The
+two structural requirements from Section 4 are validated here:
+
+1. a non-leaf service area is the union of its child areas, and
+2. sibling service areas do not overlap.
+
+Service areas are axis-aligned rectangles — the shape of the paper's own
+testbed (Fig. 8) and of every configuration its evaluation discusses.
+Routing uses half-open containment so a point on a shared internal edge
+belongs to exactly one sibling.
+
+Builders cover the paper's configurations and the ablation sweeps:
+:func:`build_table2_hierarchy` (Fig. 8), :func:`build_fig6_hierarchy`
+(the 7-server example of Fig. 6), :func:`build_quad_hierarchy` and
+:func:`build_grid_hierarchy` (height / fan-out parameterisation for the
+future-work sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, OutOfServiceAreaError
+from repro.geo import Point, Rect
+
+#: Relative tolerance for "children tile the parent" area checks.
+_AREA_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class ChildRef:
+    """One child entry of a configuration record (id + service area)."""
+
+    server_id: str
+    area: Rect
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """The paper's configuration record ``c`` (Section 5).
+
+    Attributes:
+        server_id: this server's address.
+        area: ``c.sa`` — the service area.
+        parent: ``c.parent`` — parent server id, ``None`` for the root.
+        children: ``c.children`` — empty for leaf servers.
+        root_area: the LS-wide root service area.  Static deployment
+            knowledge every server has; the range-query entry server uses
+            it to compute its covered-area target.
+    """
+
+    server_id: str
+    area: Rect
+    parent: str | None
+    children: tuple[ChildRef, ...]
+    root_area: Rect
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def contains(self, point: Point) -> bool:
+        """Closed containment (boundary points belong to the area)."""
+        return self.area.contains_point(point)
+
+    def child_for(self, point: Point) -> ChildRef | None:
+        """The unique child responsible for ``point``.
+
+        Half-open containment resolves shared internal edges; the closed
+        fallback catches points on the area's outer maximum boundary.
+        """
+        for child in self.children:
+            if child.area.contains_point_halfopen(point):
+                return child
+        for child in self.children:
+            if child.area.contains_point(point):
+                return child
+        return None
+
+
+class Hierarchy:
+    """An immutable server tree: id → :class:`ServerConfig`."""
+
+    def __init__(self, configs: dict[str, ServerConfig]) -> None:
+        self._configs = dict(configs)
+        roots = [c.server_id for c in self._configs.values() if c.parent is None]
+        if len(roots) != 1:
+            raise ConfigurationError(f"hierarchy must have exactly one root, found {roots}")
+        self.root_id = roots[0]
+        self.validate()
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def configs(self) -> dict[str, ServerConfig]:
+        return dict(self._configs)
+
+    def config(self, server_id: str) -> ServerConfig:
+        try:
+            return self._configs[server_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown server {server_id!r}") from None
+
+    def server_ids(self) -> list[str]:
+        return sorted(self._configs)
+
+    def leaf_ids(self) -> list[str]:
+        return sorted(c.server_id for c in self._configs.values() if c.is_leaf)
+
+    def root_area(self) -> Rect:
+        return self._configs[self.root_id].area
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def height(self) -> int:
+        """Number of levels (1 = a single root/leaf server)."""
+
+        def depth_of(server_id: str) -> int:
+            config = self._configs[server_id]
+            if config.is_leaf:
+                return 1
+            return 1 + max(depth_of(child.server_id) for child in config.children)
+
+        return depth_of(self.root_id)
+
+    def parent_of(self, server_id: str) -> str | None:
+        return self.config(server_id).parent
+
+    def path_to_root(self, server_id: str) -> list[str]:
+        """Server ids from ``server_id`` (inclusive) up to the root."""
+        path = [server_id]
+        current = self.config(server_id)
+        while current.parent is not None:
+            path.append(current.parent)
+            current = self.config(current.parent)
+        return path
+
+    def leaf_for_point(self, point: Point) -> str:
+        """Descend from the root to the leaf responsible for ``point``."""
+        config = self._configs[self.root_id]
+        if not config.contains(point):
+            raise OutOfServiceAreaError(f"point {point}")
+        while not config.is_leaf:
+            child = config.child_for(point)
+            if child is None:  # pragma: no cover - prevented by validate()
+                raise ConfigurationError(
+                    f"{config.server_id} has no child covering {point}"
+                )
+            config = self._configs[child.server_id]
+        return config.server_id
+
+    # -- invariants ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the two Section-4 requirements plus referential integrity."""
+        for config in self._configs.values():
+            if config.parent is not None:
+                parent = self._configs.get(config.parent)
+                if parent is None:
+                    raise ConfigurationError(
+                        f"{config.server_id} references unknown parent {config.parent}"
+                    )
+                if all(ref.server_id != config.server_id for ref in parent.children):
+                    raise ConfigurationError(
+                        f"{config.server_id} is not listed by its parent {config.parent}"
+                    )
+            for ref in config.children:
+                child = self._configs.get(ref.server_id)
+                if child is None:
+                    raise ConfigurationError(
+                        f"{config.server_id} references unknown child {ref.server_id}"
+                    )
+                if child.parent != config.server_id:
+                    raise ConfigurationError(
+                        f"child {ref.server_id} does not point back to {config.server_id}"
+                    )
+                if child.area != ref.area:
+                    raise ConfigurationError(
+                        f"child record area mismatch for {ref.server_id}"
+                    )
+                if not config.area.contains_rect(child.area):
+                    raise ConfigurationError(
+                        f"child area {ref.server_id} escapes parent {config.server_id}"
+                    )
+            if config.children:
+                self._validate_partition(config)
+
+    def _validate_partition(self, config: ServerConfig) -> None:
+        # Requirement 2: siblings must not overlap (beyond shared edges).
+        children = config.children
+        for i, a in enumerate(children):
+            for b in children[i + 1 :]:
+                if a.area.intersection_area(b.area) > _AREA_TOLERANCE * config.area.area:
+                    raise ConfigurationError(
+                        f"sibling areas {a.server_id} and {b.server_id} overlap"
+                    )
+        # Requirement 1: the parent is the union of its children.  With
+        # disjoint contained rects, equal total area implies a tiling.
+        total = sum(child.area.area for child in children)
+        if abs(total - config.area.area) > _AREA_TOLERANCE * max(config.area.area, 1.0):
+            raise ConfigurationError(
+                f"children of {config.server_id} cover {total}, expected {config.area.area}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def build_grid_hierarchy(
+    root_area: Rect,
+    levels: list[tuple[int, int]],
+    root_id: str = "root",
+) -> Hierarchy:
+    """A hierarchy where level ``i`` splits every area into a
+    ``cols x rows`` grid given by ``levels[i]``.
+
+    ``levels=[]`` produces a single root/leaf server;
+    ``levels=[(2, 2)]`` is the paper's Fig. 8 testbed shape.
+    """
+    configs: dict[str, ServerConfig] = {}
+
+    def build(server_id: str, area: Rect, parent: str | None, depth: int) -> None:
+        if depth < len(levels):
+            cols, rows = levels[depth]
+            cells = area.grid(cols, rows)
+            children = tuple(
+                ChildRef(f"{server_id}.{i}", cell) for i, cell in enumerate(cells)
+            )
+        else:
+            children = ()
+        configs[server_id] = ServerConfig(server_id, area, parent, children, root_area)
+        for ref in children:
+            build(ref.server_id, ref.area, server_id, depth + 1)
+
+    build(root_id, root_area, None, 0)
+    return Hierarchy(configs)
+
+
+def build_quad_hierarchy(root_area: Rect, depth: int, root_id: str = "root") -> Hierarchy:
+    """A regular quadtree of service areas with ``4**depth`` leaves."""
+    if depth < 0:
+        raise ConfigurationError(f"depth must be non-negative, got {depth}")
+    return build_grid_hierarchy(root_area, [(2, 2)] * depth, root_id=root_id)
+
+
+def build_table2_hierarchy(
+    side_m: float = 1500.0, root_id: str = "root"
+) -> Hierarchy:
+    """The paper's distributed testbed (Fig. 8): one root, four quadrant
+    leaves over a 1.5 km x 1.5 km service area."""
+    return build_quad_hierarchy(Rect(0, 0, side_m, side_m), depth=1, root_id=root_id)
+
+
+def build_fig6_hierarchy(side_m: float = 1000.0) -> Hierarchy:
+    """The 3-level, 7-server example hierarchy of Fig. 6.
+
+    s1 is the root with halves s2 (west) and s3 (east); each half splits
+    into two quarters: s4, s5 under s2 and s6, s7 under s3.
+    """
+    root = Rect(0, 0, side_m, side_m)
+    west = Rect(0, 0, side_m / 2, side_m)
+    east = Rect(side_m / 2, 0, side_m, side_m)
+    areas = {
+        "s1": root,
+        "s2": west,
+        "s3": east,
+        "s4": Rect(0, 0, side_m / 2, side_m / 2),
+        "s5": Rect(0, side_m / 2, side_m / 2, side_m),
+        "s6": Rect(side_m / 2, 0, side_m, side_m / 2),
+        "s7": Rect(side_m / 2, side_m / 2, side_m, side_m),
+    }
+    tree = {
+        "s1": (None, ("s2", "s3")),
+        "s2": ("s1", ("s4", "s5")),
+        "s3": ("s1", ("s6", "s7")),
+        "s4": ("s2", ()),
+        "s5": ("s2", ()),
+        "s6": ("s3", ()),
+        "s7": ("s3", ()),
+    }
+    configs = {}
+    for server_id, (parent, child_ids) in tree.items():
+        children = tuple(ChildRef(cid, areas[cid]) for cid in child_ids)
+        configs[server_id] = ServerConfig(server_id, areas[server_id], parent, children, root)
+    return Hierarchy(configs)

@@ -1,0 +1,377 @@
+"""Wire messages of the location service protocol (paper Section 6).
+
+Naming follows the paper where a direct counterpart exists
+(``registerReq``, ``createPath``, ``handoverReq`` …).  Messages marked
+*derived* implement behaviour the paper specifies but does not spell out
+as pseudocode (distributed nearest-neighbor search, cache-bypass
+variants of Section 6.5, soft-state path teardown).
+
+All messages are frozen dataclasses.  ``Response`` subclasses carry a
+``request_id`` that resolves a future parked at the requester — note
+that several responses are *redirected*: a leaf answers a query directly
+to the entry server rather than back along the forwarding path, exactly
+as in Algorithms 6-4/6-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo import Point, Rect, Region
+from repro.model import (
+    LocationDescriptor,
+    NearestNeighborResult,
+    ObjectEntry,
+    RegistrationInfo,
+    SightingRecord,
+)
+from repro.runtime.base import Message, Response
+
+# ---------------------------------------------------------------------------
+# Registration (Algorithm 6-1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterReq(Message):
+    """``registerReq(s, desAcc, minAcc, regInst)`` — also used unchanged
+    when forwarded between servers."""
+
+    request_id: str
+    reply_to: str  # the registering instance's address
+    sighting: SightingRecord
+    des_acc: float
+    min_acc: float
+    registrar: str
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterRes(Response):
+    """``registerRes`` / ``registerFailed`` folded into one response."""
+
+    request_id: str
+    ok: bool
+    agent: str | None = None
+    offered_acc: float | None = None
+    achievable_acc: float | None = None  # set when ok=False
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CreatePath(Message):
+    """``createPath(oId)`` — one-way, cascades from a new agent to the root."""
+
+    object_id: str
+    sender: str  # the child the forwarding reference must point to
+
+
+# ---------------------------------------------------------------------------
+# Position updates & handover (Algorithms 6-2 / 6-3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateReq(Message):
+    """``update(s)`` from a tracked object to its agent."""
+
+    request_id: str
+    reply_to: str
+    sighting: SightingRecord
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateRes(Response):
+    """Acknowledgement (Table 2 measures updates "with ACK").
+
+    After a handover, ``agent`` names the new agent; after the object
+    left the root service area, ``deregistered`` is True.
+    """
+
+    request_id: str
+    ok: bool
+    agent: str | None = None
+    offered_acc: float | None = None
+    deregistered: bool = False
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverReq(Message):
+    """``handoverReq(s, regInfo)`` — server-to-server, answered hop by hop."""
+
+    request_id: str
+    reply_to: str  # the server awaiting this hop's HandoverRes
+    sender: str  # ``lsf`` in Algorithm 6-3
+    sighting: SightingRecord
+    reg_info: RegistrationInfo
+    previous_offered: float | None = None  # lets the new agent notify only on change
+    direct: bool = False  # §6.5 cached handover: new agent must repair the path
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverRes(Response):
+    """``handoverRes(lsnew, acc)``; ``new_agent=None`` means the object
+    left the root service area and was deregistered."""
+
+    request_id: str
+    new_agent: str | None
+    offered_acc: float | None
+    origin_area: Rect | None = None  # new agent's service area (area cache)
+
+
+# ---------------------------------------------------------------------------
+# Deregistration & soft state
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DeregisterReq(Message):
+    """``deregister(o)`` from a client to the object's agent."""
+
+    request_id: str
+    reply_to: str
+    object_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class DeregisterRes(Response):
+    request_id: str
+    ok: bool
+
+
+@dataclass(frozen=True, slots=True)
+class PathTeardown(Message):
+    """*Derived.*  One-way upward removal of a forwarding path, used for
+    explicit deregistration and soft-state expiry.  A server only acts if
+    its forwarding reference still points at ``sender`` (guards against
+    racing with a concurrent handover that already redirected the path).
+    """
+
+    object_id: str
+    sender: str
+
+
+# ---------------------------------------------------------------------------
+# Position query (Algorithm 6-4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PosQueryReq(Message):
+    """``posQueryReq(oId)`` from a client to its entry server.
+
+    ``req_acc`` is an *extension* used by the §6.5 descriptor cache: when
+    set, a cached descriptor whose aged accuracy still satisfies it may
+    answer without touching the hierarchy.
+    """
+
+    request_id: str
+    reply_to: str
+    object_id: str
+    req_acc: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PosQueryRes(Response):
+    """``posQueryRes(ld)`` back to the client."""
+
+    request_id: str
+    found: bool
+    descriptor: LocationDescriptor | None = None
+    agent: str | None = None  # feeds the (object → agent) cache
+
+
+@dataclass(frozen=True, slots=True)
+class PosQueryFwd(Message):
+    """``posQueryFwd(oId, lse)`` — one-way within the hierarchy."""
+
+    query_id: str
+    object_id: str
+    entry_server: str
+
+
+@dataclass(frozen=True, slots=True)
+class PosQueryAnswer(Response):
+    """The agent's (or root's negative) answer, sent *directly* to the
+    entry server; resolves the entry's parked query future."""
+
+    request_id: str  # == query_id
+    found: bool
+    descriptor: LocationDescriptor | None = None
+    agent: str | None = None
+    origin_area: Rect | None = None  # agent's service area (area cache)
+    as_of: float | None = None  # sighting timestamp (descriptor cache aging)
+    authoritative: bool = True  # False for a cache-probe miss (fall back)
+
+
+@dataclass(frozen=True, slots=True)
+class PosQueryDirect(Message):
+    """*Derived* (§6.5 agent cache): probe a cached agent directly.  A
+    miss (object moved on) is answered ``found=False`` and the entry
+    falls back to the hierarchy."""
+
+    query_id: str
+    object_id: str
+    entry_server: str
+
+
+# ---------------------------------------------------------------------------
+# Range query (Algorithm 6-5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryReq(Message):
+    """``rangeQueryReq(area, reqAcc, reqOverlap)`` from a client."""
+
+    request_id: str
+    reply_to: str
+    area: Region
+    req_acc: float
+    req_overlap: float
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryRes(Response):
+    request_id: str
+    entries: tuple[ObjectEntry, ...]
+    servers_involved: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryFwd(Message):
+    """``rangeQueryFwd(area, reqAcc, reqOverlap, lse)``.
+
+    ``dispatch`` is the pre-computed ``Enlarge(bounds(area), reqAcc)``
+    rect used both for routing and for the covered-area bookkeeping
+    (DESIGN.md §4 documents this deviation from the paper's pseudocode,
+    which enlarges per hop and tracks the raw area).
+    """
+
+    query_id: str
+    area: Region
+    req_acc: float
+    req_overlap: float
+    dispatch: Rect
+    entry_server: str
+    sender: str  # ``lsf``: do not bounce the query straight back
+    direct: bool = False  # §6.5 area-cache dispatch: answer locally only
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQuerySubRes(Message):
+    """``rangeQuerySubRes(objs, a)`` from a leaf directly to the entry
+    server.  Not a :class:`Response`: several arrive per query, so the
+    entry server aggregates them in a collector, not a one-shot future.
+    """
+
+    query_id: str
+    entries: tuple[ObjectEntry, ...]
+    covered_area: float  # SIZE(dispatch ∩ leaf service area)
+    origin: str
+    origin_area: Rect
+
+
+# ---------------------------------------------------------------------------
+# Nearest-neighbor query (derived; semantics from Section 3.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborQueryReq(Message):
+    """``neighborQuery(p, reqAcc, nearQual)`` from a client."""
+
+    request_id: str
+    reply_to: str
+    pos: Point
+    req_acc: float
+    near_qual: float
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborQueryRes(Response):
+    request_id: str
+    result: NearestNeighborResult
+    rounds: int = 0
+    servers_involved: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class NNCandidatesFwd(Message):
+    """*Derived.*  One expanding-ring round: collect all entries whose
+    position lies in ``dispatch`` and whose accuracy satisfies
+    ``req_acc``.  Routed exactly like :class:`RangeQueryFwd`."""
+
+    query_id: str
+    dispatch: Rect
+    req_acc: float
+    entry_server: str
+    sender: str
+    direct: bool = False  # §6.5 area-cache dispatch: answer locally only
+
+
+@dataclass(frozen=True, slots=True)
+class NNCandidatesSubRes(Message):
+    query_id: str
+    entries: tuple[ObjectEntry, ...]
+    covered_area: float
+    origin: str
+    origin_area: Rect
+
+
+# ---------------------------------------------------------------------------
+# Cached handover path repair (derived, §6.5 leaf-area cache)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PathUpdate(Message):
+    """*Derived.*  Sent upward by a new agent after a *direct* handover:
+    ancestors redirect their forwarding reference to ``sender`` and prune
+    the stale branch with :class:`RemovePath`; propagation stops at the
+    first server whose reference already pointed elsewhere (the common
+    ancestor)."""
+
+    object_id: str
+    sender: str
+
+
+@dataclass(frozen=True, slots=True)
+class RemovePath(Message):
+    """*Derived.*  Downward removal of a stale forwarding branch."""
+
+    object_id: str
+
+
+# ---------------------------------------------------------------------------
+# Accuracy renegotiation (Section 3.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeAccReq(Message):
+    """``changeAcc(o, desAcc, minAcc)`` to the object's agent."""
+
+    request_id: str
+    reply_to: str
+    object_id: str
+    des_acc: float
+    min_acc: float
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeAccRes(Response):
+    request_id: str
+    ok: bool
+    offered_acc: float | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class NotifyAvailAcc(Message):
+    """``notifyAvailAcc()`` — pushed to the registrar when the offered
+    accuracy changes (e.g. after a handover to a leaf with a different
+    sensor infrastructure)."""
+
+    object_id: str
+    offered_acc: float

@@ -1,0 +1,978 @@
+"""The location server (paper Sections 4–6).
+
+One :class:`LocationServer` instance implements every role of the
+hierarchy; its behaviour follows from its :class:`~repro.core.hierarchy.
+ServerConfig`:
+
+* **leaf** servers own a :class:`~repro.storage.datastore.LocalDataStore`
+  (sighting DB + persistent visitor DB) and act as *agents* for the
+  objects in their service area; they are also the *entry servers*
+  clients contact.
+* **non-leaf** servers keep only forwarding references in a persistent
+  :class:`~repro.storage.visitor_db.VisitorDB`.
+
+Handlers map one-to-one onto the paper's algorithms:
+
+=====================  =======================================
+Algorithm 6-1          ``_on_register`` / ``_on_create_path``
+Algorithm 6-2          ``_on_update``
+Algorithm 6-3          ``_on_handover``
+Algorithm 6-4          ``_on_pos_query`` / ``_on_pos_query_fwd``
+Algorithm 6-5          ``_on_range_query`` / ``_on_range_fwd``
+Section 3.2 (derived)  ``_on_neighbor_query`` / ``_on_nn_fwd``
+Section 6.5 caches     ``_on_pos_query_direct``, ``_on_path_update``,
+                       ``_on_remove_path`` + :mod:`repro.core.caching`
+=====================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import messages as m
+from repro.core.caching import CacheConfig, LeafCaches
+from repro.core.hierarchy import ServerConfig
+from repro.errors import AccuracyUnavailableError, UnknownObjectError
+from repro.geo import Point, Rect, region_bounds
+from repro.model import (
+    AccuracyModel,
+    NearestNeighborQuery,
+    NearestNeighborResult,
+    ObjectEntry,
+    RangeQuery,
+    RegistrationInfo,
+    effective_margin,
+    nearest_neighbor,
+)
+from repro.runtime.base import Endpoint
+from repro.spatial import make_index
+from repro.storage import LocalDataStore, PersistentStore, VisitorDB
+
+#: Relative slack for covered-area accounting (float tiling residue).
+_COVER_EPS = 1e-6
+
+
+@dataclass
+class ServerStats:
+    """Per-server operation counters (benches and tests read these)."""
+
+    registrations: int = 0
+    updates: int = 0
+    handovers_initiated: int = 0
+    handovers_admitted: int = 0
+    pos_queries_served: int = 0
+    range_queries_served: int = 0
+    nn_rounds_served: int = 0
+    expired: int = 0
+    messages_handled: dict[str, int] = field(default_factory=dict)
+
+    def note(self, message) -> None:
+        name = type(message).__name__
+        self.messages_handled[name] = self.messages_handled.get(name, 0) + 1
+
+
+class _Collector:
+    """Aggregates the multi-message answers of a fan-out query."""
+
+    __slots__ = ("future", "target", "covered", "entries", "origins")
+
+    def __init__(self, future, target: float) -> None:
+        self.future = future
+        self.target = target
+        self.covered = 0.0
+        self.entries: dict[str, object] = {}
+        self.origins: set[str] = set()
+
+    def add(self, entries, covered: float, origin: str) -> None:
+        for oid, descriptor in entries:
+            self.entries[oid] = descriptor
+        self.covered += covered
+        self.origins.add(origin)
+
+    @property
+    def complete(self) -> bool:
+        return self.covered + _COVER_EPS * max(self.target, 1.0) >= self.target
+
+    def resolve_if_complete(self) -> None:
+        if self.complete and not self.future.done():
+            self.future.set_result(None)
+
+    def sorted_entries(self) -> tuple[ObjectEntry, ...]:
+        return tuple(sorted(self.entries.items()))
+
+
+class LocationServer(Endpoint):
+    """One node of the location-server hierarchy."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        accuracy: AccuracyModel | None = None,
+        index_kind: str = "quadtree",
+        store: PersistentStore | None = None,
+        cache_config: CacheConfig | None = None,
+        sighting_ttl: float = 300.0,
+        sweep_interval: float | None = None,
+        nn_initial_radius: float | None = None,
+    ) -> None:
+        super().__init__(address=config.server_id)
+        self.config = config
+        self.is_leaf = config.is_leaf
+        self.accuracy = accuracy if accuracy is not None else AccuracyModel()
+        self.stats = ServerStats()
+        self._sweep_interval = sweep_interval
+        if self.is_leaf:
+            self.store: LocalDataStore | None = LocalDataStore(
+                accuracy=self.accuracy,
+                index=make_index(index_kind),
+                store=store,
+                ttl=sighting_ttl,
+            )
+            self.visitors = self.store.visitors
+            self.caches = LeafCaches(cache_config or CacheConfig.disabled())
+        else:
+            self.store = None
+            self.visitors = VisitorDB(store=store)
+            self.caches = LeafCaches(CacheConfig.disabled())
+        self._collectors: dict[str, _Collector] = {}
+        self._nn_initial_radius = (
+            nn_initial_radius
+            if nn_initial_radius is not None
+            else max(config.area.width, config.area.height)
+        )
+        self._register_handlers()
+        # Event mechanism (Section 1 / future work) — registers its own
+        # Subscribe/Unsubscribe handlers.
+        from repro.core.events import EventEngine
+
+        self.events = EventEngine(self)
+
+    def _register_handlers(self) -> None:
+        self.on(m.RegisterReq, self._on_register)
+        self.on(m.CreatePath, self._on_create_path)
+        self.on(m.UpdateReq, self._on_update)
+        self.on(m.HandoverReq, self._on_handover)
+        self.on(m.DeregisterReq, self._on_deregister)
+        self.on(m.PathTeardown, self._on_path_teardown)
+        self.on(m.PosQueryReq, self._on_pos_query)
+        self.on(m.PosQueryFwd, self._on_pos_query_fwd)
+        self.on(m.PosQueryDirect, self._on_pos_query_direct)
+        self.on(m.RangeQueryReq, self._on_range_query)
+        self.on(m.RangeQueryFwd, self._on_range_fwd)
+        self.on(m.RangeQuerySubRes, self._on_range_sub_res)
+        self.on(m.NeighborQueryReq, self._on_neighbor_query)
+        self.on(m.NNCandidatesFwd, self._on_nn_fwd)
+        self.on(m.NNCandidatesSubRes, self._on_nn_sub_res)
+        self.on(m.ChangeAccReq, self._on_change_acc)
+        self.on(m.PathUpdate, self._on_path_update)
+        self.on(m.RemovePath, self._on_remove_path)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def on_attached(self) -> None:
+        if self._sweep_interval is not None and self.is_leaf:
+            self.ctx.call_later(self._sweep_interval, self._periodic_sweep)
+
+    def _periodic_sweep(self) -> None:
+        self.sweep_soft_state()
+        self.ctx.call_later(self._sweep_interval, self._periodic_sweep)
+
+    def sweep_soft_state(self) -> None:
+        """Expire lapsed sightings and tear their forwarding paths down."""
+        if not self.is_leaf:
+            return
+        for oid in self.store.expire_due(self.ctx.now()):
+            self.stats.expired += 1
+            if self.config.parent is not None:
+                self.send(
+                    self.config.parent, m.PathTeardown(object_id=oid, sender=self.address)
+                )
+
+    def simulate_crash_recovery(self) -> None:
+        """Wipe volatile state, as after a restart (persistent DB survives)."""
+        if self.is_leaf:
+            self.store.crash(now=self.ctx.now() if self.ctx is not None else 0.0)
+
+    # -- routing helpers -----------------------------------------------------------
+
+    def _contains(self, pos: Point) -> bool:
+        return self.config.contains(pos)
+
+    def _child_for(self, pos: Point):
+        return self.config.child_for(pos)
+
+    @property
+    def _parent(self) -> str | None:
+        return self.config.parent
+
+    # ======================================================================
+    # Algorithm 6-1: registration
+    # ======================================================================
+
+    async def _on_register(self, msg: m.RegisterReq) -> None:
+        self.stats.note(msg)
+        pos = msg.sighting.pos
+        if not self._contains(pos):
+            if self._parent is None:
+                self.send(
+                    msg.reply_to,
+                    m.RegisterRes(
+                        request_id=msg.request_id,
+                        ok=False,
+                        error="position outside the root service area",
+                    ),
+                )
+                return
+            self.send(self._parent, msg)  # forward upwards
+            return
+        if not self.is_leaf:
+            child = self._child_for(pos)
+            self.send(child.server_id, msg)  # forward downwards
+            return
+        # Responsible leaf server: negotiate and admit (lines 3-15).
+        offered = self.accuracy.negotiate(msg.des_acc, msg.min_acc)
+        if offered is None:
+            self.send(
+                msg.reply_to,
+                m.RegisterRes(
+                    request_id=msg.request_id,
+                    ok=False,
+                    achievable_acc=self.accuracy.achievable,
+                    error="requested accuracy range not achievable",
+                ),
+            )
+            return
+        self.store.register(
+            msg.sighting, msg.des_acc, msg.min_acc, msg.registrar, now=self.ctx.now()
+        )
+        self.stats.registrations += 1
+        if self._parent is not None:
+            self.send(self._parent, m.CreatePath(msg.sighting.object_id, sender=self.address))
+        self.send(
+            msg.reply_to,
+            m.RegisterRes(
+                request_id=msg.request_id, ok=True, agent=self.address, offered_acc=offered
+            ),
+        )
+
+    async def _on_create_path(self, msg: m.CreatePath) -> None:
+        self.stats.note(msg)
+        self.visitors.insert_forward(msg.object_id, msg.sender)
+        if self._parent is not None:
+            self.send(self._parent, m.CreatePath(msg.object_id, sender=self.address))
+
+    # ======================================================================
+    # Algorithm 6-2: position updates
+    # ======================================================================
+
+    async def _on_update(self, msg: m.UpdateReq) -> None:
+        self.stats.note(msg)
+        sighting = msg.sighting
+        record = self.visitors.leaf_record(sighting.object_id) if self.is_leaf else None
+        if record is None:
+            self.send(
+                msg.reply_to,
+                m.UpdateRes(
+                    request_id=msg.request_id,
+                    ok=False,
+                    error=f"{self.address} is not the agent of {sighting.object_id}",
+                ),
+            )
+            return
+        if self._contains(sighting.pos):
+            self.store.update(sighting, now=self.ctx.now())
+            self.stats.updates += 1
+            self.send(
+                msg.reply_to,
+                m.UpdateRes(
+                    request_id=msg.request_id,
+                    ok=True,
+                    agent=self.address,
+                    offered_acc=record.offered_acc,
+                ),
+            )
+            return
+        # The object moved out of this service area: initiate a handover.
+        await self._initiate_handover(msg, record)
+
+    async def _initiate_handover(self, msg: m.UpdateReq, record) -> None:
+        self.stats.handovers_initiated += 1
+        sighting = msg.sighting
+        request_id = self.next_request_id()
+        target = self.caches.leaf_for_point(sighting.pos.x, sighting.pos.y)
+        handover = m.HandoverReq(
+            request_id=request_id,
+            reply_to=self.address,
+            sender=self.address,
+            sighting=sighting,
+            reg_info=record.reg_info,
+            previous_offered=record.offered_acc,
+            direct=target is not None,
+        )
+        if target is None:
+            if self._parent is None:
+                # Single-server LS: the object left the root service area.
+                self._drop_object(sighting.object_id)
+                self.send(
+                    msg.reply_to,
+                    m.UpdateRes(request_id=msg.request_id, ok=True, deregistered=True),
+                )
+                return
+            res = await self.request(self._parent, handover)
+        else:
+            # §6.5 leaf-area cache: contact the new agent directly; it
+            # repairs the forwarding path via PathUpdate.
+            res = await self.request(target, handover)
+        assert isinstance(res, m.HandoverRes)
+        self.caches.note_leaf_area(res.new_agent, res.origin_area)
+        self._drop_object(sighting.object_id)
+        if res.new_agent is None:
+            self.send(
+                msg.reply_to,
+                m.UpdateRes(request_id=msg.request_id, ok=True, deregistered=True),
+            )
+        else:
+            self.send(
+                msg.reply_to,
+                m.UpdateRes(
+                    request_id=msg.request_id,
+                    ok=True,
+                    agent=res.new_agent,
+                    offered_acc=res.offered_acc,
+                ),
+            )
+
+    def _drop_object(self, object_id: str) -> None:
+        """Remove the visitor and sighting records (Alg. 6-2 lines 5-6)."""
+        if self.is_leaf:
+            self.store.deregister(object_id)
+        else:
+            self.visitors.remove(object_id)
+
+    # ======================================================================
+    # Algorithm 6-3: handover
+    # ======================================================================
+
+    async def _on_handover(self, msg: m.HandoverReq) -> None:
+        self.stats.note(msg)
+        pos = msg.sighting.pos
+        if self._contains(pos):
+            if self.is_leaf:
+                await self._admit_handover(msg)
+            else:
+                await self._forward_handover_down(msg)
+        else:
+            await self._forward_handover_up(msg)
+
+    async def _admit_handover(self, msg: m.HandoverReq) -> None:
+        offered = self.store.admit_handover(msg.sighting, msg.reg_info, now=self.ctx.now())
+        self.stats.handovers_admitted += 1
+        if msg.direct:
+            # Cached (direct) handover: the hierarchy was bypassed, so the
+            # forwarding path must be repaired explicitly.
+            if self._parent is not None:
+                self.send(
+                    self._parent,
+                    m.PathUpdate(object_id=msg.sighting.object_id, sender=self.address),
+                )
+        if msg.previous_offered is not None and offered != msg.previous_offered:
+            self.send(
+                msg.reg_info.registrar,
+                m.NotifyAvailAcc(object_id=msg.sighting.object_id, offered_acc=offered),
+            )
+        self.send(
+            msg.reply_to,
+            m.HandoverRes(
+                request_id=msg.request_id,
+                new_agent=self.address,
+                offered_acc=offered,
+                origin_area=self.config.area,
+            ),
+        )
+
+    async def _forward_handover_down(self, msg: m.HandoverReq) -> None:
+        child = self._child_for(msg.sighting.pos)
+        sub_id = self.next_request_id()
+        res = await self.request(
+            child.server_id,
+            m.HandoverReq(
+                request_id=sub_id,
+                reply_to=self.address,
+                sender=self.address,
+                sighting=msg.sighting,
+                reg_info=msg.reg_info,
+                previous_offered=msg.previous_offered,
+            ),
+        )
+        assert isinstance(res, m.HandoverRes)
+        # Create or reset the forwarding pointer (Alg. 6-3 lines 12-13).
+        self.visitors.insert_forward(msg.sighting.object_id, child.server_id)
+        self.send(
+            msg.reply_to,
+            m.HandoverRes(
+                request_id=msg.request_id,
+                new_agent=res.new_agent,
+                offered_acc=res.offered_acc,
+                origin_area=res.origin_area,
+            ),
+        )
+
+    async def _forward_handover_up(self, msg: m.HandoverReq) -> None:
+        object_id = msg.sighting.object_id
+        if self._parent is None:
+            # The object left the root service area: deregister it
+            # hierarchy-wide (Section 4: "automatically deregistered").
+            self.visitors.remove(object_id)
+            self.send(
+                msg.reply_to,
+                m.HandoverRes(request_id=msg.request_id, new_agent=None, offered_acc=None),
+            )
+            return
+        sub_id = self.next_request_id()
+        res = await self.request(
+            self._parent,
+            m.HandoverReq(
+                request_id=sub_id,
+                reply_to=self.address,
+                sender=self.address,
+                sighting=msg.sighting,
+                reg_info=msg.reg_info,
+                previous_offered=msg.previous_offered,
+            ),
+        )
+        assert isinstance(res, m.HandoverRes)
+        # This server is no longer on the path (Alg. 6-3 line 19).
+        self.visitors.remove(object_id)
+        self.send(
+            msg.reply_to,
+            m.HandoverRes(
+                request_id=msg.request_id,
+                new_agent=res.new_agent,
+                offered_acc=res.offered_acc,
+                origin_area=res.origin_area,
+            ),
+        )
+
+    # -- cached-handover path repair (§6.5, derived) -----------------------------
+
+    async def _on_path_update(self, msg: m.PathUpdate) -> None:
+        self.stats.note(msg)
+        previous = self.visitors.forward_ref(msg.object_id)
+        if previous == msg.sender:
+            return  # path already correct: common ancestor reached
+        self.visitors.insert_forward(msg.object_id, msg.sender)
+        if previous is not None:
+            # Common ancestor: prune the stale branch, stop propagating.
+            self.send(previous, m.RemovePath(object_id=msg.object_id))
+            return
+        if self._parent is not None:
+            self.send(self._parent, m.PathUpdate(object_id=msg.object_id, sender=self.address))
+
+    async def _on_remove_path(self, msg: m.RemovePath) -> None:
+        self.stats.note(msg)
+        if self.is_leaf:
+            record = self.visitors.leaf_record(msg.object_id)
+            if record is not None:
+                self.store.deregister(msg.object_id)
+            return
+        next_hop = self.visitors.forward_ref(msg.object_id)
+        self.visitors.remove(msg.object_id)
+        if next_hop is not None:
+            self.send(next_hop, m.RemovePath(object_id=msg.object_id))
+
+    # ======================================================================
+    # Deregistration and soft-state teardown
+    # ======================================================================
+
+    async def _on_deregister(self, msg: m.DeregisterReq) -> None:
+        self.stats.note(msg)
+        record = self.visitors.leaf_record(msg.object_id) if self.is_leaf else None
+        if record is None:
+            self.send(msg.reply_to, m.DeregisterRes(request_id=msg.request_id, ok=False))
+            return
+        self.store.deregister(msg.object_id)
+        if self._parent is not None:
+            self.send(self._parent, m.PathTeardown(object_id=msg.object_id, sender=self.address))
+        self.send(msg.reply_to, m.DeregisterRes(request_id=msg.request_id, ok=True))
+
+    async def _on_path_teardown(self, msg: m.PathTeardown) -> None:
+        self.stats.note(msg)
+        # Only act if our reference still points at the sender — a racing
+        # handover may already have redirected the path.
+        if self.visitors.forward_ref(msg.object_id) != msg.sender:
+            return
+        self.visitors.remove(msg.object_id)
+        if self._parent is not None:
+            self.send(self._parent, m.PathTeardown(object_id=msg.object_id, sender=self.address))
+
+    # ======================================================================
+    # Algorithm 6-4: position queries
+    # ======================================================================
+
+    async def _on_pos_query(self, msg: m.PosQueryReq) -> None:
+        self.stats.note(msg)
+        if not self.is_leaf:
+            # Clients access the LS through leaf entry servers (Section 6).
+            self.send(msg.reply_to, m.PosQueryRes(request_id=msg.request_id, found=False))
+            return
+        self.stats.pos_queries_served += 1
+        object_id = msg.object_id
+        # Local answer (entry server is the agent).
+        if self.is_leaf:
+            record = self.visitors.leaf_record(object_id)
+            sighting = self.store.sightings.get(object_id) if record else None
+            if record is not None and sighting is not None:
+                descriptor = self.store.position_query(object_id)
+                self.send(
+                    msg.reply_to,
+                    m.PosQueryRes(
+                        request_id=msg.request_id,
+                        found=True,
+                        descriptor=descriptor,
+                        agent=self.address,
+                    ),
+                )
+                return
+        # §6.5 descriptor cache.
+        cached = self.caches.fresh_descriptor(object_id, self.ctx.now(), msg.req_acc)
+        if cached is not None:
+            self.send(
+                msg.reply_to,
+                m.PosQueryRes(
+                    request_id=msg.request_id,
+                    found=True,
+                    descriptor=cached,
+                    agent=self.caches.agent_of(object_id),
+                ),
+            )
+            return
+        answer = await self._resolve_position(object_id)
+        if answer.found:
+            self.caches.note_agent(object_id, answer.agent)
+            self.caches.note_leaf_area(answer.agent, answer.origin_area)
+            self.caches.note_descriptor(
+                object_id, answer.descriptor, answer.as_of if answer.as_of is not None else self.ctx.now()
+            )
+        self.send(
+            msg.reply_to,
+            m.PosQueryRes(
+                request_id=msg.request_id,
+                found=answer.found,
+                descriptor=answer.descriptor,
+                agent=answer.agent,
+            ),
+        )
+
+    async def _resolve_position(self, object_id: str) -> m.PosQueryAnswer:
+        """Find the object's descriptor via cache probe or hierarchy."""
+        # §6.5 agent cache: probe the remembered agent directly.
+        cached_agent = self.caches.agent_of(object_id)
+        if cached_agent is not None and cached_agent != self.address:
+            query_id = self.next_request_id()
+            future = self.park(query_id)
+            self.send(
+                cached_agent,
+                m.PosQueryDirect(
+                    query_id=query_id, object_id=object_id, entry_server=self.address
+                ),
+            )
+            answer = await self.wait(query_id, future)
+            assert isinstance(answer, m.PosQueryAnswer)
+            if answer.found or answer.authoritative:
+                return answer
+            self.caches.invalidate_agent(object_id)
+        # Hierarchy traversal (Alg. 6-4).
+        if self._parent is None:
+            return m.PosQueryAnswer(request_id="", found=False)
+        query_id = self.next_request_id()
+        future = self.park(query_id)
+        self.send(
+            self._parent,
+            m.PosQueryFwd(query_id=query_id, object_id=object_id, entry_server=self.address),
+        )
+        answer = await self.wait(query_id, future)
+        assert isinstance(answer, m.PosQueryAnswer)
+        return answer
+
+    async def _on_pos_query_fwd(self, msg: m.PosQueryFwd) -> None:
+        self.stats.note(msg)
+        object_id = msg.object_id
+        if self.is_leaf:
+            self._answer_pos_query(msg.query_id, msg.entry_server, object_id, authoritative=True)
+            return
+        next_hop = self.visitors.forward_ref(object_id)
+        if next_hop is not None:
+            self.send(next_hop, msg)  # forward downwards along the path
+        elif self._parent is not None:
+            self.send(self._parent, msg)  # forward upwards
+        else:
+            # Root without a record: the object is not tracked by the LS.
+            self.send(
+                msg.entry_server,
+                m.PosQueryAnswer(request_id=msg.query_id, found=False, authoritative=True),
+            )
+
+    async def _on_pos_query_direct(self, msg: m.PosQueryDirect) -> None:
+        self.stats.note(msg)
+        self._answer_pos_query(
+            msg.query_id, msg.entry_server, msg.object_id, authoritative=False
+        )
+
+    def _answer_pos_query(
+        self, query_id: str, entry_server: str, object_id: str, authoritative: bool
+    ) -> None:
+        """Leaf-side answer: a positive hit or a (non-)authoritative miss."""
+        record = self.visitors.leaf_record(object_id) if self.is_leaf else None
+        sighting = self.store.sightings.get(object_id) if record is not None else None
+        if record is None or sighting is None:
+            self.send(
+                entry_server,
+                m.PosQueryAnswer(
+                    request_id=query_id, found=False, authoritative=authoritative
+                ),
+            )
+            return
+        self.send(
+            entry_server,
+            m.PosQueryAnswer(
+                request_id=query_id,
+                found=True,
+                descriptor=self.store.position_query(object_id),
+                agent=self.address,
+                origin_area=self.config.area,
+                as_of=sighting.timestamp,
+                authoritative=True,
+            ),
+        )
+
+    # ======================================================================
+    # Algorithm 6-5: range queries
+    # ======================================================================
+
+    async def _on_range_query(self, msg: m.RangeQueryReq) -> None:
+        self.stats.note(msg)
+        if not self.is_leaf:
+            self.send(
+                msg.reply_to,
+                m.RangeQueryRes(request_id=msg.request_id, entries=(), servers_involved=0),
+            )
+            return
+        self.stats.range_queries_served += 1
+        query = RangeQuery(msg.area, req_acc=msg.req_acc, req_overlap=msg.req_overlap)
+        entries, origins = await self._execute_range(query)
+        self.send(
+            msg.reply_to,
+            m.RangeQueryRes(
+                request_id=msg.request_id,
+                entries=entries,
+                servers_involved=len(origins),
+            ),
+        )
+
+    async def _execute_range(
+        self, query: RangeQuery
+    ) -> tuple[tuple[ObjectEntry, ...], set[str]]:
+        """Entry-server half of Algorithm 6-5 (also used by the event
+        engine): collect the distributed answer for one range query."""
+        # Clamp the dispatch rect to the root service area: no tracked
+        # object exists outside it, and a clamped rect lets the covered
+        # accounting and the §6.5 area cache work with exact tilings.
+        dispatch = region_bounds(query.area).enlarged(effective_margin(query)).intersection(
+            self.config.root_area
+        )
+        if dispatch is None:
+            return (), set()
+        query_id = self.next_request_id()
+        collector = _Collector(self.ctx.create_future(), dispatch.area)
+        self._collectors[query_id] = collector
+        try:
+            # Local portion (Alg. 6-5 entry, lines 3-7).
+            if dispatch.intersects(self.config.area):
+                local = self.store.range_query(query)
+                collector.add(
+                    local, dispatch.intersection_area(self.config.area), self.address
+                )
+            collector.resolve_if_complete()
+            if not collector.complete:
+                self._fan_out(
+                    query_id,
+                    dispatch,
+                    lambda sender, direct: m.RangeQueryFwd(
+                        query_id=query_id,
+                        area=query.area,
+                        req_acc=query.req_acc,
+                        req_overlap=query.req_overlap,
+                        dispatch=dispatch,
+                        entry_server=self.address,
+                        sender=sender,
+                        direct=direct,
+                    ),
+                )
+                await collector.future
+            return collector.sorted_entries(), set(collector.origins)
+        finally:
+            self._collectors.pop(query_id, None)
+
+    # -- internal query API (event engine, embedding applications) ------------
+
+    async def evaluate_range(self, query: RangeQuery) -> tuple[ObjectEntry, ...]:
+        """Run a distributed range query from this (leaf) entry server."""
+        entries, _ = await self._execute_range(query)
+        return entries
+
+    async def evaluate_position(self, object_id: str):
+        """Resolve one object's descriptor from this (leaf) entry server;
+        ``None`` when the object is not tracked."""
+        if self.is_leaf:
+            record = self.visitors.leaf_record(object_id)
+            if record is not None and self.store.sightings.get(object_id) is not None:
+                return self.store.position_query(object_id)
+        answer = await self._resolve_position(object_id)
+        return answer.descriptor if answer.found else None
+
+    def _fan_out(self, query_id: str, dispatch: Rect, make_fwd) -> None:
+        """Dispatch a fan-out query: straight to cached leaves when the
+        §6.5 area cache covers the dispatch rect, else up the hierarchy.
+
+        ``make_fwd(sender, direct)`` builds the forwarded message; direct
+        dispatches suppress upward re-propagation at the receiving leaf
+        (otherwise coverage would be double-counted through the tree).
+        """
+        covering = self.caches.leaves_covering(dispatch)
+        if covering is not None:
+            sent_any = False
+            for leaf_id, _ in covering:
+                if leaf_id != self.address:
+                    self.send(leaf_id, make_fwd(self.address, True))
+                    sent_any = True
+            if sent_any or dispatch.intersects(self.config.area):
+                return
+        if self._parent is not None:
+            self.send(self._parent, make_fwd(self.address, False))
+
+    async def _on_range_fwd(self, msg: m.RangeQueryFwd) -> None:
+        self.stats.note(msg)
+        dispatch = msg.dispatch
+        if dispatch.intersects(self.config.area):
+            if self.is_leaf:
+                query = RangeQuery(msg.area, req_acc=msg.req_acc, req_overlap=msg.req_overlap)
+                entries = tuple(self.store.range_query(query))
+                self.send(
+                    msg.entry_server,
+                    m.RangeQuerySubRes(
+                        query_id=msg.query_id,
+                        entries=entries,
+                        covered_area=dispatch.intersection_area(self.config.area),
+                        origin=self.address,
+                        origin_area=self.config.area,
+                    ),
+                )
+            else:
+                for child in self.config.children:
+                    if child.server_id != msg.sender and dispatch.intersects(child.area):
+                        self.send(
+                            child.server_id,
+                            m.RangeQueryFwd(
+                                query_id=msg.query_id,
+                                area=msg.area,
+                                req_acc=msg.req_acc,
+                                req_overlap=msg.req_overlap,
+                                dispatch=dispatch,
+                                entry_server=msg.entry_server,
+                                sender=self.address,
+                            ),
+                        )
+        if (
+            not msg.direct
+            and not self.config.area.contains_rect(dispatch)
+            and self._parent is not None
+            and self._parent != msg.sender
+        ):
+            self.send(
+                self._parent,
+                m.RangeQueryFwd(
+                    query_id=msg.query_id,
+                    area=msg.area,
+                    req_acc=msg.req_acc,
+                    req_overlap=msg.req_overlap,
+                    dispatch=dispatch,
+                    entry_server=msg.entry_server,
+                    sender=self.address,
+                ),
+            )
+
+    async def _on_range_sub_res(self, msg: m.RangeQuerySubRes) -> None:
+        self.stats.note(msg)
+        self.caches.note_leaf_area(msg.origin, msg.origin_area)
+        collector = self._collectors.get(msg.query_id)
+        if collector is None:
+            return  # late answer for an already-completed query
+        collector.add(msg.entries, msg.covered_area, msg.origin)
+        collector.resolve_if_complete()
+
+    # ======================================================================
+    # Nearest-neighbor queries (derived; Section 3.2 semantics)
+    # ======================================================================
+
+    async def _on_neighbor_query(self, msg: m.NeighborQueryReq) -> None:
+        self.stats.note(msg)
+        if not self.is_leaf:
+            self.send(
+                msg.reply_to,
+                m.NeighborQueryRes(
+                    request_id=msg.request_id, result=NearestNeighborResult(nearest=None)
+                ),
+            )
+            return
+        query = NearestNeighborQuery(msg.pos, req_acc=msg.req_acc, near_qual=msg.near_qual)
+        radius = self._nn_initial_radius
+        rounds = 0
+        servers: set[str] = set()
+        result = NearestNeighborResult(nearest=None)
+        root_area = self.config.root_area
+        while True:
+            rounds += 1
+            self.stats.nn_rounds_served += 1
+            probe = Rect.from_center(msg.pos, 2 * radius, 2 * radius)
+            covers_root = probe.contains_rect(root_area)
+            dispatch = probe.intersection(root_area)
+            if dispatch is not None:
+                entries, origins = await self._collect_nn_candidates(dispatch, msg.req_acc)
+                servers.update(origins)
+                result = nearest_neighbor(entries, query)
+            if covers_root:
+                break
+            if result.nearest is not None:
+                selected_distance = result.nearest[1].pos.distance_to(msg.pos)
+                if selected_distance + msg.near_qual <= radius:
+                    break
+            radius *= 2.0
+        self.send(
+            msg.reply_to,
+            m.NeighborQueryRes(
+                request_id=msg.request_id,
+                result=result,
+                rounds=rounds,
+                servers_involved=len(servers),
+            ),
+        )
+
+    async def _collect_nn_candidates(
+        self, dispatch: Rect, req_acc: float
+    ) -> tuple[list[ObjectEntry], set[str]]:
+        """One expanding-ring round, reusing the range fan-out machinery.
+
+        ``dispatch`` must already be clamped to the root service area.
+        """
+        target = dispatch.area
+        query_id = self.next_request_id()
+        collector = _Collector(self.ctx.create_future(), target)
+        self._collectors[query_id] = collector
+        try:
+            if dispatch.intersects(self.config.area):
+                local = self.store.nn_candidates(dispatch, req_acc)
+                collector.add(
+                    local, dispatch.intersection_area(self.config.area), self.address
+                )
+            collector.resolve_if_complete()
+            if not collector.complete:
+                self._fan_out(
+                    query_id,
+                    dispatch,
+                    lambda sender, direct: m.NNCandidatesFwd(
+                        query_id=query_id,
+                        dispatch=dispatch,
+                        req_acc=req_acc,
+                        entry_server=self.address,
+                        sender=sender,
+                        direct=direct,
+                    ),
+                )
+                await collector.future
+            return list(collector.entries.items()), set(collector.origins)
+        finally:
+            self._collectors.pop(query_id, None)
+
+    async def _on_nn_fwd(self, msg: m.NNCandidatesFwd) -> None:
+        self.stats.note(msg)
+        dispatch = msg.dispatch
+        if dispatch.intersects(self.config.area):
+            if self.is_leaf:
+                entries = tuple(self.store.nn_candidates(dispatch, msg.req_acc))
+                self.send(
+                    msg.entry_server,
+                    m.NNCandidatesSubRes(
+                        query_id=msg.query_id,
+                        entries=entries,
+                        covered_area=dispatch.intersection_area(self.config.area),
+                        origin=self.address,
+                        origin_area=self.config.area,
+                    ),
+                )
+            else:
+                for child in self.config.children:
+                    if child.server_id != msg.sender and dispatch.intersects(child.area):
+                        self.send(
+                            child.server_id,
+                            m.NNCandidatesFwd(
+                                query_id=msg.query_id,
+                                dispatch=dispatch,
+                                req_acc=msg.req_acc,
+                                entry_server=msg.entry_server,
+                                sender=self.address,
+                            ),
+                        )
+        if (
+            not msg.direct
+            and not self.config.area.contains_rect(dispatch)
+            and self._parent is not None
+            and self._parent != msg.sender
+        ):
+            self.send(
+                self._parent,
+                m.NNCandidatesFwd(
+                    query_id=msg.query_id,
+                    dispatch=dispatch,
+                    req_acc=msg.req_acc,
+                    entry_server=msg.entry_server,
+                    sender=self.address,
+                ),
+            )
+
+    async def _on_nn_sub_res(self, msg: m.NNCandidatesSubRes) -> None:
+        self.stats.note(msg)
+        self.caches.note_leaf_area(msg.origin, msg.origin_area)
+        collector = self._collectors.get(msg.query_id)
+        if collector is None:
+            return
+        collector.add(msg.entries, msg.covered_area, msg.origin)
+        collector.resolve_if_complete()
+
+    # ======================================================================
+    # Accuracy renegotiation
+    # ======================================================================
+
+    async def _on_change_acc(self, msg: m.ChangeAccReq) -> None:
+        self.stats.note(msg)
+        if not self.is_leaf or self.visitors.leaf_record(msg.object_id) is None:
+            self.send(
+                msg.reply_to,
+                m.ChangeAccRes(
+                    request_id=msg.request_id,
+                    ok=False,
+                    error=f"{self.address} is not the agent of {msg.object_id}",
+                ),
+            )
+            return
+        try:
+            offered = self.store.change_accuracy(msg.object_id, msg.des_acc, msg.min_acc)
+        except (UnknownObjectError, AccuracyUnavailableError) as exc:
+            self.send(
+                msg.reply_to,
+                m.ChangeAccRes(request_id=msg.request_id, ok=False, error=str(exc)),
+            )
+            return
+        self.send(
+            msg.reply_to,
+            m.ChangeAccRes(request_id=msg.request_id, ok=True, offered_acc=offered),
+        )

@@ -1,0 +1,233 @@
+"""High-level facade: build and drive a complete location service.
+
+:class:`LocationService` wires a hierarchy of :class:`LocationServer`
+endpoints onto a runtime network and offers a *synchronous* convenience
+API on top of the simulated runtime: each call drives the virtual clock
+until its response arrives.  This is the entry point the examples and
+most integration tests use; benches and advanced scenarios talk to the
+async layer directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.caching import CacheConfig
+from repro.core.client import LocationClient, NeighborAnswer, RangeAnswer, TrackedObject
+from repro.core.hierarchy import Hierarchy
+from repro.core.server import LocationServer
+from repro.errors import LocationServiceError
+from repro.geo import Point, Region
+from repro.model import AccuracyModel, LocationDescriptor
+from repro.runtime.latency import CostModel, LatencyModel
+from repro.runtime.simnet import SimNetwork
+
+
+class LocationService:
+    """A fully wired simulated location service."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        accuracy: AccuracyModel | None = None,
+        cache_config: CacheConfig | None = None,
+        index_kind: str = "quadtree",
+        latency: LatencyModel | None = None,
+        costs: CostModel | None = None,
+        sighting_ttl: float = 300.0,
+        sweep_interval: float | None = None,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+        nn_initial_radius: float | None = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.network = SimNetwork(
+            latency=latency, costs=costs, drop_rate=drop_rate, seed=seed
+        )
+        self.servers: dict[str, LocationServer] = {}
+        for server_id in hierarchy.server_ids():
+            server = LocationServer(
+                hierarchy.config(server_id),
+                accuracy=accuracy,
+                index_kind=index_kind,
+                cache_config=cache_config,
+                sighting_ttl=sighting_ttl,
+                sweep_interval=sweep_interval,
+                nn_initial_radius=nn_initial_radius,
+            )
+            self.network.join(server)
+            self.servers[server_id] = server
+        self._client_counter = 0
+        self._default_client: LocationClient | None = None
+
+    # -- wiring ------------------------------------------------------------
+
+    @property
+    def loop(self):
+        return self.network.loop
+
+    def entry_server_for(self, pos: Point) -> str:
+        """The leaf server whose service area contains ``pos`` — stands in
+        for the paper's local lookup service (e.g. Jini)."""
+        return self.hierarchy.leaf_for_point(pos)
+
+    def new_client(
+        self, entry_server: str | None = None, timeout: float | None = None
+    ) -> LocationClient:
+        """Create and connect a query client."""
+        self._client_counter += 1
+        client = LocationClient(
+            f"client-{self._client_counter}",
+            entry_server or self.hierarchy.leaf_ids()[0],
+            timeout=timeout,
+        )
+        self.network.join(client)
+        return client
+
+    def new_tracked_object(
+        self,
+        object_id: str,
+        entry_server: str | None = None,
+        sensor_acc: float = 10.0,
+        timeout: float | None = None,
+    ) -> TrackedObject:
+        """Create and connect a tracked object."""
+        obj = TrackedObject(
+            object_id,
+            entry_server or self.hierarchy.leaf_ids()[0],
+            sensor_acc=sensor_acc,
+            timeout=timeout,
+        )
+        self.network.join(obj)
+        return obj
+
+    # -- synchronous convenience API (drives the virtual clock) ---------------
+
+    def run(self, coro):
+        """Drive one coroutine to completion on the virtual clock."""
+        return self.network.run_coro(coro)
+
+    def settle(self, max_time: float | None = None) -> float:
+        """Let all in-flight activity drain; returns the virtual time."""
+        return self.network.run(max_time=max_time)
+
+    def _client(self) -> LocationClient:
+        if self._default_client is None:
+            self._default_client = self.new_client()
+        return self._default_client
+
+    def register(
+        self,
+        object_id: str,
+        pos: Point,
+        des_acc: float = 25.0,
+        min_acc: float = 100.0,
+        sensor_acc: float = 10.0,
+    ) -> TrackedObject:
+        """Register a new tracked object located at ``pos``."""
+        obj = self.new_tracked_object(
+            object_id, entry_server=self.entry_server_for(pos), sensor_acc=sensor_acc
+        )
+        self.run(obj.register(pos, des_acc, min_acc))
+        return obj
+
+    def update(self, obj: TrackedObject, pos: Point):
+        """Send one position update for ``obj``."""
+        return self.run(obj.report(pos))
+
+    def pos_query(
+        self, object_id: str, entry_server: str | None = None, req_acc: float | None = None
+    ) -> LocationDescriptor | None:
+        client = self._client()
+        if entry_server is not None:
+            client.use_entry_server(entry_server)
+        return self.run(client.pos_query(object_id, req_acc=req_acc))
+
+    def range_query(
+        self,
+        area: Region,
+        req_acc: float = float("inf"),
+        req_overlap: float = 0.5,
+        entry_server: str | None = None,
+    ) -> RangeAnswer:
+        client = self._client()
+        if entry_server is not None:
+            client.use_entry_server(entry_server)
+        return self.run(client.range_query(area, req_acc=req_acc, req_overlap=req_overlap))
+
+    def neighbor_query(
+        self,
+        pos: Point,
+        req_acc: float = float("inf"),
+        near_qual: float = 0.0,
+        entry_server: str | None = None,
+    ) -> NeighborAnswer:
+        client = self._client()
+        if entry_server is not None:
+            client.use_entry_server(entry_server)
+        return self.run(client.neighbor_query(pos, req_acc=req_acc, near_qual=near_qual))
+
+    def deregister(self, obj: TrackedObject) -> bool:
+        return self.run(obj.deregister())
+
+    # -- bulk helpers (used by benches and examples) ------------------------------
+
+    def register_many(
+        self,
+        positions: Iterable[tuple[str, Point]],
+        des_acc: float = 25.0,
+        min_acc: float = 100.0,
+    ) -> dict[str, TrackedObject]:
+        """Register a batch of objects; drives the clock once per batch."""
+        objects: dict[str, TrackedObject] = {}
+        coros = []
+        for object_id, pos in positions:
+            obj = self.new_tracked_object(
+                object_id, entry_server=self.entry_server_for(pos)
+            )
+            objects[object_id] = obj
+            coros.append(obj.register(pos, des_acc, min_acc))
+
+        async def register_all():
+            for coro in coros:
+                await coro
+
+        self.run(register_all())
+        return objects
+
+    # -- introspection -------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert hierarchy-wide forwarding-path integrity.
+
+        For every object with a sighting at some leaf, every ancestor of
+        that leaf must hold a forwarding reference pointing one step down
+        the path, and no other server may consider itself the agent.
+        Raises :class:`LocationServiceError` on violation.
+        """
+        agents: dict[str, str] = {}
+        for server_id, server in self.servers.items():
+            if not server.is_leaf:
+                continue
+            for oid in list(server.store.sightings.object_ids()):
+                if oid in agents:
+                    raise LocationServiceError(
+                        f"object {oid} has two agents: {agents[oid]} and {server_id}"
+                    )
+                agents[oid] = server_id
+        for oid, agent in agents.items():
+            path = self.hierarchy.path_to_root(agent)
+            for below, above in zip(path, path[1:]):
+                ref = self.servers[above].visitors.forward_ref(oid)
+                if ref != below:
+                    raise LocationServiceError(
+                        f"broken path for {oid}: {above} points to {ref}, expected {below}"
+                    )
+
+    def total_tracked(self) -> int:
+        """Number of objects with a sighting at some leaf."""
+        return sum(
+            len(server.store.sightings)
+            for server in self.servers.values()
+            if server.is_leaf
+        )

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro location service.
+
+Every error raised by the library derives from :class:`LocationServiceError`
+so callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class LocationServiceError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(LocationServiceError):
+    """Invalid geometric input (degenerate polygon, negative radius, ...)."""
+
+
+class ConfigurationError(LocationServiceError):
+    """Invalid hierarchy or server configuration."""
+
+
+class RegistrationError(LocationServiceError):
+    """Registration was rejected by the location service."""
+
+
+class AccuracyUnavailableError(RegistrationError):
+    """The service cannot offer an accuracy within ``[desAcc, minAcc]``.
+
+    Mirrors the ``registerFailed`` response of Algorithm 6-1.
+    """
+
+    def __init__(self, offered: float, minimum: float) -> None:
+        super().__init__(
+            f"cannot offer accuracy {offered:.1f} m within requested minimum {minimum:.1f} m"
+        )
+        self.offered = offered
+        self.minimum = minimum
+
+
+class UnknownObjectError(LocationServiceError):
+    """A query referenced an object id that is not registered."""
+
+    def __init__(self, object_id: str) -> None:
+        super().__init__(f"object {object_id!r} is not tracked by this location service")
+        self.object_id = object_id
+
+
+class OutOfServiceAreaError(LocationServiceError):
+    """A position lies outside the root service area."""
+
+    def __init__(self, what: str) -> None:
+        super().__init__(f"{what} lies outside the root service area")
+
+
+class StorageError(LocationServiceError):
+    """Persistent-store failure (corrupt log record, unwritable file, ...)."""
+
+
+class TransportError(LocationServiceError):
+    """Message could not be delivered by the runtime transport."""
+
+
+class ProtocolError(LocationServiceError):
+    """A server received a message that violates the wire protocol."""

@@ -1,0 +1,174 @@
+"""Circles and exact circle/region intersection areas.
+
+A tracked object's recorded position is a **circular location area**
+(Fig. 2): the disk of radius ``ld(o).acc`` around ``ld(o).pos``.  Range
+query semantics (Section 3.2) need
+
+    Overlap(a, o) = SIZE(a ∩ ld(o)) / SIZE(ld(o))
+
+i.e. the exact area of intersection between a disk and the queried
+region.  This module implements that intersection exactly for rectangles
+and simple polygons using the classic signed triangle/arc decomposition:
+each directed polygon edge ``(A, B)`` contributes the signed area of the
+intersection of triangle ``(center, A, B)`` with the disk; summing over
+the boundary yields the intersection area for any simple polygon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geo.point import Point
+from repro.geo.polygon import Polygon
+from repro.geo.rect import Rect
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A disk given by center and radius (meters)."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise GeometryError(f"circle radius must be non-negative, got {self.radius}")
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    @property
+    def bounds(self) -> Rect:
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def contains_point(self, p: Point) -> bool:
+        return self.center.squared_distance_to(p) <= self.radius * self.radius + _EPS
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        return rect.distance_to_point(self.center) <= self.radius
+
+    def inside_rect(self, rect: Rect) -> bool:
+        """Whether the whole disk lies within the rectangle."""
+        return rect.contains_rect(self.bounds)
+
+    # -- intersection areas ------------------------------------------------
+
+    def intersection_area_with_rect(self, rect: Rect) -> float:
+        """Exact area of ``disk ∩ rect``."""
+        if self.radius == 0.0 or not self.intersects_rect(rect):
+            return 0.0
+        if self.inside_rect(rect):
+            return self.area
+        return _circle_polygon_area(self.center, self.radius, rect.corners)
+
+    def intersection_area_with_polygon(self, polygon: Polygon) -> float:
+        """Exact area of ``disk ∩ polygon`` for any simple polygon."""
+        if self.radius == 0.0 or not self.bounds.intersects(polygon.bounds):
+            return 0.0
+        return _circle_polygon_area(self.center, self.radius, polygon.points)
+
+    def intersection_area(self, region: "Rect | Polygon") -> float:
+        """Dispatch on the region type; used by the overlap semantics."""
+        if isinstance(region, Rect):
+            return self.intersection_area_with_rect(region)
+        return self.intersection_area_with_polygon(region)
+
+
+def _circle_polygon_area(center: Point, radius: float, vertices: tuple[Point, ...]) -> float:
+    """Signed triangle/arc decomposition of ``disk ∩ polygon``.
+
+    For each directed edge the contribution is the signed area of the
+    intersection of the triangle (origin, A, B) with the disk, where the
+    frame is translated so the circle center is the origin.  Summing over
+    a closed boundary telescopes to the exact intersection area; the
+    absolute value at the end makes the result independent of winding.
+    """
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        a = vertices[i] - center
+        b = vertices[(i + 1) % n] - center
+        total += _edge_contribution(a.dx, a.dy, b.dx, b.dy, radius)
+    return abs(total)
+
+
+def _edge_contribution(ax: float, ay: float, bx: float, by: float, r: float) -> float:
+    """Signed area contribution of one directed edge (circle at origin)."""
+    # Split the segment at its intersections with the circle, then sum a
+    # triangle area for chords inside the disk and a circular-sector area
+    # for parts outside.
+    points = [(0.0, ax, ay), (1.0, bx, by)]
+    for t in _segment_circle_params(ax, ay, bx, by, r):
+        points.append((t, ax + t * (bx - ax), ay + t * (by - ay)))
+    points.sort(key=lambda item: item[0])
+
+    area = 0.0
+    r_sq = r * r
+    # Strictly-inside test: a midpoint exactly on the circle (tangent edge)
+    # must take the arc branch, otherwise the chord approximation would
+    # include area outside the disk.  The relative margin absorbs FP noise.
+    inside_threshold = r_sq * (1.0 - 1e-12)
+    for (_, px, py), (_, qx, qy) in zip(points, points[1:]):
+        mx = (px + qx) / 2.0
+        my = (py + qy) / 2.0
+        if mx * mx + my * my < inside_threshold:
+            area += (px * qy - qx * py) / 2.0
+        else:
+            angle = math.atan2(qy, qx) - math.atan2(py, px)
+            if angle > math.pi:
+                angle -= 2.0 * math.pi
+            elif angle < -math.pi:
+                angle += 2.0 * math.pi
+            area += 0.5 * r_sq * angle
+    return area
+
+
+def _segment_circle_params(
+    ax: float, ay: float, bx: float, by: float, r: float
+) -> list[float]:
+    """Parameters ``t in (0, 1)`` where segment A+t(B-A) crosses the circle."""
+    dx = bx - ax
+    dy = by - ay
+    a_coef = dx * dx + dy * dy
+    if a_coef < _EPS:
+        return []
+    b_coef = 2.0 * (ax * dx + ay * dy)
+    c_coef = ax * ax + ay * ay - r * r
+    disc = b_coef * b_coef - 4.0 * a_coef * c_coef
+    if disc <= 0.0:
+        return []
+    sqrt_disc = math.sqrt(disc)
+    t1 = (-b_coef - sqrt_disc) / (2.0 * a_coef)
+    t2 = (-b_coef + sqrt_disc) / (2.0 * a_coef)
+    return [t for t in (t1, t2) if _EPS < t < 1.0 - _EPS]
+
+
+def circle_circle_intersection_area(a: Circle, b: Circle) -> float:
+    """Exact area of the lens ``disk_a ∩ disk_b``.
+
+    Used by tests and by the nearest-neighbor probability discussion in
+    Section 3.2 (footnote on the influence of location-area radii).
+    """
+    d = a.center.distance_to(b.center)
+    if d >= a.radius + b.radius:
+        return 0.0
+    if d <= abs(a.radius - b.radius):
+        smaller = min(a.radius, b.radius)
+        return math.pi * smaller * smaller
+    r1, r2 = a.radius, b.radius
+    alpha = 2.0 * math.acos((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1))
+    beta = 2.0 * math.acos((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2))
+    return (
+        0.5 * r1 * r1 * (alpha - math.sin(alpha))
+        + 0.5 * r2 * r2 * (beta - math.sin(beta))
+    )

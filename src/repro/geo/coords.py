@@ -1,0 +1,85 @@
+"""WGS84 geographic coordinates and conversion to the local metric frame.
+
+The paper assumes positions "based on geographic coordinate systems, such
+as WGS84" (Section 3).  All internal computation uses the planar metric
+frame of :mod:`repro.geo.point`; this module provides the bridge so that
+public APIs can accept and return latitude/longitude.
+
+At the city scales the paper evaluates (≤ 10 km), an equirectangular
+projection around a reference point is accurate to centimeters, far below
+any sensor accuracy the paper considers (GPS ≈ 10 m, Active Bat ≈ 0.1 m).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geo.point import Point
+
+#: Mean earth radius in meters (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True, slots=True)
+class GeoCoordinate:
+    """A WGS84 latitude/longitude pair in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise GeometryError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise GeometryError(f"longitude out of range: {self.longitude}")
+
+
+def haversine_distance(a: GeoCoordinate, b: GeoCoordinate) -> float:
+    """Great-circle distance between two WGS84 coordinates, in meters."""
+    lat1 = math.radians(a.latitude)
+    lat2 = math.radians(b.latitude)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.longitude - a.longitude)
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+
+
+class LocalProjection:
+    """Equirectangular projection anchored at a reference coordinate.
+
+    Maps WGS84 coordinates to the planar meter frame used by the rest of
+    the library.  The reference point maps to the origin; x grows east,
+    y grows north.
+    """
+
+    __slots__ = ("_origin", "_cos_lat")
+
+    def __init__(self, origin: GeoCoordinate) -> None:
+        self._origin = origin
+        self._cos_lat = math.cos(math.radians(origin.latitude))
+        if abs(self._cos_lat) < 1e-6:
+            raise GeometryError("cannot anchor a local projection at a pole")
+
+    @property
+    def origin(self) -> GeoCoordinate:
+        return self._origin
+
+    def to_local(self, coord: GeoCoordinate) -> Point:
+        """Project a WGS84 coordinate into the local meter frame."""
+        x = (
+            math.radians(coord.longitude - self._origin.longitude)
+            * self._cos_lat
+            * EARTH_RADIUS_M
+        )
+        y = math.radians(coord.latitude - self._origin.latitude) * EARTH_RADIUS_M
+        return Point(x, y)
+
+    def to_geo(self, point: Point) -> GeoCoordinate:
+        """Inverse projection from the local meter frame back to WGS84."""
+        latitude = self._origin.latitude + math.degrees(point.y / EARTH_RADIUS_M)
+        longitude = self._origin.longitude + math.degrees(
+            point.x / (EARTH_RADIUS_M * self._cos_lat)
+        )
+        return GeoCoordinate(latitude, longitude)

@@ -1,0 +1,50 @@
+"""Service-model layer: records, accuracy algebra and query semantics.
+
+Pure definitions of the paper's Section-3 model, shared by the
+hierarchical service, the single-server data store and the baselines.
+"""
+
+from repro.model.accuracy import AccuracyModel, NegotiationError
+from repro.model.queries import (
+    InvalidQueryError,
+    NearestNeighborQuery,
+    NearestNeighborResult,
+    ObjectEntry,
+    PositionQuery,
+    QueryStatistics,
+    RangeQuery,
+    candidate_bounds,
+    effective_margin,
+    nearest_neighbor,
+    overlap,
+    qualifies_for_range,
+    range_query,
+)
+from repro.model.records import (
+    InvalidRecordError,
+    LocationDescriptor,
+    RegistrationInfo,
+    SightingRecord,
+)
+
+__all__ = [
+    "AccuracyModel",
+    "InvalidQueryError",
+    "InvalidRecordError",
+    "LocationDescriptor",
+    "NearestNeighborQuery",
+    "NearestNeighborResult",
+    "NegotiationError",
+    "ObjectEntry",
+    "PositionQuery",
+    "QueryStatistics",
+    "RangeQuery",
+    "RegistrationInfo",
+    "SightingRecord",
+    "candidate_bounds",
+    "effective_margin",
+    "nearest_neighbor",
+    "overlap",
+    "qualifies_for_range",
+    "range_query",
+]

@@ -1,0 +1,243 @@
+"""Query types and their exact semantics (paper Section 3.2).
+
+This module is deliberately *pure*: it defines what the answers are,
+independent of where objects are stored or how servers communicate.  The
+distributed layer (:mod:`repro.core`) funnels candidate sets through
+these functions so that a single-server LS, the hierarchical LS and the
+baselines all share one definition of correctness — which is also what
+the equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import LocationServiceError
+from repro.geo import Point, Rect, Region, region_area, region_bounds, region_contains_point
+from repro.model.records import LocationDescriptor
+
+
+class InvalidQueryError(LocationServiceError):
+    """A query specification failed validation."""
+
+
+#: One query answer entry: the paper's ``(o, ld(o))`` pair.
+ObjectEntry = tuple[str, LocationDescriptor]
+
+
+# ---------------------------------------------------------------------------
+# Query specifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PositionQuery:
+    """``posQuery(o) → ld`` — retrieve one object's location descriptor."""
+
+    object_id: str
+
+    def __post_init__(self) -> None:
+        if not self.object_id:
+            raise InvalidQueryError("position query needs a non-empty object id")
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQuery:
+    """``rangeQuery(a, reqAcc, reqOverlap) → objSet``.
+
+    Attributes:
+        area: the queried geographic area ``a`` (rect or polygon).
+        req_acc: accuracy threshold — objects whose descriptor accuracy is
+            *worse* (larger) are ignored.
+        req_overlap: required overlap degree in ``(0, 1]``.
+    """
+
+    area: Region
+    req_acc: float = float("inf")
+    req_overlap: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.req_overlap <= 1.0:
+            raise InvalidQueryError(
+                f"reqOverlap must be in (0, 1], got {self.req_overlap}"
+            )
+        if self.req_acc < 0:
+            raise InvalidQueryError(f"reqAcc must be non-negative, got {self.req_acc}")
+
+
+@dataclass(frozen=True, slots=True)
+class NearestNeighborQuery:
+    """``neighborQuery(p, reqAcc, nearQual) → (nearestObj, nearObjSet)``.
+
+    ``near_qual`` widens the ring of additional "near" neighbors beyond
+    the selected one; ``2 * req_acc`` guarantees every object that could
+    actually be closer than the selected one is included (Section 3.2).
+    """
+
+    pos: Point
+    req_acc: float = float("inf")
+    near_qual: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.req_acc < 0:
+            raise InvalidQueryError(f"reqAcc must be non-negative, got {self.req_acc}")
+        if self.near_qual < 0:
+            raise InvalidQueryError(f"nearQual must be non-negative, got {self.near_qual}")
+
+
+@dataclass(frozen=True, slots=True)
+class NearestNeighborResult:
+    """The answer to a nearest-neighbor query.
+
+    Attributes:
+        nearest: the selected ``(o, ld(o))`` pair, or ``None`` when no
+            object satisfies the accuracy threshold.
+        near_set: the additional near neighbors (``nearObjSet``), sorted
+            by distance to the probe.
+        guaranteed_min_distance: no qualifying object can be closer to the
+            probe than this (``DISTANCE(ld(o).pos, p) - reqAcc``, floored
+            at zero) — the bound a client may use e.g. to cap radio
+            transmission power without causing interference.
+    """
+
+    nearest: ObjectEntry | None
+    near_set: tuple[ObjectEntry, ...] = ()
+    guaranteed_min_distance: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Semantics
+# ---------------------------------------------------------------------------
+
+
+def overlap(area: Region, descriptor: LocationDescriptor) -> float:
+    """The paper's ``Overlap(a, o) = SIZE(a ∩ ld(o)) / SIZE(ld(o))``.
+
+    A zero-accuracy descriptor has a degenerate (zero-area) location
+    area; the limit semantics are point membership: overlap is 1 when the
+    position lies in the area and 0 otherwise.
+    """
+    location_area = descriptor.location_area
+    disk_area = location_area.area
+    if disk_area == 0.0:
+        # Zero accuracy, or an accuracy so small that the disk area
+        # underflows float64 — point-membership limit semantics.
+        return 1.0 if region_contains_point(area, descriptor.pos) else 0.0
+    intersection = location_area.intersection_area(area)
+    return min(1.0, intersection / disk_area)
+
+
+def qualifies_for_range(
+    area: Region,
+    descriptor: LocationDescriptor,
+    req_acc: float,
+    req_overlap: float,
+) -> bool:
+    """Range-query membership: accuracy filter plus overlap threshold."""
+    if descriptor.acc > req_acc:
+        return False
+    return overlap(area, descriptor) >= req_overlap
+
+
+def range_query(
+    entries: list[ObjectEntry] | dict[str, LocationDescriptor],
+    query: RangeQuery,
+) -> list[ObjectEntry]:
+    """Evaluate a range query over a candidate set.
+
+    ``objSet = {(o, ld(o)) | Overlap(a, o) >= reqOverlap and
+    ld(o).acc <= reqAcc}``, sorted by object id for determinism.
+    """
+    items = entries.items() if isinstance(entries, dict) else entries
+    result = [
+        (object_id, descriptor)
+        for object_id, descriptor in items
+        if qualifies_for_range(query.area, descriptor, query.req_acc, query.req_overlap)
+    ]
+    result.sort(key=lambda entry: entry[0])
+    return result
+
+
+def effective_margin(query: RangeQuery) -> float:
+    """How far outside the area a qualifying object's position can lie.
+
+    Two independent bounds apply:
+
+    * ``reqAcc`` — an object's position is at most its accuracy away from
+      any point of its location area (the paper's ``Enlarge`` margin);
+    * the overlap threshold itself: a disk of radius ``a`` can satisfy
+      ``SIZE(A ∩ disk) / (π a²) ≥ reqOverlap`` only if
+      ``π a² ≤ SIZE(A) / reqOverlap``, so even an *unbounded* ``reqAcc``
+      caps the qualifying radius at ``sqrt(SIZE(A) / (π · reqOverlap))``.
+
+    The margin is the smaller of the two, and is always finite.
+    """
+    area_size = region_area(query.area)
+    overlap_bound = math.sqrt(area_size / (math.pi * query.req_overlap)) if area_size > 0 else 0.0
+    return min(query.req_acc, overlap_bound)
+
+
+def candidate_bounds(query: RangeQuery) -> "Rect":
+    """The rect a spatial index must scan to find all possible members.
+
+    An object can qualify while its *position* lies outside the queried
+    area — its circular location area only needs to overlap it.  The
+    rect is the area's bounding box enlarged by :func:`effective_margin`
+    (a finite refinement of Algorithm 6-5's ``Enlarge(area, reqAcc)``).
+    """
+    return region_bounds(query.area).enlarged(effective_margin(query))
+
+
+def nearest_neighbor(
+    entries: list[ObjectEntry] | dict[str, LocationDescriptor],
+    query: NearestNeighborQuery,
+) -> NearestNeighborResult:
+    """Evaluate a nearest-neighbor query over a candidate set.
+
+    Selection follows Section 3.2: among objects whose accuracy satisfies
+    ``reqAcc``, pick the minimal ``DISTANCE(ld(o).pos, p)`` (ties broken
+    by object id for determinism); this is the object most likely to be
+    the true nearest neighbor under the paper's uniform-distribution
+    assumption.
+    """
+    items = entries.items() if isinstance(entries, dict) else entries
+    qualifying = [
+        (object_id, descriptor)
+        for object_id, descriptor in items
+        if descriptor.acc <= query.req_acc
+    ]
+    if not qualifying:
+        return NearestNeighborResult(nearest=None)
+
+    def sort_key(entry: ObjectEntry) -> tuple[float, str]:
+        return entry[1].pos.distance_to(query.pos), entry[0]
+
+    qualifying.sort(key=sort_key)
+    nearest = qualifying[0]
+    nearest_distance = nearest[1].pos.distance_to(query.pos)
+    ring = nearest_distance + query.near_qual
+    near_set = tuple(
+        entry
+        for entry in qualifying[1:]
+        if entry[1].pos.distance_to(query.pos) <= ring
+    )
+    guaranteed = nearest_distance - query.req_acc
+    if guaranteed < 0.0 or guaranteed == float("-inf") or guaranteed != guaranteed:
+        guaranteed = 0.0
+    return NearestNeighborResult(
+        nearest=nearest,
+        near_set=near_set,
+        guaranteed_min_distance=guaranteed,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryStatistics:
+    """Bookkeeping a server attaches to a processed query (for benches)."""
+
+    candidates_examined: int = 0
+    results_returned: int = 0
+    servers_involved: int = 1
+    hops: int = 0
+    extra: dict = field(default_factory=dict, compare=False)

@@ -1,0 +1,17 @@
+"""Position-update reporting policies ([15], Section 6.2)."""
+
+from repro.protocols.update_policies import (
+    DeadReckoningPolicy,
+    DistancePolicy,
+    TimePolicy,
+    UpdatePolicy,
+    simulate_policy,
+)
+
+__all__ = [
+    "DeadReckoningPolicy",
+    "DistancePolicy",
+    "TimePolicy",
+    "UpdatePolicy",
+    "simulate_policy",
+]

@@ -1,0 +1,17 @@
+"""Runtimes: the simulated network (measurements) and asyncio (integration)."""
+
+from repro.runtime.base import Context, Endpoint, Message, NetworkStats, Response
+from repro.runtime.latency import CostModel, LatencyModel
+from repro.runtime.simnet import SimContext, SimNetwork
+
+__all__ = [
+    "Context",
+    "CostModel",
+    "Endpoint",
+    "LatencyModel",
+    "Message",
+    "NetworkStats",
+    "Response",
+    "SimContext",
+    "SimNetwork",
+]

@@ -1,0 +1,200 @@
+"""Runtime abstraction: contexts, endpoints and message correlation.
+
+The location-server algorithms (Section 6) are written once, as ``async``
+methods against the small :class:`Context` interface below.  Two runtimes
+implement it:
+
+* :mod:`repro.runtime.simnet` — deterministic virtual-time simulation
+  (used for all measurements), and
+* :mod:`repro.runtime.asyncio_rt` — real asyncio concurrency (used to
+  demonstrate the same code runs outside the simulator).
+
+Correlation model: every request message carries a ``request_id``; the
+issuing endpoint parks a future under that id and the responder sends a
+:class:`Response` subclass carrying the same id — possibly *directly* to
+a third server, which is exactly how the paper routes query answers to
+the entry server instead of back along the forwarding path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Coroutine
+
+from repro.errors import TransportError
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class for all wire messages."""
+
+
+@dataclass(frozen=True, slots=True)
+class Response(Message):
+    """Base class for messages that resolve a parked request future.
+
+    Subclasses must define a ``request_id`` field.
+    """
+
+
+class Context(ABC):
+    """What an endpoint may do to the outside world."""
+
+    @property
+    @abstractmethod
+    def address(self) -> str:
+        """This endpoint's network address."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual or wall)."""
+
+    @abstractmethod
+    def send(self, dest: str, message: Message) -> None:
+        """Fire-and-forget message send."""
+
+    @abstractmethod
+    def create_future(self) -> Any:
+        """A runtime-appropriate awaitable future."""
+
+    @abstractmethod
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Any:
+        """Schedule a callback; returns a handle with ``.cancel()``."""
+
+    @abstractmethod
+    def spawn(self, coro: Coroutine, name: str = "task") -> Any:
+        """Run a coroutine concurrently."""
+
+    @abstractmethod
+    def sleep(self, delay: float) -> Awaitable[None]:
+        """An awaitable that resolves after ``delay`` seconds."""
+
+
+class Endpoint:
+    """A network-addressable participant (server, client, tracked object).
+
+    Subclasses register message handlers with :meth:`on`; incoming
+    :class:`Response` messages whose ``request_id`` matches a parked
+    request resolve that request instead of invoking a handler.
+    """
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.ctx: Context | None = None
+        self._pending: dict[str, Any] = {}
+        self._handlers: dict[type, Callable[[Message], Coroutine]] = {}
+        self._request_counter = itertools.count()
+        #: messages delivered with no matching handler or pending request
+        self.unhandled: list[Message] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, ctx: Context) -> None:
+        """Called by the runtime when the endpoint joins a network."""
+        self.ctx = ctx
+        self.on_attached()
+
+    def on_attached(self) -> None:
+        """Hook for subclasses (e.g. to schedule periodic work)."""
+
+    def on(self, message_type: type, handler: Callable[[Message], Coroutine]) -> None:
+        self._handlers[message_type] = handler
+
+    # -- receive path --------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Runtime entry point for one incoming message."""
+        if isinstance(message, Response):
+            request_id = getattr(message, "request_id", None)
+            future = self._pending.pop(request_id, None)
+            if future is not None:
+                if not future.done():
+                    future.set_result(message)
+                return
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            self.unhandled.append(message)
+            return
+        assert self.ctx is not None, "endpoint must be attached before delivery"
+        self.ctx.spawn(handler(message), name=f"{self.address}:{type(message).__name__}")
+
+    # -- send path --------------------------------------------------------------
+
+    def next_request_id(self) -> str:
+        return f"{self.address}#{next(self._request_counter)}"
+
+    def send(self, dest: str, message: Message) -> None:
+        assert self.ctx is not None, "endpoint must be attached before sending"
+        self.ctx.send(dest, message)
+
+    async def request(
+        self, dest: str, message: Message, timeout: float | None = None
+    ) -> Response:
+        """Send a request and await the correlated response.
+
+        The message must carry a ``request_id`` attribute (already set by
+        the caller via :meth:`next_request_id`).
+        """
+        request_id = getattr(message, "request_id")
+        future = self.park(request_id)
+        self.send(dest, message)
+        return await self.wait(request_id, future, timeout)
+
+    def park(self, request_id: str) -> Any:
+        """Create and register the future a response will resolve."""
+        assert self.ctx is not None
+        future = self.ctx.create_future()
+        self._pending[request_id] = future
+        return future
+
+    async def wait(
+        self, request_id: str, future: Any, timeout: float | None = None
+    ) -> Response:
+        """Await a parked future, enforcing an optional deadline."""
+        assert self.ctx is not None
+        if timeout is None:
+            return await future
+        handle = self.ctx.call_later(timeout, lambda: self._expire(request_id))
+        try:
+            return await future
+        finally:
+            handle.cancel()
+
+    def _expire(self, request_id: str) -> None:
+        future = self._pending.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_exception(
+                TransportError(f"request {request_id} timed out at {self.address}")
+            )
+
+    def cancel_pending(self, request_id: str) -> None:
+        self._pending.pop(request_id, None)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+@dataclass
+class NetworkStats:
+    """Counters every runtime keeps; benches and tests read these."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    dead_letters: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def note_send(self, message: Message) -> None:
+        self.messages_sent += 1
+        name = type(message).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.dead_letters = 0
+        self.by_type.clear()

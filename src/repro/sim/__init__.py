@@ -1,0 +1,79 @@
+"""Simulation toolkit: engine, mobility, workloads, metrics, scenarios.
+
+The scenario helpers (``table1_store``, ``table2_service``,
+``DistributedHarness``) depend on :mod:`repro.core`, which in turn pulls
+the runtime that is built on this package's engine.  They are therefore
+exposed lazily (PEP 562) to keep ``repro.sim.engine`` importable from the
+runtime without a cycle.
+"""
+
+from repro.sim.calibration import CalibrationResult, calibrate, default_cost_model
+from repro.sim.engine import SimFuture, SimLoop, SimTask, SimulationError, TimeoutExpired
+from repro.sim.metrics import (
+    LatencyRecorder,
+    Summary,
+    ThroughputMeter,
+    format_table,
+    percentile,
+)
+from repro.sim.mobility import (
+    ManhattanWalker,
+    RandomWalkWalker,
+    RandomWaypointWalker,
+    Walker,
+    make_walkers,
+)
+from repro.sim.workload import Operation, WorkloadGenerator, WorkloadSpec, scatter_objects
+
+_SCENARIO_EXPORTS = {
+    "TABLE1_AREA_SIDE",
+    "TABLE1_OBJECTS",
+    "TABLE2_AREA_SIDE",
+    "TABLE2_OBJECTS",
+    "TABLE2_RANGE_SIDE",
+    "DistributedHarness",
+    "table1_store",
+    "table2_service",
+}
+
+
+def __getattr__(name):
+    if name in _SCENARIO_EXPORTS:
+        from repro.sim import scenario
+
+        return getattr(scenario, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+
+
+__all__ = [
+    "CalibrationResult",
+    "DistributedHarness",
+    "LatencyRecorder",
+    "ManhattanWalker",
+    "Operation",
+    "RandomWalkWalker",
+    "RandomWaypointWalker",
+    "SimFuture",
+    "SimLoop",
+    "SimTask",
+    "SimulationError",
+    "Summary",
+    "TABLE1_AREA_SIDE",
+    "TABLE1_OBJECTS",
+    "TABLE2_AREA_SIDE",
+    "TABLE2_OBJECTS",
+    "TABLE2_RANGE_SIDE",
+    "ThroughputMeter",
+    "TimeoutExpired",
+    "Walker",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "calibrate",
+    "default_cost_model",
+    "format_table",
+    "make_walkers",
+    "percentile",
+    "scatter_objects",
+    "table1_store",
+    "table2_service",
+]

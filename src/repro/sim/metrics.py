@@ -1,0 +1,127 @@
+"""Measurement utilities: latency distributions and throughput.
+
+Table 1 reports operations per second; Table 2 reports response time
+*and* overall throughput.  These helpers compute both from either
+virtual-clock or wall-clock samples, so the same harness code serves the
+micro-benchmarks and the simulated distributed runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Summary statistics of one latency series (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    minimum: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    def format_ms(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean * 1e3:.3f}ms "
+            f"p50={self.p50 * 1e3:.3f}ms p95={self.p95 * 1e3:.3f}ms "
+            f"max={self.maximum * 1e3:.3f}ms"
+        )
+
+
+EMPTY_SUMMARY = Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values, q in [0, 1]."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = q * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-operation latency samples keyed by operation name."""
+
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.samples.setdefault(name, []).append(seconds)
+
+    def summary(self, name: str) -> Summary:
+        values = sorted(self.samples.get(name, []))
+        if not values:
+            return EMPTY_SUMMARY
+        return Summary(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+            p99=percentile(values, 0.99),
+            maximum=values[-1],
+            minimum=values[0],
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self.samples)
+
+
+@dataclass
+class ThroughputMeter:
+    """Counts completed operations over a measured interval."""
+
+    completed: int = 0
+    _start: float | None = None
+    _end: float | None = None
+
+    def begin(self, now: float) -> None:
+        self._start = now
+        self.completed = 0
+
+    def note(self, now: float, count: int = 1) -> None:
+        self.completed += count
+        self._end = now
+
+    def per_second(self) -> float:
+        if self._start is None or self._end is None or self._end <= self._start:
+            return 0.0
+        return self.completed / (self._end - self._start)
+
+
+@dataclass(frozen=True, slots=True)
+class TableRow:
+    """One row of a paper-versus-measured comparison table."""
+
+    operation: str
+    paper_value: str
+    measured_value: str
+    note: str = ""
+
+
+def format_table(title: str, headers: tuple[str, ...], rows: list[tuple]) -> str:
+    """Render an aligned plain-text table (benches print these)."""
+    widths = [len(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

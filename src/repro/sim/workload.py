@@ -1,0 +1,169 @@
+"""Workload generation: operation mixes and query locality.
+
+The paper's future work names "the concrete mix of different types of
+queries and their degree of locality" as the key workload parameters.
+A :class:`WorkloadSpec` captures both; :class:`WorkloadGenerator`
+produces a deterministic operation stream against a hierarchy:
+
+* **locality** ``p`` — with probability ``p`` an operation targets the
+  issuing client's own leaf service area ("objects in their vicinity"),
+  otherwise a uniformly random spot in the root area.
+* the mix assigns probabilities to position updates, position queries,
+  range queries and nearest-neighbor queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.hierarchy import Hierarchy
+from repro.geo import Point, Rect
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Operation mix and locality for one experiment."""
+
+    update_fraction: float = 0.6
+    pos_query_fraction: float = 0.25
+    range_query_fraction: float = 0.1
+    nn_query_fraction: float = 0.05
+    locality: float = 0.8
+    range_size_m: float = 50.0
+    req_acc: float = 50.0
+    req_overlap: float = 0.3
+
+    def __post_init__(self) -> None:
+        total = (
+            self.update_fraction
+            + self.pos_query_fraction
+            + self.range_query_fraction
+            + self.nn_query_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix must sum to 1, got {total}")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError(f"locality must be in [0, 1], got {self.locality}")
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One generated operation.
+
+    ``kind`` is one of ``update``, ``pos_query``, ``range_query``,
+    ``nn_query``.  ``entry_leaf`` is the leaf the issuing client is
+    attached to; ``object_id`` is set for update/pos_query; ``area`` for
+    range queries; ``pos`` for updates and NN queries.
+    """
+
+    kind: str
+    entry_leaf: str
+    object_id: str | None = None
+    pos: Point | None = None
+    area: Rect | None = None
+
+
+class WorkloadGenerator:
+    """Deterministic operation stream over a hierarchy and object set."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        object_ids: list[str],
+        object_home_leaf: dict[str, str],
+        spec: WorkloadSpec,
+        seed: int = 0,
+    ) -> None:
+        if not object_ids:
+            raise ValueError("workload needs at least one object")
+        self.hierarchy = hierarchy
+        self.spec = spec
+        self.object_ids = list(object_ids)
+        self.object_home_leaf = dict(object_home_leaf)
+        self.leaves = hierarchy.leaf_ids()
+        self._rng = random.Random(seed)
+        self._by_leaf: dict[str, list[str]] = {}
+        for oid, leaf in object_home_leaf.items():
+            self._by_leaf.setdefault(leaf, []).append(oid)
+
+    # -- sampling helpers ---------------------------------------------------
+
+    def _point_in(self, area: Rect) -> Point:
+        return Point(
+            self._rng.uniform(area.min_x, area.max_x),
+            self._rng.uniform(area.min_y, area.max_y),
+        )
+
+    def _target_area(self, entry_leaf: str) -> Rect:
+        if self._rng.random() < self.spec.locality:
+            return self.hierarchy.config(entry_leaf).area
+        return self.hierarchy.root_area()
+
+    def _pick_object(self, entry_leaf: str) -> str:
+        if self._rng.random() < self.spec.locality:
+            local = self._by_leaf.get(entry_leaf)
+            if local:
+                return self._rng.choice(local)
+        return self._rng.choice(self.object_ids)
+
+    # -- generation -------------------------------------------------------------
+
+    def next_operation(self) -> Operation:
+        entry_leaf = self._rng.choice(self.leaves)
+        roll = self._rng.random()
+        spec = self.spec
+        if roll < spec.update_fraction:
+            # Updates go to the object's own agent and stay local to its
+            # leaf area (the paper's updates are "always local").
+            oid = self._pick_object(entry_leaf)
+            home = self.object_home_leaf[oid]
+            return Operation(
+                kind="update",
+                entry_leaf=home,
+                object_id=oid,
+                pos=self._point_in(self.hierarchy.config(home).area),
+            )
+        roll -= spec.update_fraction
+        if roll < spec.pos_query_fraction:
+            return Operation(
+                kind="pos_query", entry_leaf=entry_leaf, object_id=self._pick_object(entry_leaf)
+            )
+        roll -= spec.pos_query_fraction
+        if roll < spec.range_query_fraction:
+            target = self._target_area(entry_leaf)
+            center = self._point_in(target)
+            half = spec.range_size_m / 2.0
+            root = self.hierarchy.root_area()
+            area = Rect(
+                max(root.min_x, center.x - half),
+                max(root.min_y, center.y - half),
+                min(root.max_x, center.x + half),
+                min(root.max_y, center.y + half),
+            )
+            return Operation(kind="range_query", entry_leaf=entry_leaf, area=area)
+        return Operation(
+            kind="nn_query",
+            entry_leaf=entry_leaf,
+            pos=self._point_in(self._target_area(entry_leaf)),
+        )
+
+    def operations(self, count: int):
+        """A finite generator of ``count`` operations."""
+        for _ in range(count):
+            yield self.next_operation()
+
+
+def scatter_objects(
+    hierarchy: Hierarchy, count: int, seed: int = 0, prefix: str = "obj"
+) -> list[tuple[str, Point]]:
+    """Uniformly random object placements over the root service area."""
+    rng = random.Random(seed)
+    root = hierarchy.root_area()
+    return [
+        (
+            f"{prefix}-{i}",
+            Point(rng.uniform(root.min_x, root.max_x), rng.uniform(root.min_y, root.max_y)),
+        )
+        for i in range(count)
+    ]

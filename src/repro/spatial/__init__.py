@@ -1,0 +1,52 @@
+"""Main-memory spatial indexes for the sighting DB (paper Section 5).
+
+* :class:`PointQuadtree` — the paper's choice ([17], used in Section 7.1),
+* :class:`RTree` — the paper's named alternative ([6]),
+* :class:`GridIndex` — uniform hash grid baseline,
+* :class:`LinearScanIndex` — brute-force correctness oracle.
+
+All share the :class:`SpatialIndex` interface.
+"""
+
+from repro.spatial.base import NeighborHit, SpatialIndex
+from repro.spatial.grid import GridIndex
+from repro.spatial.linear import LinearScanIndex
+from repro.spatial.quadtree import PointQuadtree
+from repro.spatial.rtree import RTree
+
+#: Registry used by configuration files and benches to pick an index.
+INDEX_FACTORIES = {
+    "quadtree": PointQuadtree,
+    "rtree": RTree,
+    "grid": GridIndex,
+    "linear": LinearScanIndex,
+}
+
+
+def make_index(kind: str = "quadtree", **kwargs) -> SpatialIndex:
+    """Instantiate a spatial index by name.
+
+    Args:
+        kind: one of ``quadtree`` (default, the paper's choice), ``rtree``,
+            ``grid`` or ``linear``.
+        **kwargs: forwarded to the index constructor.
+    """
+    try:
+        factory = INDEX_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown index kind {kind!r}; choose from {sorted(INDEX_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "GridIndex",
+    "INDEX_FACTORIES",
+    "LinearScanIndex",
+    "NeighborHit",
+    "PointQuadtree",
+    "RTree",
+    "SpatialIndex",
+    "make_index",
+]

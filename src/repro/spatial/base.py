@@ -1,0 +1,94 @@
+"""Common interface for the main-memory spatial indexes.
+
+Section 5 of the paper: "A spatial index over the position information in
+the sighting records (e.g., a Quadtree [17] or a R-Tree [6]) is used to
+efficiently retrieve the results for range or nearest neighbor queries."
+
+All indexes store ``(object_id, Point)`` entries keyed by object id so the
+sighting DB can update an object's position in place.  Implementations
+must support:
+
+* :meth:`insert` / :meth:`remove` / :meth:`update`
+* :meth:`query_rect` — every entry whose point lies in a closed rect
+  (the *candidate* step of range queries; exact overlap filtering happens
+  in the query semantics layer),
+* :meth:`nearest` — the k entries nearest to a probe point.
+
+``NeighborHit`` carries the distance so callers need not recompute it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.geo import Point, Rect
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborHit:
+    """One result of a nearest-neighbor lookup."""
+
+    object_id: str
+    point: Point
+    distance: float
+
+
+class SpatialIndex(ABC):
+    """Abstract base class for point indexes keyed by object id."""
+
+    @abstractmethod
+    def insert(self, object_id: str, point: Point) -> None:
+        """Add an entry.  Raises ``KeyError`` if the id is already present."""
+
+    @abstractmethod
+    def remove(self, object_id: str) -> Point:
+        """Remove an entry and return its point.  ``KeyError`` if absent."""
+
+    @abstractmethod
+    def get(self, object_id: str) -> Point | None:
+        """The stored point for an id, or ``None``."""
+
+    @abstractmethod
+    def query_rect(self, rect: Rect) -> Iterator[tuple[str, Point]]:
+        """All entries whose point lies inside the closed rectangle."""
+
+    @abstractmethod
+    def nearest(
+        self, point: Point, k: int = 1, max_distance: float = float("inf")
+    ) -> list[NeighborHit]:
+        """The ``k`` entries nearest to ``point`` within ``max_distance``.
+
+        Results are sorted by ascending distance; fewer than ``k`` hits are
+        returned when the index holds fewer qualifying entries.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[str, Point]]:
+        """All entries in unspecified order."""
+
+    # -- conveniences shared by all implementations ------------------------
+
+    def update(self, object_id: str, point: Point) -> None:
+        """Move an existing entry to a new position."""
+        self.remove(object_id)
+        self.insert(object_id, point)
+
+    def upsert(self, object_id: str, point: Point) -> None:
+        """Insert, or update when the id already exists."""
+        if self.get(object_id) is not None:
+            self.update(object_id, point)
+        else:
+            self.insert(object_id, point)
+
+    def __contains__(self, object_id: str) -> bool:
+        return self.get(object_id) is not None
+
+    def bulk_load(self, entries: Iterable[tuple[str, Point]]) -> None:
+        """Insert many entries; implementations may override to optimise."""
+        for object_id, point in entries:
+            self.insert(object_id, point)

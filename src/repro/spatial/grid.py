@@ -1,0 +1,177 @@
+"""Uniform grid index.
+
+A simple fixed-cell-size hash grid: the classic competitor to trees for
+uniformly distributed moving objects (updates are O(1) dictionary moves).
+Included as the third point in the spatial-index ablation (Ablation C in
+DESIGN.md); the paper itself only discusses quadtrees and R-trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterator
+
+from repro.geo import Point, Rect
+from repro.spatial.base import NeighborHit, SpatialIndex
+
+_INF = float("inf")
+
+
+class GridIndex(SpatialIndex):
+    """Hash grid with square cells of a fixed size.
+
+    Args:
+        cell_size: edge length of a grid cell in meters.  Should be on the
+            order of typical query radii; defaults to 100 m (the medium
+            range-query size of Table 1).
+    """
+
+    __slots__ = ("_cell_size", "_cells", "_points")
+
+    def __init__(self, cell_size: float = 100.0) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._cell_size = cell_size
+        self._cells: dict[tuple[int, int], dict[str, Point]] = {}
+        self._points: dict[str, Point] = {}
+
+    def _key(self, point: Point) -> tuple[int, int]:
+        return (
+            math.floor(point.x / self._cell_size),
+            math.floor(point.y / self._cell_size),
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, object_id: str, point: Point) -> None:
+        if object_id in self._points:
+            raise KeyError(f"duplicate insert for {object_id!r}")
+        self._points[object_id] = point
+        self._cells.setdefault(self._key(point), {})[object_id] = point
+
+    def remove(self, object_id: str) -> Point:
+        point = self._points.pop(object_id)
+        key = self._key(point)
+        cell = self._cells[key]
+        del cell[object_id]
+        if not cell:
+            del self._cells[key]
+        return point
+
+    def update(self, object_id: str, point: Point) -> None:
+        old = self._points.get(object_id)
+        if old is None:
+            raise KeyError(object_id)
+        old_key = self._key(old)
+        new_key = self._key(point)
+        self._points[object_id] = point
+        if old_key == new_key:
+            self._cells[old_key][object_id] = point
+            return
+        cell = self._cells[old_key]
+        del cell[object_id]
+        if not cell:
+            del self._cells[old_key]
+        self._cells.setdefault(new_key, {})[object_id] = point
+
+    def get(self, object_id: str) -> Point | None:
+        return self._points.get(object_id)
+
+    # -- queries ------------------------------------------------------------
+
+    def query_rect(self, rect: Rect) -> Iterator[tuple[str, Point]]:
+        col_lo = math.floor(rect.min_x / self._cell_size)
+        col_hi = math.floor(rect.max_x / self._cell_size)
+        row_lo = math.floor(rect.min_y / self._cell_size)
+        row_hi = math.floor(rect.max_y / self._cell_size)
+        # Iterate whichever is smaller: the covered cell window or the
+        # populated cell set (large rects over sparse grids).
+        window = (col_hi - col_lo + 1) * (row_hi - row_lo + 1)
+        if window <= len(self._cells):
+            for col in range(col_lo, col_hi + 1):
+                for row in range(row_lo, row_hi + 1):
+                    cell = self._cells.get((col, row))
+                    if not cell:
+                        continue
+                    for object_id, point in cell.items():
+                        if rect.contains_point(point):
+                            yield object_id, point
+        else:
+            for (col, row), cell in self._cells.items():
+                if col_lo <= col <= col_hi and row_lo <= row <= row_hi:
+                    for object_id, point in cell.items():
+                        if rect.contains_point(point):
+                            yield object_id, point
+
+    def nearest(
+        self, point: Point, k: int = 1, max_distance: float = _INF
+    ) -> list[NeighborHit]:
+        """Expanding-ring search over grid cells."""
+        if k < 1 or not self._points:
+            return []
+        center_col, center_row = self._key(point)
+        best: list[NeighborHit] = []
+        ring = 0
+        max_ring = self._max_ring(point, max_distance)
+        while ring <= max_ring:
+            # Cells on this ring can hold a point no closer than
+            # (ring - 1) * cell_size; stop once the current k-th best beats
+            # anything a farther ring could offer.
+            ring_min_dist = max(0.0, (ring - 1)) * self._cell_size
+            if len(best) == k and best[-1].distance < ring_min_dist:
+                break
+            for col, row in _ring_cells(center_col, center_row, ring):
+                cell = self._cells.get((col, row))
+                if not cell:
+                    continue
+                for object_id, p in cell.items():
+                    d = point.distance_to(p)
+                    if d > max_distance:
+                        continue
+                    hit = NeighborHit(object_id, p, d)
+                    if len(best) < k:
+                        best.append(hit)
+                        best.sort(key=lambda h: (h.distance, h.object_id))
+                    elif (d, object_id) < (best[-1].distance, best[-1].object_id):
+                        best[-1] = hit
+                        best.sort(key=lambda h: (h.distance, h.object_id))
+            ring += 1
+        return best
+
+    def _max_ring(self, point: Point, max_distance: float) -> int:
+        if math.isinf(max_distance):
+            if not self._cells:
+                return 0
+            center_col, center_row = self._key(point)
+            return max(
+                max(abs(col - center_col), abs(row - center_row))
+                for col, row in self._cells
+            )
+        return int(max_distance / self._cell_size) + 1
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def items(self) -> Iterator[tuple[str, Point]]:
+        return iter(self._points.items())
+
+    def cell_count(self) -> int:
+        """Number of populated cells; for diagnostics."""
+        return len(self._cells)
+
+
+def _ring_cells(center_col: int, center_row: int, ring: int) -> Iterator[tuple[int, int]]:
+    """The cells whose Chebyshev distance from the center equals ``ring``."""
+    if ring == 0:
+        yield center_col, center_row
+        return
+    for col in range(center_col - ring, center_col + ring + 1):
+        yield col, center_row - ring
+        yield col, center_row + ring
+    for row in range(center_row - ring + 1, center_row + ring):
+        yield center_col - ring, row
+        yield center_col + ring, row

@@ -1,0 +1,243 @@
+"""Point Quadtree (Samet [17]).
+
+This is the index the paper's prototype uses for the sighting DB ("For
+the spatial index we used a Point Quadtree implementation [17], which we
+found to be very well suited for our purpose", Section 7.1).
+
+Every stored point becomes an internal node that splits the plane into
+four quadrants at its own coordinates.  Insertion descends comparing
+coordinates; deletion detaches the node's subtree and re-inserts the
+orphaned entries (the classic strategy — exact point-quadtree deletion is
+notoriously intricate and re-insertion keeps expected cost at the subtree
+size, which for random trees averages O(log n)).
+
+All traversals are iterative with explicit stacks so adversarial insert
+orders cannot overflow the Python recursion limit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from typing import Iterator
+
+from repro.geo import Point, Rect
+from repro.spatial.base import NeighborHit, SpatialIndex
+
+_INF = float("inf")
+
+# Quadrant encoding: index = qy * 2 + qx where qx = 0 if x < split_x else 1.
+_SW, _SE, _NW, _NE = 0, 1, 2, 3
+
+
+class _Node:
+    __slots__ = ("object_id", "point", "children")
+
+    def __init__(self, object_id: str, point: Point) -> None:
+        self.object_id = object_id
+        self.point = point
+        self.children: list[_Node | None] = [None, None, None, None]
+
+    def quadrant_of(self, point: Point) -> int:
+        qx = 0 if point.x < self.point.x else 1
+        qy = 0 if point.y < self.point.y else 1
+        return qy * 2 + qx
+
+
+class PointQuadtree(SpatialIndex):
+    """Main-memory point quadtree keyed by object id."""
+
+    __slots__ = ("_root", "_points", "_rng")
+
+    def __init__(self, shuffle_seed: int | None = 0) -> None:
+        """
+        Args:
+            shuffle_seed: seed for the bulk-load shuffle that keeps the
+                expected depth logarithmic; ``None`` uses nondeterministic
+                shuffling.
+        """
+        self._root: _Node | None = None
+        self._points: dict[str, Point] = {}
+        self._rng = random.Random(shuffle_seed)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, object_id: str, point: Point) -> None:
+        if object_id in self._points:
+            raise KeyError(f"duplicate insert for {object_id!r}")
+        self._points[object_id] = point
+        self._insert_node(_Node(object_id, point))
+
+    def _insert_node(self, node: _Node) -> None:
+        if self._root is None:
+            self._root = node
+            return
+        current = self._root
+        while True:
+            quadrant = current.quadrant_of(node.point)
+            child = current.children[quadrant]
+            if child is None:
+                current.children[quadrant] = node
+                return
+            current = child
+
+    def remove(self, object_id: str) -> Point:
+        point = self._points.pop(object_id)
+        parent, node = self._find_node(object_id, point)
+        orphans = [
+            entry
+            for entry in self._subtree_entries(node)
+            if entry.object_id != object_id
+        ]
+        if parent is None:
+            self._root = None
+        else:
+            parent.children[parent.quadrant_of(point)] = None
+        for orphan in orphans:
+            orphan.children = [None, None, None, None]
+            self._insert_node(orphan)
+        return point
+
+    def _find_node(self, object_id: str, point: Point) -> tuple[_Node | None, _Node]:
+        """Locate the node holding ``object_id`` and its parent.
+
+        Several stored points may share coordinates, so the descent keeps
+        walking through equal-coordinate nodes until the ids match.
+        """
+        parent: _Node | None = None
+        current = self._root
+        while current is not None:
+            if current.object_id == object_id:
+                return parent, current
+            parent = current
+            current = current.children[current.quadrant_of(point)]
+        raise KeyError(object_id)  # pragma: no cover - guarded by _points
+
+    def get(self, object_id: str) -> Point | None:
+        return self._points.get(object_id)
+
+    def bulk_load(self, entries) -> None:
+        """Shuffled insertion: expected O(log n) depth for any input order."""
+        batch = list(entries)
+        self._rng.shuffle(batch)
+        for object_id, point in batch:
+            self.insert(object_id, point)
+
+    # -- queries ------------------------------------------------------------
+
+    def query_rect(self, rect: Rect) -> Iterator[tuple[str, Point]]:
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            p = node.point
+            if rect.contains_point(p):
+                yield node.object_id, p
+            # A quadrant can only hold matches if the rect reaches past the
+            # node's split lines in that direction.
+            west = rect.min_x < p.x
+            east = rect.max_x >= p.x
+            south = rect.min_y < p.y
+            north = rect.max_y >= p.y
+            children = node.children
+            if south:
+                if west and children[_SW] is not None:
+                    stack.append(children[_SW])
+                if east and children[_SE] is not None:
+                    stack.append(children[_SE])
+            if north:
+                if west and children[_NW] is not None:
+                    stack.append(children[_NW])
+                if east and children[_NE] is not None:
+                    stack.append(children[_NE])
+
+    def nearest(
+        self, point: Point, k: int = 1, max_distance: float = _INF
+    ) -> list[NeighborHit]:
+        if k < 1 or self._root is None:
+            return []
+        counter = itertools.count()
+        # Best-first search over (node, implicit region) pairs ordered by
+        # the minimal possible distance from the probe to the region.
+        frontier: list[tuple[float, int, _Node, tuple[float, float, float, float]]] = [
+            (0.0, next(counter), self._root, (-_INF, -_INF, _INF, _INF))
+        ]
+        best: list[NeighborHit] = []
+        while frontier:
+            region_dist, _, node, region = heapq.heappop(frontier)
+            if len(best) == k and region_dist > best[-1].distance:
+                break
+            d = point.distance_to(node.point)
+            if d <= max_distance:
+                hit = NeighborHit(node.object_id, node.point, d)
+                if len(best) < k:
+                    best.append(hit)
+                    best.sort(key=lambda h: (h.distance, h.object_id))
+                elif (d, node.object_id) < (best[-1].distance, best[-1].object_id):
+                    best[-1] = hit
+                    best.sort(key=lambda h: (h.distance, h.object_id))
+            min_x, min_y, max_x, max_y = region
+            px, py = node.point.x, node.point.y
+            subregions = (
+                (min_x, min_y, px, py),  # SW
+                (px, min_y, max_x, py),  # SE
+                (min_x, py, px, max_y),  # NW
+                (px, py, max_x, max_y),  # NE
+            )
+            for child, sub in zip(node.children, subregions):
+                if child is None:
+                    continue
+                child_dist = _region_distance(point, sub)
+                if child_dist > max_distance:
+                    continue
+                if len(best) == k and child_dist > best[-1].distance:
+                    continue
+                heapq.heappush(frontier, (child_dist, next(counter), child, sub))
+        return best
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def items(self) -> Iterator[tuple[str, Point]]:
+        return iter(self._points.items())
+
+    def depth(self) -> int:
+        """The height of the tree (0 for an empty tree); for diagnostics."""
+        if self._root is None:
+            return 0
+        max_depth = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, level = stack.pop()
+            max_depth = max(max_depth, level)
+            for child in node.children:
+                if child is not None:
+                    stack.append((child, level + 1))
+        return max_depth
+
+    def _subtree_entries(self, root: _Node) -> list[_Node]:
+        nodes = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        return nodes
+
+
+def _region_distance(point: Point, region: tuple[float, float, float, float]) -> float:
+    min_x, min_y, max_x, max_y = region
+    dx = max(min_x - point.x, 0.0, point.x - max_x)
+    dy = max(min_y - point.y, 0.0, point.y - max_y)
+    if dx == 0.0 and dy == 0.0:
+        return 0.0
+    if math.isinf(dx) or math.isinf(dy):  # pragma: no cover - defensive
+        return _INF
+    return math.hypot(dx, dy)

@@ -1,0 +1,31 @@
+"""Location-server data storage (paper Section 5 / Fig. 7).
+
+Volatile sighting DB with hash + spatial indexes, persistent visitor DB
+with WAL-backed recovery, soft-state expiry, and the per-server
+:class:`LocalDataStore` facade.
+"""
+
+from repro.storage.datastore import LocalDataStore
+from repro.storage.persistence import FileStore, MemoryStore, PersistentStore
+from repro.storage.sighting_db import DEFAULT_TTL, SightingDB
+from repro.storage.soft_state import ExpiryTimer
+from repro.storage.visitor_db import (
+    LeafVisitorRecord,
+    NonLeafVisitorRecord,
+    VisitorDB,
+    VisitorRecord,
+)
+
+__all__ = [
+    "DEFAULT_TTL",
+    "ExpiryTimer",
+    "FileStore",
+    "LeafVisitorRecord",
+    "LocalDataStore",
+    "MemoryStore",
+    "NonLeafVisitorRecord",
+    "PersistentStore",
+    "SightingDB",
+    "VisitorDB",
+    "VisitorRecord",
+]

@@ -1,0 +1,192 @@
+"""The per-server data storage component (paper Fig. 7).
+
+``LocalDataStore`` bundles the volatile sighting DB (hash + spatial
+index) with the persistent visitor DB and the accuracy model into the
+store a **leaf** location server operates on.  It is also:
+
+* the unit Table 1 benchmarks (throughput of registration, updates,
+  position / range queries against one store), and
+* the entire implementation of the centralized baseline
+  (:mod:`repro.baselines.central`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AccuracyUnavailableError, UnknownObjectError
+from repro.model import (
+    AccuracyModel,
+    LocationDescriptor,
+    NearestNeighborQuery,
+    NearestNeighborResult,
+    ObjectEntry,
+    RangeQuery,
+    RegistrationInfo,
+    SightingRecord,
+)
+from repro.spatial import SpatialIndex
+from repro.storage.persistence import PersistentStore
+from repro.storage.sighting_db import DEFAULT_TTL, SightingDB
+from repro.storage.visitor_db import LeafVisitorRecord, VisitorDB
+
+
+class LocalDataStore:
+    """Leaf-server storage: sightings in memory, visitor records durable."""
+
+    __slots__ = ("sightings", "visitors", "accuracy", "_ttl")
+
+    def __init__(
+        self,
+        accuracy: AccuracyModel | None = None,
+        index: SpatialIndex | None = None,
+        store: PersistentStore | None = None,
+        ttl: float = DEFAULT_TTL,
+    ) -> None:
+        self.accuracy = accuracy if accuracy is not None else AccuracyModel()
+        self.sightings = SightingDB(index=index, default_ttl=ttl)
+        self.visitors = VisitorDB(store=store)
+        self._ttl = ttl
+
+    # -- registration & updates (local halves of Algorithms 6-1 / 6-2) -------
+
+    def register(
+        self,
+        sighting: SightingRecord,
+        des_acc: float,
+        min_acc: float,
+        registrar: str,
+        now: float = 0.0,
+    ) -> float:
+        """Admit a new visitor; returns the offered accuracy.
+
+        Raises:
+            AccuracyUnavailableError: when the achievable accuracy lies
+                outside ``[des_acc, min_acc]`` (the paper's
+                ``registerFailed``).
+        """
+        offered = self.accuracy.negotiate(des_acc, min_acc)
+        if offered is None:
+            raise AccuracyUnavailableError(self.accuracy.achievable, min_acc)
+        reg_info = RegistrationInfo(registrar, des_acc, min_acc)
+        self.visitors.insert_leaf(sighting.object_id, offered, reg_info)
+        self.sightings.upsert(sighting, now=now)
+        return offered
+
+    def admit_handover(
+        self, sighting: SightingRecord, reg_info: RegistrationInfo, now: float = 0.0
+    ) -> float:
+        """Become the agent for an object arriving by handover (Alg. 6-3)."""
+        offered = self.accuracy.negotiate(reg_info.des_acc, reg_info.min_acc)
+        if offered is None:
+            # Paper's protocol assumes the requested range stays satisfiable
+            # across the service area; if a leaf cannot satisfy it, offer
+            # the coarsest acceptable value and let notifyAvailAcc handle
+            # renegotiation at the API layer.
+            offered = max(self.accuracy.achievable, reg_info.des_acc)
+        self.visitors.insert_leaf(sighting.object_id, offered, reg_info)
+        self.sightings.upsert(sighting, now=now)
+        return offered
+
+    def update(self, sighting: SightingRecord, now: float = 0.0) -> None:
+        """Refresh an existing visitor's sighting (Alg. 6-2 line 8).
+
+        An upsert rather than a strict update: after a crash the visitor
+        record survives on persistent storage while the sighting is gone,
+        and the paper restores volatile state "as position update
+        requests come in" — so an update for a registered visitor without
+        a sighting recreates it.
+        """
+        if self.visitors.leaf_record(sighting.object_id) is None:
+            raise UnknownObjectError(sighting.object_id)
+        self.sightings.upsert(sighting, now=now)
+
+    def change_accuracy(self, object_id: str, des_acc: float, min_acc: float) -> float:
+        """Renegotiate accuracy for a tracked object (``changeAcc``)."""
+        record = self.visitors.leaf_record(object_id)
+        if record is None:
+            raise UnknownObjectError(object_id)
+        offered = self.accuracy.negotiate(des_acc, min_acc)
+        if offered is None:
+            raise AccuracyUnavailableError(self.accuracy.achievable, min_acc)
+        self.visitors.set_offered_acc(object_id, offered)
+        return offered
+
+    def deregister(self, object_id: str) -> None:
+        """Forget a visitor entirely (departure or explicit deregister)."""
+        if object_id in self.sightings:
+            self.sightings.remove(object_id)
+        self.visitors.remove(object_id)
+
+    # -- queries (local halves of Algorithms 6-4 / 6-5) -----------------------
+
+    def offered_acc(self, object_id: str) -> float:
+        record = self.visitors.leaf_record(object_id)
+        if record is None:
+            raise UnknownObjectError(object_id)
+        return record.offered_acc
+
+    def position_query(self, object_id: str) -> LocationDescriptor:
+        """``posQuery`` against the local hash index."""
+        sighting = self.sightings.get(object_id)
+        record = self.visitors.leaf_record(object_id)
+        if sighting is None or record is None:
+            raise UnknownObjectError(object_id)
+        return LocationDescriptor(sighting.pos, record.offered_acc)
+
+    def range_query(self, query: RangeQuery) -> list[ObjectEntry]:
+        """``rangeQuery`` against the local spatial index."""
+        return self.sightings.objects_in_area(query, self.offered_acc)
+
+    def nearest_neighbor_query(self, query: NearestNeighborQuery) -> NearestNeighborResult:
+        """``neighborQuery`` against the local spatial index."""
+        return self.sightings.nearest_neighbors(query, self.offered_acc)
+
+    def nn_candidates(self, rect, req_acc: float) -> list[ObjectEntry]:
+        """Candidates for one distributed nearest-neighbor round: every
+        visitor whose position lies in ``rect`` and whose offered accuracy
+        satisfies ``req_acc``."""
+        result = []
+        for oid, pos in self.sightings.positions_in_rect(rect):
+            acc = self.offered_acc(oid)
+            if acc <= req_acc:
+                result.append((oid, LocationDescriptor(pos, acc)))
+        result.sort(key=lambda entry: entry[0])
+        return result
+
+    # -- soft state & recovery ---------------------------------------------------
+
+    def expire_due(self, now: float) -> list[str]:
+        """Soft-state sweep: drop expired sightings and their visitor records."""
+        expired = self.sightings.expire_due(now)
+        for oid in expired:
+            self.visitors.remove(oid)
+        return expired
+
+    def crash(self, now: float = 0.0) -> None:
+        """Simulate a server failure: volatile state is lost, the
+        persistent visitor DB survives (Section 5's recovery story).
+
+        Every recovered visitor gets a fresh soft-state deadline — if its
+        position updates never resume, it is deregistered after one TTL,
+        exactly as the soft-state principle demands.
+        """
+        self.sightings.clear()
+        for object_id in self.visitors.object_ids():
+            if self.visitors.leaf_record(object_id) is not None:
+                self.sightings.schedule_expiry(object_id, now)
+
+    def restore_sighting(self, sighting: SightingRecord, now: float = 0.0) -> bool:
+        """Re-admit a sighting after a crash, if the object is still a
+        registered visitor.  Returns whether the record was accepted —
+        unknown objects must re-register."""
+        if self.visitors.leaf_record(sighting.object_id) is None:
+            return False
+        self.sightings.upsert(sighting, now=now)
+        return True
+
+    @property
+    def visitor_count(self) -> int:
+        return len(self.visitors)
+
+    @property
+    def sighting_count(self) -> int:
+        return len(self.sightings)

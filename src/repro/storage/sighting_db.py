@@ -1,0 +1,208 @@
+"""The main-memory sighting database (paper Section 5 and Fig. 7).
+
+Leaf servers store one sighting record per visitor in volatile memory,
+indexed two ways:
+
+* a **hash index** over object identifiers (``sightingDB.objectHash``)
+  for position queries, and
+* a **spatial index** over positions (``sightingDB.spatialIndex``) for
+  range and nearest-neighbor queries.
+
+The DB also owns the soft-state expiry timer: every insert/update renews
+the record's expiration date; :meth:`expire_due` pops the visitors whose
+records lapsed so the server can deregister them hierarchy-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.geo import Point, Rect
+from repro.model import (
+    LocationDescriptor,
+    NearestNeighborQuery,
+    NearestNeighborResult,
+    ObjectEntry,
+    RangeQuery,
+    SightingRecord,
+    candidate_bounds,
+    nearest_neighbor,
+    qualifies_for_range,
+)
+from repro.spatial import SpatialIndex, make_index
+from repro.storage.soft_state import ExpiryTimer
+
+#: Default sighting time-to-live, seconds.  An object updating at the
+#: paper's reference rate (3 km/h with 25 m accuracy ⇒ one update every
+#: ~30 s) refreshes its record many times within this window.
+DEFAULT_TTL = 300.0
+
+
+class SightingDB:
+    """Volatile store of sighting records with hash + spatial indexes."""
+
+    __slots__ = ("_records", "_index", "_timer", "_default_ttl")
+
+    def __init__(
+        self,
+        index: SpatialIndex | None = None,
+        default_ttl: float = DEFAULT_TTL,
+    ) -> None:
+        """
+        Args:
+            index: spatial index instance; defaults to a fresh
+                :class:`~repro.spatial.quadtree.PointQuadtree`, the
+                paper's choice.
+            default_ttl: soft-state lifetime for records whose insert does
+                not specify one.
+        """
+        self._records: dict[str, SightingRecord] = {}
+        self._index = index if index is not None else make_index("quadtree")
+        self._timer = ExpiryTimer()
+        self._default_ttl = default_ttl
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, sighting: SightingRecord, now: float = 0.0, ttl: float | None = None) -> None:
+        """Store a new visitor's sighting (registration or handover arrival)."""
+        oid = sighting.object_id
+        if oid in self._records:
+            raise KeyError(f"sighting for {oid!r} already present; use update()")
+        self._records[oid] = sighting
+        self._index.insert(oid, sighting.pos)
+        self._timer.schedule(oid, now + (ttl if ttl is not None else self._default_ttl))
+
+    def update(self, sighting: SightingRecord, now: float = 0.0, ttl: float | None = None) -> None:
+        """Refresh an existing visitor's sighting (position update)."""
+        oid = sighting.object_id
+        if oid not in self._records:
+            raise KeyError(oid)
+        self._records[oid] = sighting
+        self._index.update(oid, sighting.pos)
+        self._timer.renew(oid, now + (ttl if ttl is not None else self._default_ttl))
+
+    def upsert(self, sighting: SightingRecord, now: float = 0.0, ttl: float | None = None) -> None:
+        if sighting.object_id in self._records:
+            self.update(sighting, now, ttl)
+        else:
+            self.insert(sighting, now, ttl)
+
+    def remove(self, object_id: str) -> SightingRecord:
+        """Drop a visitor's sighting (deregistration or handover departure)."""
+        record = self._records.pop(object_id)
+        self._index.remove(object_id)
+        self._timer.cancel(object_id)
+        return record
+
+    def clear(self) -> None:
+        """Wipe all volatile state (used to simulate a crash)."""
+        self._records.clear()
+        self._timer = ExpiryTimer()
+        index_type = type(self._index)
+        self._index = index_type()
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, object_id: str) -> SightingRecord | None:
+        """Hash-index lookup (``sightingDB.objectHash``)."""
+        return self._records.get(object_id)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def object_ids(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def records(self) -> Iterator[SightingRecord]:
+        return iter(self._records.values())
+
+    # -- queries -------------------------------------------------------------------
+
+    def objects_in_area(
+        self,
+        query: RangeQuery,
+        acc_of: Callable[[str], float],
+    ) -> list[ObjectEntry]:
+        """The paper's ``spatialIndex.objectsInArea(area, reqAcc, reqOverlap)``.
+
+        The spatial index narrows candidates to the ``Enlarge(area,
+        reqAcc)`` rect; the exact overlap/accuracy semantics then run per
+        candidate.  ``acc_of`` maps an object id to its *offered* accuracy
+        (stored in the visitor DB, not here — Algorithm 6-5 line 5 builds
+        ``ld(s.pos, visitorDB(s.oId).offeredAcc)``).
+        """
+        bounds = candidate_bounds(query)
+        candidates = self._index.query_rect(bounds)
+        result = []
+        for oid, pos in candidates:
+            descriptor = LocationDescriptor(pos, acc_of(oid))
+            if qualifies_for_range(query.area, descriptor, query.req_acc, query.req_overlap):
+                result.append((oid, descriptor))
+        result.sort(key=lambda entry: entry[0])
+        return result
+
+    def positions_in_rect(self, rect: Rect) -> Iterator[tuple[str, Point]]:
+        """Raw spatial-index scan: (object id, position) pairs in a rect."""
+        return self._index.query_rect(rect)
+
+    def nearest_neighbors(
+        self,
+        query: NearestNeighborQuery,
+        acc_of: Callable[[str], float],
+        probe_k: int = 16,
+    ) -> NearestNeighborResult:
+        """Nearest-neighbor semantics over the local records.
+
+        Uses the spatial index for candidate generation: fetch the
+        ``probe_k`` nearest positions, expand until the candidate set
+        provably contains the selected object plus the full ``nearQual``
+        ring (accuracy filtering can disqualify near candidates, so the
+        probe widens geometrically).
+        """
+        total = len(self._records)
+        if total == 0:
+            return NearestNeighborResult(nearest=None)
+        k = min(probe_k, total)
+        while True:
+            hits = self._index.nearest(query.pos, k=k)
+            entries = [
+                (hit.object_id, LocationDescriptor(hit.point, acc_of(hit.object_id)))
+                for hit in hits
+            ]
+            result = nearest_neighbor(entries, query)
+            if k >= total:
+                return result
+            if result.nearest is not None:
+                selected_distance = result.nearest[1].pos.distance_to(query.pos)
+                ring = selected_distance + query.near_qual
+                # The k-th candidate bounds every unseen object's distance;
+                # if it lies beyond the ring, no unseen object can qualify.
+                if hits[-1].distance > ring:
+                    return result
+            k = min(total, k * 4)
+
+    # -- soft state -----------------------------------------------------------------
+
+    def schedule_expiry(self, object_id: str, now: float, ttl: float | None = None) -> None:
+        """Arm (or re-arm) the soft-state deadline for an id that may not
+        have a sighting yet — used after crash recovery, when persistent
+        visitor records exist but volatile sightings are gone."""
+        self._timer.schedule(object_id, now + (ttl if ttl is not None else self._default_ttl))
+
+    def expire_due(self, now: float) -> list[str]:
+        """Remove and return the ids whose sighting records expired."""
+        expired = self._timer.pop_expired(now)
+        for oid in expired:
+            self._records.pop(oid, None)
+            if self._index.get(oid) is not None:
+                self._index.remove(oid)
+        return expired
+
+    def next_expiry(self) -> float | None:
+        return self._timer.next_deadline()
+
+    def expiry_deadline(self, object_id: str) -> float | None:
+        return self._timer.deadline_of(object_id)

@@ -1,0 +1,172 @@
+"""The visitor database (paper Section 5).
+
+Every location server keeps a visitor record per tracked object currently
+inside its service area.  The record structure differs by server role:
+
+* **non-leaf**: ``(oId, forwardRef)`` — which child is next on the path
+  to the object's agent;
+* **leaf**: ``(oId, offeredAcc, regInfo)`` — the negotiated accuracy and
+  registration information (the sighting itself lives in the sighting
+  DB).
+
+The visitor DB writes through to a :class:`~repro.storage.persistence.
+PersistentStore` so forwarding paths survive crashes; :meth:`VisitorDB.
+recover` rebuilds the in-memory dictionary from the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.model import RegistrationInfo
+from repro.storage.persistence import MemoryStore, PersistentStore
+
+
+@dataclass(frozen=True, slots=True)
+class NonLeafVisitorRecord:
+    """Forwarding reference stored by a non-leaf server."""
+
+    object_id: str
+    forward_ref: str  # child server id on the path to the agent
+
+
+@dataclass(frozen=True, slots=True)
+class LeafVisitorRecord:
+    """Full visitor record stored by an object's agent (a leaf server)."""
+
+    object_id: str
+    offered_acc: float
+    reg_info: RegistrationInfo
+
+
+VisitorRecord = NonLeafVisitorRecord | LeafVisitorRecord
+
+
+class VisitorDB:
+    """Persistent map of object id to visitor record."""
+
+    __slots__ = ("_records", "_store")
+
+    def __init__(self, store: PersistentStore | None = None) -> None:
+        self._records: dict[str, VisitorRecord] = {}
+        self._store = store if store is not None else MemoryStore()
+
+    # -- mutation (each op is one durable log record) -----------------------
+
+    def insert_forward(self, object_id: str, forward_ref: str) -> None:
+        """Create or redirect a non-leaf forwarding record."""
+        self._records[object_id] = NonLeafVisitorRecord(object_id, forward_ref)
+        self._store.append("forward", {"oid": object_id, "ref": forward_ref})
+
+    def insert_leaf(
+        self, object_id: str, offered_acc: float, reg_info: RegistrationInfo
+    ) -> None:
+        """Create (or replace) a leaf visitor record — this server becomes
+        the object's agent."""
+        self._records[object_id] = LeafVisitorRecord(object_id, offered_acc, reg_info)
+        self._store.append(
+            "leaf",
+            {
+                "oid": object_id,
+                "acc": offered_acc,
+                "registrar": reg_info.registrar,
+                "des_acc": reg_info.des_acc,
+                "min_acc": reg_info.min_acc,
+            },
+        )
+
+    def set_offered_acc(self, object_id: str, offered_acc: float) -> None:
+        """Update the negotiated accuracy after a ``changeAcc`` request."""
+        record = self._records.get(object_id)
+        if not isinstance(record, LeafVisitorRecord):
+            raise KeyError(object_id)
+        self._records[object_id] = LeafVisitorRecord(
+            object_id, offered_acc, record.reg_info
+        )
+        self._store.append("acc", {"oid": object_id, "acc": offered_acc})
+
+    def remove(self, object_id: str) -> None:
+        """Drop the record (deregistration or handover departure)."""
+        if object_id in self._records:
+            del self._records[object_id]
+            self._store.append("remove", {"oid": object_id})
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, object_id: str) -> VisitorRecord | None:
+        return self._records.get(object_id)
+
+    def forward_ref(self, object_id: str) -> str | None:
+        record = self._records.get(object_id)
+        return record.forward_ref if isinstance(record, NonLeafVisitorRecord) else None
+
+    def leaf_record(self, object_id: str) -> LeafVisitorRecord | None:
+        record = self._records.get(object_id)
+        return record if isinstance(record, LeafVisitorRecord) else None
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def object_ids(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def items(self) -> Iterator[tuple[str, VisitorRecord]]:
+        return iter(self._records.items())
+
+    # -- durability -----------------------------------------------------------
+
+    def compact(self) -> None:
+        """Snapshot current state and truncate the log."""
+        records = []
+        for record in self._records.values():
+            if isinstance(record, NonLeafVisitorRecord):
+                records.append(("forward", {"oid": record.object_id, "ref": record.forward_ref}))
+            else:
+                records.append(
+                    (
+                        "leaf",
+                        {
+                            "oid": record.object_id,
+                            "acc": record.offered_acc,
+                            "registrar": record.reg_info.registrar,
+                            "des_acc": record.reg_info.des_acc,
+                            "min_acc": record.reg_info.min_acc,
+                        },
+                    )
+                )
+        self._store.compact(records)
+
+    @classmethod
+    def recover(cls, store: PersistentStore) -> "VisitorDB":
+        """Rebuild a visitor DB from its persistent store after a crash."""
+        db = cls.__new__(cls)
+        db._records = {}
+        db._store = store
+        for operation, payload in store.replay():
+            oid = payload.get("oid")
+            if oid is None:
+                raise StorageError(f"log record without object id: {operation}")
+            if operation == "forward":
+                db._records[oid] = NonLeafVisitorRecord(oid, payload["ref"])
+            elif operation == "leaf":
+                db._records[oid] = LeafVisitorRecord(
+                    oid,
+                    payload["acc"],
+                    RegistrationInfo(
+                        payload["registrar"], payload["des_acc"], payload["min_acc"]
+                    ),
+                )
+            elif operation == "acc":
+                record = db._records.get(oid)
+                if isinstance(record, LeafVisitorRecord):
+                    db._records[oid] = LeafVisitorRecord(oid, payload["acc"], record.reg_info)
+            elif operation == "remove":
+                db._records.pop(oid, None)
+            else:
+                raise StorageError(f"unknown log operation {operation!r}")
+        return db

@@ -1,0 +1,166 @@
+"""Unit and property tests for circles and exact intersection areas."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import Circle, Point, Polygon, Rect, circle_circle_intersection_area
+
+
+class TestBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 2.0).area == pytest.approx(4.0 * math.pi)
+
+    def test_bounds(self):
+        b = Circle(Point(5, 5), 2.0).bounds
+        assert b == Rect(3, 3, 7, 7)
+
+    def test_contains_point(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.contains_point(Point(3, 4))
+        assert not c.contains_point(Point(3.1, 4.1))
+
+    def test_intersects_rect(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.intersects_rect(Rect(4, 0, 10, 10))
+        assert not c.intersects_rect(Rect(4, 4, 10, 10))
+
+    def test_inside_rect(self):
+        assert Circle(Point(5, 5), 2.0).inside_rect(Rect(0, 0, 10, 10))
+        assert not Circle(Point(1, 5), 2.0).inside_rect(Rect(0, 0, 10, 10))
+
+
+class TestCircleRectArea:
+    def test_disjoint_zero(self):
+        assert Circle(Point(0, 0), 1.0).intersection_area_with_rect(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_circle_inside_rect_full(self):
+        c = Circle(Point(5, 5), 1.0)
+        assert c.intersection_area_with_rect(Rect(0, 0, 10, 10)) == pytest.approx(c.area)
+
+    def test_rect_inside_circle_full(self):
+        c = Circle(Point(0, 0), 100.0)
+        r = Rect(-1, -1, 1, 1)
+        assert c.intersection_area_with_rect(r) == pytest.approx(r.area)
+
+    def test_half_disk(self):
+        # Circle centered on a rect edge: exactly half the disk overlaps.
+        c = Circle(Point(0, 5), 2.0)
+        r = Rect(0, 0, 10, 10)
+        assert c.intersection_area_with_rect(r) == pytest.approx(c.area / 2.0)
+
+    def test_quarter_disk(self):
+        c = Circle(Point(0, 0), 2.0)
+        r = Rect(0, 0, 10, 10)
+        assert c.intersection_area_with_rect(r) == pytest.approx(c.area / 4.0)
+
+    def test_zero_radius(self):
+        assert Circle(Point(5, 5), 0.0).intersection_area_with_rect(Rect(0, 0, 10, 10)) == 0.0
+
+    def test_circular_segment(self):
+        # Rect covers the half-plane x <= d through the circle; the overlap
+        # is circle area minus a circular segment.
+        r_circ = 5.0
+        d = 3.0
+        c = Circle(Point(0, 0), r_circ)
+        rect = Rect(-100, -100, d, 100)
+        theta = 2.0 * math.acos(d / r_circ)
+        segment = 0.5 * r_circ * r_circ * (theta - math.sin(theta))
+        assert c.intersection_area_with_rect(rect) == pytest.approx(c.area - segment)
+
+
+class TestCirclePolygonArea:
+    def test_polygon_matches_rect_path(self):
+        c = Circle(Point(3, 3), 4.0)
+        rect = Rect(0, 0, 10, 10)
+        poly = Polygon.from_rect(rect)
+        assert c.intersection_area_with_polygon(poly) == pytest.approx(
+            c.intersection_area_with_rect(rect)
+        )
+
+    def test_triangle_fully_inside_circle(self):
+        tri = Polygon([Point(-1, -1), Point(1, -1), Point(0, 1)])
+        c = Circle(Point(0, 0), 50.0)
+        assert c.intersection_area_with_polygon(tri) == pytest.approx(tri.area)
+
+    def test_concave_polygon(self):
+        l_shape = Polygon(
+            [Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2), Point(2, 4), Point(0, 4)]
+        )
+        big = Circle(Point(2, 2), 100.0)
+        assert big.intersection_area_with_polygon(l_shape) == pytest.approx(l_shape.area)
+
+    def test_dispatch(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.intersection_area(Rect(-1, -1, 1, 1)) == pytest.approx(
+            c.intersection_area(Polygon.from_rect(Rect(-1, -1, 1, 1)))
+        )
+
+
+class TestCircleCircle:
+    def test_disjoint(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(10, 0), 1.0)
+        assert circle_circle_intersection_area(a, b) == 0.0
+
+    def test_contained(self):
+        a = Circle(Point(0, 0), 5.0)
+        b = Circle(Point(1, 0), 1.0)
+        assert circle_circle_intersection_area(a, b) == pytest.approx(b.area)
+
+    def test_identical(self):
+        a = Circle(Point(0, 0), 3.0)
+        assert circle_circle_intersection_area(a, a) == pytest.approx(a.area)
+
+    def test_symmetric_lens(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(1, 0), 1.0)
+        # Standard lens area for unit circles at distance 1.
+        expected = 2.0 * (math.pi / 3.0) - math.sin(math.pi / 3.0) * 2.0 * 0.5
+        lens = 2.0 * ((math.pi / 3.0) - 0.5 * math.sin(2.0 * math.pi / 3.0))
+        assert circle_circle_intersection_area(a, b) == pytest.approx(lens)
+        assert expected > 0  # sanity on the analytic form above
+
+
+class TestMonteCarloAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_circle_rect_matches_monte_carlo(self, seed):
+        rng = random.Random(seed)
+        c = Circle(Point(rng.uniform(-10, 10), rng.uniform(-10, 10)), rng.uniform(0.5, 15))
+        rect = Rect.from_center(
+            Point(rng.uniform(-10, 10), rng.uniform(-10, 10)),
+            rng.uniform(1, 30),
+            rng.uniform(1, 30),
+        )
+        exact = c.intersection_area_with_rect(rect)
+        hits = 0
+        samples = 5000
+        for _ in range(samples):
+            p = Point(rng.uniform(rect.min_x, rect.max_x), rng.uniform(rect.min_y, rect.max_y))
+            if c.contains_point(p):
+                hits += 1
+        estimate = rect.area * hits / samples
+        tolerance = 4.0 * rect.area / math.sqrt(samples) + 1e-6
+        assert abs(exact - estimate) <= tolerance
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_circle_polygon_bounded(self, seed):
+        rng = random.Random(seed)
+        c = Circle(Point(rng.uniform(-5, 5), rng.uniform(-5, 5)), rng.uniform(0.5, 10))
+        poly = Polygon.regular(
+            Point(rng.uniform(-5, 5), rng.uniform(-5, 5)),
+            rng.uniform(1, 10),
+            rng.randint(3, 9),
+        )
+        area = c.intersection_area_with_polygon(poly)
+        assert -1e-9 <= area <= min(c.area, poly.area) + 1e-6

@@ -1,0 +1,92 @@
+"""Tests for WGS84 coordinates and the local projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import GeoCoordinate, LocalProjection, Point, haversine_distance
+
+STUTTGART = GeoCoordinate(48.7758, 9.1829)
+
+lat = st.floats(min_value=-80, max_value=80, allow_nan=False)
+lon = st.floats(min_value=-179, max_value=179, allow_nan=False)
+
+
+class TestGeoCoordinate:
+    def test_latitude_range_checked(self):
+        with pytest.raises(GeometryError):
+            GeoCoordinate(91.0, 0.0)
+
+    def test_longitude_range_checked(self):
+        with pytest.raises(GeometryError):
+            GeoCoordinate(0.0, 181.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_distance(STUTTGART, STUTTGART) == 0.0
+
+    def test_one_degree_latitude(self):
+        a = GeoCoordinate(0.0, 0.0)
+        b = GeoCoordinate(1.0, 0.0)
+        # One degree of latitude is about 111.2 km.
+        assert haversine_distance(a, b) == pytest.approx(111_195, rel=0.01)
+
+    def test_symmetric(self):
+        munich = GeoCoordinate(48.1351, 11.5820)
+        assert haversine_distance(STUTTGART, munich) == pytest.approx(
+            haversine_distance(munich, STUTTGART)
+        )
+
+    def test_stuttgart_munich(self):
+        munich = GeoCoordinate(48.1351, 11.5820)
+        # Known to be roughly 190 km.
+        assert haversine_distance(STUTTGART, munich) == pytest.approx(190_000, rel=0.05)
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        proj = LocalProjection(STUTTGART)
+        p = proj.to_local(STUTTGART)
+        assert (p.x, p.y) == pytest.approx((0.0, 0.0))
+
+    def test_pole_anchor_rejected(self):
+        with pytest.raises(GeometryError):
+            LocalProjection(GeoCoordinate(90.0, 0.0))
+
+    def test_north_is_positive_y(self):
+        proj = LocalProjection(STUTTGART)
+        north = GeoCoordinate(STUTTGART.latitude + 0.01, STUTTGART.longitude)
+        assert proj.to_local(north).y > 0
+        assert proj.to_local(north).x == pytest.approx(0.0, abs=1e-6)
+
+    def test_east_is_positive_x(self):
+        proj = LocalProjection(STUTTGART)
+        east = GeoCoordinate(STUTTGART.latitude, STUTTGART.longitude + 0.01)
+        assert proj.to_local(east).x > 0
+
+    def test_roundtrip(self):
+        proj = LocalProjection(STUTTGART)
+        coord = GeoCoordinate(48.78, 9.20)
+        back = proj.to_geo(proj.to_local(coord))
+        assert back.latitude == pytest.approx(coord.latitude, abs=1e-9)
+        assert back.longitude == pytest.approx(coord.longitude, abs=1e-9)
+
+    def test_local_distance_close_to_haversine(self):
+        proj = LocalProjection(STUTTGART)
+        a = GeoCoordinate(48.77, 9.18)
+        b = GeoCoordinate(48.79, 9.21)
+        local = proj.to_local(a).distance_to(proj.to_local(b))
+        geodesic = haversine_distance(a, b)
+        # City scale: projection error far below sensor accuracy.
+        assert local == pytest.approx(geodesic, rel=0.002)
+
+    @given(lat, lon)
+    def test_roundtrip_property(self, latitude, longitude):
+        anchor = GeoCoordinate(latitude, longitude)
+        proj = LocalProjection(anchor)
+        nearby = Point(500.0, -250.0)
+        back = proj.to_local(proj.to_geo(nearby))
+        assert back.x == pytest.approx(nearby.x, abs=1e-3)
+        assert back.y == pytest.approx(nearby.y, abs=1e-3)

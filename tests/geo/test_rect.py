@@ -1,0 +1,151 @@
+"""Unit and property tests for axis-aligned rectangles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import Point, Rect
+
+coord = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(1, 0, 0, 1)
+
+    def test_point_rect_allowed(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0.0
+
+    def test_from_points_any_order(self):
+        r = Rect.from_points(Point(5, 1), Point(2, 8))
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (2, 1, 5, 8)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(10, 10), 4, 6)
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (8, 7, 12, 13)
+
+    def test_bounding(self):
+        r = Rect.bounding([Point(0, 5), Point(3, -1), Point(2, 2)])
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (0, -1, 3, 5)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(10, 10))
+        assert not r.contains_point(Point(10.001, 5))
+
+    def test_halfopen_excludes_max_edge(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point_halfopen(Point(0, 0))
+        assert not r.contains_point_halfopen(Point(10, 5))
+        assert not r.contains_point_halfopen(Point(5, 10))
+
+    def test_halfopen_partitions_siblings(self):
+        parent = Rect(0, 0, 100, 100)
+        quads = parent.quadrants()
+        boundary_point = Point(50, 50)
+        owners = [q for q in quads if q.contains_point_halfopen(boundary_point)]
+        assert len(owners) == 1
+
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 8, 8))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 11, 8))
+
+
+class TestOperations:
+    def test_intersection(self):
+        overlap = Rect(0, 0, 10, 10).intersection(Rect(5, 5, 15, 15))
+        assert overlap == Rect(5, 5, 10, 10)
+
+    def test_intersection_disjoint_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_intersection_area(self):
+        assert Rect(0, 0, 10, 10).intersection_area(Rect(5, 5, 15, 15)) == 25.0
+
+    def test_union_bounds(self):
+        u = Rect(0, 0, 1, 1).union_bounds(Rect(5, 5, 6, 6))
+        assert u == Rect(0, 0, 6, 6)
+
+    def test_enlarged(self):
+        e = Rect(0, 0, 10, 10).enlarged(5)
+        assert e == Rect(-5, -5, 15, 15)
+
+    def test_enlarged_negative_shrinks(self):
+        assert Rect(0, 0, 10, 10).enlarged(-2) == Rect(2, 2, 8, 8)
+
+    def test_quadrants_tile_parent(self):
+        parent = Rect(0, 0, 8, 4)
+        quads = parent.quadrants()
+        assert sum(q.area for q in quads) == pytest.approx(parent.area)
+        assert all(parent.contains_rect(q) for q in quads)
+
+    def test_grid_tiles_parent(self):
+        parent = Rect(0, 0, 9, 6)
+        cells = parent.grid(3, 2)
+        assert len(cells) == 6
+        assert sum(c.area for c in cells) == pytest.approx(parent.area)
+
+    def test_grid_invalid_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 1, 1).grid(0, 2)
+
+    def test_distance_to_point_inside_zero(self):
+        assert Rect(0, 0, 10, 10).distance_to_point(Point(5, 5)) == 0.0
+
+    def test_distance_to_point_outside(self):
+        assert Rect(0, 0, 10, 10).distance_to_point(Point(13, 14)) == pytest.approx(5.0)
+
+    def test_max_distance_to_point(self):
+        assert Rect(0, 0, 3, 4).max_distance_to_point(Point(0, 0)) == pytest.approx(5.0)
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersection_area(b) == pytest.approx(b.intersection_area(a))
+
+    @given(rects(), rects())
+    def test_intersection_bounded_by_operands(self, a, b):
+        area = a.intersection_area(b)
+        assert area <= min(a.area, b.area) + 1e-6
+
+    @given(rects())
+    def test_quadrants_are_disjoint_halfopen(self, r):
+        quads = r.quadrants()
+        for i, qa in enumerate(quads):
+            for qb in quads[i + 1 :]:
+                inter = qa.intersection(qb)
+                assert inter is None or inter.area == pytest.approx(0.0, abs=1e-6)
+
+    @given(rects(), st.floats(min_value=0, max_value=100))
+    def test_enlarge_superset(self, r, margin):
+        e = r.enlarged(margin)
+        assert e.contains_rect(r)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        assert u.contains_rect(a) and u.contains_rect(b)

@@ -1,0 +1,53 @@
+"""Tests for the Region dispatch helpers in repro.geo."""
+
+import pytest
+
+from repro.geo import (
+    Point,
+    Polygon,
+    Rect,
+    region_area,
+    region_bounds,
+    region_contains_point,
+    region_contains_rect,
+    region_intersection_area_with_rect,
+    region_intersects_rect,
+)
+
+RECT = Rect(0, 0, 100, 100)
+POLY = Polygon([Point(0, 0), Point(100, 0), Point(0, 100)])  # right triangle
+
+
+class TestRegionHelpers:
+    def test_area(self):
+        assert region_area(RECT) == 10_000.0
+        assert region_area(POLY) == pytest.approx(5_000.0)
+
+    def test_bounds(self):
+        assert region_bounds(RECT) == RECT
+        assert region_bounds(POLY) == Rect(0, 0, 100, 100)
+
+    def test_contains_point(self):
+        assert region_contains_point(RECT, Point(50, 50))
+        assert region_contains_point(POLY, Point(10, 10))
+        assert not region_contains_point(POLY, Point(90, 90))
+
+    def test_intersects_rect(self):
+        probe = Rect(80, 80, 120, 120)
+        assert region_intersects_rect(RECT, probe)
+        assert not region_intersects_rect(POLY, probe)
+        assert region_intersects_rect(POLY, Rect(0, 0, 10, 10))
+
+    def test_contains_rect(self):
+        assert region_contains_rect(RECT, Rect(10, 10, 90, 90))
+        assert region_contains_rect(POLY, Rect(5, 5, 20, 20))
+        assert not region_contains_rect(POLY, Rect(60, 60, 90, 90))
+
+    def test_intersection_area_with_rect(self):
+        probe = Rect(0, 0, 50, 50)
+        assert region_intersection_area_with_rect(RECT, probe) == 2_500.0
+        # The triangle fully contains the 50x50 corner square.
+        assert region_intersection_area_with_rect(POLY, probe) == pytest.approx(2_500.0)
+        # Half-covered square on the hypotenuse.
+        mid = Rect(25, 25, 75, 75)
+        assert region_intersection_area_with_rect(POLY, mid) == pytest.approx(1_250.0)

@@ -1,0 +1,335 @@
+"""Tests for the exact query semantics of Section 3.2.
+
+``TestFigure3`` and ``TestFigure4`` reconstruct the paper's worked
+examples (its Figures 3 and 4) as concrete geometric scenarios and assert
+the inclusion/exclusion outcomes the figures depict.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import Point, Polygon, Rect
+from repro.model import (
+    InvalidQueryError,
+    LocationDescriptor,
+    NearestNeighborQuery,
+    PositionQuery,
+    RangeQuery,
+    candidate_bounds,
+    nearest_neighbor,
+    overlap,
+    qualifies_for_range,
+    range_query,
+)
+
+AREA = Rect(0, 0, 100, 100)
+
+
+def ld(x, y, acc):
+    return LocationDescriptor(Point(x, y), acc)
+
+
+class TestQueryValidation:
+    def test_position_query_needs_id(self):
+        with pytest.raises(InvalidQueryError):
+            PositionQuery("")
+
+    def test_overlap_zero_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery(AREA, req_overlap=0.0)
+
+    def test_overlap_above_one_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery(AREA, req_overlap=1.5)
+
+    def test_negative_acc_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery(AREA, req_acc=-1.0)
+
+    def test_negative_near_qual_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            NearestNeighborQuery(Point(0, 0), near_qual=-0.1)
+
+
+class TestOverlap:
+    def test_fully_inside_is_one(self):
+        assert overlap(AREA, ld(50, 50, 10)) == pytest.approx(1.0)
+
+    def test_fully_outside_is_zero(self):
+        assert overlap(AREA, ld(500, 500, 10)) == 0.0
+
+    def test_center_on_edge_is_half(self):
+        assert overlap(AREA, ld(100, 50, 10)) == pytest.approx(0.5)
+
+    def test_center_on_corner_is_quarter(self):
+        assert overlap(AREA, ld(0, 0, 10)) == pytest.approx(0.25)
+
+    def test_zero_accuracy_point_semantics(self):
+        assert overlap(AREA, ld(50, 50, 0)) == 1.0
+        assert overlap(AREA, ld(150, 50, 0)) == 0.0
+
+    def test_polygon_area(self):
+        triangle = Polygon([Point(0, 0), Point(100, 0), Point(0, 100)])
+        assert overlap(triangle, ld(10, 10, 5)) == pytest.approx(1.0)
+        assert overlap(triangle, ld(90, 90, 5)) == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=80)
+    @given(
+        st.floats(min_value=-200, max_value=300),
+        st.floats(min_value=-200, max_value=300),
+        st.floats(min_value=0.1, max_value=100),
+    )
+    def test_overlap_in_unit_interval(self, x, y, acc):
+        value = overlap(AREA, ld(x, y, acc))
+        assert 0.0 <= value <= 1.0
+
+
+class TestFigure3:
+    """The paper's range-query example: area a, reqOverlap=0.3, reqAcc.
+
+    o1 fully inside (100% overlap)          -> included
+    o2 fully outside                         -> not included
+    o3 overlap ~50% (>= threshold)           -> included
+    o4 overlap ~10% (< threshold)            -> not included
+    o5 inside but accuracy worse than reqAcc -> not included
+    """
+
+    REQ_ACC = 50.0
+    REQ_OVERLAP = 0.3
+
+    ENTRIES = [
+        ("o1", ld(50, 50, 10)),    # 100 % overlap
+        ("o2", ld(200, 200, 10)),  # 0 % overlap
+        ("o3", ld(100, 50, 10)),   # centered on the boundary: 50 %
+        ("o4", ld(108, 50, 10)),   # mostly outside: ~5-10 %
+        ("o5", ld(50, 50, 60)),    # insufficient accuracy (60 > reqAcc 50)
+    ]
+
+    def query(self):
+        return RangeQuery(AREA, req_acc=self.REQ_ACC, req_overlap=self.REQ_OVERLAP)
+
+    def test_membership_matches_figure(self):
+        result = range_query(self.ENTRIES, self.query())
+        assert [oid for oid, _ in result] == ["o1", "o3"]
+
+    def test_o4_fails_on_overlap_not_accuracy(self):
+        entry = dict(self.ENTRIES)["o4"]
+        assert entry.acc <= self.REQ_ACC
+        assert overlap(AREA, entry) < self.REQ_OVERLAP
+
+    def test_o5_fails_on_accuracy_alone(self):
+        entry = dict(self.ENTRIES)["o5"]
+        assert overlap(AREA, entry) > self.REQ_OVERLAP
+        assert not qualifies_for_range(AREA, entry, self.REQ_ACC, self.REQ_OVERLAP)
+
+    def test_lower_threshold_admits_o4(self):
+        query = RangeQuery(AREA, req_acc=self.REQ_ACC, req_overlap=0.01)
+        result = range_query(self.ENTRIES, query)
+        assert "o4" in [oid for oid, _ in result]
+
+
+class TestFigure4:
+    """The paper's nearest-neighbor example.
+
+    Probe p at the origin; o is nearest among accuracy-qualifying
+    objects; o1 falls inside the nearQual ring, o2 outside it, o3 is
+    ignored for insufficient accuracy even though it is closest.
+    """
+
+    REQ_ACC = 50.0
+    NEAR_QUAL = 60.0
+
+    ENTRIES = [
+        ("o", ld(100, 0, 30)),
+        ("o1", ld(140, 0, 30)),   # 140 <= 100 + 60 -> in nearObjSet
+        ("o2", ld(300, 0, 30)),   # 300 >  100 + 60 -> out
+        ("o3", ld(50, 0, 80)),    # closest, but acc 80 > reqAcc 50
+    ]
+
+    def query(self, near_qual=None):
+        return NearestNeighborQuery(
+            Point(0, 0),
+            req_acc=self.REQ_ACC,
+            near_qual=self.NEAR_QUAL if near_qual is None else near_qual,
+        )
+
+    def test_selected_object(self):
+        result = nearest_neighbor(self.ENTRIES, self.query())
+        assert result.nearest is not None
+        assert result.nearest[0] == "o"
+
+    def test_near_set_membership(self):
+        result = nearest_neighbor(self.ENTRIES, self.query())
+        assert [oid for oid, _ in result.near_set] == ["o1"]
+
+    def test_guaranteed_minimal_distance(self):
+        result = nearest_neighbor(self.ENTRIES, self.query())
+        assert result.guaranteed_min_distance == pytest.approx(100.0 - self.REQ_ACC)
+
+    def test_near_qual_zero_gives_empty_set(self):
+        result = nearest_neighbor(self.ENTRIES, self.query(near_qual=0.0))
+        assert result.near_set == ()
+
+    def test_no_qualifying_objects(self):
+        result = nearest_neighbor(
+            [("bad", ld(10, 0, 500))], NearestNeighborQuery(Point(0, 0), req_acc=50.0)
+        )
+        assert result.nearest is None
+        assert result.near_set == ()
+
+
+class TestRangeQueryFunction:
+    def test_empty_entries(self):
+        assert range_query([], RangeQuery(AREA, req_overlap=0.5)) == []
+
+    def test_accepts_dict_input(self):
+        entries = {"a": ld(50, 50, 5), "b": ld(500, 500, 5)}
+        result = range_query(entries, RangeQuery(AREA, req_overlap=0.5))
+        assert [oid for oid, _ in result] == ["a"]
+
+    def test_result_sorted_by_id(self):
+        entries = [("z", ld(10, 10, 1)), ("a", ld(20, 20, 1)), ("m", ld(30, 30, 1))]
+        result = range_query(entries, RangeQuery(AREA, req_overlap=0.5))
+        assert [oid for oid, _ in result] == ["a", "m", "z"]
+
+    def test_candidate_bounds_enlarges_by_req_acc(self):
+        query = RangeQuery(Rect(0, 0, 100, 100), req_acc=25.0, req_overlap=0.5)
+        assert candidate_bounds(query) == Rect(-25, -25, 125, 125)
+
+    def test_candidate_bounds_unbounded_acc_still_finite(self):
+        # With unbounded reqAcc, the overlap threshold itself caps the
+        # qualifying radius at sqrt(SIZE(A) / (pi * reqOverlap)).
+        bounds = candidate_bounds(RangeQuery(AREA, req_overlap=0.5))
+        expected_margin = (AREA.area / (0.5 * 3.141592653589793)) ** 0.5
+        assert bounds.min_x == pytest.approx(-expected_margin)
+        assert bounds.max_x == pytest.approx(100 + expected_margin)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-150, max_value=250),
+                st.floats(min_value=-150, max_value=250),
+                st.floats(min_value=0, max_value=60),
+            ),
+            max_size=20,
+        ),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_members_always_within_enlarged_area(self, raw, req_overlap, req_acc):
+        entries = [(f"o{i}", ld(x, y, a)) for i, (x, y, a) in enumerate(raw)]
+        query = RangeQuery(AREA, req_acc=req_acc, req_overlap=req_overlap)
+        result = range_query(entries, query)
+        bounds = candidate_bounds(query)
+        assert bounds is not None
+        for _, descriptor in result:
+            # Any qualifying object's position must lie inside the
+            # Enlarge(area, reqAcc) rect — this is exactly why Algorithm
+            # 6-5 enlarges before comparing with service areas.
+            assert bounds.contains_point(descriptor.pos)
+
+    @settings(max_examples=60)
+    @given(st.floats(min_value=0.05, max_value=1.0), st.floats(min_value=0.05, max_value=1.0))
+    def test_monotone_in_threshold(self, t1, t2):
+        entries = [
+            ("a", ld(50, 50, 20)),
+            ("b", ld(100, 50, 20)),
+            ("c", ld(110, 50, 20)),
+            ("d", ld(95, 95, 30)),
+        ]
+        lo, hi = sorted((t1, t2))
+        loose = {oid for oid, _ in range_query(entries, RangeQuery(AREA, req_overlap=lo))}
+        strict = {oid for oid, _ in range_query(entries, RangeQuery(AREA, req_overlap=hi))}
+        assert strict <= loose
+
+
+class TestNearestNeighborProperties:
+    @settings(max_examples=80)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-500, max_value=500),
+                st.floats(min_value=-500, max_value=500),
+                st.floats(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(min_value=-200, max_value=200),
+        st.floats(min_value=-200, max_value=200),
+    )
+    def test_two_req_acc_ring_guarantee(self, raw, px, py):
+        """nearQual = 2*reqAcc includes every potentially-closer object."""
+        req_acc = 50.0
+        probe = Point(px, py)
+        entries = [(f"o{i}", ld(x, y, a)) for i, (x, y, a) in enumerate(raw)]
+        result = nearest_neighbor(
+            entries, NearestNeighborQuery(probe, req_acc=req_acc, near_qual=2 * req_acc)
+        )
+        assert result.nearest is not None
+        nearest_id, nearest_ld = result.nearest
+        d_nearest = nearest_ld.pos.distance_to(probe)
+        near_ids = {oid for oid, _ in result.near_set}
+        for oid, descriptor in entries:
+            if oid == nearest_id or descriptor.acc > req_acc:
+                continue
+            d = descriptor.pos.distance_to(probe)
+            could_be_closer = d - descriptor.acc <= d_nearest + nearest_ld.acc
+            if could_be_closer:
+                assert oid in near_ids
+
+    @settings(max_examples=80)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-500, max_value=500),
+                st.floats(min_value=-500, max_value=500),
+                st.floats(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_nearest_minimises_recorded_distance(self, raw):
+        probe = Point(0, 0)
+        entries = [(f"o{i}", ld(x, y, a)) for i, (x, y, a) in enumerate(raw)]
+        result = nearest_neighbor(entries, NearestNeighborQuery(probe, req_acc=100.0))
+        if result.nearest is None:
+            return
+        d_selected = result.nearest[1].pos.distance_to(probe)
+        for _, descriptor in entries:
+            if descriptor.acc <= 100.0:
+                assert d_selected <= descriptor.pos.distance_to(probe) + 1e-9
+
+    def test_guaranteed_distance_floor_zero(self):
+        result = nearest_neighbor(
+            [("close", ld(5, 0, 2))], NearestNeighborQuery(Point(0, 0), req_acc=50.0)
+        )
+        assert result.guaranteed_min_distance == 0.0
+
+    def test_guaranteed_distance_with_infinite_req_acc(self):
+        result = nearest_neighbor(
+            [("a", ld(100, 0, 2))], NearestNeighborQuery(Point(0, 0))
+        )
+        assert result.guaranteed_min_distance == 0.0
+
+    def test_tie_broken_by_id(self):
+        entries = [("b", ld(10, 0, 1)), ("a", ld(-10, 0, 1))]
+        result = nearest_neighbor(entries, NearestNeighborQuery(Point(0, 0)))
+        assert result.nearest[0] == "a"
+
+    def test_near_set_sorted_by_distance(self):
+        entries = [
+            ("n", ld(10, 0, 1)),
+            ("far", ld(50, 0, 1)),
+            ("mid", ld(30, 0, 1)),
+        ]
+        result = nearest_neighbor(
+            entries, NearestNeighborQuery(Point(0, 0), near_qual=100.0)
+        )
+        distances = [e[1].pos.distance_to(Point(0, 0)) for e in result.near_set]
+        assert distances == sorted(distances)

@@ -1,0 +1,100 @@
+"""The extension subsystems (events, stationary tracking) on asyncio.
+
+These run the exact same endpoint code as the simulated-runtime tests,
+demonstrating the runtime abstraction holds for the extensions too.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import (
+    LocationClient,
+    LocationServer,
+    SensorCell,
+    StationaryTracker,
+    TrackedObject,
+    build_table2_hierarchy,
+)
+from repro.core.events import AreaOccupancy, Proximity
+from repro.geo import Point, Rect
+from repro.runtime.asyncio_rt import AsyncioNetwork
+from repro.runtime.latency import LatencyModel
+
+
+def build_network():
+    net = AsyncioNetwork(latency=LatencyModel(base=1e-5, per_entry=0.0))
+    hierarchy = build_table2_hierarchy()
+    servers = {
+        sid: net.join(LocationServer(hierarchy.config(sid)))
+        for sid in hierarchy.server_ids()
+    }
+    return net, servers
+
+
+class TestEventsOnAsyncio:
+    def test_area_occupancy_fires(self):
+        async def scenario():
+            net, servers = build_network()
+            client = net.join(LocationClient("watcher", entry_server="root.0"))
+            sub_id = await client.subscribe(
+                AreaOccupancy(Rect(0, 0, 300, 300), threshold=1, req_overlap=0.5),
+                poll_interval=0.01,
+            )
+            obj = net.join(TrackedObject("walker", entry_server="root.0"))
+            await obj.register(Point(100, 100), 25.0, 100.0)
+            for _ in range(100):
+                await asyncio.sleep(0.01)
+                if client.notifications:
+                    break
+            assert client.notifications and client.notifications[0].fired
+            assert await client.unsubscribe(sub_id)
+
+        asyncio.run(scenario())
+
+    def test_proximity_fires(self):
+        async def scenario():
+            net, servers = build_network()
+            client = net.join(LocationClient("watcher", entry_server="root.1"))
+            a = net.join(TrackedObject("a", entry_server="root.0"))
+            b = net.join(TrackedObject("b", entry_server="root.0"))
+            await a.register(Point(100, 100), 25.0, 100.0)
+            await b.register(Point(1400, 1400), 25.0, 100.0)
+            await client.subscribe(Proximity("a", "b", distance=50.0), poll_interval=0.01)
+            await asyncio.sleep(0.05)
+            assert client.notifications == []
+            await a.report(Point(1395, 1395))
+            for _ in range(100):
+                await asyncio.sleep(0.01)
+                if client.notifications:
+                    break
+            assert client.notifications and client.notifications[0].fired
+
+        asyncio.run(scenario())
+
+
+class TestTrackingOnAsyncio:
+    def test_badge_lifecycle(self):
+        async def scenario():
+            net, servers = build_network()
+            tracker = net.join(
+                StationaryTracker(
+                    "building",
+                    [
+                        SensorCell("lobby", Rect(0, 0, 20, 20)),
+                        SensorCell("lab", Rect(20, 0, 40, 20)),
+                    ],
+                    entry_server="root.0",
+                )
+            )
+            offered = await tracker.sight("badge-1", "lobby")
+            assert offered > 0
+            await tracker.sight("badge-1", "lab")
+            client = net.join(LocationClient("c", entry_server="root.3"))
+            ld = await client.pos_query("badge-1")
+            assert ld.pos == Point(30, 10)
+            assert await tracker.badge_lost("badge-1")
+            await net.quiesce()
+            assert await client.pos_query("badge-1") is None
+
+        asyncio.run(scenario())

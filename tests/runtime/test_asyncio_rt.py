@@ -1,0 +1,127 @@
+"""Integration tests: the identical server code on a real asyncio loop."""
+
+import asyncio
+
+import pytest
+
+from repro.core import LocationServer, TrackedObject, LocationClient, build_table2_hierarchy
+from repro.geo import Point, Rect
+from repro.runtime.asyncio_rt import AsyncioNetwork
+from repro.runtime.latency import LatencyModel
+
+
+def build_network():
+    """The Table-2 hierarchy on asyncio with microsecond-scale latency."""
+    net = AsyncioNetwork(latency=LatencyModel(base=1e-5, per_entry=0.0))
+    hierarchy = build_table2_hierarchy()
+    servers = {
+        sid: net.join(LocationServer(hierarchy.config(sid)))
+        for sid in hierarchy.server_ids()
+    }
+    return net, hierarchy, servers
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncioIntegration:
+    def test_register_update_query(self):
+        async def scenario():
+            net, hierarchy, servers = build_network()
+            obj = net.join(TrackedObject("truck", entry_server="root.0"))
+            offered = await obj.register(Point(100, 100), 25.0, 100.0)
+            assert offered == 25.0
+            assert obj.agent == "root.0"
+            await obj.report(Point(200, 200))
+            client = net.join(LocationClient("c1", entry_server="root.3"))
+            ld = await client.pos_query("truck")
+            assert ld.pos == Point(200, 200)
+            await net.quiesce()
+            return servers
+
+        servers = run(scenario())
+        assert servers["root"].visitors.forward_ref("truck") == "root.0"
+
+    def test_handover_across_leaves(self):
+        async def scenario():
+            net, hierarchy, servers = build_network()
+            obj = net.join(TrackedObject("truck", entry_server="root.0"))
+            await obj.register(Point(700, 100), 25.0, 100.0)
+            res = await obj.report(Point(800, 100))
+            assert res.ok
+            assert obj.agent == "root.1"
+            await net.quiesce()
+            assert "truck" not in servers["root.0"].visitors
+            assert servers["root"].visitors.forward_ref("truck") == "root.1"
+
+        run(scenario())
+
+    def test_range_query_spanning_servers(self):
+        async def scenario():
+            net, hierarchy, servers = build_network()
+            for i, (x, y) in enumerate(
+                [(100, 100), (1400, 100), (100, 1400), (1400, 1400)]
+            ):
+                obj = net.join(TrackedObject(f"o{i}", entry_server="root.0"))
+                await obj.register(Point(x, y), 25.0, 100.0)
+            client = net.join(LocationClient("c1", entry_server="root.0"))
+            answer = await client.range_query(
+                Rect(0, 0, 1500, 1500), req_acc=50.0, req_overlap=0.3
+            )
+            assert {oid for oid, _ in answer.entries} == {"o0", "o1", "o2", "o3"}
+            assert answer.servers_involved == 4
+
+        run(scenario())
+
+    def test_neighbor_query(self):
+        async def scenario():
+            net, hierarchy, servers = build_network()
+            near = net.join(TrackedObject("near", entry_server="root.0"))
+            await near.register(Point(200, 200), 25.0, 100.0)
+            far = net.join(TrackedObject("far", entry_server="root.0"))
+            await far.register(Point(1400, 1400), 25.0, 100.0)
+            client = net.join(LocationClient("c1", entry_server="root.0"))
+            answer = await client.neighbor_query(Point(150, 150), req_acc=50.0)
+            assert answer.result.nearest[0] == "near"
+
+        run(scenario())
+
+    def test_concurrent_clients(self):
+        """Many clients operating simultaneously on the real event loop."""
+
+        async def scenario():
+            net, hierarchy, servers = build_network()
+            objs = [
+                net.join(TrackedObject(f"o{i}", entry_server="root.0")) for i in range(12)
+            ]
+            await asyncio.gather(
+                *(
+                    obj.register(Point(50 + 120 * i, 100), 25.0, 100.0)
+                    for i, obj in enumerate(objs)
+                )
+            )
+            client = net.join(LocationClient("c1", entry_server="root.3"))
+            descriptors = await asyncio.gather(
+                *(client.pos_query(f"o{i}") for i in range(12))
+            )
+            assert all(ld is not None for ld in descriptors)
+            await net.quiesce()
+
+        run(scenario())
+
+    def test_timeout_against_crashed_server(self):
+        async def scenario():
+            net, hierarchy, servers = build_network()
+            obj = net.join(TrackedObject("truck", entry_server="root.0"))
+            await obj.register(Point(100, 100), 25.0, 100.0)
+            net.crash("root.0")
+            client = net.join(
+                LocationClient("c1", entry_server="root.3", timeout=0.05)
+            )
+            from repro.errors import TransportError
+
+            with pytest.raises(TransportError):
+                await client.pos_query("truck")
+
+        run(scenario())

@@ -1,0 +1,251 @@
+"""Tests for the deterministic discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimLoop, SimulationError, TimeoutExpired
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert SimLoop().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        loop = SimLoop()
+        order = []
+        loop.call_at(3.0, lambda: order.append("c"))
+        loop.call_at(1.0, lambda: order.append("a"))
+        loop.call_at(2.0, lambda: order.append("b"))
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_equal_time_fifo(self):
+        loop = SimLoop()
+        order = []
+        for i in range(5):
+            loop.call_at(1.0, lambda i=i: order.append(i))
+        loop.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_call_later_relative(self):
+        loop = SimLoop()
+        seen = []
+        loop.call_at(5.0, lambda: loop.call_later(2.0, lambda: seen.append(loop.now)))
+        loop.run_until_idle()
+        assert seen == [7.0]
+
+    def test_scheduling_in_past_rejected(self):
+        loop = SimLoop()
+        loop.call_at(10.0, lambda: None)
+        loop.run_until_idle()
+        with pytest.raises(SimulationError):
+            loop.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimLoop().call_later(-1.0, lambda: None)
+
+    def test_cancel(self):
+        loop = SimLoop()
+        fired = []
+        handle = loop.call_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_max_time_pauses(self):
+        loop = SimLoop()
+        fired = []
+        loop.call_at(1.0, lambda: fired.append(1))
+        loop.call_at(10.0, lambda: fired.append(2))
+        loop.run_until_idle(max_time=5.0)
+        assert fired == [1]
+        assert loop.now == 5.0
+        loop.run_until_idle()
+        assert fired == [1, 2]
+
+    def test_livelock_guard(self):
+        loop = SimLoop()
+
+        def respawn():
+            loop.call_soon(respawn)
+
+        loop.call_soon(respawn)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=1000)
+
+
+class TestFutures:
+    def test_set_and_get(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        future.set_result(42)
+        assert future.done()
+        assert future.result() == 42
+
+    def test_double_resolve_rejected(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        future.set_result(1)
+        with pytest.raises(SimulationError):
+            future.set_result(2)
+
+    def test_result_before_done_rejected(self):
+        with pytest.raises(SimulationError):
+            SimLoop().create_future().result()
+
+    def test_exception_propagates(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_callback_after_done_still_fires(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        future.set_result("x")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        loop.run_until_idle()
+        assert seen == ["x"]
+
+
+class TestTasks:
+    def test_run_until_complete(self):
+        loop = SimLoop()
+
+        async def main():
+            return 7
+
+        assert loop.run_until_complete(main()) == 7
+
+    def test_sleep_advances_virtual_time(self):
+        loop = SimLoop()
+
+        async def main():
+            await loop.sleep(5.0)
+            return loop.now
+
+        assert loop.run_until_complete(main()) == 5.0
+
+    def test_sequential_awaits(self):
+        loop = SimLoop()
+        timeline = []
+
+        async def main():
+            await loop.sleep(1.0)
+            timeline.append(loop.now)
+            await loop.sleep(2.0)
+            timeline.append(loop.now)
+
+        loop.run_until_complete(main())
+        assert timeline == [1.0, 3.0]
+
+    def test_concurrent_tasks_interleave(self):
+        loop = SimLoop()
+        timeline = []
+
+        async def worker(name, delay):
+            await loop.sleep(delay)
+            timeline.append((loop.now, name))
+
+        loop.create_task(worker("slow", 3.0))
+        loop.create_task(worker("fast", 1.0))
+        loop.run_until_idle()
+        assert timeline == [(1.0, "fast"), (3.0, "slow")]
+
+    def test_task_awaits_task(self):
+        loop = SimLoop()
+
+        async def producer():
+            await loop.sleep(2.0)
+            return "data"
+
+        async def consumer():
+            task = loop.create_task(producer())
+            value = await task
+            return value, loop.now
+
+        assert loop.run_until_complete(consumer()) == ("data", 2.0)
+
+    def test_exception_propagates_to_awaiter(self):
+        loop = SimLoop()
+
+        async def failing():
+            raise RuntimeError("inner")
+
+        async def outer():
+            try:
+                await loop.create_task(failing())
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert loop.run_until_complete(outer()) == "inner"
+
+    def test_unawaited_failure_is_recorded(self):
+        loop = SimLoop()
+
+        async def failing():
+            raise RuntimeError("lost")
+
+        loop.create_task(failing())
+        loop.run_until_idle()
+        assert len(loop.task_errors) == 1
+        assert "lost" in str(loop.task_errors[0][1])
+
+    def test_incomplete_main_task_detected(self):
+        loop = SimLoop()
+
+        async def stuck():
+            await loop.create_future()  # never resolved
+
+        with pytest.raises(SimulationError):
+            loop.run_until_complete(stuck())
+
+    def test_awaiting_foreign_object_fails_cleanly(self):
+        loop = SimLoop()
+
+        async def bad():
+            await object()  # type: ignore[misc]
+
+        loop.create_task(bad())
+        loop.run_until_idle()
+        assert loop.task_errors
+
+
+class TestTimeouts:
+    def test_timeout_fires(self):
+        loop = SimLoop()
+        inner = loop.create_future()
+        wrapped = loop.timeout_future(inner, 5.0, "no reply")
+
+        async def main():
+            with pytest.raises(TimeoutExpired):
+                await wrapped
+            return loop.now
+
+        assert loop.run_until_complete(main()) == 5.0
+
+    def test_result_beats_timeout(self):
+        loop = SimLoop()
+        inner = loop.create_future()
+        wrapped = loop.timeout_future(inner, 5.0, "no reply")
+        loop.call_at(2.0, lambda: inner.set_result("ok"))
+
+        async def main():
+            return await wrapped, loop.now
+
+        assert loop.run_until_complete(main()) == ("ok", 2.0)
+
+    def test_late_result_ignored_after_timeout(self):
+        loop = SimLoop()
+        inner = loop.create_future()
+        wrapped = loop.timeout_future(inner, 1.0, "late")
+        loop.call_at(5.0, lambda: inner.set_result("too late"))
+
+        async def main():
+            with pytest.raises(TimeoutExpired):
+                await wrapped
+
+        loop.run_until_complete(main())

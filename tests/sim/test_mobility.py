@@ -1,0 +1,126 @@
+"""Tests for the mobility models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LocationServiceError
+from repro.geo import Point, Rect
+from repro.sim.mobility import (
+    ManhattanWalker,
+    RandomWalkWalker,
+    RandomWaypointWalker,
+    make_walkers,
+)
+
+AREA = Rect(0, 0, 1000, 1000)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_area(self):
+        walker = RandomWaypointWalker(AREA, seed=1, min_speed=1.0, max_speed=5.0)
+        for _ in range(500):
+            pos = walker.step(10.0)
+            assert AREA.contains_point(pos)
+
+    def test_speed_bound_respected(self):
+        walker = RandomWaypointWalker(AREA, seed=2, min_speed=1.0, max_speed=3.0)
+        prev = walker.position
+        for _ in range(200):
+            pos = walker.step(1.0)
+            assert pos.distance_to(prev) <= 3.0 + 1e-9
+            prev = pos
+
+    def test_deterministic_given_seed(self):
+        w1 = RandomWaypointWalker(AREA, seed=7)
+        w2 = RandomWaypointWalker(AREA, seed=7)
+        for _ in range(50):
+            assert w1.step(5.0) == w2.step(5.0)
+
+    def test_pause_halts_movement(self):
+        walker = RandomWaypointWalker(
+            AREA, seed=3, min_speed=100.0, max_speed=100.0, pause=1e9
+        )
+        # Reach the first waypoint, then pause forever.
+        for _ in range(100):
+            walker.step(10.0)
+        frozen = walker.position
+        assert walker.step(10.0) == frozen
+
+    def test_invalid_speeds(self):
+        with pytest.raises(LocationServiceError):
+            RandomWaypointWalker(AREA, min_speed=0.0, max_speed=1.0)
+        with pytest.raises(LocationServiceError):
+            RandomWaypointWalker(AREA, min_speed=5.0, max_speed=1.0)
+
+    def test_explicit_start(self):
+        walker = RandomWaypointWalker(AREA, seed=1, start=Point(500, 500))
+        assert walker.position == Point(500, 500)
+
+    def test_start_outside_area_rejected(self):
+        with pytest.raises(LocationServiceError):
+            RandomWaypointWalker(AREA, start=Point(-5, 0))
+
+    def test_trajectory_sampling(self):
+        walker = RandomWaypointWalker(AREA, seed=4)
+        trajectory = walker.trajectory(duration=60.0, dt=2.0)
+        assert len(trajectory) == 31
+        assert trajectory[0][0] == 0.0
+        assert trajectory[-1][0] == pytest.approx(60.0)
+
+
+class TestRandomWalk:
+    def test_stays_in_area(self):
+        walker = RandomWalkWalker(AREA, seed=1, speed=50.0)
+        for _ in range(1000):
+            assert AREA.contains_point(walker.step(5.0))
+
+    def test_deterministic(self):
+        w1 = RandomWalkWalker(AREA, seed=9)
+        w2 = RandomWalkWalker(AREA, seed=9)
+        for _ in range(100):
+            assert w1.step(1.0) == w2.step(1.0)
+
+    def test_moves(self):
+        walker = RandomWalkWalker(AREA, seed=2, speed=2.0, speed_sigma=0.0)
+        start = walker.position
+        walker.step(10.0)
+        assert walker.position != start
+
+
+class TestManhattan:
+    def test_stays_in_area(self):
+        walker = ManhattanWalker(AREA, seed=1, block=100.0, speed=10.0)
+        for _ in range(500):
+            assert AREA.contains_point(walker.step(3.0))
+
+    def test_positions_on_street_grid(self):
+        walker = ManhattanWalker(AREA, seed=2, block=100.0, speed=7.0)
+        for _ in range(300):
+            pos = walker.step(1.0)
+            on_vertical = abs(pos.x % 100.0) < 1e-6 or abs(pos.x % 100.0 - 100.0) < 1e-6
+            on_horizontal = abs(pos.y % 100.0) < 1e-6 or abs(pos.y % 100.0 - 100.0) < 1e-6
+            assert on_vertical or on_horizontal
+
+    def test_invalid_block(self):
+        with pytest.raises(LocationServiceError):
+            ManhattanWalker(AREA, block=0.0)
+
+
+class TestMakeWalkers:
+    def test_population(self):
+        walkers = make_walkers("waypoint", 10, AREA, seed=1)
+        assert len(walkers) == 10
+        positions = {(w.position.x, w.position.y) for w in walkers}
+        assert len(positions) > 1  # independently seeded
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_walkers("teleport", 1, AREA)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(["waypoint", "walk", "manhattan"]), st.integers(0, 1000))
+    def test_all_models_stay_in_area(self, kind, seed):
+        (walker,) = make_walkers(kind, 1, AREA, seed=seed)
+        for _ in range(50):
+            assert AREA.contains_point(walker.step(4.0))

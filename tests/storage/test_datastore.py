@@ -1,0 +1,167 @@
+"""Tests for the per-server data-storage component (Fig. 7)."""
+
+import pytest
+
+from repro.errors import AccuracyUnavailableError, UnknownObjectError
+from repro.geo import Point, Rect
+from repro.model import (
+    AccuracyModel,
+    NearestNeighborQuery,
+    RangeQuery,
+    RegistrationInfo,
+    SightingRecord,
+)
+from repro.storage import LocalDataStore
+
+
+def sighting(oid, x, y, t=0.0, acc=5.0):
+    return SightingRecord(oid, t, Point(x, y), acc)
+
+
+def make_store(**kwargs):
+    return LocalDataStore(
+        accuracy=AccuracyModel(sensor_floor=10.0, update_slack=5.0), **kwargs
+    )
+
+
+class TestRegistration:
+    def test_register_returns_offered_acc(self):
+        store = make_store()
+        offered = store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        assert offered == 20.0
+        assert store.visitor_count == 1
+        assert store.sighting_count == 1
+
+    def test_register_clamps_to_achievable(self):
+        store = make_store()
+        assert store.register(sighting("a", 1, 1), 1.0, 100.0, "client") == 15.0
+
+    def test_register_rejects_unachievable(self):
+        store = make_store()
+        with pytest.raises(AccuracyUnavailableError):
+            store.register(sighting("a", 1, 1), 1.0, 5.0, "client")
+        assert store.visitor_count == 0
+
+    def test_deregister(self):
+        store = make_store()
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        store.deregister("a")
+        assert store.visitor_count == 0
+        with pytest.raises(UnknownObjectError):
+            store.position_query("a")
+
+    def test_change_accuracy(self):
+        store = make_store()
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        assert store.change_accuracy("a", 30.0, 100.0) == 30.0
+        assert store.position_query("a").acc == 30.0
+
+    def test_change_accuracy_unknown(self):
+        with pytest.raises(UnknownObjectError):
+            make_store().change_accuracy("ghost", 10.0, 20.0)
+
+    def test_admit_handover_uses_reg_info(self):
+        store = make_store()
+        reg = RegistrationInfo("client", des_acc=25.0, min_acc=80.0)
+        offered = store.admit_handover(sighting("a", 1, 1), reg)
+        assert offered == 25.0
+        assert store.visitors.leaf_record("a").reg_info == reg
+
+
+class TestUpdatesAndQueries:
+    def test_update_then_query(self):
+        store = make_store()
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        store.update(sighting("a", 9, 9, t=1.0))
+        ld = store.position_query("a")
+        assert ld.pos == Point(9, 9)
+        assert ld.acc == 20.0
+
+    def test_update_unregistered_raises(self):
+        with pytest.raises(UnknownObjectError):
+            make_store().update(sighting("ghost", 0, 0))
+
+    def test_position_query_unknown_raises(self):
+        with pytest.raises(UnknownObjectError):
+            make_store().position_query("ghost")
+
+    def test_range_query_uses_offered_acc(self):
+        store = make_store()
+        store.register(sighting("inside", 50, 50), 20.0, 100.0, "client")
+        store.register(sighting("outside", 500, 500), 20.0, 100.0, "client")
+        result = store.range_query(
+            RangeQuery(Rect(0, 0, 100, 100), req_acc=50.0, req_overlap=0.5)
+        )
+        assert [oid for oid, _ in result] == ["inside"]
+        assert result[0][1].acc == 20.0
+
+    def test_range_query_accuracy_threshold(self):
+        store = make_store()
+        store.register(sighting("coarse", 50, 50), 60.0, 100.0, "client")
+        result = store.range_query(
+            RangeQuery(Rect(0, 0, 100, 100), req_acc=30.0, req_overlap=0.5)
+        )
+        assert result == []
+
+    def test_nearest_neighbor(self):
+        store = make_store()
+        store.register(sighting("near", 10, 0), 20.0, 100.0, "client")
+        store.register(sighting("far", 100, 0), 20.0, 100.0, "client")
+        result = store.nearest_neighbor_query(
+            NearestNeighborQuery(Point(0, 0), req_acc=50.0)
+        )
+        assert result.nearest[0] == "near"
+
+
+class TestSoftStateAndRecovery:
+    def test_expiry_deregisters(self):
+        store = LocalDataStore(ttl=60.0)
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client", now=0.0)
+        assert store.expire_due(60.0) == ["a"]
+        assert store.visitor_count == 0
+
+    def test_updates_keep_object_alive(self):
+        store = LocalDataStore(ttl=60.0)
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client", now=0.0)
+        for t in (30.0, 60.0, 90.0):
+            store.update(sighting("a", 1, 1, t=t), now=t)
+        assert store.expire_due(100.0) == []
+        assert store.expire_due(150.0) == ["a"]
+
+    def test_crash_loses_sightings_keeps_visitors(self):
+        """Fig. 7 / Section 5: volatile vs. persistent split."""
+        store = make_store()
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        store.crash()
+        assert store.sighting_count == 0
+        assert store.visitor_count == 1  # forwarding path survived
+
+    def test_restore_sighting_after_crash(self):
+        store = make_store()
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        store.crash()
+        # The periodic position update re-populates volatile state.
+        assert store.restore_sighting(sighting("a", 2, 2, t=10.0), now=10.0)
+        ld = store.position_query("a")
+        assert ld.pos == Point(2, 2)
+        assert ld.acc == 20.0  # negotiated accuracy survived the crash
+
+    def test_restore_rejects_unregistered(self):
+        store = make_store()
+        assert not store.restore_sighting(sighting("ghost", 0, 0))
+
+    def test_index_rebuilt_after_crash(self):
+        store = make_store()
+        for i in range(20):
+            store.register(sighting(f"o{i}", i * 10.0, 0.0), 15.0, 100.0, "client")
+        store.crash()
+        for i in range(20):
+            store.restore_sighting(sighting(f"o{i}", i * 10.0, 0.0, t=5.0), now=5.0)
+        # Offered acc is 15 m; objects sit on the rect's bottom edge, so at
+        # most half of each disk can overlap.  With threshold 0.4 the
+        # qualifying objects are those at x = 10..80 (x=0 is a quarter disk
+        # ≈ 0.25, x=90 is clipped at the x=95 edge to ≈ 0.35): exactly 8.
+        result = store.range_query(
+            RangeQuery(Rect(0, 0, 95, 40), req_acc=50.0, req_overlap=0.4)
+        )
+        assert len(result) == 8

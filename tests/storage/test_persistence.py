@@ -1,0 +1,96 @@
+"""Tests for the persistent store backends (WAL + snapshot)."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import FileStore, MemoryStore
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return FileStore(tmp_path / "visitors")
+
+
+class TestStoreContract:
+    def test_empty_replay(self, store):
+        assert list(store.replay()) == []
+        assert store.record_count() == 0
+
+    def test_append_and_replay_order(self, store):
+        store.append("leaf", {"oid": "a"})
+        store.append("remove", {"oid": "a"})
+        store.append("leaf", {"oid": "b"})
+        assert list(store.replay()) == [
+            ("leaf", {"oid": "a"}),
+            ("remove", {"oid": "a"}),
+            ("leaf", {"oid": "b"}),
+        ]
+        assert store.record_count() == 3
+
+    def test_compact_replaces_history(self, store):
+        for i in range(10):
+            store.append("leaf", {"oid": f"o{i}"})
+        store.compact([("leaf", {"oid": "survivor"})])
+        assert list(store.replay()) == [("leaf", {"oid": "survivor"})]
+        assert store.record_count() == 1
+
+    def test_appends_after_compact(self, store):
+        store.compact([("leaf", {"oid": "base"})])
+        store.append("forward", {"oid": "x", "ref": "child-1"})
+        assert list(store.replay()) == [
+            ("leaf", {"oid": "base"}),
+            ("forward", {"oid": "x", "ref": "child-1"}),
+        ]
+
+
+class TestFileStore:
+    def test_survives_reopen(self, tmp_path):
+        stem = tmp_path / "visitors"
+        first = FileStore(stem)
+        first.append("leaf", {"oid": "a", "acc": 25.0})
+        reopened = FileStore(stem)
+        assert list(reopened.replay()) == [("leaf", {"oid": "a", "acc": 25.0})]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        stem = tmp_path / "visitors"
+        store = FileStore(stem)
+        store.append("leaf", {"oid": "a"})
+        # Simulate a crash mid-append: a torn, incomplete final record.
+        with open(tmp_path / "visitors.log", "a", encoding="utf-8") as f:
+            f.write('{"op": "leaf", "data": {"oid": "b"')
+        assert list(FileStore(stem).replay()) == [("leaf", {"oid": "a"})]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        stem = tmp_path / "visitors"
+        store = FileStore(stem)
+        store.append("leaf", {"oid": "a"})
+        log = tmp_path / "visitors.log"
+        content = log.read_text()
+        log.write_text("GARBAGE\n" + content)
+        with pytest.raises(StorageError):
+            list(FileStore(stem).replay())
+
+    def test_snapshot_is_atomic_format(self, tmp_path):
+        stem = tmp_path / "visitors"
+        store = FileStore(stem)
+        store.append("leaf", {"oid": "a"})
+        store.compact([("leaf", {"oid": "a"})])
+        snapshot = tmp_path / "visitors.snapshot"
+        assert snapshot.exists()
+        assert not (tmp_path / "visitors.log").exists()
+        record = json.loads(snapshot.read_text().strip())
+        assert record == {"op": "leaf", "data": {"oid": "a"}}
+
+    def test_durable_mode_appends(self, tmp_path):
+        store = FileStore(tmp_path / "wal", durable=True)
+        store.append("leaf", {"oid": "a"})
+        assert store.record_count() == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = FileStore(tmp_path / "deep" / "nested" / "visitors")
+        store.append("leaf", {"oid": "a"})
+        assert store.record_count() == 1

@@ -1,0 +1,139 @@
+"""Tests for the visitor database and its durable recovery."""
+
+import pytest
+
+from repro.model import RegistrationInfo
+from repro.storage import (
+    FileStore,
+    LeafVisitorRecord,
+    MemoryStore,
+    NonLeafVisitorRecord,
+    VisitorDB,
+)
+
+REG = RegistrationInfo("client-1", des_acc=10.0, min_acc=100.0)
+
+
+class TestVisitorDB:
+    def test_insert_forward(self):
+        db = VisitorDB()
+        db.insert_forward("obj", "child-3")
+        record = db.get("obj")
+        assert isinstance(record, NonLeafVisitorRecord)
+        assert record.forward_ref == "child-3"
+        assert db.forward_ref("obj") == "child-3"
+        assert db.leaf_record("obj") is None
+
+    def test_insert_leaf(self):
+        db = VisitorDB()
+        db.insert_leaf("obj", 25.0, REG)
+        record = db.leaf_record("obj")
+        assert isinstance(record, LeafVisitorRecord)
+        assert record.offered_acc == 25.0
+        assert record.reg_info == REG
+        assert db.forward_ref("obj") is None
+
+    def test_redirect_forward(self):
+        db = VisitorDB()
+        db.insert_forward("obj", "child-1")
+        db.insert_forward("obj", "child-2")
+        assert db.forward_ref("obj") == "child-2"
+        assert len(db) == 1
+
+    def test_set_offered_acc(self):
+        db = VisitorDB()
+        db.insert_leaf("obj", 25.0, REG)
+        db.set_offered_acc("obj", 40.0)
+        assert db.leaf_record("obj").offered_acc == 40.0
+
+    def test_set_offered_acc_on_forward_raises(self):
+        db = VisitorDB()
+        db.insert_forward("obj", "child-1")
+        with pytest.raises(KeyError):
+            db.set_offered_acc("obj", 40.0)
+
+    def test_remove(self):
+        db = VisitorDB()
+        db.insert_leaf("obj", 25.0, REG)
+        db.remove("obj")
+        assert "obj" not in db
+        assert db.get("obj") is None
+
+    def test_remove_unknown_is_noop(self):
+        VisitorDB().remove("ghost")
+
+    def test_iteration(self):
+        db = VisitorDB()
+        db.insert_forward("a", "c1")
+        db.insert_leaf("b", 10.0, REG)
+        assert set(db.object_ids()) == {"a", "b"}
+        assert dict(db.items()).keys() == {"a", "b"}
+
+
+class TestRecovery:
+    def test_recover_from_memory_store(self):
+        store = MemoryStore()
+        db = VisitorDB(store=store)
+        db.insert_leaf("stay", 25.0, REG)
+        db.insert_forward("fwd", "child-1")
+        db.insert_leaf("gone", 30.0, REG)
+        db.remove("gone")
+        db.set_offered_acc("stay", 50.0)
+
+        recovered = VisitorDB.recover(store)
+        assert set(recovered.object_ids()) == {"stay", "fwd"}
+        assert recovered.leaf_record("stay").offered_acc == 50.0
+        assert recovered.leaf_record("stay").reg_info == REG
+        assert recovered.forward_ref("fwd") == "child-1"
+
+    def test_recover_from_file_store(self, tmp_path):
+        stem = tmp_path / "visitors"
+        db = VisitorDB(store=FileStore(stem))
+        db.insert_leaf("a", 25.0, REG)
+        db.insert_forward("b", "child-9")
+        # A new process opens the same files.
+        recovered = VisitorDB.recover(FileStore(stem))
+        assert recovered.leaf_record("a").offered_acc == 25.0
+        assert recovered.forward_ref("b") == "child-9"
+
+    def test_recover_after_compaction(self):
+        store = MemoryStore()
+        db = VisitorDB(store=store)
+        for i in range(20):
+            db.insert_forward(f"o{i}", f"child-{i % 3}")
+        for i in range(10):
+            db.remove(f"o{i}")
+        db.compact()
+        assert store.record_count() == 10
+        recovered = VisitorDB.recover(store)
+        assert set(recovered.object_ids()) == {f"o{i}" for i in range(10, 20)}
+
+    def test_compaction_preserves_leaf_records(self):
+        store = MemoryStore()
+        db = VisitorDB(store=store)
+        db.insert_leaf("obj", 33.0, REG)
+        db.compact()
+        recovered = VisitorDB.recover(store)
+        record = recovered.leaf_record("obj")
+        assert record.offered_acc == 33.0
+        assert record.reg_info.registrar == "client-1"
+
+    def test_recovery_mirrors_live_state_random_ops(self):
+        import random
+
+        rng = random.Random(7)
+        store = MemoryStore()
+        db = VisitorDB(store=store)
+        for step in range(300):
+            oid = f"o{rng.randint(0, 30)}"
+            action = rng.random()
+            if action < 0.4:
+                db.insert_forward(oid, f"child-{rng.randint(0, 4)}")
+            elif action < 0.7:
+                db.insert_leaf(oid, float(rng.randint(5, 100)), REG)
+            elif action < 0.9:
+                db.remove(oid)
+            elif db.leaf_record(oid) is not None:
+                db.set_offered_acc(oid, float(rng.randint(5, 100)))
+        recovered = VisitorDB.recover(store)
+        assert dict(recovered.items()) == dict(db.items())

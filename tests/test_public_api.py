@@ -1,0 +1,69 @@
+"""The README's public-API promises, verified.
+
+Everything the README and the package docstring show must work through
+top-level imports alone.
+"""
+
+import repro
+from repro import (
+    AccuracyModel,
+    CacheConfig,
+    LocationService,
+    Point,
+    Rect,
+    build_table2_hierarchy,
+)
+
+
+class TestQuickstartContract:
+    def test_readme_quickstart(self):
+        svc = LocationService(build_table2_hierarchy(side_m=1500.0))
+        taxi = svc.register("taxi-7", Point(200, 300), des_acc=25.0, min_acc=100.0)
+        svc.update(taxi, Point(900, 350))
+        ld = svc.pos_query("taxi-7")
+        assert ld.pos == Point(900, 350)
+        answer = svc.range_query(Rect(750, 0, 1500, 1500), req_acc=50.0, req_overlap=0.3)
+        assert "taxi-7" in {oid for oid, _ in answer.entries}
+        nn = svc.neighbor_query(Point(450, 880), req_acc=50.0, near_qual=100.0)
+        assert nn.result.nearest[0] == "taxi-7"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.baselines
+        import repro.core
+        import repro.geo
+        import repro.model
+        import repro.protocols
+        import repro.runtime
+        import repro.sim
+        import repro.spatial
+        import repro.storage
+
+        for module in (
+            repro.baselines,
+            repro.core,
+            repro.geo,
+            repro.model,
+            repro.protocols,
+            repro.runtime,
+            repro.sim,
+            repro.spatial,
+            repro.storage,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, f"{module.__name__}.{name}"
+
+    def test_cache_and_accuracy_configuration(self):
+        svc = LocationService(
+            build_table2_hierarchy(),
+            accuracy=AccuracyModel(sensor_floor=5.0, update_slack=5.0),
+            cache_config=CacheConfig.all_enabled(),
+        )
+        obj = svc.register("o", Point(10, 10), des_acc=10.0, min_acc=50.0)
+        assert obj.offered_acc == 10.0
