@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 REPORTS: list[str] = []
+
+#: Repository root — machine-readable bench artifacts (``BENCH_*.json``)
+#: live here so every PR's perf trajectory is one flat glob away.
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def report(text: str) -> None:
     """Register a formatted comparison table for the terminal summary."""
     REPORTS.append(text)
+
+
+def write_bench_json(filename: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable bench artifact to the repository root.
+
+    ``filename`` should follow the ``BENCH_<tag>.json`` convention (e.g.
+    ``BENCH_PR1.json``); the payload is stable-sorted so diffs between
+    runs stay readable.
+    """
+    path = ROOT / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Quick perf smoke for the update fast paths — always writes BENCH_PR1.json.
+
+The tier-1 test suite never runs benchmarks (bench files do not match
+pytest's default collection), and the full pytest-benchmark suite takes
+minutes.  This script is the middle ground: it re-runs the
+small-displacement update measurement of ``bench_spatial_index.py`` plus
+one batched :class:`~repro.sim.scenario.MobilitySimulation` tick measure
+per index kind, prints a summary, and refreshes the machine-readable
+``BENCH_PR1.json`` perf artifact at the repository root.
+
+Usage::
+
+    python scripts/bench_smoke.py               # defaults, a few seconds
+    python scripts/bench_smoke.py --objects 2000 --moves 2000 --rounds 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+sys.path.insert(0, str(ROOT / "src"))
+
+import bench_spatial_index as bsi  # noqa: E402  (path set up above)
+from benchreport import write_bench_json  # noqa: E402
+from repro.sim.scenario import MobilitySimulation  # noqa: E402
+
+
+def measure_tick(kind: str, objects: int, ticks: int, dt: float = 2.0) -> float:
+    """Updates/s through the full batched sim tick (walkers + store)."""
+    sim = MobilitySimulation.table1(object_count=objects, index_kind=kind, seed=5)
+    sim.tick(dt)  # warm up caches and walker state
+    start = time.perf_counter()
+    sim.run(ticks, dt=dt)
+    elapsed = time.perf_counter() - start
+    return objects * ticks / elapsed
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
+    parser.add_argument("--moves", type=_positive_int, default=bsi.FASTPATH_MOVES)
+    parser.add_argument("--rounds", type=_positive_int, default=3)
+    parser.add_argument(
+        "--ticks", type=_positive_int, default=5, help="sim ticks per index kind"
+    )
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    args = parser.parse_args(argv)
+
+    bsi.OBJECTS = args.objects
+    bsi.FASTPATH_MOVES = args.moves
+
+    header = f"{'index':10s} {'remove+insert':>14s} {'update':>12s} {'update_many':>12s} {'speedup':>8s} {'sim tick':>12s}"
+    print(header)
+    print("-" * len(header))
+    indexes = {}
+    for kind in bsi.INDEX_KINDS:
+        row, best_ratio = bsi.measure_fastpath(kind, rounds=args.rounds)
+        tick_rate = measure_tick(kind, objects=args.objects, ticks=args.ticks)
+        print(
+            f"{kind:10s} {row['baseline_remove_insert']:>12,.0f}/s "
+            f"{row['update']:>10,.0f}/s {row['update_many']:>10,.0f}/s "
+            f"{best_ratio:>7.2f}x {tick_rate:>10,.0f}/s"
+        )
+        indexes[kind] = {
+            "updates_per_s": row,
+            "speedup_vs_baseline": {
+                "update": row["update"] / row["baseline_remove_insert"],
+                "update_many": row["update_many"] / row["baseline_remove_insert"],
+            },
+            "sim_tick_updates_per_s": tick_rate,
+        }
+
+    path = write_bench_json(
+        args.out,
+        {
+            "bench": "spatial-index update fast paths + batch pipeline (smoke)",
+            "generated_by": "scripts/bench_smoke.py",
+            "workload": {
+                "objects": args.objects,
+                "area_side_m": bsi.AREA_SIDE,
+                "moves": args.moves,
+                "displacement_m": bsi.DISPLACEMENT_M,
+                "batch_size": bsi.FASTPATH_BATCH,
+                "sim_ticks": args.ticks,
+            },
+            "indexes": indexes,
+        },
+    )
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ from repro.core.hierarchy import Hierarchy
 from repro.core.server import LocationServer
 from repro.errors import LocationServiceError
 from repro.geo import Point, Region
-from repro.model import AccuracyModel, LocationDescriptor
+from repro.model import AccuracyModel, LocationDescriptor, SightingRecord
 from repro.runtime.latency import CostModel, LatencyModel
 from repro.runtime.simnet import SimNetwork
 
@@ -134,6 +134,67 @@ class LocationService:
     def update(self, obj: TrackedObject, pos: Point):
         """Send one position update for ``obj``."""
         return self.run(obj.report(pos))
+
+    def update_many(self, reports: Iterable[tuple[TrackedObject, Point]]) -> dict[str, int]:
+        """Apply a batch of position reports — the server-tick fast path.
+
+        A batch is one tick: when an object appears more than once, only
+        its last report is applied (last-write-wins, as a coalesced
+        sequential stream would end up).  Reports whose object stays
+        inside its current agent's service area are applied directly to
+        the agent leaf's store, one batched spatial-index update per
+        leaf (the local half of Algorithm 6-2; the paper's updates are
+        "always local").  Reports that leave the agent area fall back to
+        the full update protocol (handover, deregistration), driven
+        concurrently on the virtual clock.  Objects that are not
+        registered (no agent) raise :class:`~repro.errors.
+        LocationServiceError` before anything is applied.  Returns
+        operation counters: ``{"fast": n, "protocol": m}``.
+        """
+        final: dict[TrackedObject, Point] = {}
+        for obj, pos in reports:
+            final[obj] = pos
+        for obj in final:
+            if obj.agent is None:
+                raise LocationServiceError(f"{obj.object_id} is not registered")
+        now = self.loop.now
+        per_leaf: dict[str, list[tuple[TrackedObject, SightingRecord]]] = {}
+        slow: list[tuple[TrackedObject, Point]] = []
+        for obj, pos in final.items():
+            server = self.servers.get(obj.agent)
+            if (
+                server is not None
+                and server.is_leaf
+                and server.config.contains(pos)
+                and server.store.visitors.leaf_record(obj.object_id) is not None
+            ):
+                per_leaf.setdefault(obj.agent, []).append(
+                    (obj, SightingRecord(obj.object_id, now, pos, obj.sensor_acc))
+                )
+            else:
+                slow.append((obj, pos))
+        fast = 0
+        for leaf_id, entries in per_leaf.items():
+            server = self.servers[leaf_id]
+            server.store.update_many([sighting for _, sighting in entries], now=now)
+            server.stats.updates += len(entries)
+            for obj, sighting in entries:
+                obj.last_reported = sighting.pos
+            fast += len(entries)
+        if slow:
+
+            async def run_protocol():
+                tasks = [
+                    self.loop.create_task(
+                        obj.report(pos), name=f"update-{obj.object_id}"
+                    )
+                    for obj, pos in slow
+                ]
+                for task in tasks:
+                    await task
+
+            self.run(run_protocol())
+        return {"fast": fast, "protocol": len(slow)}
 
     def pos_query(
         self, object_id: str, entry_server: str | None = None, req_acc: float | None = None

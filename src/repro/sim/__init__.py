@@ -23,7 +23,13 @@ from repro.sim.mobility import (
     Walker,
     make_walkers,
 )
-from repro.sim.workload import Operation, WorkloadGenerator, WorkloadSpec, scatter_objects
+from repro.sim.workload import (
+    Operation,
+    WorkloadGenerator,
+    WorkloadSpec,
+    coalesce_updates,
+    scatter_objects,
+)
 
 _SCENARIO_EXPORTS = {
     "TABLE1_AREA_SIDE",
@@ -32,6 +38,8 @@ _SCENARIO_EXPORTS = {
     "TABLE2_OBJECTS",
     "TABLE2_RANGE_SIDE",
     "DistributedHarness",
+    "MobilitySimulation",
+    "TickStats",
     "table1_store",
     "table2_service",
 }
@@ -50,6 +58,7 @@ __all__ = [
     "DistributedHarness",
     "LatencyRecorder",
     "ManhattanWalker",
+    "MobilitySimulation",
     "Operation",
     "RandomWalkWalker",
     "RandomWaypointWalker",
@@ -64,11 +73,13 @@ __all__ = [
     "TABLE2_OBJECTS",
     "TABLE2_RANGE_SIDE",
     "ThroughputMeter",
+    "TickStats",
     "TimeoutExpired",
     "Walker",
     "WorkloadGenerator",
     "WorkloadSpec",
     "calibrate",
+    "coalesce_updates",
     "default_cost_model",
     "format_table",
     "make_walkers",

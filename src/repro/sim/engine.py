@@ -72,9 +72,35 @@ class SimFuture:
             self._callbacks.append(callback)
 
     def _fire_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self._loop.call_soon(lambda cb=callback: cb(self))
+        callbacks = self._callbacks
+        if not callbacks:
+            return
+        self._callbacks = []
+        # One queue event drains the whole list instead of allocating a
+        # closure + heap entry per callback.  The callbacks were enqueued
+        # back to back before, so running them consecutively inside a
+        # single event preserves the observable order.
+        if len(callbacks) == 1:
+            callback = callbacks[0]
+            self._loop.call_soon(lambda: callback(self))
+        else:
+            self._loop.call_soon(lambda: self._drain_callbacks(callbacks))
+
+    def _drain_callbacks(self, callbacks: list[Callable[["SimFuture"], None]]) -> None:
+        """Run queued callbacks in order; a raising callback must not eat
+        its successors (each had its own queue event in the unbatched
+        scheme, so the rest are re-queued before the error propagates).
+        On that abnormal path the survivors run after any events earlier
+        callbacks scheduled — a small departure from the unbatched
+        interleaving, only observable when a done-callback raises."""
+        for i, callback in enumerate(callbacks):
+            try:
+                callback(self)
+            except BaseException:
+                remaining = callbacks[i + 1 :]
+                if remaining:
+                    self._loop.call_soon(lambda: self._drain_callbacks(remaining))
+                raise
 
     def __await__(self) -> Generator["SimFuture", None, Any]:
         if not self._done:

@@ -40,12 +40,18 @@ class Walker(ABC):
         """Advance ``dt`` seconds; returns (and records) the new position."""
 
     def trajectory(self, duration: float, dt: float) -> list[tuple[float, Point]]:
-        """Sampled positions at ``dt`` intervals, starting at t=0."""
+        """Sampled positions at ``dt`` intervals, starting at t=0.
+
+        Timestamps are computed as ``i * dt`` rather than by accumulating
+        ``t += dt``, so they carry one rounding error each instead of a
+        drift that grows with the sample count (visible as skipped or
+        duplicated samples on long durations).
+        """
         samples = [(0.0, self.position)]
-        t = 0.0
-        while t < duration - 1e-9:
-            t += dt
-            samples.append((t, self.step(dt)))
+        i = 0
+        while i * dt < duration - 1e-9:
+            i += 1
+            samples.append((i * dt, self.step(dt)))
         return samples
 
 

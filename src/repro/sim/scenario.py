@@ -9,6 +9,8 @@
   latencies.
 * :class:`DistributedHarness` — response-time and throughput measurement
   driver used by the Table-2 bench and the ablation benches.
+* :class:`MobilitySimulation` — the batched simulation tick: step all
+  walkers, apply one bulk index update, evaluate reporting policies.
 """
 
 from __future__ import annotations
@@ -21,9 +23,11 @@ from repro.core.caching import CacheConfig
 from repro.core.hierarchy import Hierarchy
 from repro.geo import Point, Rect
 from repro.model import AccuracyModel, SightingRecord
+from repro.protocols.update_policies import UpdatePolicy
 from repro.runtime.latency import CostModel, LatencyModel
 from repro.sim.metrics import LatencyRecorder, ThroughputMeter
-from repro.sim.workload import scatter_objects
+from repro.sim.mobility import Walker, make_walkers
+from repro.sim.workload import coalesce_updates, scatter_objects
 from repro.storage import LocalDataStore
 
 #: Paper Table 1 parameters.
@@ -113,6 +117,115 @@ class OpResult:
     ok: bool
 
 
+@dataclass(frozen=True, slots=True)
+class TickStats:
+    """Outcome of one :class:`MobilitySimulation` step."""
+
+    time: float
+    moved: int
+    reported: int
+    suppressed: int
+
+
+class MobilitySimulation:
+    """The batched simulation tick over one data store.
+
+    Each :meth:`tick` performs the pipeline the paper's workload implies:
+    **step all walkers → one batched index update → policy evaluation**.
+    Every walker advances by ``dt``; objects whose reporting policy
+    triggers (all of them when no policies are given) contribute one
+    sighting, and the whole tick lands in the store through a single
+    :meth:`~repro.storage.datastore.LocalDataStore.update_many` — one
+    pass over the spatial index's in-place fast paths instead of N
+    independent remove+insert calls.
+
+    Args:
+        store: the leaf data store; every walker id must be registered.
+        walkers: object id → its movement process.
+        policies: optional object id → reporting policy (Section 6.2);
+            objects without a policy report every tick.
+        sensor_acc: sensor accuracy stamped on generated sightings.
+    """
+
+    def __init__(
+        self,
+        store: LocalDataStore,
+        walkers: dict[str, Walker],
+        policies: dict[str, UpdatePolicy] | None = None,
+        sensor_acc: float = 10.0,
+    ) -> None:
+        self.store = store
+        self.walkers = walkers
+        self.policies = policies or {}
+        self.sensor_acc = sensor_acc
+        self.now = 0.0
+        self.ticks: list[TickStats] = []
+
+    @classmethod
+    def table1(
+        cls,
+        object_count: int = TABLE1_OBJECTS,
+        area_side: float = TABLE1_AREA_SIDE,
+        index_kind: str = "quadtree",
+        mobility: str = "waypoint",
+        seed: int = 0,
+        policy_factory=None,
+        sensor_acc: float = 10.0,
+        **walker_kwargs,
+    ) -> "MobilitySimulation":
+        """The Section-7.1 store populated with a walker per object."""
+        from repro.spatial import make_index
+
+        area = Rect(0.0, 0.0, area_side, area_side)
+        population = make_walkers(mobility, object_count, area, seed=seed, **walker_kwargs)
+        store = LocalDataStore(
+            accuracy=AccuracyModel(sensor_floor=10.0, update_slack=5.0),
+            index=make_index(index_kind),
+        )
+        walkers: dict[str, Walker] = {}
+        for i, walker in enumerate(population):
+            oid = f"mob-{i}"
+            walkers[oid] = walker
+            store.register(
+                SightingRecord(oid, 0.0, walker.position, sensor_acc),
+                25.0,
+                100.0,
+                "sim",
+                now=0.0,
+            )
+        policies = (
+            {oid: policy_factory() for oid in walkers} if policy_factory else None
+        )
+        return cls(store, walkers, policies, sensor_acc=sensor_acc)
+
+    def tick(self, dt: float) -> TickStats:
+        """Advance the world by ``dt`` seconds and flush one update batch."""
+        self.now += dt
+        now = self.now
+        policies = self.policies
+        sensor_acc = self.sensor_acc
+        sightings: list[SightingRecord] = []
+        suppressed = 0
+        for oid, walker in self.walkers.items():
+            pos = walker.step(dt)
+            policy = policies.get(oid)
+            if policy is not None:
+                if not policy.should_report(now, pos):
+                    suppressed += 1
+                    continue
+                policy.note_report(now, pos)
+            sightings.append(SightingRecord(oid, now, pos, sensor_acc))
+        if sightings:
+            self.store.update_many(sightings, now=now)
+        stats = TickStats(now, len(self.walkers), len(sightings), suppressed)
+        self.ticks.append(stats)
+        return stats
+
+    def run(self, ticks: int, dt: float = 1.0) -> list[TickStats]:
+        """Run ``ticks`` steps of ``dt`` seconds each."""
+        return [self.tick(dt) for _ in range(ticks)]
+
+
 class DistributedHarness:
     """Runs operation batches against a service and records metrics."""
 
@@ -180,6 +293,43 @@ class DistributedHarness:
 
         self.svc.run(run_all())
         return meter.per_second()
+
+    # -- batched workload consumption (the server-tick pipeline) ---------------
+
+    def run_workload_batched(self, gen, operations: int, batch_size: int = 64) -> dict[str, int]:
+        """Consume a workload stream in simulation steps.
+
+        Each batch from ``gen`` (a :class:`~repro.sim.workload.
+        WorkloadGenerator`) is split by :func:`~repro.sim.workload.
+        coalesce_updates`: the position updates land as one batched store
+        update per leaf (the paper's always-local updates — the server
+        tick), the queries run through the normal request protocol.
+        Returns operation counters.
+        """
+        loop = self.svc.loop
+        counters = {"updates": 0, "update_batches": 0, "queries": 0}
+        for batch in gen.operation_batches(operations, batch_size):
+            updates_by_leaf, others = coalesce_updates(batch)
+            now = loop.now
+            for leaf, moves in updates_by_leaf.items():
+                self.svc.servers[leaf].store.update_many(
+                    [SightingRecord(oid, now, pos, 10.0) for oid, pos in moves],
+                    now=now,
+                )
+                counters["updates"] += len(moves)
+                counters["update_batches"] += 1
+            for op in others:
+                client = self.client_at(op.entry_leaf)
+                if op.kind == "pos_query":
+                    self.svc.run(client.pos_query(op.object_id))
+                elif op.kind == "range_query":
+                    self.svc.run(
+                        client.range_query(op.area, req_acc=50.0, req_overlap=0.3)
+                    )
+                else:
+                    self.svc.run(client.neighbor_query(op.pos, req_acc=50.0))
+                counters["queries"] += 1
+        return counters
 
     # -- canned operations matching Table 2's rows -----------------------------
 

@@ -5,7 +5,11 @@
 * :class:`GridIndex` — uniform hash grid baseline,
 * :class:`LinearScanIndex` — brute-force correctness oracle.
 
-All share the :class:`SpatialIndex` interface.
+All share the :class:`SpatialIndex` interface, including the batch entry
+points ``update_many`` / ``query_rect_many`` and per-index in-place move
+fast paths sized for the paper's update-dominant workload — see the
+:mod:`repro.spatial.base` docstring for the batch API contract and the
+fast-path invariants each implementation maintains.
 """
 
 from repro.spatial.base import NeighborHit, SpatialIndex

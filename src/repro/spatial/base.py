@@ -15,6 +15,42 @@ must support:
 * :meth:`nearest` — the k entries nearest to a probe point.
 
 ``NeighborHit`` carries the distance so callers need not recompute it.
+
+Batch API and fast-path invariants
+----------------------------------
+
+Position updates dominate the paper's workload (Table 1: updates
+outnumber queries by an order of magnitude), so every index overrides
+:meth:`update` with an **in-place fast path** for small displacements and
+the base class exposes two batch entry points:
+
+* :meth:`update_many` — apply many ``(id, point)`` moves.  Tree indexes
+  take the in-place path per move and defer the structural
+  remove+reinsert of the few entries that escape their node to one
+  final pass.
+* :meth:`query_rect_many` — answer many rect queries in one call; tree
+  indexes traverse the structure once, carrying the set of still-live
+  rects down each branch.
+
+Per-index fast-path invariants (each equivalent to remove+insert for
+every query):
+
+* ``GridIndex.update`` is an O(1) dict move and a pure no-op on the cell
+  structure when the cell key is unchanged.
+* ``PointQuadtree.update`` rewrites the node's point in place when the
+  node is childless and the new point falls into the same quadrant at
+  every ancestor (i.e. stays inside the node's implicit region);
+  otherwise it falls back to delete + reinsert.
+* ``RTree.update`` rewrites the leaf entry in place when the new point
+  stays inside the owning leaf's MBR.  The MBR is *not* shrunk, so node
+  MBRs may over-cover after many moves — they remain valid (supersets),
+  which preserves query and nearest-neighbor admissibility.
+* ``LinearScanIndex.update`` is a plain dict store.
+
+Whatever path is taken, ``items()``/``query_rect``/``nearest`` must
+return results point-for-point identical to the remove+insert baseline
+(the property suite in ``tests/spatial/test_batch_ops.py`` enforces
+this for all four implementations).
 """
 
 from __future__ import annotations
@@ -78,11 +114,24 @@ class SpatialIndex(ABC):
         self.remove(object_id)
         self.insert(object_id, point)
 
+    def update_many(self, moves: Iterable[tuple[str, Point]]) -> None:
+        """Apply many ``(object_id, point)`` moves.
+
+        Equivalent to calling :meth:`update` per pair; implementations
+        override to batch structural work.  When the same id occurs more
+        than once, the last move wins.  Raises ``KeyError`` on the first
+        unknown id; like the sequential path, moves before the failing
+        one may already be applied (tree indexes may still be holding
+        some as deferred structural work, which is then dropped).
+        """
+        for object_id, point in moves:
+            self.update(object_id, point)
+
     def upsert(self, object_id: str, point: Point) -> None:
         """Insert, or update when the id already exists."""
-        if self.get(object_id) is not None:
+        try:
             self.update(object_id, point)
-        else:
+        except KeyError:
             self.insert(object_id, point)
 
     def __contains__(self, object_id: str) -> bool:
@@ -92,3 +141,31 @@ class SpatialIndex(ABC):
         """Insert many entries; implementations may override to optimise."""
         for object_id, point in entries:
             self.insert(object_id, point)
+
+    def _validated_batch(self, entries: Iterable[tuple[str, Point]]) -> dict[str, Point]:
+        """Materialize a bulk-load batch after one upfront duplicate check.
+
+        Shared by the dict-backed bulk loads: rejects ids duplicated
+        within the batch and ids already present, so the caller can fill
+        its structures without per-item membership tests.
+        """
+        batch = list(entries)
+        fresh = dict(batch)
+        if len(fresh) != len(batch):
+            seen: set[str] = set()
+            for object_id, _ in batch:
+                if object_id in seen:
+                    raise KeyError(f"duplicate insert for {object_id!r}")
+                seen.add(object_id)
+        for object_id in fresh:
+            if object_id in self:
+                raise KeyError(f"duplicate insert for {object_id!r}")
+        return fresh
+
+    def query_rect_many(self, rects: Iterable[Rect]) -> list[list[tuple[str, Point]]]:
+        """Answer many rect queries; result ``i`` matches ``rects[i]``.
+
+        Equivalent to ``[list(self.query_rect(r)) for r in rects]``; tree
+        indexes override this with a single shared traversal.
+        """
+        return [list(self.query_rect(rect)) for rect in rects]

@@ -38,10 +38,35 @@ class LinearScanIndex(SpatialIndex):
             raise KeyError(object_id)
         self._entries[object_id] = point
 
+    def update_many(self, moves) -> None:
+        """Plain dict stores; the validation lookup is the only overhead."""
+        entries = self._entries
+        for object_id, point in moves:
+            if object_id not in entries:
+                raise KeyError(object_id)
+            entries[object_id] = point
+
+    def bulk_load(self, entries) -> None:
+        """One upfront duplicate check, then a single dict merge."""
+        self._entries.update(self._validated_batch(entries))
+
     def query_rect(self, rect: Rect) -> Iterator[tuple[str, Point]]:
         for object_id, point in self._entries.items():
             if rect.contains_point(point):
                 yield object_id, point
+
+    def query_rect_many(self, rects) -> list[list[tuple[str, Point]]]:
+        """One scan over the entries serves every rect in the batch."""
+        rect_list = list(rects)
+        results: list[list[tuple[str, Point]]] = [[] for _ in rect_list]
+        if not rect_list:
+            return results
+        enumerated = list(enumerate(rect_list))
+        for object_id, point in self._entries.items():
+            for i, rect in enumerated:
+                if rect.contains_point(point):
+                    results[i].append((object_id, point))
+        return results
 
     def nearest(
         self, point: Point, k: int = 1, max_distance: float = float("inf")

@@ -4,12 +4,22 @@ This is the index the paper's prototype uses for the sighting DB ("For
 the spatial index we used a Point Quadtree implementation [17], which we
 found to be very well suited for our purpose", Section 7.1).
 
-Every stored point becomes an internal node that splits the plane into
-four quadrants at its own coordinates.  Insertion descends comparing
-coordinates; deletion detaches the node's subtree and re-inserts the
-orphaned entries (the classic strategy — exact point-quadtree deletion is
-notoriously intricate and re-insertion keeps expected cost at the subtree
-size, which for random trees averages O(log n)).
+Every stored point becomes a node that splits the plane into four
+quadrants.  Insertion descends comparing coordinates; deletion detaches
+the node's subtree and re-inserts the orphaned entries (the classic
+strategy — exact point-quadtree deletion is notoriously intricate and
+re-insertion keeps expected cost at the subtree size, which for random
+trees averages O(log n)).
+
+The split coordinates are **decoupled from the data point**: a node's
+split lines are fixed at insertion time (at the then-current position)
+and never move, while the data point may be rewritten in place by
+:meth:`update` as long as it stays inside the node's implicit region
+(the same quadrant at every ancestor).  Queries prune on the immutable
+split lines and report the data points, so in-place moves — the dominant
+operation of the paper's workload — cost one O(depth) descent with no
+restructuring, for internal and leaf nodes alike.  Invariant: a node's
+data point and its split point both lie inside its implicit region.
 
 All traversals are iterative with explicit stacks so adversarial insert
 orders cannot overflow the Python recursion limit.
@@ -33,16 +43,20 @@ _SW, _SE, _NW, _NE = 0, 1, 2, 3
 
 
 class _Node:
-    __slots__ = ("object_id", "point", "children")
+    __slots__ = ("object_id", "point", "split_x", "split_y", "children")
 
     def __init__(self, object_id: str, point: Point) -> None:
         self.object_id = object_id
         self.point = point
+        # Split lines freeze at the insertion position; in-place moves
+        # rewrite ``point`` without touching them.
+        self.split_x = point.x
+        self.split_y = point.y
         self.children: list[_Node | None] = [None, None, None, None]
 
     def quadrant_of(self, point: Point) -> int:
-        qx = 0 if point.x < self.point.x else 1
-        qy = 0 if point.y < self.point.y else 1
+        qx = 0 if point.x < self.split_x else 1
+        qy = 0 if point.y < self.split_y else 1
         return qy * 2 + qx
 
 
@@ -83,6 +97,63 @@ class PointQuadtree(SpatialIndex):
                 return
             current = child
 
+    def update(self, object_id: str, point: Point) -> None:
+        """Move an entry, in place when it stays inside its own region.
+
+        A node owns the region carved out by its ancestors' split lines;
+        while the new point falls into the same quadrant at every
+        ancestor, rewriting the data point cannot affect any other
+        entry's placement (split lines never move).  Only moves that
+        escape the region pay the delete + reinsert cost.
+        """
+        if not self._update_in_place(object_id, point):
+            self.remove(object_id)
+            self.insert(object_id, point)
+
+    def _update_in_place(self, object_id: str, point: Point) -> bool:
+        """Try the in-place fast path; ``KeyError`` when the id is absent."""
+        old = self._points.get(object_id)
+        if old is None:
+            raise KeyError(object_id)
+        current = self._root
+        x, y = point.x, point.y
+        while current is not None:
+            if current.object_id == object_id:
+                self._points[object_id] = point
+                current.point = point
+                return True
+            qx = 0 if old.x < current.split_x else 1
+            qy = 0 if old.y < current.split_y else 1
+            if (0 if x < current.split_x else 1) != qx or (
+                0 if y < current.split_y else 1
+            ) != qy:
+                return False
+            current = current.children[qy * 2 + qx]
+        raise KeyError(object_id)  # pragma: no cover - guarded by _points
+
+    def update_many(self, moves) -> None:
+        """Batched moves: in-place fast paths first, one structural pass.
+
+        Every move tries the in-place path; the few entries that escape
+        their region are collected and re-homed in a single
+        delete-then-reinsert pass at the end, so each subtree detach and
+        orphan re-insertion happens at most once per batch.
+        """
+        deferred: dict[str, Point] = {}
+        for object_id, point in moves:
+            if self._update_in_place(object_id, point):
+                deferred.pop(object_id, None)
+            else:
+                deferred[object_id] = point
+        if not deferred:
+            return
+        for object_id in deferred:
+            self.remove(object_id)
+        batch = list(deferred.items())
+        self._rng.shuffle(batch)
+        for object_id, point in batch:
+            self.insert(object_id, point)
+
     def remove(self, object_id: str) -> Point:
         point = self._points.pop(object_id)
         parent, node = self._find_node(object_id, point)
@@ -97,6 +168,11 @@ class PointQuadtree(SpatialIndex):
             parent.children[parent.quadrant_of(point)] = None
         for orphan in orphans:
             orphan.children = [None, None, None, None]
+            # Re-inserted nodes split at their current data position, as a
+            # fresh insert would (stale split lines could fall outside the
+            # orphan's new region and break nearest's region bounds).
+            orphan.split_x = orphan.point.x
+            orphan.split_y = orphan.point.y
             self._insert_node(orphan)
         return point
 
@@ -138,10 +214,10 @@ class PointQuadtree(SpatialIndex):
                 yield node.object_id, p
             # A quadrant can only hold matches if the rect reaches past the
             # node's split lines in that direction.
-            west = rect.min_x < p.x
-            east = rect.max_x >= p.x
-            south = rect.min_y < p.y
-            north = rect.max_y >= p.y
+            west = rect.min_x < node.split_x
+            east = rect.max_x >= node.split_x
+            south = rect.min_y < node.split_y
+            north = rect.max_y >= node.split_y
             children = node.children
             if south:
                 if west and children[_SW] is not None:
@@ -153,6 +229,57 @@ class PointQuadtree(SpatialIndex):
                     stack.append(children[_NW])
                 if east and children[_NE] is not None:
                     stack.append(children[_NE])
+
+    def query_rect_many(self, rects) -> list[list[tuple[str, Point]]]:
+        """Answer many rect queries in one traversal.
+
+        The stack carries, per node, the indices of the rects whose
+        search can still reach that subtree; shared tree prefixes are
+        visited once for the whole batch instead of once per rect.
+        """
+        rect_list = list(rects)
+        results: list[list[tuple[str, Point]]] = [[] for _ in rect_list]
+        if self._root is None or not rect_list:
+            return results
+        stack: list[tuple[_Node, list[int]]] = [
+            (self._root, list(range(len(rect_list))))
+        ]
+        while stack:
+            node, active = stack.pop()
+            p = node.point
+            px, py = node.split_x, node.split_y
+            children = node.children
+            sw: list[int] = []
+            se: list[int] = []
+            nw: list[int] = []
+            ne: list[int] = []
+            for i in active:
+                rect = rect_list[i]
+                if rect.contains_point(p):
+                    results[i].append((node.object_id, p))
+                west = rect.min_x < px
+                east = rect.max_x >= px
+                south = rect.min_y < py
+                north = rect.max_y >= py
+                if south:
+                    if west:
+                        sw.append(i)
+                    if east:
+                        se.append(i)
+                if north:
+                    if west:
+                        nw.append(i)
+                    if east:
+                        ne.append(i)
+            if sw and children[_SW] is not None:
+                stack.append((children[_SW], sw))
+            if se and children[_SE] is not None:
+                stack.append((children[_SE], se))
+            if nw and children[_NW] is not None:
+                stack.append((children[_NW], nw))
+            if ne and children[_NE] is not None:
+                stack.append((children[_NE], ne))
+        return results
 
     def nearest(
         self, point: Point, k: int = 1, max_distance: float = _INF
@@ -180,7 +307,7 @@ class PointQuadtree(SpatialIndex):
                     best[-1] = hit
                     best.sort(key=lambda h: (h.distance, h.object_id))
             min_x, min_y, max_x, max_y = region
-            px, py = node.point.x, node.point.y
+            px, py = node.split_x, node.split_y
             subregions = (
                 (min_x, min_y, px, py),  # SW
                 (px, min_y, max_x, py),  # SE

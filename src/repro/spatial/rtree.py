@@ -5,6 +5,13 @@ sighting DB.  This implementation stores point entries in the leaves and
 follows the original paper's algorithms: ChooseLeaf by least area
 enlargement, quadratic node split, CondenseTree with re-insertion on
 deletion, and best-first nearest-neighbor search over node MBRs.
+
+For the update-dominant moving-object workload it adds a **bottom-up
+update path**: a hash from object id to its owning leaf node (the
+secondary-index idea of frequent-update R-tree variants) turns updates
+and removals into direct leaf accesses instead of root-down MBR
+searches, and :meth:`RTree.update` rewrites the leaf entry in place when
+the new point stays inside the leaf MBR.
 """
 
 from __future__ import annotations
@@ -61,7 +68,7 @@ class RTree(SpatialIndex):
         min_entries: minimum fill m; defaults to ``max_entries // 2``.
     """
 
-    __slots__ = ("_root", "_points", "_max", "_min")
+    __slots__ = ("_root", "_points", "_leaf_of", "_max", "_min")
 
     def __init__(self, max_entries: int = 8, min_entries: int | None = None) -> None:
         if max_entries < 4:
@@ -72,6 +79,9 @@ class RTree(SpatialIndex):
             raise ValueError(f"min_entries must be in [1, {self._max // 2}], got {self._min}")
         self._root = _Node(leaf=True)
         self._points: dict[str, Point] = {}
+        #: object id → owning leaf node (bottom-up update path); kept in
+        #: sync by insert, split, removal and CondenseTree re-insertion.
+        self._leaf_of: dict[str, _Node] = {}
 
     # -- mutation -----------------------------------------------------------
 
@@ -84,6 +94,7 @@ class RTree(SpatialIndex):
     def _insert_entry(self, object_id: str, point: Point) -> None:
         leaf = self._choose_leaf(self._root, point)
         leaf.entries.append((object_id, point))
+        self._leaf_of[object_id] = leaf
         leaf.mbr = (
             _point_rect(point) if leaf.mbr is None else leaf.mbr.union_bounds(_point_rect(point))
         )
@@ -166,6 +177,9 @@ class RTree(SpatialIndex):
         if node.leaf:
             node.entries = group_a
             sibling.entries = group_b
+            leaf_of = self._leaf_of
+            for oid, _ in group_b:
+                leaf_of[oid] = sibling
         else:
             node.children = group_a
             sibling.children = group_b
@@ -175,9 +189,80 @@ class RTree(SpatialIndex):
         sibling.mbr = mbr_b
         return sibling
 
+    def update(self, object_id: str, point: Point) -> None:
+        """Move an entry in place while it stays near its leaf.
+
+        The leaf comes straight from the bottom-up hash (no root-down
+        search).  Inside the leaf MBR the entry tuple is rewritten with
+        no other work; outside it but still inside the *parent* MBR the
+        leaf MBR is extended around the new point (the LUR-tree move) —
+        the extension stays within the parent, so no ancestor MBR needs
+        adjusting.  MBRs are never shrunk, so they may over-cover after
+        many moves but remain valid supersets (queries and
+        nearest-neighbor bounds stay admissible).  Only moves leaving
+        the parent MBR pay the full CondenseTree delete + reinsert.
+        """
+        leaf = self._leaf_of.get(object_id)
+        if leaf is None:
+            raise KeyError(object_id)
+        if self._move_within_leaf(leaf, object_id, point):
+            return
+        self.remove(object_id)
+        self.insert(object_id, point)
+
+    def _move_within_leaf(self, leaf: _Node, object_id: str, point: Point) -> bool:
+        """In-place / extend-MBR fast paths; ``False`` when neither applies."""
+        mbr = leaf.mbr
+        if mbr is None:  # pragma: no cover - a mapped leaf holds entries
+            return False
+        x, y = point.x, point.y
+        inside = mbr.min_x <= x <= mbr.max_x and mbr.min_y <= y <= mbr.max_y
+        if not inside:
+            parent = leaf.parent
+            if parent is not None:
+                pm = parent.mbr
+                if pm is None or not (
+                    pm.min_x <= x <= pm.max_x and pm.min_y <= y <= pm.max_y
+                ):
+                    return False
+            leaf.mbr = Rect(
+                min(mbr.min_x, x),
+                min(mbr.min_y, y),
+                max(mbr.max_x, x),
+                max(mbr.max_y, y),
+            )
+        entries = leaf.entries
+        for i, entry in enumerate(entries):
+            if entry[0] == object_id:
+                entries[i] = (object_id, point)
+                break
+        self._points[object_id] = point
+        return True
+
+    def update_many(self, moves) -> None:
+        """Batched moves: in-place fast paths first, one structural pass.
+
+        Entries that escape their parent MBR are collected and re-homed
+        in a single delete-then-reinsert pass after all in-place moves,
+        so CondenseTree runs at most once per escaping entry per batch.
+        """
+        leaf_of = self._leaf_of
+        deferred: dict[str, Point] = {}
+        for object_id, point in moves:
+            leaf = leaf_of.get(object_id)
+            if leaf is None:
+                raise KeyError(object_id)
+            if self._move_within_leaf(leaf, object_id, point):
+                deferred.pop(object_id, None)
+            else:
+                deferred[object_id] = point
+        for object_id, point in deferred.items():
+            self.remove(object_id)
+            self.insert(object_id, point)
+
     def remove(self, object_id: str) -> Point:
         point = self._points.pop(object_id)
-        leaf = self._find_leaf(self._root, object_id, point)
+        leaf = self._leaf_of.pop(object_id)
         leaf.entries = [(oid, p) for oid, p in leaf.entries if oid != object_id]
         self._condense(leaf)
         # Shrink the root when it has a single internal child.
@@ -185,19 +270,6 @@ class RTree(SpatialIndex):
             self._root = self._root.children[0]
             self._root.parent = None
         return point
-
-    def _find_leaf(self, node: _Node, object_id: str, point: Point) -> _Node:
-        stack = [node]
-        while stack:
-            current = stack.pop()
-            if current.mbr is None or not current.mbr.contains_point(point):
-                continue
-            if current.leaf:
-                if any(oid == object_id for oid, _ in current.entries):
-                    return current
-            else:
-                stack.extend(current.children)
-        raise KeyError(object_id)  # pragma: no cover - guarded by _points
 
     def _condense(self, node: _Node) -> None:
         """Guttman's CondenseTree: drop under-full nodes, re-insert orphans."""
@@ -243,6 +315,38 @@ class RTree(SpatialIndex):
                         yield object_id, point
             else:
                 stack.extend(node.children)
+
+    def query_rect_many(self, rects) -> list[list[tuple[str, Point]]]:
+        """Answer many rect queries in one traversal.
+
+        Each stack frame carries the indices of the rects intersecting
+        the node's MBR, so shared upper levels of the tree are visited
+        once for the whole batch.
+        """
+        rect_list = list(rects)
+        results: list[list[tuple[str, Point]]] = [[] for _ in rect_list]
+        if not rect_list:
+            return results
+        stack: list[tuple[_Node, list[int]]] = [
+            (self._root, list(range(len(rect_list))))
+        ]
+        while stack:
+            node, active = stack.pop()
+            mbr = node.mbr
+            if mbr is None:
+                continue
+            live = [i for i in active if rect_list[i].intersects(mbr)]
+            if not live:
+                continue
+            if node.leaf:
+                for object_id, point in node.entries:
+                    for i in live:
+                        if rect_list[i].contains_point(point):
+                            results[i].append((object_id, point))
+            else:
+                for child in node.children:
+                    stack.append((child, live))
+        return results
 
     def nearest(
         self, point: Point, k: int = 1, max_distance: float = _INF

@@ -99,6 +99,23 @@ class LocalDataStore:
             raise UnknownObjectError(sighting.object_id)
         self.sightings.upsert(sighting, now=now)
 
+    def update_many(self, sightings, now: float = 0.0) -> None:
+        """Refresh many visitors' sightings with one batched index pass.
+
+        The batched counterpart of :meth:`update` (same per-record upsert
+        semantics): visitor records are validated first, then the
+        sighting DB applies all position moves through the spatial
+        index's in-place batch path.  Raises
+        :class:`~repro.errors.UnknownObjectError` (before anything is
+        applied) if any sighting refers to an unregistered object.
+        """
+        batch = list(sightings)
+        leaf_record = self.visitors.leaf_record
+        for sighting in batch:
+            if leaf_record(sighting.object_id) is None:
+                raise UnknownObjectError(sighting.object_id)
+        self.sightings.upsert_many(batch, now=now)
+
     def change_accuracy(self, object_id: str, des_acc: float, min_acc: float) -> float:
         """Renegotiate accuracy for a tracked object (``changeAcc``)."""
         record = self.visitors.leaf_record(object_id)

@@ -15,7 +15,7 @@ records lapsed so the server can deregister them hierarchy-wide.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.geo import Point, Rect
 from repro.model import (
@@ -86,6 +86,54 @@ class SightingDB:
             self.update(sighting, now, ttl)
         else:
             self.insert(sighting, now, ttl)
+
+    def update_many(
+        self,
+        sightings: Iterable[SightingRecord],
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        """Refresh many existing sightings with one batched index update.
+
+        All object ids are validated before anything is applied, then the
+        spatial index sees a single :meth:`~repro.spatial.SpatialIndex.
+        update_many` call (the in-place fast paths) and the expiry timers
+        are renewed to one shared deadline.  Raises ``KeyError`` (without
+        side effects) if any sighting refers to an unknown object.
+        """
+        batch = list(sightings)
+        records = self._records
+        for sighting in batch:
+            if sighting.object_id not in records:
+                raise KeyError(sighting.object_id)
+        self._index.update_many((s.object_id, s.pos) for s in batch)
+        deadline = now + (ttl if ttl is not None else self._default_ttl)
+        timer = self._timer
+        for sighting in batch:
+            records[sighting.object_id] = sighting
+            timer.renew(sighting.object_id, deadline)
+
+    def upsert_many(
+        self,
+        sightings: Iterable[SightingRecord],
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        """Batched upsert: updates take the batched fast path.
+
+        Sightings for known objects go through :meth:`update_many`; the
+        (rare — registration and crash recovery) unknown ones fall back
+        to per-record inserts.
+        """
+        records = self._records
+        updates: list[SightingRecord] = []
+        for sighting in sightings:
+            if sighting.object_id in records:
+                updates.append(sighting)
+            else:
+                self.insert(sighting, now=now, ttl=ttl)
+        if updates:
+            self.update_many(updates, now=now, ttl=ttl)
 
     def remove(self, object_id: str) -> SightingRecord:
         """Drop a visitor's sighting (deregistration or handover departure)."""

@@ -249,3 +249,75 @@ class TestTimeouts:
                 await wrapped
 
         loop.run_until_complete(main())
+
+
+class TestCallbackBatching:
+    """SimFuture drains multi-callback lists in one queue event."""
+
+    def test_many_callbacks_fire_in_registration_order(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        order = []
+        for i in range(6):
+            future.add_done_callback(lambda fut, i=i: order.append(i))
+        future.set_result("x")
+        loop.run_until_idle()
+        assert order == list(range(6))
+
+    def test_single_queue_event_for_all_callbacks(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        for _ in range(5):
+            future.add_done_callback(lambda fut: None)
+        future.set_result(None)
+        # All five callbacks ride one scheduled event.
+        assert loop.pending_events() == 1
+
+    def test_no_event_scheduled_without_callbacks(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        future.set_result(None)
+        assert loop.pending_events() == 0
+
+    def test_callback_added_after_resolution_runs_separately(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        future.set_result(1)
+        seen = []
+        future.add_done_callback(lambda fut: seen.append(fut.result()))
+        loop.run_until_idle()
+        assert seen == [1]
+
+    def test_callbacks_see_result_and_interleave_consistently(self):
+        loop = SimLoop()
+        future = loop.create_future()
+        order = []
+        future.add_done_callback(lambda fut: order.append(("cb1", fut.result())))
+        future.add_done_callback(
+            lambda fut: loop.call_soon(lambda: order.append(("spawned", loop.now)))
+        )
+        future.add_done_callback(lambda fut: order.append(("cb3", fut.result())))
+        loop.call_at(2.0, lambda: future.set_result("done"))
+        loop.run_until_idle()
+        # Work scheduled by a callback runs after the whole drain.
+        assert order == [("cb1", "done"), ("cb3", "done"), ("spawned", 2.0)]
+
+    def test_raising_callback_does_not_eat_successors(self):
+        """A raising callback must not swallow the rest of the drain —
+        each had its own queue event in the unbatched scheme."""
+        loop = SimLoop()
+        future = loop.create_future()
+        seen = []
+
+        def boom(fut):
+            raise RuntimeError("boom")
+
+        future.add_done_callback(lambda fut: seen.append("first"))
+        future.add_done_callback(boom)
+        future.add_done_callback(lambda fut: seen.append("after-boom"))
+        future.set_result(None)
+        with pytest.raises(RuntimeError):
+            loop.run_until_idle()
+        # The survivor was re-queued; resuming the loop runs it.
+        loop.run_until_idle()
+        assert seen == ["first", "after-boom"]

@@ -124,3 +124,32 @@ class TestMakeWalkers:
         (walker,) = make_walkers(kind, 1, AREA, seed=seed)
         for _ in range(50):
             assert AREA.contains_point(walker.step(4.0))
+
+
+class TestTrajectoryTimestamps:
+    def test_no_float_accumulation_drift(self):
+        """Timestamps are exact multiples of dt, even for long durations.
+
+        The accumulating ``t += dt`` the seed used drifts by one rounding
+        error per sample; over tens of thousands of samples that skews
+        timestamps (and can add or drop a final sample).
+        """
+        walker = RandomWaypointWalker(AREA, seed=9)
+        dt = 0.1  # not representable exactly in binary
+        trajectory = walker.trajectory(duration=3600.0, dt=dt)
+        for i, (t, _) in enumerate(trajectory):
+            assert t == i * dt  # exact: one multiplication, one rounding
+
+    def test_sample_count_long_duration(self):
+        walker = RandomWaypointWalker(AREA, seed=10)
+        trajectory = walker.trajectory(duration=10_000.0, dt=0.1)
+        # 0.0 plus one sample per dt interval: drift-free computation
+        # yields exactly duration/dt + 1 samples.
+        assert len(trajectory) == 100_001
+        assert trajectory[-1][0] == pytest.approx(10_000.0, abs=1e-6)
+
+    def test_short_trajectory_unchanged(self):
+        walker = RandomWaypointWalker(AREA, seed=11)
+        trajectory = walker.trajectory(duration=60.0, dt=2.0)
+        assert len(trajectory) == 31
+        assert [t for t, _ in trajectory] == [2.0 * i for i in range(31)]

@@ -165,3 +165,36 @@ class TestSoftStateAndRecovery:
             RangeQuery(Rect(0, 0, 95, 40), req_acc=50.0, req_overlap=0.4)
         )
         assert len(result) == 8
+
+
+class TestBatchUpdates:
+    def test_update_many_requires_registration(self):
+        store = make_store()
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        with pytest.raises(UnknownObjectError):
+            store.update_many([sighting("a", 2, 2), sighting("ghost", 3, 3)])
+        # Validation is all-or-nothing: "a" did not move.
+        assert store.position_query("a").pos == Point(1, 1)
+
+    def test_update_many_moves_batch(self):
+        store = make_store()
+        for i in range(10):
+            store.register(sighting(f"o{i}", i, i), 20.0, 100.0, "client")
+        store.update_many([sighting(f"o{i}", i + 100.0, i + 100.0, t=1.0) for i in range(10)], now=1.0)
+        assert store.position_query("o7").pos == Point(107, 107)
+        entries = store.range_query(
+            RangeQuery(Rect(60, 60, 160, 160), req_acc=50.0, req_overlap=0.5)
+        )
+        assert {oid for oid, _ in entries} == {f"o{i}" for i in range(10)}
+
+    def test_update_many_recreates_sightings_after_crash(self):
+        """Batched updates share the paper's recovery semantics: a
+        registered visitor whose volatile sighting was lost gets it back."""
+        store = make_store()
+        store.register(sighting("a", 1, 1), 20.0, 100.0, "client")
+        store.register(sighting("b", 2, 2), 20.0, 100.0, "client")
+        store.crash(now=10.0)
+        assert store.sighting_count == 0
+        store.update_many([sighting("a", 5, 5, t=11.0), sighting("b", 6, 6, t=11.0)], now=11.0)
+        assert store.sighting_count == 2
+        assert store.position_query("b").pos == Point(6, 6)

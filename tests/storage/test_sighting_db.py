@@ -196,3 +196,52 @@ class TestSoftState:
             )
             == []
         )
+
+
+class TestBatchUpdates:
+    def _populated(self, n=20, index=None):
+        db = SightingDB(index=index)
+        for i in range(n):
+            db.insert(sighting(f"o{i}", i * 10.0, i * 10.0), now=0.0)
+        return db
+
+    def test_update_many_moves_all(self):
+        db = self._populated()
+        db.update_many([sighting(f"o{i}", i * 10.0 + 1, i * 10.0 + 1, t=5.0) for i in range(20)], now=5.0)
+        assert db.get("o3").pos == Point(31, 31)
+        hits = {oid for oid, _ in db.positions_in_rect(Rect(0, 0, 200, 200))}
+        assert hits == {f"o{i}" for i in range(20)}
+
+    def test_update_many_renews_expiry(self):
+        db = SightingDB(default_ttl=10.0)
+        db.insert(sighting("a", 1, 1), now=0.0)
+        db.update_many([sighting("a", 2, 2, t=8.0)], now=8.0)
+        assert db.expire_due(now=12.0) == []  # renewed to 18.0
+        assert db.expire_due(now=18.5) == ["a"]
+
+    def test_update_many_unknown_id_has_no_side_effects(self):
+        db = self._populated(3)
+        with pytest.raises(KeyError):
+            db.update_many([sighting("o0", 500, 500), sighting("ghost", 1, 1)])
+        # Validation happens before anything lands.
+        assert db.get("o0").pos == Point(0, 0)
+
+    def test_update_many_on_grid_index(self):
+        db = self._populated(10, index=GridIndex(cell_size=25.0))
+        db.update_many([sighting(f"o{i}", 500.0 + i, 500.0 + i) for i in range(10)])
+        hits = {oid for oid, _ in db.positions_in_rect(Rect(499, 499, 510, 510))}
+        assert hits == {f"o{i}" for i in range(10)}
+
+    def test_upsert_many_mixes_inserts_and_updates(self):
+        db = self._populated(5)
+        batch = [sighting("o1", 99, 99)] + [sighting(f"new{i}", i, i) for i in range(3)]
+        db.upsert_many(batch, now=1.0)
+        assert len(db) == 8
+        assert db.get("o1").pos == Point(99, 99)
+        assert db.get("new2").pos == Point(2, 2)
+
+    def test_upsert_many_repeated_new_id_last_wins(self):
+        db = SightingDB()
+        db.upsert_many([sighting("x", 1, 1), sighting("x", 2, 2)])
+        assert len(db) == 1
+        assert db.get("x").pos == Point(2, 2)
