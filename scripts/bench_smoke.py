@@ -1,18 +1,25 @@
 #!/usr/bin/env python
-"""Quick perf smoke for the update fast paths — always writes BENCH_PR1.json.
+"""Quick perf smoke — refreshes BENCH_PR1.json and BENCH_PR2.json.
 
 The tier-1 test suite never runs benchmarks (bench files do not match
 pytest's default collection), and the full pytest-benchmark suite takes
-minutes.  This script is the middle ground: it re-runs the
-small-displacement update measurement of ``bench_spatial_index.py`` plus
-one batched :class:`~repro.sim.scenario.MobilitySimulation` tick measure
-per index kind, prints a summary, and refreshes the machine-readable
-``BENCH_PR1.json`` perf artifact at the repository root.
+minutes.  This script is the middle ground:
+
+* **PR1** — the small-displacement update measurement of
+  ``bench_spatial_index.py`` plus one batched
+  :class:`~repro.sim.scenario.MobilitySimulation` tick measure per index
+  kind → ``BENCH_PR1.json``.
+* **PR2** — the hotspot-rebalance measurement: the flash-crowd and
+  commuter-rush scenarios run static and elastic, recording before/after
+  per-server sustained load, split/merge counts and query latency →
+  ``BENCH_PR2.json``.  The acceptance number is
+  ``scenarios.flash_crowd.load_drop_factor`` (must be ≥ 2).
 
 Usage::
 
     python scripts/bench_smoke.py               # defaults, a few seconds
     python scripts/bench_smoke.py --objects 2000 --moves 2000 --rounds 2
+    python scripts/bench_smoke.py --skip-pr1    # only the rebalance bench
 """
 
 from __future__ import annotations
@@ -48,17 +55,7 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
-    parser.add_argument("--moves", type=_positive_int, default=bsi.FASTPATH_MOVES)
-    parser.add_argument("--rounds", type=_positive_int, default=3)
-    parser.add_argument(
-        "--ticks", type=_positive_int, default=5, help="sim ticks per index kind"
-    )
-    parser.add_argument("--out", default="BENCH_PR1.json")
-    args = parser.parse_args(argv)
-
+def run_pr1(args) -> None:
     bsi.OBJECTS = args.objects
     bsi.FASTPATH_MOVES = args.moves
 
@@ -100,6 +97,59 @@ def main(argv: list[str] | None = None) -> int:
         },
     )
     print(f"\nwrote {path}")
+
+
+def run_pr2(args) -> None:
+    """The hotspot-rebalance measurement (elastic cluster layer)."""
+    from repro.sim.elastic import elastic_benchmark_payload
+
+    start = time.perf_counter()
+    payload = elastic_benchmark_payload(seed=args.seed)
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = f"{'scenario':16s} {'static max':>12s} {'elastic max':>12s} {'drop':>7s} {'splits':>7s} {'merges':>7s} {'lost':>5s}"
+    print(header)
+    print("-" * len(header))
+    for name, result in payload["scenarios"].items():
+        static = result["static"]
+        elastic = result["elastic"]
+        print(
+            f"{name:16s} {static['max_sustained_load_ops_per_s']:>10,.0f}/s "
+            f"{elastic['max_sustained_load_ops_per_s']:>10,.0f}/s "
+            f"{result['load_drop_factor']:>6.2f}x "
+            f"{elastic['splits']:>7d} {elastic['merges']:>7d} "
+            f"{elastic['invariants']['lost_sightings']:>5d}"
+        )
+    path = write_bench_json(args.out_pr2, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
+    parser.add_argument("--moves", type=_positive_int, default=bsi.FASTPATH_MOVES)
+    parser.add_argument("--rounds", type=_positive_int, default=3)
+    parser.add_argument(
+        "--ticks", type=_positive_int, default=5, help="sim ticks per index kind"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="rebalance-bench seed")
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--out-pr2", default="BENCH_PR2.json")
+    parser.add_argument(
+        "--skip-pr1", action="store_true", help="only run the rebalance bench"
+    )
+    parser.add_argument(
+        "--skip-pr2", action="store_true", help="only run the fast-path bench"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.skip_pr1:
+        run_pr1(args)
+    if not args.skip_pr2:
+        if not args.skip_pr1:
+            print()
+        run_pr2(args)
     return 0
 
 

@@ -17,6 +17,7 @@ Package map (see DESIGN.md for the full inventory):
 
 ==================  ====================================================
 ``repro.core``      the paper's contribution: hierarchical LS, caches
+``repro.cluster``   elastic layer: load-aware split/merge + migration
 ``repro.model``     Section-3 service model and query semantics
 ``repro.geo``       geometry substrate (exact circle-region overlap)
 ``repro.spatial``   Point Quadtree, R-tree, grid, linear indexes

@@ -1,0 +1,58 @@
+"""Elastic cluster layer: load-aware splitting, merging and migration.
+
+The paper configures the service-area hierarchy *once* (Section 4: a
+fixed tree of service areas, one location server each) and never changes
+it.  Its own evaluation shows why that is a liability at scale: per-
+server load is dominated by position updates, and updates concentrate
+wherever the tracked objects do — a flash crowd inside one leaf area
+saturates that server while its siblings idle.  This package makes the
+Section-4 configuration *dynamic* while preserving every structural
+invariant the paper demands (children tile their parent, siblings are
+disjoint, half-open routing assigns boundary points uniquely):
+
+* :class:`~repro.cluster.load.LoadMonitor` — samples per-server
+  operation counters and index sizes into a decayed sliding window of
+  per-server load rates.
+* :class:`~repro.cluster.planner.RebalancePlanner` — detects hot leaves
+  (load above a configurable threshold, absolutely or relative to their
+  siblings) and cold all-leaf sibling sets, and emits
+  :class:`~repro.cluster.planner.SplitPlan` /
+  :class:`~repro.cluster.planner.MergePlan` records.  Split cut lines
+  are costed against the live spatial index through one batched
+  ``query_rect_many`` traversal, picking the axis and position that best
+  balance object counts.
+* :class:`~repro.cluster.migration.MigrationExecutor` — applies a plan
+  to a running :class:`~repro.core.service.LocationService`: new child
+  servers join the network, objects bulk-move through the stores'
+  ``bulk_admit`` path (one spatial-index ``bulk_load`` + ``compact``
+  per destination), forwarding pointers are replayed into the visitor
+  DBs, and in-flight reports keep flowing — a split leaf becomes an
+  interior server that routes stragglers down the fresh forwarding
+  path, and a merged-away leaf retires into a forwarding alias for its
+  absorbing parent — so no sighting is lost.
+
+The sim-side driver (:class:`repro.sim.elastic.ElasticHarness`) wires
+the three together into observe → plan → migrate rounds.
+"""
+
+from repro.cluster.load import LoadMonitor, LoadSample
+from repro.cluster.migration import MigrationExecutor, MigrationReport
+from repro.cluster.planner import (
+    MergePlan,
+    PlannerConfig,
+    RebalancePlan,
+    RebalancePlanner,
+    SplitPlan,
+)
+
+__all__ = [
+    "LoadMonitor",
+    "LoadSample",
+    "MergePlan",
+    "MigrationExecutor",
+    "MigrationReport",
+    "PlannerConfig",
+    "RebalancePlan",
+    "RebalancePlanner",
+    "SplitPlan",
+]

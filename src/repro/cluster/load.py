@@ -1,0 +1,122 @@
+"""Per-server load sampling with a decayed sliding window.
+
+The paper's servers already count their operations
+(:class:`~repro.core.server.ServerStats`); the monitor turns those
+cumulative counters into per-server *rates* that age out: each
+:meth:`LoadMonitor.sample` computes the instantaneous rate since the
+previous sample and folds it into an exponentially weighted moving
+average whose half-life is configurable.  A burst therefore raises a
+server's load quickly, and an idle stretch decays it back — exactly the
+signal the rebalance planner needs to tell a sustained hotspot from a
+blip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.server import LocationServer
+
+
+@dataclass(frozen=True, slots=True)
+class LoadSample:
+    """One server's load at a sampling instant."""
+
+    server_id: str
+    ops: int  # cumulative operation count
+    delta: int  # operations since the previous sample
+    rate: float  # decayed operations/second
+    index_size: int  # sightings held (0 for interior servers)
+
+
+def ops_of(server: LocationServer) -> int:
+    """The operations that cost a server CPU, per its own counters.
+
+    Updates dominate the paper's workload; handovers, queries and
+    registrations are counted alongside so a query-heavy leaf also
+    registers as loaded.
+    """
+    stats = server.stats
+    return (
+        stats.updates
+        + stats.registrations
+        + stats.handovers_admitted
+        + stats.handovers_initiated
+        + stats.pos_queries_served
+        + stats.range_queries_served
+        + stats.nn_rounds_served
+    )
+
+
+class LoadMonitor:
+    """Decayed sliding-window load rates over a service's servers."""
+
+    def __init__(self, half_life: float = 10.0) -> None:
+        """
+        Args:
+            half_life: seconds after which an old rate contribution has
+                decayed to half its weight.
+        """
+        if half_life <= 0.0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        self.half_life = half_life
+        self._last_ops: dict[str, int] = {}
+        self._rates: dict[str, float] = {}
+        self._last_time: float | None = None
+
+    def sample(self, service, now: float) -> dict[str, LoadSample]:
+        """Fold the current counters into the window; returns all samples.
+
+        Servers appearing for the first time (freshly spawned split
+        children) start from their current counters with an undecayed
+        instantaneous rate; servers that left the hierarchy (retired
+        after a merge) are dropped from the window.
+        """
+        dt = None if self._last_time is None else now - self._last_time
+        if dt is not None and dt <= 0.0:
+            # Same-instant resample: report the current state but leave
+            # the window untouched — blending a forced-zero instant rate
+            # here would wipe every EWMA and fake an idle cluster.
+            return {
+                server_id: LoadSample(
+                    server_id=server_id,
+                    ops=ops_of(server),
+                    delta=0,
+                    rate=self._rates.get(server_id, 0.0),
+                    index_size=len(server.store.sightings) if server.is_leaf else 0,
+                )
+                for server_id, server in service.servers.items()
+            }
+        self._last_time = now
+        alpha = 1.0 if dt is None else 1.0 - 0.5 ** (dt / self.half_life)
+        samples: dict[str, LoadSample] = {}
+        live_ids = set(service.servers)
+        for server_id, server in service.servers.items():
+            ops = ops_of(server)
+            previous = self._last_ops.get(server_id)
+            delta = ops - previous if previous is not None else 0
+            instant = 0.0 if dt is None else delta / dt
+            if server_id in self._rates and dt is not None:
+                rate = (1.0 - alpha) * self._rates[server_id] + alpha * instant
+            else:
+                rate = instant
+            self._last_ops[server_id] = ops
+            self._rates[server_id] = rate
+            samples[server_id] = LoadSample(
+                server_id=server_id,
+                ops=ops,
+                delta=delta,
+                rate=rate,
+                index_size=len(server.store.sightings) if server.is_leaf else 0,
+            )
+        for stale in set(self._rates) - live_ids:
+            self._rates.pop(stale, None)
+            self._last_ops.pop(stale, None)
+        return samples
+
+    def rate_of(self, server_id: str) -> float:
+        """The current decayed rate; 0 for unknown servers."""
+        return self._rates.get(server_id, 0.0)
+
+    def rates(self) -> dict[str, float]:
+        return dict(self._rates)

@@ -1,0 +1,130 @@
+"""Live application of rebalance plans to a running location service.
+
+A migration happens *between* protocol steps on the simulation loop, but
+the service never pauses from the protocol's point of view: messages
+already in flight when the topology changes are routed through the
+existing mechanisms —
+
+* a **split** leaf becomes an interior server whose visitor DB holds a
+  replayed forwarding pointer per migrated object, so reports, position
+  queries, deregistrations and cached-handover probes that still address
+  it flow down the fresh path (Algorithms 6-2/6-4 unchanged);
+* a **merged** parent becomes the leaf agent for every absorbed object
+  (its ancestors' forwarding references already point at it, so paths
+  stay intact with no replay above the merge point), and the retired
+  children turn into forwarding aliases for the parent.
+
+Object state moves through the storage layer's bulk paths: one
+``export_leaf_entries`` snapshot per source, one ``bulk_admit`` per
+destination (spatial-index ``bulk_load`` + ``compact``, so R-tree MBRs
+inflated by the source's in-place move stream are re-tightened rather
+than inherited).
+
+One caveat: plans must be applied from *outside* the simulation loop
+(between ``run``/``settle`` calls, as :class:`~repro.sim.elastic.
+ElasticHarness` does), so no fan-out query is parked mid-collection
+when the topology changes.  Messages that are merely queued survive the
+change via the forwarding mechanisms above, but a range/NN collector
+racing a merge could see the absorbing parent's coverage overlap an
+already-counted retired child and resolve early.  An epoch tag on
+fan-out queries would lift this restriction (ROADMAP open item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.planner import MergePlan, RebalancePlan, SplitPlan
+from repro.errors import LocationServiceError
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationReport:
+    """What one applied plan did."""
+
+    plan: RebalancePlan
+    moved: int
+    new_homes: dict[str, str] = field(default_factory=dict)
+    spawned: tuple[str, ...] = ()
+    retired: tuple[str, ...] = ()
+
+
+class MigrationExecutor:
+    """Applies split and merge plans to one :class:`LocationService`."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.reports: list[MigrationReport] = []
+
+    def execute(self, plan: RebalancePlan) -> MigrationReport:
+        if isinstance(plan, SplitPlan):
+            report = self._split(plan)
+        elif isinstance(plan, MergePlan):
+            report = self._merge(plan)
+        else:
+            raise LocationServiceError(f"unknown plan type {type(plan).__name__}")
+        self.reports.append(report)
+        return report
+
+    def execute_all(self, plans: list[RebalancePlan]) -> list[MigrationReport]:
+        return [self.execute(plan) for plan in plans]
+
+    # -- split -------------------------------------------------------------
+
+    def _split(self, plan: SplitPlan) -> MigrationReport:
+        svc = self.service
+        hierarchy = svc.hierarchy.with_split(plan.leaf_id, list(plan.children))
+        now = svc.loop.now
+        parent = svc.servers[plan.leaf_id]
+        parent_config = hierarchy.config(plan.leaf_id)
+        for child_id, _ in plan.children:
+            svc.spawn_server(hierarchy.config(child_id))
+        # The old leaf keeps only forwarding pointers from here on.
+        store = parent.become_interior(parent_config)
+        entries = store.export_leaf_entries()
+        buckets: dict[str, list] = {child_id: [] for child_id, _ in plan.children}
+        new_homes: dict[str, str] = {}
+        for entry in entries:
+            ref = parent_config.child_for(entry[0].pos)
+            if ref is None:  # pragma: no cover - children tile the parent
+                raise LocationServiceError(
+                    f"no child of {plan.leaf_id} covers {entry[0].pos}"
+                )
+            buckets[ref.server_id].append(entry)
+            new_homes[entry[0].object_id] = ref.server_id
+        for child_id, batch in buckets.items():
+            if batch:
+                svc.servers[child_id].store.bulk_admit(batch, now=now)
+        parent.visitors.insert_forward_many(new_homes.items())
+        svc.adopt_hierarchy(hierarchy)
+        return MigrationReport(
+            plan=plan,
+            moved=len(entries),
+            new_homes=new_homes,
+            spawned=tuple(child_id for child_id, _ in plan.children),
+        )
+
+    # -- merge -------------------------------------------------------------
+
+    def _merge(self, plan: MergePlan) -> MigrationReport:
+        svc = self.service
+        hierarchy = svc.hierarchy.with_merge(plan.parent_id)
+        now = svc.loop.now
+        parent = svc.servers[plan.parent_id]
+        entries = []
+        for child_id in plan.children:
+            entries.extend(svc.servers[child_id].store.export_leaf_entries())
+        store = parent.make_store()
+        if entries:
+            store.bulk_admit(entries, now=now)
+        parent.become_leaf(hierarchy.config(plan.parent_id), store)
+        for child_id in plan.children:
+            svc.retire_server(child_id, successor=plan.parent_id)
+        svc.adopt_hierarchy(hierarchy)
+        new_homes = {entry[0].object_id: plan.parent_id for entry in entries}
+        return MigrationReport(
+            plan=plan,
+            moved=len(entries),
+            new_homes=new_homes,
+            retired=tuple(plan.children),
+        )

@@ -1,0 +1,261 @@
+"""Rebalance planning: hot-leaf splits and cold sibling-set merges.
+
+The planner reads the monitor's decayed load rates and the live object
+counts and emits declarative plans; it never touches the hierarchy
+itself (the :class:`~repro.cluster.migration.MigrationExecutor` does).
+
+Hot-leaf detection combines an absolute and a relative criterion: a leaf
+is hot when its load exceeds ``split_load`` outright, or when it exceeds
+``hot_factor`` times its siblings' mean while also clearing
+``hot_min_load`` (so a 3-vs-1 ops blip on an idle system never triggers
+a split).  Cold detection is the dual with hysteresis: an all-leaf
+sibling set whose total load stays under ``merge_load`` — far below the
+split thresholds — folds back into its parent.
+
+Cut-line selection asks the hot leaf's spatial index directly: candidate
+cuts at even fractions along both axes are costed with **one** batched
+:meth:`~repro.spatial.SpatialIndex.query_rect_many` traversal
+(:meth:`~repro.storage.sighting_db.SightingDB.counts_in_rects`), and the
+axis/position whose two sides hold the most balanced object counts wins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.geo import Rect
+
+#: Split children are named ``<leaf>/<generation>.<i>`` so ids stay
+#: unique across repeated split/merge cycles of the same area.
+_GENERATIONS = 64
+
+
+@dataclass(frozen=True, slots=True)
+class SplitPlan:
+    """Split one hot leaf into children along one axis."""
+
+    leaf_id: str
+    axis: str  # "x" or "y"
+    cut: float
+    children: tuple[tuple[str, Rect], ...]
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class MergePlan:
+    """Fold a cold all-leaf sibling set back into its parent."""
+
+    parent_id: str
+    children: tuple[str, ...]
+    reason: str = ""
+
+
+RebalancePlan = SplitPlan | MergePlan
+
+
+@dataclass(frozen=True, slots=True)
+class PlannerConfig:
+    """Thresholds and knobs for one planner instance."""
+
+    #: absolute ops/s beyond which a leaf splits unconditionally.
+    split_load: float = 400.0
+    #: relative trigger: load > hot_factor * sibling mean …
+    hot_factor: float = 3.0
+    #: … but only when the leaf also clears this floor.
+    hot_min_load: float = 100.0
+    #: total child ops/s under which an all-leaf sibling set merges.
+    merge_load: float = 20.0
+    #: seconds a freshly spawned leaf is exempt from merging (its decayed
+    #: load window is still ramping up from zero).
+    merge_cooldown: float = 15.0
+    #: never merge sibling sets holding more objects than this.
+    merge_max_objects: int = 100_000
+    #: leaves with fewer objects than this never split.
+    min_split_objects: int = 16
+    #: leaves narrower than this (in meters, both axes) never split.
+    min_leaf_side: float = 1.0
+    #: candidate cut positions per axis.
+    cut_candidates: int = 7
+
+
+class RebalancePlanner:
+    """Emit split/merge plans for one service snapshot."""
+
+    def __init__(self, config: PlannerConfig | None = None) -> None:
+        self.config = config if config is not None else PlannerConfig()
+
+    # -- entry point --------------------------------------------------------
+
+    def plan(self, service, rates: dict[str, float]) -> list[RebalancePlan]:
+        """Plans for the current hierarchy under the given load rates.
+
+        Splits are planned first; a merge is suppressed when any of its
+        children is itself being split (the two would conflict within
+        one rebalance round).
+        """
+        plans: list[RebalancePlan] = []
+        split_leaves: set[str] = set()
+        for leaf_id in service.hierarchy.leaf_ids():
+            split = self._split_plan(service, leaf_id, rates)
+            if split is not None:
+                plans.append(split)
+                split_leaves.add(leaf_id)
+        plans.extend(self._merge_plans(service, rates, split_leaves))
+        return plans
+
+    # -- splits ------------------------------------------------------------
+
+    def _is_hot(self, service, leaf_id: str, rates: dict[str, float]) -> str | None:
+        """A human-readable reason when the leaf is hot, else ``None``."""
+        config = self.config
+        rate = rates.get(leaf_id, 0.0)
+        if rate > config.split_load:
+            return f"load {rate:.0f}/s exceeds split_load {config.split_load:.0f}/s"
+        siblings = service.hierarchy.siblings_of(leaf_id)
+        if siblings and rate > config.hot_min_load:
+            sibling_mean = sum(rates.get(s, 0.0) for s in siblings) / len(siblings)
+            if rate > config.hot_factor * max(sibling_mean, 1e-9):
+                return (
+                    f"load {rate:.0f}/s is {config.hot_factor:.1f}x over "
+                    f"sibling mean {sibling_mean:.0f}/s"
+                )
+        return None
+
+    def _split_plan(
+        self, service, leaf_id: str, rates: dict[str, float]
+    ) -> SplitPlan | None:
+        reason = self._is_hot(service, leaf_id, rates)
+        if reason is None:
+            return None
+        config = self.config
+        server = service.servers[leaf_id]
+        store = server.store
+        if len(store.sightings) < config.min_split_objects:
+            return None
+        area = server.config.area
+        if area.width < 2 * config.min_leaf_side and area.height < 2 * config.min_leaf_side:
+            return None
+        best = self._best_cut(store, area)
+        if best is None:
+            return None
+        axis, cut = best
+        if axis == "x":
+            halves = (
+                Rect(area.min_x, area.min_y, cut, area.max_y),
+                Rect(cut, area.min_y, area.max_x, area.max_y),
+            )
+        else:
+            halves = (
+                Rect(area.min_x, area.min_y, area.max_x, cut),
+                Rect(area.min_x, cut, area.max_x, area.max_y),
+            )
+        names = self._child_ids(service, leaf_id, count=2)
+        return SplitPlan(
+            leaf_id=leaf_id,
+            axis=axis,
+            cut=cut,
+            children=tuple(zip(names, halves)),
+            reason=reason,
+        )
+
+    def _best_cut(self, store, area: Rect) -> tuple[str, float] | None:
+        """The (axis, position) whose sides best balance object counts.
+
+        All candidate "low side" rects — both axes — are costed with one
+        batched index traversal.  Candidates are half-open on the cut
+        (the low rect is shrunk by an epsilon) so a point *on* the cut
+        line counts for the high side, matching the half-open routing a
+        split would install.
+        """
+        config = self.config
+        candidates: list[tuple[str, float]] = []
+        rects: list[Rect] = []
+        steps = config.cut_candidates
+        if area.width >= 2 * config.min_leaf_side:
+            for j in range(1, steps + 1):
+                cut = area.min_x + area.width * j / (steps + 1)
+                candidates.append(("x", cut))
+                rects.append(Rect(area.min_x, area.min_y, _below(cut), area.max_y))
+        if area.height >= 2 * config.min_leaf_side:
+            for j in range(1, steps + 1):
+                cut = area.min_y + area.height * j / (steps + 1)
+                candidates.append(("y", cut))
+                rects.append(Rect(area.min_x, area.min_y, area.max_x, _below(cut)))
+        if not candidates:
+            return None
+        total = len(store.sightings)
+        counts = store.sightings.counts_in_rects(rects)
+        best: tuple[str, float] | None = None
+        best_imbalance = total + 1
+        for (axis, cut), low in zip(candidates, counts):
+            high = total - low
+            if low == 0 or high == 0:
+                continue  # a cut that moves nothing helps nothing
+            imbalance = abs(high - low)
+            if imbalance < best_imbalance:
+                best_imbalance = imbalance
+                best = (axis, cut)
+        return best
+
+    def _child_ids(self, service, leaf_id: str, count: int) -> list[str]:
+        """Fresh server ids for a split, unique across live *and* retired
+        servers (a re-split after a merge must not reuse an alias)."""
+        taken = service.servers.keys() | service.retired_servers.keys()
+        for generation in itertools.count():
+            if generation >= _GENERATIONS:
+                raise RuntimeError(f"no free child ids under {leaf_id!r}")
+            names = [f"{leaf_id}/{generation}.{i}" for i in range(count)]
+            if not any(name in taken for name in names):
+                return names
+        raise AssertionError("unreachable")
+
+    # -- merges ------------------------------------------------------------
+
+    def _merge_plans(
+        self, service, rates: dict[str, float], split_leaves: set[str]
+    ) -> list[MergePlan]:
+        config = self.config
+        plans: list[MergePlan] = []
+        hierarchy = service.hierarchy
+        now = service.loop.now
+        for server_id in hierarchy.server_ids():
+            node = hierarchy.config(server_id)
+            if node.is_leaf or node.is_root:
+                continue
+            child_ids = [ref.server_id for ref in node.children]
+            if any(cid in split_leaves for cid in child_ids):
+                continue
+            if not all(hierarchy.config(cid).is_leaf for cid in child_ids):
+                continue
+            if any(
+                getattr(service.servers[cid], "created_at", 0.0)
+                > now - config.merge_cooldown
+                for cid in child_ids
+            ):
+                continue
+            total_rate = sum(rates.get(cid, 0.0) for cid in child_ids)
+            if total_rate >= config.merge_load:
+                continue
+            total_objects = sum(
+                len(service.servers[cid].store.sightings) for cid in child_ids
+            )
+            if total_objects > config.merge_max_objects:
+                continue
+            plans.append(
+                MergePlan(
+                    parent_id=server_id,
+                    children=tuple(child_ids),
+                    reason=(
+                        f"total child load {total_rate:.0f}/s under "
+                        f"merge_load {config.merge_load:.0f}/s"
+                    ),
+                )
+            )
+        return plans
+
+
+def _below(value: float) -> float:
+    """The largest float strictly less than ``value`` (half-open cuts)."""
+    return math.nextafter(value, -math.inf)

@@ -143,6 +143,17 @@ class Hierarchy:
             current = self.config(current.parent)
         return path
 
+    def siblings_of(self, server_id: str) -> list[str]:
+        """Ids of the other children of this server's parent (may be empty)."""
+        parent = self.config(server_id).parent
+        if parent is None:
+            return []
+        return [
+            ref.server_id
+            for ref in self.config(parent).children
+            if ref.server_id != server_id
+        ]
+
     def leaf_for_point(self, point: Point) -> str:
         """Descend from the root to the leaf responsible for ``point``."""
         config = self._configs[self.root_id]
@@ -156,6 +167,65 @@ class Hierarchy:
                 )
             config = self._configs[child.server_id]
         return config.server_id
+
+    # -- elastic reconfiguration (repro.cluster) -------------------------------
+    #
+    # The paper configures the hierarchy once and never changes it.  The
+    # elastic cluster layer derives *new* hierarchies from the current one:
+    # each derivation returns a fresh, fully re-validated :class:`Hierarchy`
+    # (the Section-4 requirements are checked by the constructor), leaving
+    # the original untouched so a migration can be planned against a stable
+    # snapshot and applied atomically.
+
+    def with_split(
+        self, leaf_id: str, children: list[tuple[str, Rect]]
+    ) -> "Hierarchy":
+        """A new hierarchy where leaf ``leaf_id`` gains the given children.
+
+        The leaf becomes an interior server; every ``(server_id, area)``
+        pair becomes a new leaf under it.  The child areas must tile the
+        leaf's service area without overlapping (validated).
+        """
+        config = self.config(leaf_id)
+        if not config.is_leaf:
+            raise ConfigurationError(f"{leaf_id} is not a leaf; cannot split")
+        if len(children) < 2:
+            raise ConfigurationError(f"split of {leaf_id} needs >= 2 children")
+        for child_id, _ in children:
+            if child_id in self._configs:
+                raise ConfigurationError(f"server id {child_id!r} already exists")
+        refs = tuple(ChildRef(child_id, area) for child_id, area in children)
+        configs = dict(self._configs)
+        configs[leaf_id] = ServerConfig(
+            leaf_id, config.area, config.parent, refs, config.root_area
+        )
+        for child_id, area in children:
+            configs[child_id] = ServerConfig(
+                child_id, area, leaf_id, (), config.root_area
+            )
+        return Hierarchy(configs)
+
+    def with_merge(self, parent_id: str) -> "Hierarchy":
+        """A new hierarchy where ``parent_id``'s children fold back into it.
+
+        Every child must be a leaf; the parent becomes a leaf covering the
+        union of their areas (its own area, by requirement 1).
+        """
+        config = self.config(parent_id)
+        if config.is_leaf:
+            raise ConfigurationError(f"{parent_id} is a leaf; nothing to merge")
+        for ref in config.children:
+            if not self.config(ref.server_id).is_leaf:
+                raise ConfigurationError(
+                    f"cannot merge {parent_id}: child {ref.server_id} is not a leaf"
+                )
+        configs = dict(self._configs)
+        for ref in config.children:
+            del configs[ref.server_id]
+        configs[parent_id] = ServerConfig(
+            parent_id, config.area, config.parent, (), config.root_area
+        )
+        return Hierarchy(configs)
 
     # -- invariants ------------------------------------------------------------
 

@@ -272,6 +272,55 @@ class RangeQuerySubRes(Message):
     origin_area: Rect
 
 
+@dataclass(frozen=True, slots=True)
+class RangeBatchItem(Message):
+    """One sub-query of a batched range fan-out (see
+    :class:`RangeQueryBatchFwd`).  ``index`` identifies the sub-query
+    within its batch so sub-results can be attributed."""
+
+    index: int
+    area: Region
+    req_acc: float
+    req_overlap: float
+    dispatch: Rect
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryBatchFwd(Message):
+    """*Derived.*  Many range queries fanned out as one message.
+
+    Routed like :class:`RangeQueryFwd`, but carrying a whole batch of
+    sub-queries: interior servers re-partition the batch per child in one
+    hop, and a leaf answers all of its sub-queries through a single
+    batched spatial-index traversal (``query_rect_many``) and one
+    :class:`RangeQueryBatchSubRes` — the per-leaf candidate collection
+    the sim/bench tick already used, now inside the query protocol.
+    Batches always travel through the hierarchy (no §6.5 direct-dispatch
+    variant: one cached-leaf dispatch per sub-query would fragment the
+    batch).
+    """
+
+    query_id: str
+    items: tuple[RangeBatchItem, ...]
+    entry_server: str
+    sender: str
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQueryBatchSubRes(Message):
+    """One leaf's answers for every sub-query of a batch it covers.
+
+    ``results`` holds ``(item_index, entries, covered_area)`` triples;
+    like :class:`RangeQuerySubRes` this is not a :class:`Response` —
+    several arrive per batch and the entry server aggregates them.
+    """
+
+    query_id: str
+    results: tuple[tuple[int, tuple[ObjectEntry, ...], float], ...]
+    origin: str
+    origin_area: Rect
+
+
 # ---------------------------------------------------------------------------
 # Nearest-neighbor query (derived; semantics from Section 3.2)
 # ---------------------------------------------------------------------------

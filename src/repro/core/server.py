@@ -32,7 +32,11 @@ from dataclasses import dataclass, field
 from repro.core import messages as m
 from repro.core.caching import CacheConfig, LeafCaches
 from repro.core.hierarchy import ServerConfig
-from repro.errors import AccuracyUnavailableError, UnknownObjectError
+from repro.errors import (
+    AccuracyUnavailableError,
+    ConfigurationError,
+    UnknownObjectError,
+)
 from repro.geo import Point, Rect, region_bounds
 from repro.model import (
     AccuracyModel,
@@ -86,8 +90,14 @@ class _Collector:
     def add(self, entries, covered: float, origin: str) -> None:
         for oid, descriptor in entries:
             self.entries[oid] = descriptor
-        self.covered += covered
-        self.origins.add(origin)
+        # A leaf's coverage contribution is a constant of the query
+        # (dispatch ∩ its area), so count each origin once: duplicate
+        # answers — e.g. two retired aliases forwarding a §6.5-cached
+        # direct dispatch to the same successor — must not inflate the
+        # covered total past leaves that have not answered yet.
+        if origin not in self.origins:
+            self.covered += covered
+            self.origins.add(origin)
 
     @property
     def complete(self) -> bool:
@@ -99,6 +109,45 @@ class _Collector:
 
     def sorted_entries(self) -> tuple[ObjectEntry, ...]:
         return tuple(sorted(self.entries.items()))
+
+
+class _BatchCollector:
+    """Per-item coverage accounting for one batched range fan-out."""
+
+    __slots__ = ("future", "targets", "covered", "entries", "origins", "_seen")
+
+    def __init__(self, future, targets: list[float]) -> None:
+        self.future = future
+        self.targets = targets
+        self.covered = [0.0] * len(targets)
+        self.entries: list[dict[str, object]] = [{} for _ in targets]
+        self.origins: set[str] = set()
+        self._seen: set[tuple[int, str]] = set()
+
+    def add(self, index: int, entries, covered: float, origin: str) -> None:
+        bucket = self.entries[index]
+        for oid, descriptor in entries:
+            bucket[oid] = descriptor
+        # Same per-origin dedupe as _Collector, per sub-query.
+        if (index, origin) not in self._seen:
+            self._seen.add((index, origin))
+            self.covered[index] += covered
+            self.origins.add(origin)
+
+    def item_complete(self, index: int) -> bool:
+        target = self.targets[index]
+        return self.covered[index] + _COVER_EPS * max(target, 1.0) >= target
+
+    @property
+    def complete(self) -> bool:
+        return all(self.item_complete(i) for i in range(len(self.targets)))
+
+    def resolve_if_complete(self) -> None:
+        if self.complete and not self.future.done():
+            self.future.set_result(None)
+
+    def sorted_entries(self, index: int) -> tuple[ObjectEntry, ...]:
+        return tuple(sorted(self.entries[index].items()))
 
 
 class LocationServer(Endpoint):
@@ -121,6 +170,16 @@ class LocationServer(Endpoint):
         self.accuracy = accuracy if accuracy is not None else AccuracyModel()
         self.stats = ServerStats()
         self._sweep_interval = sweep_interval
+        self._cache_config = cache_config or CacheConfig.disabled()
+        self._index_kind = index_kind
+        self._sighting_ttl = sighting_ttl
+        #: set by :meth:`retire` when this server left the hierarchy after
+        #: a merge; all further non-response traffic forwards there.
+        self._retired_to: str | None = None
+        #: whether the periodic soft-state sweep timer is running.  Once
+        #: started it re-arms itself forever (sweeping no-ops while the
+        #: server is interior), so it must be started at most once.
+        self._sweep_scheduled = False
         if self.is_leaf:
             self.store: LocalDataStore | None = LocalDataStore(
                 accuracy=self.accuracy,
@@ -129,12 +188,13 @@ class LocationServer(Endpoint):
                 ttl=sighting_ttl,
             )
             self.visitors = self.store.visitors
-            self.caches = LeafCaches(cache_config or CacheConfig.disabled())
+            self.caches = LeafCaches(self._cache_config)
         else:
             self.store = None
             self.visitors = VisitorDB(store=store)
             self.caches = LeafCaches(CacheConfig.disabled())
         self._collectors: dict[str, _Collector] = {}
+        self._batch_collectors: dict[str, _BatchCollector] = {}
         self._nn_initial_radius = (
             nn_initial_radius
             if nn_initial_radius is not None
@@ -160,6 +220,8 @@ class LocationServer(Endpoint):
         self.on(m.RangeQueryReq, self._on_range_query)
         self.on(m.RangeQueryFwd, self._on_range_fwd)
         self.on(m.RangeQuerySubRes, self._on_range_sub_res)
+        self.on(m.RangeQueryBatchFwd, self._on_range_batch_fwd)
+        self.on(m.RangeQueryBatchSubRes, self._on_range_batch_sub_res)
         self.on(m.NeighborQueryReq, self._on_neighbor_query)
         self.on(m.NNCandidatesFwd, self._on_nn_fwd)
         self.on(m.NNCandidatesSubRes, self._on_nn_sub_res)
@@ -171,6 +233,7 @@ class LocationServer(Endpoint):
 
     def on_attached(self) -> None:
         if self._sweep_interval is not None and self.is_leaf:
+            self._sweep_scheduled = True
             self.ctx.call_later(self._sweep_interval, self._periodic_sweep)
 
     def _periodic_sweep(self) -> None:
@@ -192,6 +255,110 @@ class LocationServer(Endpoint):
         """Wipe volatile state, as after a restart (persistent DB survives)."""
         if self.is_leaf:
             self.store.crash(now=self.ctx.now() if self.ctx is not None else 0.0)
+
+    # -- elastic role changes (repro.cluster) ----------------------------------
+    #
+    # The migration executor converts servers between roles while the
+    # service keeps running.  The conversions only swap state; moving the
+    # objects and replaying forwarding pointers is the executor's job.
+
+    def become_interior(self, config: ServerConfig) -> LocalDataStore:
+        """Switch this leaf to an interior role after a split.
+
+        Returns the old data store so the caller can migrate its objects
+        into the new children; this server keeps only a fresh visitor DB
+        of forwarding references (the executor replays one per migrated
+        object).
+        """
+        if not self.is_leaf:
+            raise ConfigurationError(f"{self.address} is not a leaf")
+        store = self.store
+        self.config = config
+        self.is_leaf = False
+        self.store = None
+        self.visitors = VisitorDB()
+        self.caches = LeafCaches(CacheConfig.disabled())
+        return store
+
+    def become_leaf(self, config: ServerConfig, store: LocalDataStore) -> None:
+        """Switch this interior server to a leaf role after a merge.
+
+        ``store`` is the merged data store the executor bulk-built from
+        the retiring children; its visitor DB replaces the forwarding
+        references this server held while interior.
+        """
+        if self.is_leaf:
+            raise ConfigurationError(f"{self.address} is already a leaf")
+        self.config = config
+        self.is_leaf = True
+        self.store = store
+        self.visitors = store.visitors
+        self.caches = LeafCaches(self._cache_config)
+        # An originally-interior server never started its soft-state
+        # sweep (on_attached skips non-leaves); start it now.
+        if (
+            self._sweep_interval is not None
+            and not self._sweep_scheduled
+            and self.ctx is not None
+        ):
+            self._sweep_scheduled = True
+            self.ctx.call_later(self._sweep_interval, self._periodic_sweep)
+
+    def make_store(self) -> LocalDataStore:
+        """A fresh data store configured like this server's leaf role.
+
+        The migration executor bulk-builds the merged store outside the
+        server and installs it via :meth:`become_leaf`.
+        """
+        return LocalDataStore(
+            accuracy=self.accuracy,
+            index=make_index(self._index_kind),
+            ttl=self._sighting_ttl,
+        )
+
+    def retire(self, successor: str) -> None:
+        """Leave the hierarchy, aliasing this address to ``successor``.
+
+        A merged-away leaf cannot simply vanish: in-flight reports,
+        cached-handover probes and stale §6.5 area-cache dispatches still
+        target its address.  A retired server drops all local state and
+        forwards every arriving request to its successor (the absorbing
+        parent), whose answers teach senders the new topology.
+        """
+        self.is_leaf = False
+        self.store = None
+        self.visitors = VisitorDB()
+        self.caches = LeafCaches(CacheConfig.disabled())
+        self._retired_to = successor
+
+    @property
+    def retired(self) -> bool:
+        return self._retired_to is not None
+
+    def deliver(self, message) -> None:
+        """Intercept delivery: a retired address forwards all requests.
+
+        Responses still resolve locally parked futures, and fan-out
+        sub-results addressed to a still-open local collector are
+        aggregated locally (a query issued just before retirement must
+        not hang); everything else goes to the successor unchanged — the
+        messages carry their own reply/entry-server addresses, so
+        answers flow to the right place.
+        """
+        if self._retired_to is not None and not isinstance(message, m.Response):
+            if (
+                isinstance(message, (m.RangeQuerySubRes, m.NNCandidatesSubRes))
+                and message.query_id in self._collectors
+            ) or (
+                isinstance(message, m.RangeQueryBatchSubRes)
+                and message.query_id in self._batch_collectors
+            ):
+                super().deliver(message)
+                return
+            self.stats.note(message)
+            self.send(self._retired_to, message)
+            return
+        super().deliver(message)
 
     # -- routing helpers -----------------------------------------------------------
 
@@ -270,6 +437,15 @@ class LocationServer(Endpoint):
         sighting = msg.sighting
         record = self.visitors.leaf_record(sighting.object_id) if self.is_leaf else None
         if record is None:
+            # Elastic reconfiguration: after a split this server became
+            # interior while clients still address it as the agent.  Route
+            # the report down the forwarding path; the real agent answers
+            # with its own address, re-pointing the client.  No sighting
+            # is lost.
+            next_hop = self.visitors.forward_ref(sighting.object_id)
+            if next_hop is not None:
+                self.send(next_hop, msg)
+                return
             self.send(
                 msg.reply_to,
                 m.UpdateRes(
@@ -488,6 +664,11 @@ class LocationServer(Endpoint):
         self.stats.note(msg)
         record = self.visitors.leaf_record(msg.object_id) if self.is_leaf else None
         if record is None:
+            # Post-split forwarding, as in _on_update.
+            next_hop = self.visitors.forward_ref(msg.object_id)
+            if next_hop is not None:
+                self.send(next_hop, msg)
+                return
             self.send(msg.reply_to, m.DeregisterRes(request_id=msg.request_id, ok=False))
             return
         self.store.deregister(msg.object_id)
@@ -686,8 +867,9 @@ class LocationServer(Endpoint):
         collector = _Collector(self.ctx.create_future(), dispatch.area)
         self._collectors[query_id] = collector
         try:
-            # Local portion (Alg. 6-5 entry, lines 3-7).
-            if dispatch.intersects(self.config.area):
+            # Local portion (Alg. 6-5 entry, lines 3-7).  The store check
+            # covers a leaf that became interior mid-subscription.
+            if self.store is not None and dispatch.intersects(self.config.area):
                 local = self.store.range_query(query)
                 collector.add(
                     local, dispatch.intersection_area(self.config.area), self.address
@@ -730,6 +912,164 @@ class LocationServer(Endpoint):
         answer = await self._resolve_position(object_id)
         return answer.descriptor if answer.found else None
 
+    async def evaluate_range_many(
+        self, queries: list[RangeQuery]
+    ) -> list[tuple[ObjectEntry, ...]]:
+        """Run many distributed range queries as *one* batched fan-out.
+
+        The batched counterpart of :meth:`evaluate_range`: all local
+        portions hit the spatial index in one ``query_rect_many``
+        traversal, and the remote portions travel as a single
+        :class:`~repro.core.messages.RangeQueryBatchFwd` that interior
+        servers re-partition per child — so a tick's worth of range
+        queries costs one message per involved server instead of one per
+        query per server.  Answers per query match
+        :meth:`evaluate_range` entry-for-entry.
+        """
+        entries, _ = await self._execute_range_many(queries)
+        return entries
+
+    async def _execute_range_many(
+        self, queries: list[RangeQuery]
+    ) -> tuple[list[tuple[ObjectEntry, ...]], set[str]]:
+        root_area = self.config.root_area
+        dispatches: list[Rect | None] = [
+            region_bounds(q.area).enlarged(effective_margin(q)).intersection(root_area)
+            for q in queries
+        ]
+        # Sub-queries with a live dispatch rect, indexed within the batch.
+        active = [i for i, d in enumerate(dispatches) if d is not None]
+        results: list[tuple[ObjectEntry, ...]] = [() for _ in queries]
+        self.stats.range_queries_served += len(queries)
+        if not active:
+            return results, set()
+        query_id = self.next_request_id()
+        collector = _BatchCollector(
+            self.ctx.create_future(), [dispatches[i].area for i in active]
+        )
+        self._batch_collectors[query_id] = collector
+        try:
+            area = self.config.area
+            local = (
+                [
+                    (slot, i)
+                    for slot, i in enumerate(active)
+                    if dispatches[i].intersects(area)
+                ]
+                if self.store is not None
+                else []
+            )
+            if local:
+                answers = self.store.range_query_many([queries[i] for _, i in local])
+                for (slot, i), found in zip(local, answers):
+                    collector.add(
+                        slot, found, dispatches[i].intersection_area(area), self.address
+                    )
+            collector.resolve_if_complete()
+            if not collector.complete:
+                items = tuple(
+                    m.RangeBatchItem(
+                        index=slot,
+                        area=queries[i].area,
+                        req_acc=queries[i].req_acc,
+                        req_overlap=queries[i].req_overlap,
+                        dispatch=dispatches[i],
+                    )
+                    for slot, i in enumerate(active)
+                    if not collector.item_complete(slot)
+                )
+                # An interior entry (split mid-use) routes through its own
+                # fwd handler so its children get the batch — see _fan_out.
+                dest = self.address if self.store is None else self._parent
+                if dest is not None:
+                    self.send(
+                        dest,
+                        m.RangeQueryBatchFwd(
+                            query_id=query_id,
+                            items=items,
+                            entry_server=self.address,
+                            sender=self.address,
+                        ),
+                    )
+                    await collector.future
+            for slot, i in enumerate(active):
+                results[i] = collector.sorted_entries(slot)
+            return results, set(collector.origins)
+        finally:
+            self._batch_collectors.pop(query_id, None)
+
+    async def _on_range_batch_fwd(self, msg: m.RangeQueryBatchFwd) -> None:
+        self.stats.note(msg)
+        area = self.config.area
+        live = [item for item in msg.items if item.dispatch.intersects(area)]
+        if live:
+            if self.is_leaf:
+                answers = self.store.range_query_many(
+                    [
+                        RangeQuery(
+                            item.area, req_acc=item.req_acc, req_overlap=item.req_overlap
+                        )
+                        for item in live
+                    ]
+                )
+                self.send(
+                    msg.entry_server,
+                    m.RangeQueryBatchSubRes(
+                        query_id=msg.query_id,
+                        results=tuple(
+                            (
+                                item.index,
+                                tuple(found),
+                                item.dispatch.intersection_area(area),
+                            )
+                            for item, found in zip(live, answers)
+                        ),
+                        origin=self.address,
+                        origin_area=area,
+                    ),
+                )
+            else:
+                for child in self.config.children:
+                    if child.server_id == msg.sender:
+                        continue
+                    sub = tuple(
+                        item for item in live if item.dispatch.intersects(child.area)
+                    )
+                    if sub:
+                        self.send(
+                            child.server_id,
+                            m.RangeQueryBatchFwd(
+                                query_id=msg.query_id,
+                                items=sub,
+                                entry_server=msg.entry_server,
+                                sender=self.address,
+                            ),
+                        )
+        if self._parent is not None and self._parent != msg.sender:
+            up = tuple(
+                item for item in msg.items if not area.contains_rect(item.dispatch)
+            )
+            if up:
+                self.send(
+                    self._parent,
+                    m.RangeQueryBatchFwd(
+                        query_id=msg.query_id,
+                        items=up,
+                        entry_server=msg.entry_server,
+                        sender=self.address,
+                    ),
+                )
+
+    async def _on_range_batch_sub_res(self, msg: m.RangeQueryBatchSubRes) -> None:
+        self.stats.note(msg)
+        self.caches.note_leaf_area(msg.origin, msg.origin_area)
+        collector = self._batch_collectors.get(msg.query_id)
+        if collector is None:
+            return  # late answer for an already-completed batch
+        for index, entries, covered in msg.results:
+            collector.add(index, entries, covered, msg.origin)
+        collector.resolve_if_complete()
+
     def _fan_out(self, query_id: str, dispatch: Rect, make_fwd) -> None:
         """Dispatch a fan-out query: straight to cached leaves when the
         §6.5 area cache covers the dispatch rect, else up the hierarchy.
@@ -738,6 +1078,16 @@ class LocationServer(Endpoint):
         dispatches suppress upward re-propagation at the receiving leaf
         (otherwise coverage would be double-counted through the tree).
         """
+        if self.store is None:
+            # Entry server that was split to interior mid-query (e.g. an
+            # event subscription registered while it was a leaf): route
+            # the dispatch through our own fwd handler.  With
+            # ``sender=self.address`` (neither a child nor the parent)
+            # the handler fans into our own children — who now hold the
+            # data — and still propagates upward when the dispatch
+            # escapes our area.
+            self.send(self.address, make_fwd(self.address, False))
+            return
         covering = self.caches.leaves_covering(dispatch)
         if covering is not None:
             sent_any = False
@@ -869,7 +1219,7 @@ class LocationServer(Endpoint):
         collector = _Collector(self.ctx.create_future(), target)
         self._collectors[query_id] = collector
         try:
-            if dispatch.intersects(self.config.area):
+            if self.store is not None and dispatch.intersects(self.config.area):
                 local = self.store.nn_candidates(dispatch, req_acc)
                 collector.add(
                     local, dispatch.intersection_area(self.config.area), self.address
@@ -955,6 +1305,11 @@ class LocationServer(Endpoint):
     async def _on_change_acc(self, msg: m.ChangeAccReq) -> None:
         self.stats.note(msg)
         if not self.is_leaf or self.visitors.leaf_record(msg.object_id) is None:
+            # Post-split forwarding, as in _on_update.
+            next_hop = self.visitors.forward_ref(msg.object_id)
+            if next_hop is not None:
+                self.send(next_hop, msg)
+                return
             self.send(
                 msg.reply_to,
                 m.ChangeAccRes(

@@ -44,27 +44,66 @@ class LocationService:
         self.network = SimNetwork(
             latency=latency, costs=costs, drop_rate=drop_rate, seed=seed
         )
+        self._server_kwargs = dict(
+            accuracy=accuracy,
+            index_kind=index_kind,
+            cache_config=cache_config,
+            sighting_ttl=sighting_ttl,
+            sweep_interval=sweep_interval,
+            nn_initial_radius=nn_initial_radius,
+        )
         self.servers: dict[str, LocationServer] = {}
+        #: servers that left the hierarchy after a merge; they stay on the
+        #: network as forwarding aliases for in-flight traffic.
+        self.retired_servers: dict[str, LocationServer] = {}
         for server_id in hierarchy.server_ids():
-            server = LocationServer(
-                hierarchy.config(server_id),
-                accuracy=accuracy,
-                index_kind=index_kind,
-                cache_config=cache_config,
-                sighting_ttl=sighting_ttl,
-                sweep_interval=sweep_interval,
-                nn_initial_radius=nn_initial_radius,
-            )
-            self.network.join(server)
-            self.servers[server_id] = server
+            self.servers[server_id] = self._spawn(hierarchy.config(server_id))
         self._client_counter = 0
         self._default_client: LocationClient | None = None
+
+    def _spawn(self, config) -> LocationServer:
+        server = LocationServer(config, **self._server_kwargs)
+        #: birth time on the virtual clock; the rebalance planner uses it
+        #: to keep freshly split children out of merge plans while their
+        #: decayed load window is still ramping up.
+        server.created_at = self.loop.now
+        self.network.join(server)
+        return server
 
     # -- wiring ------------------------------------------------------------
 
     @property
     def loop(self):
         return self.network.loop
+
+    def spawn_server(self, config) -> LocationServer:
+        """Instantiate and join a server for a freshly derived config.
+
+        Used by the elastic cluster layer (:mod:`repro.cluster`) when a
+        split adds new leaf servers; the server shares this service's
+        accuracy model, index kind, cache and soft-state configuration.
+        """
+        if config.server_id in self.servers or config.server_id in self.retired_servers:
+            raise LocationServiceError(f"server {config.server_id!r} already exists")
+        server = self._spawn(config)
+        self.servers[config.server_id] = server
+        return server
+
+    def adopt_hierarchy(self, hierarchy: Hierarchy) -> None:
+        """Swap in a derived hierarchy after an applied rebalance plan.
+
+        The caller (the migration executor) is responsible for having
+        already converted the affected servers' roles and moved their
+        state; this only replaces the routing snapshot the facade uses.
+        """
+        self.hierarchy = hierarchy
+
+    def retire_server(self, server_id: str, successor: str) -> LocationServer:
+        """Retire a merged-away server to a forwarding alias."""
+        server = self.servers.pop(server_id)
+        server.retire(successor)
+        self.retired_servers[server_id] = server
+        return server
 
     def entry_server_for(self, pos: Point) -> str:
         """The leaf server whose service area contains ``pos`` — stands in

@@ -24,11 +24,14 @@ from repro.sim.mobility import (
     make_walkers,
 )
 from repro.sim.workload import (
+    HotspotSpec,
     Operation,
     WorkloadGenerator,
     WorkloadSpec,
     coalesce_updates,
+    hotspot_positions,
     scatter_objects,
+    wavefront_area,
 )
 
 _SCENARIO_EXPORTS = {
@@ -44,18 +47,34 @@ _SCENARIO_EXPORTS = {
     "table2_service",
 }
 
+#: Exposed lazily for the same reason as the scenario helpers: the
+#: elastic harness imports repro.core/repro.cluster on top of this
+#: package's engine.
+_ELASTIC_EXPORTS = {
+    "ElasticHarness",
+    "commuter_rush_scenario",
+    "elastic_benchmark_payload",
+    "flash_crowd_scenario",
+}
+
 
 def __getattr__(name):
     if name in _SCENARIO_EXPORTS:
         from repro.sim import scenario
 
         return getattr(scenario, name)
+    if name in _ELASTIC_EXPORTS:
+        from repro.sim import elastic
+
+        return getattr(elastic, name)
     raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
 
 
 __all__ = [
     "CalibrationResult",
     "DistributedHarness",
+    "ElasticHarness",
+    "HotspotSpec",
     "LatencyRecorder",
     "ManhattanWalker",
     "MobilitySimulation",
@@ -80,11 +99,16 @@ __all__ = [
     "WorkloadSpec",
     "calibrate",
     "coalesce_updates",
+    "commuter_rush_scenario",
     "default_cost_model",
+    "elastic_benchmark_payload",
+    "flash_crowd_scenario",
     "format_table",
+    "hotspot_positions",
     "make_walkers",
     "percentile",
     "scatter_objects",
     "table1_store",
     "table2_service",
+    "wavefront_area",
 ]

@@ -1,0 +1,532 @@
+"""Elastic-cluster simulation driver and rebalance scenarios.
+
+:class:`ElasticHarness` glues the :mod:`repro.cluster` subsystem to a
+running :class:`~repro.core.service.LocationService`: it feeds position
+reports through the batched server tick (falling back to the full
+update/handover protocol for reports that cross service areas or race a
+migration), samples per-server load, and runs observe → plan → migrate
+rounds.
+
+Two scenarios drive a rebalance end to end and are the acceptance
+measurement for the elastic layer (recorded in ``BENCH_PR2.json``):
+
+* :func:`flash_crowd_scenario` — most of the population concentrates in
+  a small hotspot inside one leaf area (a stadium filling up).  Static
+  hierarchy: that leaf takes nearly all update load.  Elastic: the hot
+  leaf splits (recursively, while still hot) and the crowd's load
+  spreads over the new children.
+* :func:`commuter_rush_scenario` — a hot wavefront sweeps west→east
+  across the service area (the morning commute).  Leaves split as the
+  wave arrives and the cold sibling sets left behind merge back,
+  exercising split *and* merge plus object migration under motion.
+
+Both record before/after per-server sustained load and query latency,
+and verify the zero-loss property: every sighting present before the
+rebalance is reachable after it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster import (
+    LoadMonitor,
+    LoadSample,
+    MergePlan,
+    MigrationExecutor,
+    MigrationReport,
+    PlannerConfig,
+    RebalancePlanner,
+    SplitPlan,
+)
+from repro.core import LocationService, build_table2_hierarchy
+from repro.core import messages as m
+from repro.geo import Point, Rect
+from repro.model import RangeQuery, SightingRecord
+from repro.runtime.base import Endpoint
+from repro.runtime.latency import LatencyModel
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.workload import HotspotSpec, hotspot_positions, wavefront_area
+
+
+class _Reporter(Endpoint):
+    """A stand-in for the device fleet: sends ``UpdateReq`` on behalf of
+    any tracked object and awaits the acknowledgement."""
+
+    def __init__(self, address: str = "elastic-reporter") -> None:
+        super().__init__(address)
+
+    async def send_report(self, agent: str, sighting: SightingRecord) -> m.UpdateRes:
+        res = await self.request(
+            agent,
+            m.UpdateReq(
+                request_id=self.next_request_id(),
+                reply_to=self.address,
+                sighting=sighting,
+            ),
+        )
+        assert isinstance(res, m.UpdateRes)
+        return res
+
+
+@dataclass
+class TickLoad:
+    """Per-server operation deltas for one harness tick."""
+
+    time: float
+    deltas: dict[str, int] = field(default_factory=dict)
+
+
+class ElasticHarness:
+    """Observe → plan → migrate driver over one location service."""
+
+    def __init__(
+        self,
+        service: LocationService,
+        homes: dict[str, str],
+        monitor: LoadMonitor | None = None,
+        planner: RebalancePlanner | None = None,
+        executor: MigrationExecutor | None = None,
+    ) -> None:
+        self.svc = service
+        #: object id → the leaf currently believed to be its agent; kept
+        #: in sync from update acknowledgements and migration reports.
+        self.homes = dict(homes)
+        self.monitor = monitor if monitor is not None else LoadMonitor()
+        self.planner = planner if planner is not None else RebalancePlanner()
+        self.executor = executor if executor is not None else MigrationExecutor(service)
+        self.migrations: list[MigrationReport] = []
+        self.tick_loads: list[TickLoad] = []
+        self.latencies = LatencyRecorder()
+        self._reporter = _Reporter()
+        service.network.join(self._reporter)
+        self._clients: dict[str, object] = {}
+
+    # -- workload application ------------------------------------------------
+
+    def apply_reports(self, reports: list[tuple[str, Point]]) -> dict[str, int]:
+        """Apply one tick of position reports.
+
+        Reports whose object stays inside its current agent's area take
+        the batched fast path (one ``update_many`` per leaf); the rest —
+        area crossings, or objects whose believed agent was split or
+        merged away since the last tick — go through the full update
+        protocol, whose acknowledgement re-points the home map.  Returns
+        ``{"fast": n, "protocol": k}``.
+        """
+        svc = self.svc
+        now = svc.loop.now
+        per_leaf: dict[str, list[SightingRecord]] = {}
+        slow: list[tuple[str, Point]] = []
+        for oid, pos in reports:
+            home = self.homes.get(oid)
+            server = svc.servers.get(home) if home is not None else None
+            if (
+                server is not None
+                and server.is_leaf
+                and server.config.contains(pos)
+                and server.store.visitors.leaf_record(oid) is not None
+            ):
+                per_leaf.setdefault(home, []).append(
+                    SightingRecord(oid, now, pos, 10.0)
+                )
+            else:
+                slow.append((oid, pos))
+        for leaf_id, sightings in per_leaf.items():
+            server = svc.servers[leaf_id]
+            server.store.update_many(sightings, now=now)
+            server.stats.updates += len(sightings)
+        if slow:
+            reporter = self._reporter
+            homes = self.homes
+
+            async def report_one(oid: str, pos: Point) -> None:
+                agent = homes.get(oid)
+                if agent is None:
+                    return
+                res = await reporter.send_report(
+                    agent, SightingRecord(oid, svc.loop.now, pos, 10.0)
+                )
+                if res.deregistered:
+                    homes.pop(oid, None)
+                elif res.ok and res.agent is not None:
+                    homes[oid] = res.agent
+
+            async def run_protocol() -> None:
+                tasks = [
+                    svc.loop.create_task(report_one(oid, pos), name=f"report-{oid}")
+                    for oid, pos in slow
+                ]
+                for task in tasks:
+                    await task
+
+            svc.run(run_protocol())
+        return {"fast": sum(len(v) for v in per_leaf.values()), "protocol": len(slow)}
+
+    # -- probes --------------------------------------------------------------
+
+    def _client_at(self, leaf_id: str):
+        if leaf_id not in self._clients:
+            self._clients[leaf_id] = self.svc.new_client(entry_server=leaf_id)
+        return self._clients[leaf_id]
+
+    def probe_queries(
+        self,
+        rng: random.Random,
+        phase: str,
+        pos_queries: int = 4,
+        range_area: Rect | None = None,
+    ) -> None:
+        """Issue a few queries from random entry leaves, recording
+        latencies under ``pos_query:<phase>`` / ``range_query:<phase>``."""
+        svc = self.svc
+        leaves = svc.hierarchy.leaf_ids()
+        oids = list(self.homes)
+        loop = svc.loop
+        for _ in range(pos_queries):
+            client = self._client_at(rng.choice(leaves))
+            oid = rng.choice(oids)
+            start = loop.now
+            svc.run(client.pos_query(oid))
+            self.latencies.record(f"pos_query:{phase}", loop.now - start)
+        if range_area is not None:
+            client = self._client_at(rng.choice(leaves))
+            start = loop.now
+            svc.run(client.range_query(range_area, req_acc=100.0, req_overlap=0.3))
+            self.latencies.record(f"range_query:{phase}", loop.now - start)
+
+    # -- observe / rebalance ------------------------------------------------
+
+    def sample(self) -> dict[str, LoadSample]:
+        """Fold current counters into the load window; logs tick deltas."""
+        samples = self.monitor.sample(self.svc, self.svc.loop.now)
+        self.tick_loads.append(
+            TickLoad(
+                time=self.svc.loop.now,
+                deltas={sid: s.delta for sid, s in samples.items()},
+            )
+        )
+        return samples
+
+    def rebalance(self) -> list[MigrationReport]:
+        """One plan → migrate round; updates the home map."""
+        plans = self.planner.plan(self.svc, self.monitor.rates())
+        reports = self.executor.execute_all(plans)
+        for report in reports:
+            self.homes.update(report.new_homes)
+        self.migrations.extend(reports)
+        return reports
+
+    # -- verification ---------------------------------------------------------
+
+    def verify(self, expected_tracked: int) -> dict[str, object]:
+        """The zero-loss / invariant check the acceptance criteria demand."""
+        svc = self.svc
+        svc.settle()
+        tracked = svc.total_tracked()
+        svc.check_consistency()
+        svc.hierarchy.validate()
+        return {
+            "tracked": tracked,
+            "lost_sightings": expected_tracked - tracked,
+            "consistency_ok": True,
+            "hierarchy_valid": True,
+        }
+
+    # -- aggregate metrics ----------------------------------------------------
+
+    def sustained_loads(self, last_ticks: int) -> dict[str, float]:
+        """Per-server ops/s sustained over the last ``last_ticks`` ticks."""
+        window = self.tick_loads[-last_ticks:]
+        if len(window) < 2:
+            return {}
+        duration = window[-1].time - window[0].time
+        if duration <= 0.0:
+            return {}
+        totals: dict[str, int] = {}
+        for tick in window[1:]:  # deltas cover the interval since the prior tick
+            for sid, delta in tick.deltas.items():
+                totals[sid] = totals.get(sid, 0) + delta
+        return {sid: total / duration for sid, total in totals.items()}
+
+    def split_count(self) -> int:
+        return sum(1 for r in self.migrations if isinstance(r.plan, SplitPlan))
+
+    def merge_count(self) -> int:
+        return sum(1 for r in self.migrations if isinstance(r.plan, MergePlan))
+
+
+# ---------------------------------------------------------------------------
+# Scenario plumbing
+# ---------------------------------------------------------------------------
+
+ROOT_SIDE = 1_500.0
+
+
+def _populate(svc: LocationService, placements) -> dict[str, str]:
+    """Register objects directly into the leaf stores (as
+    :func:`~repro.sim.scenario.table2_service` does) and install their
+    forwarding paths; returns object id → agent leaf."""
+    h = svc.hierarchy
+    homes: dict[str, str] = {}
+    for oid, pos in placements:
+        leaf_id = h.leaf_for_point(pos)
+        svc.servers[leaf_id].store.register(
+            SightingRecord(oid, 0.0, pos, 10.0), 25.0, 100.0, "sim", now=0.0
+        )
+        homes[oid] = leaf_id
+        path = h.path_to_root(leaf_id)
+        for below, above in zip(path, path[1:]):
+            svc.servers[above].visitors.insert_forward(oid, below)
+    return homes
+
+
+def _fresh_service() -> LocationService:
+    return LocationService(
+        build_table2_hierarchy(ROOT_SIDE),
+        latency=LatencyModel(base=350e-6, per_entry=1e-6),
+        sighting_ttl=1e9,  # soft state disabled during measurements
+    )
+
+
+def _jitter(rng: random.Random, pos: Point, radius: float, bounds: Rect) -> Point:
+    return Point(
+        min(max(pos.x + rng.uniform(-radius, radius), bounds.min_x), bounds.max_x),
+        min(max(pos.y + rng.uniform(-radius, radius), bounds.min_y), bounds.max_y),
+    )
+
+
+async def _advance(svc: LocationService, dt: float) -> None:
+    await svc.loop.sleep(dt)
+
+
+def _scenario_planner() -> RebalancePlanner:
+    """Planner thresholds shared by both scenarios: split beyond 400
+    ops/s, merge sibling sets whose decayed total drops under 80 ops/s
+    (above the background noise floor, far below the split thresholds)."""
+    return RebalancePlanner(
+        PlannerConfig(split_load=400.0, hot_min_load=150.0, merge_load=80.0)
+    )
+
+
+def _run_scenario(
+    *,
+    objects: int,
+    ticks: int,
+    dt: float,
+    elastic: bool,
+    rebalance_every: int,
+    measure_ticks: int,
+    seed: int,
+    placements,
+    positions_at,
+    probe_area_at,
+) -> dict[str, object]:
+    """Common scenario loop; the two scenarios differ only in their
+    placement and per-tick position generators."""
+    svc = _fresh_service()
+    homes = _populate(svc, placements)
+    harness = ElasticHarness(
+        svc,
+        homes,
+        monitor=LoadMonitor(half_life=5.0),
+        planner=_scenario_planner(),
+    )
+    rng = random.Random(seed)
+    fast = protocol = 0
+    for tick in range(ticks):
+        progress = tick / max(ticks - 1, 1)
+        reports = positions_at(rng, tick, progress)
+        counts = harness.apply_reports(reports)
+        fast += counts["fast"]
+        protocol += counts["protocol"]
+        phase = "post" if harness.migrations else "pre"
+        harness.probe_queries(rng, phase, range_area=probe_area_at(progress))
+        svc.run(_advance(svc, dt))
+        harness.sample()
+        if elastic and (tick + 1) % rebalance_every == 0:
+            harness.rebalance()
+    invariants = harness.verify(expected_tracked=objects)
+    sustained = harness.sustained_loads(measure_ticks)
+    lat = harness.latencies
+
+    def _ms(name: str) -> float | None:
+        summary = lat.summary(name)
+        return summary.mean * 1e3 if summary.count else None
+
+    return {
+        "objects": objects,
+        "ticks": ticks,
+        "dt_s": dt,
+        "fast_reports": fast,
+        "protocol_reports": protocol,
+        "leaf_count_final": len(svc.hierarchy.leaf_ids()),
+        "splits": harness.split_count(),
+        "merges": harness.merge_count(),
+        "migrated_objects": sum(r.moved for r in harness.migrations),
+        "max_sustained_load_ops_per_s": max(sustained.values(), default=0.0),
+        "per_server_sustained_ops_per_s": {
+            sid: round(rate, 2) for sid, rate in sorted(sustained.items())
+        },
+        "query_latency_ms": {
+            "pos_pre": _ms("pos_query:pre"),
+            "pos_post": _ms("pos_query:post"),
+            "range_pre": _ms("range_query:pre"),
+            "range_post": _ms("range_query:post"),
+        },
+        "invariants": invariants,
+    }
+
+
+def flash_crowd_scenario(
+    objects: int = 1200,
+    ticks: int = 24,
+    dt: float = 1.0,
+    hot_fraction: float = 0.85,
+    elastic: bool = True,
+    rebalance_every: int = 2,
+    measure_ticks: int = 8,
+    seed: int = 0,
+) -> dict[str, object]:
+    """A flash crowd inside one leaf of the Fig.-8 testbed.
+
+    ``hot_fraction`` of the objects pack into a 240 m square in the
+    south-west quadrant and report every tick; background objects report
+    every fourth tick.  With ``elastic=False`` the hierarchy stays
+    static (the baseline the acceptance criteria compare against).
+    """
+    root = Rect(0, 0, ROOT_SIDE, ROOT_SIDE)
+    hotspot = Rect(260.0, 260.0, 500.0, 500.0)
+    spec = HotspotSpec(area=hotspot, fraction=hot_fraction)
+    placements = hotspot_positions(root, spec, objects, seed=seed, prefix="fc")
+    hot_count = round(hot_fraction * objects)
+    base_positions = dict(placements)
+
+    def positions_at(
+        rng: random.Random, tick: int, progress: float
+    ) -> list[tuple[str, Point]]:
+        reports = []
+        for i, (oid, pos) in enumerate(base_positions.items()):
+            if i < hot_count:
+                new_pos = _jitter(rng, pos, 15.0, hotspot)
+            else:
+                if (i + tick) % 4 != 0:
+                    continue  # background objects report sparsely
+                new_pos = _jitter(rng, pos, 30.0, root)
+            base_positions[oid] = new_pos
+            reports.append((oid, new_pos))
+        return reports
+
+    return _run_scenario(
+        objects=objects,
+        ticks=ticks,
+        dt=dt,
+        elastic=elastic,
+        rebalance_every=rebalance_every,
+        measure_ticks=measure_ticks,
+        seed=seed + 1,
+        placements=placements,
+        positions_at=positions_at,
+        probe_area_at=lambda progress: hotspot,
+    )
+
+
+def commuter_rush_scenario(
+    objects: int = 1000,
+    ticks: int = 36,
+    dt: float = 1.0,
+    commuter_fraction: float = 0.8,
+    wave_width: float = 300.0,
+    elastic: bool = True,
+    rebalance_every: int = 2,
+    measure_ticks: int = 10,
+    seed: int = 0,
+) -> dict[str, object]:
+    """A commuter-rush wavefront sweeping west→east across the area.
+
+    Commuters ride a hot vertical band that crosses the whole service
+    area over the run, handing over between leaves as they go; the band
+    heats leaves in sequence (splits) and leaves cold regions behind
+    (merges).  Background objects report sparsely, as in the flash-crowd
+    scenario.
+    """
+    root = Rect(0, 0, ROOT_SIDE, ROOT_SIDE)
+    commuter_count = round(commuter_fraction * objects)
+    initial_band = wavefront_area(root, 0.0, wave_width)
+    placements = hotspot_positions(
+        root,
+        HotspotSpec(area=initial_band, fraction=commuter_fraction),
+        objects,
+        seed=seed,
+        prefix="cr",
+    )
+    base_positions = dict(placements)
+
+    def positions_at(
+        rng: random.Random, tick: int, progress: float
+    ) -> list[tuple[str, Point]]:
+        band = wavefront_area(root, progress, wave_width)
+        reports = []
+        for i, (oid, pos) in enumerate(base_positions.items()):
+            if i < commuter_count:
+                # Ride the wave: track the band's x-range, keep own lane.
+                new_pos = Point(
+                    rng.uniform(band.min_x, band.max_x),
+                    min(max(pos.y + rng.uniform(-20.0, 20.0), root.min_y), root.max_y),
+                )
+            else:
+                if (i + tick) % 4 != 0:
+                    continue
+                new_pos = _jitter(rng, pos, 30.0, root)
+            base_positions[oid] = new_pos
+            reports.append((oid, new_pos))
+        return reports
+
+    return _run_scenario(
+        objects=objects,
+        ticks=ticks,
+        dt=dt,
+        elastic=elastic,
+        rebalance_every=rebalance_every,
+        measure_ticks=measure_ticks,
+        seed=seed + 1,
+        placements=placements,
+        positions_at=positions_at,
+        probe_area_at=lambda progress: wavefront_area(root, progress, wave_width),
+    )
+
+
+def elastic_benchmark_payload(
+    objects: int = 1200,
+    ticks: int | None = None,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Run both scenarios static + elastic; the ``BENCH_PR2.json`` body.
+
+    The acceptance criterion lives in
+    ``scenarios.flash_crowd.load_drop_factor``: static max sustained
+    per-server load over elastic max, required to be ≥ 2.
+    """
+    scenarios: dict[str, object] = {}
+    for name, runner, kwargs in (
+        ("flash_crowd", flash_crowd_scenario, {"objects": objects}),
+        ("commuter_rush", commuter_rush_scenario, {"objects": max(objects * 5 // 6, 100)}),
+    ):
+        if ticks is not None:
+            kwargs["ticks"] = ticks
+        static = runner(elastic=False, seed=seed, **kwargs)
+        dynamic = runner(elastic=True, seed=seed, **kwargs)
+        static_max = static["max_sustained_load_ops_per_s"]
+        dynamic_max = dynamic["max_sustained_load_ops_per_s"]
+        scenarios[name] = {
+            "static": static,
+            "elastic": dynamic,
+            "load_drop_factor": (
+                round(static_max / dynamic_max, 3) if dynamic_max > 0 else None
+            ),
+        }
+    return {
+        "bench": "elastic cluster layer: load-aware split/merge + migration",
+        "scenarios": scenarios,
+    }

@@ -303,11 +303,16 @@ class DistributedHarness:
         WorkloadGenerator`) is split by :func:`~repro.sim.workload.
         coalesce_updates`: the position updates land as one batched store
         update per leaf (the paper's always-local updates — the server
-        tick), the queries run through the normal request protocol.
-        Returns operation counters.
+        tick), the batch's range queries run as one batched distributed
+        fan-out per entry leaf (:meth:`~repro.core.server.LocationServer.
+        evaluate_range_many` — one ``query_rect_many`` candidate pass per
+        involved leaf), and the remaining queries run through the normal
+        request protocol.  Returns operation counters.
         """
+        from repro.model import RangeQuery
+
         loop = self.svc.loop
-        counters = {"updates": 0, "update_batches": 0, "queries": 0}
+        counters = {"updates": 0, "update_batches": 0, "queries": 0, "range_batches": 0}
         for batch in gen.operation_batches(operations, batch_size):
             updates_by_leaf, others = coalesce_updates(batch)
             now = loop.now
@@ -318,17 +323,28 @@ class DistributedHarness:
                 )
                 counters["updates"] += len(moves)
                 counters["update_batches"] += 1
+            ranges_by_leaf: dict[str, list] = {}
             for op in others:
+                if op.kind == "range_query":
+                    ranges_by_leaf.setdefault(op.entry_leaf, []).append(op)
+                    continue
                 client = self.client_at(op.entry_leaf)
                 if op.kind == "pos_query":
                     self.svc.run(client.pos_query(op.object_id))
-                elif op.kind == "range_query":
-                    self.svc.run(
-                        client.range_query(op.area, req_acc=50.0, req_overlap=0.3)
-                    )
                 else:
                     self.svc.run(client.neighbor_query(op.pos, req_acc=50.0))
                 counters["queries"] += 1
+            for leaf, ops in ranges_by_leaf.items():
+                self.svc.run(
+                    self.svc.servers[leaf].evaluate_range_many(
+                        [
+                            RangeQuery(op.area, req_acc=50.0, req_overlap=0.3)
+                            for op in ops
+                        ]
+                    )
+                )
+                counters["queries"] += len(ops)
+                counters["range_batches"] += 1
         return counters
 
     # -- canned operations matching Table 2's rows -----------------------------

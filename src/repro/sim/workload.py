@@ -191,6 +191,72 @@ def coalesce_updates(
     return updates_by_leaf, others
 
 
+# ---------------------------------------------------------------------------
+# Skewed spatial distributions (elastic-cluster scenarios)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class HotspotSpec:
+    """A concentration of activity: ``fraction`` of the population lives
+    (and keeps reporting) inside ``area``; the rest spreads uniformly
+    over the root service area.  This is the *flash crowd* shape — a
+    stadium, a festival — that saturates whichever leaf server owns
+    ``area`` under a static hierarchy."""
+
+    area: Rect
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+
+
+def hotspot_positions(
+    root: Rect, spec: HotspotSpec, count: int, seed: int = 0, prefix: str = "obj"
+) -> list[tuple[str, Point]]:
+    """Object placements skewed into a hotspot.
+
+    The first ``round(fraction * count)`` objects land uniformly inside
+    the hotspot area, the rest uniformly over the root area — a
+    deterministic split so scenario runs can tell crowd members from
+    background objects by index.
+    """
+    rng = random.Random(seed)
+    hot_count = round(spec.fraction * count)
+    placements = []
+    for i in range(count):
+        area = spec.area if i < hot_count else root
+        placements.append(
+            (
+                f"{prefix}-{i}",
+                Point(
+                    rng.uniform(area.min_x, area.max_x),
+                    rng.uniform(area.min_y, area.max_y),
+                ),
+            )
+        )
+    return placements
+
+
+def wavefront_area(root: Rect, progress: float, width: float) -> Rect:
+    """The hot column of a west-to-east *commuter rush* at ``progress``.
+
+    ``progress`` in [0, 1] slides a vertical band of the given width
+    across the root area (clamped at the borders): the morning-rush
+    wavefront that heats leaf servers in sequence and leaves cold ones
+    behind — the shape that exercises split **and** merge.
+    """
+    if not 0.0 <= progress <= 1.0:
+        raise ValueError(f"progress must be in [0, 1], got {progress}")
+    center = root.min_x + progress * root.width
+    half = width / 2.0
+    min_x = min(max(root.min_x, center - half), root.max_x - width)
+    min_x = max(min_x, root.min_x)
+    max_x = min(root.max_x, min_x + width)
+    return Rect(min_x, root.min_y, max_x, root.max_y)
+
+
 def scatter_objects(
     hierarchy: Hierarchy, count: int, seed: int = 0, prefix: str = "obj"
 ) -> list[tuple[str, Point]]:

@@ -162,6 +162,17 @@ class SpatialIndex(ABC):
                 raise KeyError(f"duplicate insert for {object_id!r}")
         return fresh
 
+    def compact(self) -> None:
+        """Re-tighten internal bounds loosened by long in-place-move streams.
+
+        A no-op for indexes whose structure never over-covers (grid,
+        linear, quadtree — their pruning bounds are exact by
+        construction).  The R-tree overrides this to shrink leaf MBRs
+        back to their entries, recovering range-query selectivity after
+        many fast-path moves.  Never changes query results — only the
+        work needed to compute them.
+        """
+
     def query_rect_many(self, rects: Iterable[Rect]) -> list[list[tuple[str, Point]]]:
         """Answer many rect queries; result ``i`` matches ``rects[i]``.
 

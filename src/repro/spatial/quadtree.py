@@ -41,6 +41,13 @@ _INF = float("inf")
 # Quadrant encoding: index = qy * 2 + qx where qx = 0 if x < split_x else 1.
 _SW, _SE, _NW, _NE = 0, 1, 2, 3
 
+#: Orphan sets at least this large are re-inserted in shuffled (bulk
+#: rebuild) order.  Detached subtrees preserve their insertion order, and
+#: re-inserting a large subtree in DFS order can rebuild the same
+#: degenerate chain it came from; shuffling restores the expected
+#: O(log n) depth, same as :meth:`PointQuadtree.bulk_load`.
+_BULK_REINSERT_THRESHOLD = 16
+
 
 class _Node:
     __slots__ = ("object_id", "point", "split_x", "split_y", "children")
@@ -166,6 +173,10 @@ class PointQuadtree(SpatialIndex):
             self._root = None
         else:
             parent.children[parent.quadrant_of(point)] = None
+        # Deferred batch reinsertion: large orphan sets are bulk-rebuilt
+        # in shuffled order instead of replayed one by one in DFS order.
+        if len(orphans) >= _BULK_REINSERT_THRESHOLD:
+            self._rng.shuffle(orphans)
         for orphan in orphans:
             orphan.children = [None, None, None, None]
             # Re-inserted nodes split at their current data position, as a

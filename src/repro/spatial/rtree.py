@@ -301,6 +301,27 @@ class RTree(SpatialIndex):
     def get(self, object_id: str) -> Point | None:
         return self._points.get(object_id)
 
+    def compact(self) -> None:
+        """Shrink every node MBR back to the tight bound of its contents.
+
+        The in-place move fast paths only ever *grow* leaf MBRs (see
+        :meth:`update`), so a long update stream leaves nodes over-
+        covering and range queries visiting leaves they could have
+        pruned.  One bottom-up pass — leaves first, then each level of
+        parents — restores minimal MBRs.  O(n) and result-neutral; the
+        migration bulk-move path runs it after every object transfer,
+        and callers with very long-lived stores can invoke it
+        periodically.
+        """
+        levels: list[list[_Node]] = [[self._root]]
+        while not all(node.leaf for node in levels[-1]):
+            levels.append(
+                [child for node in levels[-1] if not node.leaf for child in node.children]
+            )
+        for level in reversed(levels):
+            for node in level:
+                node.recompute_mbr()
+
     # -- queries ------------------------------------------------------------
 
     def query_rect(self, rect: Rect) -> Iterator[tuple[str, Point]]:

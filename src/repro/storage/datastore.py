@@ -116,6 +116,46 @@ class LocalDataStore:
                 raise UnknownObjectError(sighting.object_id)
         self.sightings.upsert_many(batch, now=now)
 
+    # -- migration bulk paths (repro.cluster) ---------------------------------
+
+    def export_leaf_entries(self) -> list[tuple[SightingRecord, float, RegistrationInfo]]:
+        """Snapshot every visitor as ``(sighting, offered_acc, reg_info)``.
+
+        The migration executor partitions this set across destination
+        stores; visitors whose sighting lapsed (crash recovery window)
+        are skipped — they re-register through the normal protocol.
+        """
+        entries = []
+        for record in self.visitors.leaf_records():
+            sighting = self.sightings.get(record.object_id)
+            if sighting is not None:
+                entries.append((sighting, record.offered_acc, record.reg_info))
+        return entries
+
+    def bulk_admit(
+        self,
+        entries: list[tuple[SightingRecord, float, RegistrationInfo]],
+        now: float = 0.0,
+    ) -> None:
+        """Become the agent for a migrated batch in one bulk-load pass.
+
+        The counterpart of :meth:`admit_handover` for object migration:
+        visitor records keep their already-negotiated accuracy, sightings
+        land through the sighting DB's bulk insert (one spatial-index
+        ``bulk_load``), and the index is compacted afterwards so R-tree
+        leaf MBRs inflated by the source's in-place move stream do not
+        carry over into the destination.  The sighting bulk insert runs
+        first: it validates the whole batch before applying anything, so
+        a duplicate id fails the admission without leaving visitor
+        records that have no backing sighting.
+        """
+        self.sightings.bulk_insert(
+            [sighting for sighting, _, _ in entries], now=now
+        )
+        for sighting, offered_acc, reg_info in entries:
+            self.visitors.insert_leaf(sighting.object_id, offered_acc, reg_info)
+        self.sightings.compact_index()
+
     def change_accuracy(self, object_id: str, des_acc: float, min_acc: float) -> float:
         """Renegotiate accuracy for a tracked object (``changeAcc``)."""
         record = self.visitors.leaf_record(object_id)
@@ -152,6 +192,10 @@ class LocalDataStore:
     def range_query(self, query: RangeQuery) -> list[ObjectEntry]:
         """``rangeQuery`` against the local spatial index."""
         return self.sightings.objects_in_area(query, self.offered_acc)
+
+    def range_query_many(self, queries: list[RangeQuery]) -> list[list[ObjectEntry]]:
+        """Many range queries in one shared spatial-index traversal."""
+        return self.sightings.objects_in_areas(queries, self.offered_acc)
 
     def nearest_neighbor_query(self, query: NearestNeighborQuery) -> NearestNeighborResult:
         """``neighborQuery`` against the local spatial index."""

@@ -135,6 +135,32 @@ class SightingDB:
         if updates:
             self.update_many(updates, now=now, ttl=ttl)
 
+    def bulk_insert(
+        self,
+        sightings: Iterable[SightingRecord],
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        """Admit many *new* visitors through the index's bulk-load path.
+
+        The migration fast path: one :meth:`~repro.spatial.SpatialIndex.
+        bulk_load` call instead of per-record inserts.  Raises ``KeyError``
+        (before anything is applied) when a record is already present.
+        """
+        batch = list(sightings)
+        records = self._records
+        for sighting in batch:
+            if sighting.object_id in records:
+                raise KeyError(
+                    f"sighting for {sighting.object_id!r} already present; use update()"
+                )
+        self._index.bulk_load((s.object_id, s.pos) for s in batch)
+        deadline = now + (ttl if ttl is not None else self._default_ttl)
+        timer = self._timer
+        for sighting in batch:
+            records[sighting.object_id] = sighting
+            timer.schedule(sighting.object_id, deadline)
+
     def remove(self, object_id: str) -> SightingRecord:
         """Drop a visitor's sighting (deregistration or handover departure)."""
         record = self._records.pop(object_id)
@@ -192,9 +218,52 @@ class SightingDB:
         result.sort(key=lambda entry: entry[0])
         return result
 
+    def objects_in_areas(
+        self,
+        queries: Iterable[RangeQuery],
+        acc_of: Callable[[str], float],
+    ) -> list[list[ObjectEntry]]:
+        """Answer many range queries with one shared index traversal.
+
+        The batched counterpart of :meth:`objects_in_area`: all candidate
+        rects go through one :meth:`~repro.spatial.SpatialIndex.
+        query_rect_many` call, then the exact overlap/accuracy semantics
+        run per candidate as usual.  Result ``i`` matches ``queries[i]``.
+        """
+        query_list = list(queries)
+        candidate_lists = self._index.query_rect_many(
+            [candidate_bounds(q) for q in query_list]
+        )
+        results: list[list[ObjectEntry]] = []
+        for query, candidates in zip(query_list, candidate_lists):
+            matched = []
+            for oid, pos in candidates:
+                descriptor = LocationDescriptor(pos, acc_of(oid))
+                if qualifies_for_range(
+                    query.area, descriptor, query.req_acc, query.req_overlap
+                ):
+                    matched.append((oid, descriptor))
+            matched.sort(key=lambda entry: entry[0])
+            results.append(matched)
+        return results
+
     def positions_in_rect(self, rect: Rect) -> Iterator[tuple[str, Point]]:
         """Raw spatial-index scan: (object id, position) pairs in a rect."""
         return self._index.query_rect(rect)
+
+    def counts_in_rects(self, rects: Iterable[Rect]) -> list[int]:
+        """Entry counts per rect, via one batched index traversal.
+
+        The rebalance planner costs candidate cut lines with this: all
+        rects share one :meth:`~repro.spatial.SpatialIndex.
+        query_rect_many` pass over the index.
+        """
+        return [len(hits) for hits in self._index.query_rect_many(list(rects))]
+
+    def compact_index(self) -> None:
+        """Re-tighten the spatial index's internal bounds (see
+        :meth:`~repro.spatial.SpatialIndex.compact`)."""
+        self._index.compact()
 
     def nearest_neighbors(
         self,

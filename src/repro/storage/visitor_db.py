@@ -17,7 +17,7 @@ recover` rebuilds the in-memory dictionary from the log.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.model import RegistrationInfo
@@ -87,6 +87,19 @@ class VisitorDB:
         )
         self._store.append("acc", {"oid": object_id, "acc": offered_acc})
 
+    def insert_forward_many(self, refs: Iterable[tuple[str, str]]) -> None:
+        """Replay a batch of ``(object_id, forward_ref)`` pointers.
+
+        The migration path uses this to re-point every migrated object in
+        one pass when a leaf becomes an interior server; each pointer is
+        still one durable log record, so recovery replays identically.
+        """
+        records = self._records
+        append = self._store.append
+        for object_id, forward_ref in refs:
+            records[object_id] = NonLeafVisitorRecord(object_id, forward_ref)
+            append("forward", {"oid": object_id, "ref": forward_ref})
+
     def remove(self, object_id: str) -> None:
         """Drop the record (deregistration or handover departure)."""
         if object_id in self._records:
@@ -117,6 +130,12 @@ class VisitorDB:
 
     def items(self) -> Iterator[tuple[str, VisitorRecord]]:
         return iter(self._records.items())
+
+    def leaf_records(self) -> Iterator[LeafVisitorRecord]:
+        """All full (leaf) visitor records — the agent-side migration set."""
+        for record in self._records.values():
+            if isinstance(record, LeafVisitorRecord):
+                yield record
 
     # -- durability -----------------------------------------------------------
 

@@ -1,0 +1,100 @@
+"""Tests for the decayed sliding-window load monitor."""
+
+import pytest
+
+from repro.cluster import LoadMonitor
+from repro.cluster.load import ops_of
+from repro.sim.scenario import table2_service
+
+
+def bump_updates(svc, leaf_id: str, count: int) -> None:
+    svc.servers[leaf_id].stats.updates += count
+
+
+class TestOpsOf:
+    def test_counts_updates_and_queries(self):
+        svc, _ = table2_service(object_count=5)
+        server = svc.servers["root.0"]
+        base = ops_of(server)
+        server.stats.updates += 3
+        server.stats.pos_queries_served += 2
+        server.stats.handovers_admitted += 1
+        assert ops_of(server) == base + 6
+
+
+class TestLoadMonitor:
+    def test_half_life_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LoadMonitor(half_life=0.0)
+
+    def test_first_sample_has_zero_rate(self):
+        svc, _ = table2_service(object_count=10)
+        monitor = LoadMonitor()
+        samples = monitor.sample(svc, now=0.0)
+        assert set(samples) == set(svc.servers)
+        assert all(s.rate == 0.0 for s in samples.values())
+
+    def test_steady_load_converges_to_instant_rate(self):
+        svc, _ = table2_service(object_count=10)
+        monitor = LoadMonitor(half_life=2.0)
+        monitor.sample(svc, now=0.0)
+        rate = 0.0
+        for tick in range(1, 30):
+            bump_updates(svc, "root.0", 100)
+            rate = monitor.sample(svc, now=float(tick))["root.0"].rate
+        assert rate == pytest.approx(100.0, rel=0.01)
+
+    def test_idle_load_decays_by_half_life(self):
+        svc, _ = table2_service(object_count=10)
+        monitor = LoadMonitor(half_life=4.0)
+        monitor.sample(svc, now=0.0)
+        for tick in range(1, 20):
+            bump_updates(svc, "root.0", 50)
+            monitor.sample(svc, now=float(tick))
+        hot = monitor.rate_of("root.0")
+        # One idle half-life halves the rate (one big idle step).
+        monitor.sample(svc, now=19.0 + 4.0)
+        assert monitor.rate_of("root.0") == pytest.approx(hot / 2.0, rel=0.01)
+
+    def test_index_sizes_reported_for_leaves(self):
+        svc, homes = table2_service(object_count=40)
+        monitor = LoadMonitor()
+        samples = monitor.sample(svc, now=0.0)
+        per_leaf = sum(s.index_size for s in samples.values())
+        assert per_leaf == 40
+        assert samples["root"].index_size == 0  # interior server
+
+    def test_delta_tracks_ops_between_samples(self):
+        svc, _ = table2_service(object_count=10)
+        monitor = LoadMonitor()
+        monitor.sample(svc, now=0.0)
+        bump_updates(svc, "root.1", 7)
+        samples = monitor.sample(svc, now=1.0)
+        assert samples["root.1"].delta == 7
+        assert samples["root.2"].delta == 0
+
+    def test_same_instant_resample_keeps_rates(self):
+        svc, _ = table2_service(object_count=10)
+        monitor = LoadMonitor(half_life=2.0)
+        monitor.sample(svc, now=0.0)
+        bump_updates(svc, "root.0", 100)
+        monitor.sample(svc, now=1.0)
+        before = monitor.rate_of("root.0")
+        assert before > 0.0
+        # A zero-dt resample must not wipe the window.
+        samples = monitor.sample(svc, now=1.0)
+        assert monitor.rate_of("root.0") == before
+        assert samples["root.0"].rate == before
+        # The next real sample still sees the interval's ops.
+        bump_updates(svc, "root.0", 100)
+        assert monitor.sample(svc, now=2.0)["root.0"].delta == 100
+
+    def test_new_and_removed_servers(self):
+        svc, _ = table2_service(object_count=10)
+        monitor = LoadMonitor()
+        monitor.sample(svc, now=0.0)
+        # Simulate a retirement: the server disappears from the live map.
+        svc.servers.pop("root.3")
+        samples = monitor.sample(svc, now=1.0)
+        assert "root.3" not in samples
+        assert monitor.rate_of("root.3") == 0.0

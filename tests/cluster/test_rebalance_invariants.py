@@ -1,0 +1,117 @@
+"""Property-style tests: hierarchy invariants under random rebalancing.
+
+Random sequences of splits and merges are applied to a populated
+service; after every step the Section-4 structural requirements must
+hold (children tile their parent, siblings are disjoint — both enforced
+by ``Hierarchy.validate``), half-open routing must assign every probe
+point to exactly one live leaf that contains it, no sighting may be
+lost, and every forwarding path must stay intact.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import MergePlan, MigrationExecutor, PlannerConfig, RebalancePlanner
+from repro.geo import Point
+from repro.sim.scenario import table2_service
+
+OBJECTS = 500
+
+
+def random_split(svc, planner, rng):
+    """A planner-built split plan for a random eligible leaf, or None."""
+    leaves = svc.hierarchy.leaf_ids()
+    rng.shuffle(leaves)
+    for leaf_id in leaves:
+        plans = planner.plan(svc, {leaf_id: 1e9})
+        if plans:
+            return plans[0]
+    return None
+
+
+def random_merge(svc, rng):
+    """A merge plan for a random all-leaf sibling set, or None."""
+    h = svc.hierarchy
+    candidates = []
+    for server_id in h.server_ids():
+        node = h.config(server_id)
+        if node.is_leaf or node.is_root:
+            continue
+        child_ids = [ref.server_id for ref in node.children]
+        if all(h.config(cid).is_leaf for cid in child_ids):
+            candidates.append(MergePlan(parent_id=server_id, children=tuple(child_ids)))
+    return rng.choice(candidates) if candidates else None
+
+
+def assert_invariants(svc, probe_rng):
+    svc.hierarchy.validate()  # children tile parent; siblings disjoint
+    svc.check_consistency()  # forwarding paths intact, one agent each
+    assert svc.total_tracked() == OBJECTS  # zero lost sightings
+    root = svc.hierarchy.root_area()
+    for _ in range(25):
+        p = Point(
+            probe_rng.uniform(root.min_x, root.max_x),
+            probe_rng.uniform(root.min_y, root.max_y),
+        )
+        leaf_id = svc.hierarchy.leaf_for_point(p)
+        config = svc.hierarchy.config(leaf_id)
+        assert config.is_leaf
+        assert config.contains(p)
+        # Half-open routing: no *other* leaf may claim the point.
+        claimants = [
+            lid
+            for lid in svc.hierarchy.leaf_ids()
+            if svc.hierarchy.config(lid).area.contains_point_halfopen(p)
+        ]
+        assert len(claimants) <= 1
+        if claimants:
+            assert claimants == [leaf_id]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_rebalance_sequences(seed):
+    svc, homes = table2_service(object_count=OBJECTS, seed=seed)
+    planner = RebalancePlanner(
+        PlannerConfig(split_load=1.0, min_split_objects=4, merge_cooldown=0.0)
+    )
+    executor = MigrationExecutor(svc)
+    rng = random.Random(seed)
+    probe_rng = random.Random(seed + 100)
+    applied = 0
+    for step in range(24):
+        # Bias toward splits so the tree actually grows before merging.
+        plan = None
+        if rng.random() < 0.65:
+            plan = random_split(svc, planner, rng)
+        if plan is None:
+            plan = random_merge(svc, rng)
+        if plan is None:
+            continue
+        executor.execute(plan)
+        applied += 1
+        assert_invariants(svc, probe_rng)
+    assert applied >= 10  # the sequence actually exercised rebalancing
+
+
+def test_interleaved_split_merge_keeps_queries_exact(seed=7):
+    """After any rebalance prefix, a full-area range query finds all."""
+    svc, homes = table2_service(object_count=OBJECTS, seed=seed)
+    planner = RebalancePlanner(
+        PlannerConfig(split_load=1.0, min_split_objects=4, merge_cooldown=0.0)
+    )
+    executor = MigrationExecutor(svc)
+    rng = random.Random(seed)
+    for step in range(8):
+        plan = random_split(svc, planner, rng) if step % 3 != 2 else random_merge(svc, rng)
+        if plan is None:
+            continue
+        executor.execute(plan)
+        entry = svc.hierarchy.leaf_ids()[step % len(svc.hierarchy.leaf_ids())]
+        answer = svc.range_query(
+            svc.hierarchy.root_area(),
+            req_acc=100.0,
+            req_overlap=0.5,
+            entry_server=entry,
+        )
+        assert len(answer.entries) == OBJECTS

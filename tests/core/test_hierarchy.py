@@ -168,3 +168,57 @@ class TestValidation:
     def test_builders_always_validate(self, depth, fanout):
         h = build_grid_hierarchy(ROOT, [(fanout, fanout)] * depth)
         assert len(h.leaf_ids()) == (fanout * fanout) ** depth
+
+
+class TestElasticDerivations:
+    def halves(self, area: Rect) -> list[tuple[str, Rect]]:
+        cx = area.center.x
+        return [
+            ("new-w", Rect(area.min_x, area.min_y, cx, area.max_y)),
+            ("new-e", Rect(cx, area.min_y, area.max_x, area.max_y)),
+        ]
+
+    def test_with_split_adds_children_and_revalidates(self):
+        h = build_table2_hierarchy()
+        h2 = h.with_split("root.0", self.halves(h.config("root.0").area))
+        assert len(h2) == len(h) + 2
+        assert not h2.config("root.0").is_leaf
+        assert h2.parent_of("new-w") == "root.0"
+        assert h2.leaf_for_point(Point(10, 10)) == "new-w"
+        assert h2.leaf_for_point(Point(700, 10)) == "new-e"
+        # The original hierarchy is untouched.
+        assert h.config("root.0").is_leaf
+
+    def test_with_split_rejects_bad_inputs(self):
+        h = build_table2_hierarchy()
+        area = h.config("root.0").area
+        with pytest.raises(ConfigurationError):
+            h.with_split("root", self.halves(h.root_area()))  # not a leaf
+        with pytest.raises(ConfigurationError):
+            h.with_split("root.0", self.halves(area)[:1])  # one child
+        with pytest.raises(ConfigurationError):
+            h.with_split("root.0", [("root.1", area), ("x", area)])  # id taken
+        with pytest.raises(ConfigurationError):
+            # Children do not tile the leaf (half missing).
+            h.with_split("root.0", [("a", area), ("b", Rect(0, 0, 10, 10))])
+
+    def test_with_merge_folds_children_back(self):
+        h = build_table2_hierarchy()
+        h2 = h.with_split("root.0", self.halves(h.config("root.0").area))
+        h3 = h2.with_merge("root.0")
+        assert sorted(h3.server_ids()) == sorted(h.server_ids())
+        assert h3.config("root.0").is_leaf
+
+    def test_with_merge_rejects_non_mergeable(self):
+        h = build_table2_hierarchy()
+        with pytest.raises(ConfigurationError):
+            h.with_merge("root.0")  # a leaf
+        h2 = h.with_split("root.0", self.halves(h.config("root.0").area))
+        # root's children are no longer all leaves.
+        with pytest.raises(ConfigurationError):
+            h2.with_merge("root")
+
+    def test_siblings_of(self):
+        h = build_table2_hierarchy()
+        assert h.siblings_of("root.0") == ["root.1", "root.2", "root.3"]
+        assert h.siblings_of("root") == []

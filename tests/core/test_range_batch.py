@@ -1,0 +1,91 @@
+"""Batched distributed range fan-out vs. the per-query protocol."""
+
+import random
+
+import pytest
+
+from repro.cluster import MigrationExecutor, PlannerConfig, RebalancePlanner
+from repro.geo import Point, Rect
+from repro.model import RangeQuery
+from repro.sim.scenario import table2_service
+
+
+def random_queries(rng, root: Rect, count: int) -> list[RangeQuery]:
+    queries = []
+    for _ in range(count):
+        a = Point(rng.uniform(root.min_x, root.max_x), rng.uniform(root.min_y, root.max_y))
+        b = Point(rng.uniform(root.min_x, root.max_x), rng.uniform(root.min_y, root.max_y))
+        queries.append(
+            RangeQuery(Rect.from_points(a, b), req_acc=100.0, req_overlap=0.5)
+        )
+    return queries
+
+
+class TestEvaluateRangeMany:
+    def assert_batch_matches_singles(self, svc, entry_id, queries):
+        server = svc.servers[entry_id]
+        batched = svc.run(server.evaluate_range_many(queries))
+        for query, batch_answer in zip(queries, batched):
+            single = svc.run(server.evaluate_range(query))
+            assert batch_answer == single
+
+    def test_matches_per_query_protocol(self):
+        svc, _ = table2_service(object_count=400, seed=1)
+        rng = random.Random(1)
+        queries = random_queries(rng, svc.hierarchy.root_area(), 8)
+        self.assert_batch_matches_singles(svc, "root.0", queries)
+
+    def test_cross_leaf_and_local_mix(self):
+        svc, _ = table2_service(object_count=400, seed=2)
+        queries = [
+            RangeQuery(Rect(0, 0, 100, 100), req_acc=100.0, req_overlap=0.5),
+            RangeQuery(Rect(700, 700, 800, 800), req_acc=100.0, req_overlap=0.5),
+            RangeQuery(Rect(0, 0, 1500, 1500), req_acc=100.0, req_overlap=0.5),
+            RangeQuery(Rect(1400, 1400, 1500, 1500), req_acc=100.0, req_overlap=0.5),
+        ]
+        self.assert_batch_matches_singles(svc, "root.3", queries)
+
+    def test_empty_batch(self):
+        svc, _ = table2_service(object_count=10)
+        server = svc.servers["root.0"]
+        assert svc.run(server.evaluate_range_many([])) == []
+
+    def test_whole_area_batch_counts_everything(self):
+        svc, _ = table2_service(object_count=250, seed=3)
+        server = svc.servers["root.1"]
+        queries = [
+            RangeQuery(svc.hierarchy.root_area(), req_acc=100.0, req_overlap=0.5)
+        ] * 3
+        results = svc.run(server.evaluate_range_many(queries))
+        assert [len(r) for r in results] == [250, 250, 250]
+
+    def test_batch_works_across_a_split_topology(self):
+        svc, _ = table2_service(object_count=500, seed=4)
+        planner = RebalancePlanner(PlannerConfig(split_load=1.0))
+        MigrationExecutor(svc).execute_all(planner.plan(svc, {"root.0": 1e9}))
+        rng = random.Random(5)
+        queries = random_queries(rng, svc.hierarchy.root_area(), 6)
+        entry = svc.hierarchy.leaf_ids()[0]
+        self.assert_batch_matches_singles(svc, entry, queries)
+
+    def test_single_server_hierarchy(self):
+        from repro.core import LocationService, build_grid_hierarchy
+        from repro.model import SightingRecord
+
+        svc = LocationService(build_grid_hierarchy(Rect(0, 0, 100, 100), []))
+        server = svc.servers["root"]
+        for i in range(20):
+            server.store.register(
+                SightingRecord(f"o{i}", 0.0, Point(i * 5.0, i * 5.0), 10.0),
+                25.0,
+                100.0,
+                "t",
+                now=0.0,
+            )
+        queries = [
+            RangeQuery(Rect(0, 0, 50, 50), req_acc=100.0, req_overlap=0.5),
+            RangeQuery(Rect(60, 60, 100, 100), req_acc=100.0, req_overlap=0.5),
+        ]
+        results = svc.run(server.evaluate_range_many(queries))
+        singles = [svc.run(server.evaluate_range(q)) for q in queries]
+        assert results == singles

@@ -1,0 +1,120 @@
+"""Tests for the R-tree shrink pass and quadtree orphan bulk rebuild."""
+
+import random
+
+from repro.geo import Point, Rect
+from repro.spatial import LinearScanIndex, PointQuadtree, RTree
+from repro.spatial.quadtree import _BULK_REINSERT_THRESHOLD
+
+
+def leaf_mbr_area(tree: RTree) -> float:
+    total = 0.0
+    stack = [tree._root]
+    while stack:
+        node = stack.pop()
+        if node.leaf:
+            if node.mbr is not None:
+                total += node.mbr.area
+        else:
+            stack.extend(node.children)
+    return total
+
+
+class TestRTreeCompact:
+    def _drift(self, rng, tree, oracle, ids, moves):
+        for _ in range(moves):
+            oid = rng.choice(ids)
+            pos = oracle.get(oid)
+            new = Point(
+                min(max(pos.x + rng.uniform(-40, 40), 0.0), 1000.0),
+                min(max(pos.y + rng.uniform(-40, 40), 0.0), 1000.0),
+            )
+            tree.update(oid, new)
+            oracle.update(oid, new)
+
+    def test_compact_shrinks_inflated_mbrs(self):
+        rng = random.Random(3)
+        tree, oracle = RTree(), LinearScanIndex()
+        ids = []
+        for i in range(300):
+            oid = f"o{i}"
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tree.insert(oid, p)
+            oracle.insert(oid, p)
+            ids.append(oid)
+        self._drift(rng, tree, oracle, ids, moves=3000)
+        inflated = leaf_mbr_area(tree)
+        tree.compact()
+        assert leaf_mbr_area(tree) < inflated
+
+    def test_compact_preserves_query_results(self):
+        rng = random.Random(4)
+        tree, oracle = RTree(), LinearScanIndex()
+        ids = []
+        for i in range(200):
+            oid = f"o{i}"
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tree.insert(oid, p)
+            oracle.insert(oid, p)
+            ids.append(oid)
+        self._drift(rng, tree, oracle, ids, moves=2000)
+        tree.compact()
+        for _ in range(30):
+            rect = Rect.from_points(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+            )
+            assert sorted(tree.query_rect(rect)) == sorted(oracle.query_rect(rect))
+        probe = Point(500, 500)
+        assert [h.object_id for h in tree.nearest(probe, k=5)] == [
+            h.object_id for h in oracle.nearest(probe, k=5)
+        ]
+
+    def test_compact_on_small_trees_is_safe(self):
+        tree = RTree()
+        tree.compact()  # empty root-leaf
+        tree.insert("a", Point(1, 1))
+        tree.compact()
+        assert tree.get("a") == Point(1, 1)
+
+
+class TestQuadtreeOrphanRebuild:
+    def test_large_orphan_set_rebuild_keeps_entries(self):
+        # Insert a sorted diagonal under one root so removing the root
+        # orphans a large (> threshold) chain, then verify every entry
+        # survives the shuffled rebuild and queries match the oracle.
+        tree, oracle = PointQuadtree(shuffle_seed=5), LinearScanIndex()
+        count = _BULK_REINSERT_THRESHOLD * 3
+        for i in range(count):
+            p = Point(float(i), float(i))
+            tree.insert(f"o{i}", p)
+            oracle.insert(f"o{i}", p)
+        tree.remove("o0")
+        oracle.remove("o0")
+        assert len(tree) == count - 1
+        assert sorted(tree.items()) == sorted(oracle.items())
+        rect = Rect(0, 0, count / 2, count / 2)
+        assert sorted(tree.query_rect(rect)) == sorted(oracle.query_rect(rect))
+
+    def test_shuffled_rebuild_reduces_chain_depth(self):
+        tree = PointQuadtree(shuffle_seed=1)
+        count = 200
+        for i in range(count):
+            tree.insert(f"o{i}", Point(float(i), float(i)))
+        # The sorted insert built a pure chain; removing the root
+        # triggers the bulk rebuild of all remaining entries.
+        assert tree.depth() == count
+        tree.remove("o0")
+        assert tree.depth() < count / 2
+
+    def test_small_orphan_sets_keep_exact_semantics(self):
+        rng = random.Random(9)
+        tree, oracle = PointQuadtree(shuffle_seed=2), LinearScanIndex()
+        for i in range(64):
+            p = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            tree.insert(f"o{i}", p)
+            oracle.insert(f"o{i}", p)
+        for i in range(0, 64, 3):
+            tree.remove(f"o{i}")
+            oracle.remove(f"o{i}")
+        assert sorted(tree.items()) == sorted(oracle.items())
