@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quick perf smoke — refreshes BENCH_PR1.json and BENCH_PR2.json.
+"""Quick perf smoke — refreshes BENCH_PR1/PR2/PR3.json.
 
 The tier-1 test suite never runs benchmarks (bench files do not match
 pytest's default collection), and the full pytest-benchmark suite takes
@@ -14,12 +14,17 @@ minutes.  This script is the middle ground:
   per-server sustained load, split/merge counts and query latency →
   ``BENCH_PR2.json``.  The acceptance number is
   ``scenarios.flash_crowd.load_drop_factor`` (must be ≥ 2).
+* **PR3** — the batched protocol lane: the commuter-rush scenario run
+  over the per-report and batched lanes, comparing protocol-lane
+  messages per tick and tick wall-clock → ``BENCH_PR3.json``.  The
+  acceptance numbers are ``message_reduction_factor`` (must be ≥ 2) and
+  ``tick_speedup`` (must be > 1).
 
 Usage::
 
     python scripts/bench_smoke.py               # defaults, a few seconds
     python scripts/bench_smoke.py --objects 2000 --moves 2000 --rounds 2
-    python scripts/bench_smoke.py --skip-pr1    # only the rebalance bench
+    python scripts/bench_smoke.py --skip-pr1    # only the scenario benches
 """
 
 from __future__ import annotations
@@ -125,6 +130,37 @@ def run_pr2(args) -> None:
     print(f"\nwrote {path} ({elapsed:.1f}s)")
 
 
+def run_pr3(args) -> None:
+    """The batched-protocol-lane measurement (envelopes vs. per-report)."""
+    from repro.sim.elastic import protocol_batch_benchmark_payload
+
+    start = time.perf_counter()
+    payload = protocol_batch_benchmark_payload(seed=args.seed)
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = f"{'lane':12s} {'proto msgs/tick':>16s} {'tick wall':>10s} {'splits':>7s} {'merges':>7s} {'lost':>5s}"
+    print(header)
+    print("-" * len(header))
+    for lane, result in payload["lanes"].items():
+        print(
+            f"{lane:12s} {result['protocol_messages_per_tick']:>16,.1f} "
+            f"{result['tick_wall_clock_s'] * 1e3:>7,.0f} ms "
+            f"{result['splits']:>7d} {result['merges']:>7d} "
+            f"{result['invariants']['lost_sightings']:>5d}"
+        )
+    reduction = payload["message_reduction_factor"]
+    speedup = payload["tick_speedup"]
+    print(
+        "message reduction: "
+        + (f"{reduction:.1f}x" if reduction is not None else "n/a")
+        + ", tick speedup: "
+        + (f"{speedup:.2f}x" if speedup is not None else "n/a")
+    )
+    path = write_bench_json(args.out_pr3, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
@@ -136,20 +172,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="rebalance-bench seed")
     parser.add_argument("--out", default="BENCH_PR1.json")
     parser.add_argument("--out-pr2", default="BENCH_PR2.json")
+    parser.add_argument("--out-pr3", default="BENCH_PR3.json")
     parser.add_argument(
-        "--skip-pr1", action="store_true", help="only run the rebalance bench"
+        "--skip-pr1", action="store_true", help="skip the fast-path bench"
     )
     parser.add_argument(
-        "--skip-pr2", action="store_true", help="only run the fast-path bench"
+        "--skip-pr2", action="store_true", help="skip the rebalance bench"
+    )
+    parser.add_argument(
+        "--skip-pr3", action="store_true", help="skip the protocol-lane bench"
     )
     args = parser.parse_args(argv)
 
-    if not args.skip_pr1:
-        run_pr1(args)
-    if not args.skip_pr2:
-        if not args.skip_pr1:
+    ran = False
+    for skip, runner in (
+        (args.skip_pr1, run_pr1),
+        (args.skip_pr2, run_pr2),
+        (args.skip_pr3, run_pr3),
+    ):
+        if skip:
+            continue
+        if ran:
             print()
-        run_pr2(args)
+        runner(args)
+        ran = True
     return 0
 
 

@@ -51,18 +51,32 @@ def ops_of(server: LocationServer) -> int:
 class LoadMonitor:
     """Decayed sliding-window load rates over a service's servers."""
 
-    def __init__(self, half_life: float = 10.0) -> None:
+    def __init__(
+        self, half_life: float = 10.0, gc_retired_after: int | None = None
+    ) -> None:
         """
         Args:
             half_life: seconds after which an old rate contribution has
                 decayed to half its weight.
+            gc_retired_after: when set, a retired forwarding alias that
+                has seen no traffic for this many consecutive sweeps is
+                dropped from the service and the network (bounding the
+                endpoint table under long split/merge churn).  ``None``
+                disables alias garbage collection.
         """
         if half_life <= 0.0:
             raise ValueError(f"half_life must be positive, got {half_life}")
+        if gc_retired_after is not None and gc_retired_after < 1:
+            raise ValueError(
+                f"gc_retired_after must be >= 1, got {gc_retired_after}"
+            )
         self.half_life = half_life
+        self.gc_retired_after = gc_retired_after
         self._last_ops: dict[str, int] = {}
         self._rates: dict[str, float] = {}
         self._last_time: float | None = None
+        #: retired alias → (messages seen at last sweep, idle sweep count)
+        self._retired_traffic: dict[str, tuple[int, int]] = {}
 
     def sample(self, service, now: float) -> dict[str, LoadSample]:
         """Fold the current counters into the window; returns all samples.
@@ -112,7 +126,39 @@ class LoadMonitor:
         for stale in set(self._rates) - live_ids:
             self._rates.pop(stale, None)
             self._last_ops.pop(stale, None)
+        if self.gc_retired_after is not None:
+            self._sweep_retired(service)
         return samples
+
+    def _sweep_retired(self, service) -> None:
+        """Drop retirement aliases that went quiet (ROADMAP follow-up).
+
+        A retired server forwards every message it still receives and
+        counts it in ``stats.messages_handled``; once that counter stops
+        moving for ``gc_retired_after`` consecutive sweeps, nobody is
+        using the alias any more — stale agent pointers have been healed
+        by the forwarding answers — and it can leave the network
+        (``drop_retired`` also purges it from every live server's §6.5
+        caches, so no server dispatches to the vanished address).  A
+        straggler from a stale *client* becomes a dead letter and
+        recovers through the batched lane's envelope re-route via the
+        root.
+        """
+        retired = getattr(service, "retired_servers", None)
+        if not retired:
+            self._retired_traffic.clear()
+            return
+        for server_id, server in list(retired.items()):
+            seen = sum(server.stats.messages_handled.values())
+            previous, idle = self._retired_traffic.get(server_id, (None, 0))
+            idle = idle + 1 if seen == previous else 0
+            if idle >= self.gc_retired_after:
+                service.drop_retired(server_id)
+                self._retired_traffic.pop(server_id, None)
+            else:
+                self._retired_traffic[server_id] = (seen, idle)
+        for stale in set(self._retired_traffic) - set(retired):
+            self._retired_traffic.pop(stale, None)
 
     def rate_of(self, server_id: str) -> float:
         """The current decayed rate; 0 for unknown servers."""

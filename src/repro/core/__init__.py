@@ -3,6 +3,32 @@
 Public surface: :class:`LocationService` (facade), :class:`LocationServer`
 (one hierarchy node), :class:`Hierarchy` + builders, client endpoints and
 the §6.5 cache configuration.
+
+Protocol lanes
+--------------
+
+Position reports travel one of two lanes:
+
+* **Fast lane** — a report that stays inside its agent leaf's service
+  area is "always local" (Section 6.2): the batched server tick
+  (:meth:`LocationService.update_many`) applies a whole tick of such
+  reports through one spatial-index pass per leaf, no messages at all.
+* **Protocol lane** — reports that cross a service-area boundary run the
+  Section-6 update/handover/deregister protocol.  The per-object wire
+  messages (``UpdateReq``, ``HandoverReq`` …, Algorithms 6-2/6-3) remain
+  the semantic ground truth, but by default a tick's protocol traffic is
+  *enveloped*: coalesced per destination server into
+  ``UpdateBatchReq`` / ``HandoverBatchReq`` / ``DeregisterBatchReq``
+  messages that carry many per-object items each.  Envelope handlers
+  apply everything locally applicable through the storage layer's batch
+  paths and re-envelope the still-unresolved remainder per next hop —
+  an envelope only ever splits *along the tree* (per child, or upward),
+  never back into per-object messages; retirement aliases forward
+  envelopes whole.  Envelope-level timeout/retry re-routes through the
+  hierarchy root when a destination has left the network (a garbage-
+  collected retirement alias).  The per-report lane is kept selectable
+  (``protocol_lane="per-report"``) as the baseline the protocol-batch
+  bench measures against.
 """
 
 from repro.core.caching import CacheConfig, CacheStats, LeafCaches

@@ -125,6 +125,19 @@ class LeafCaches:
     def known_leaf_count(self) -> int:
         return len(self._areas)
 
+    def forget_server(self, server_id: str) -> None:
+        """Drop every cache entry that routes to ``server_id``.
+
+        Called when a server leaves the network for good (a garbage-
+        collected retirement alias): a cached §6.5 dispatch to it would
+        be a dead letter, with nothing left behind the address to heal
+        the sender.
+        """
+        self._areas.pop(server_id, None)
+        stale = [oid for oid, agent in self._agents.items() if agent == server_id]
+        for oid in stale:
+            del self._agents[oid]
+
     # -- (tracked object, current agent) ------------------------------------------
 
     def note_agent(self, object_id: str, agent: str | None) -> None:

@@ -95,18 +95,25 @@ class GeoLocationService:
     def update(self, obj: TrackedObject, coord: GeoCoordinate):
         return self.service.update(obj, self.to_local(coord))
 
-    def update_many(self, reports) -> dict[str, int]:
+    def update_many(self, reports, protocol_lane: str = "batched") -> dict[str, int]:
         """Batched position reports in WGS84; one tick of a geo fleet.
 
         ``reports`` yields ``(tracked_object, coordinate)`` pairs; they
         are projected into the local frame and applied through
         :meth:`LocationService.update_many` (direct batched store update
-        for in-area moves, full protocol for leaf crossings).
+        for in-area moves, the batched protocol lane — one envelope per
+        destination server — for leaf crossings; pass
+        ``protocol_lane="per-report"`` for the unbatched lane).
         """
         to_local = self.to_local
         return self.service.update_many(
-            (obj, to_local(coord)) for obj, coord in reports
+            ((obj, to_local(coord)) for obj, coord in reports),
+            protocol_lane=protocol_lane,
         )
+
+    def deregister_many(self, objs) -> dict[str, bool]:
+        """Batched deregistration (one envelope per destination server)."""
+        return self.service.deregister_many(objs)
 
     def pos_query(self, object_id: str) -> tuple[GeoCoordinate, float] | None:
         descriptor = self.service.pos_query(object_id)

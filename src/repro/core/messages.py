@@ -120,6 +120,129 @@ class HandoverRes(Response):
 
 
 # ---------------------------------------------------------------------------
+# Batched protocol lane (derived; the Section-6 per-object protocol,
+# enveloped per destination server)
+# ---------------------------------------------------------------------------
+#
+# A server tick produces many protocol-lane operations at once — position
+# reports that crossed a service-area boundary, deregistrations, the
+# handovers those reports trigger.  The per-object messages above pay one
+# message (and one scheduling turn) per operation; the envelopes below
+# carry a whole tick's worth of items for a *single* destination server.
+# Envelope handlers apply everything locally applicable through the
+# storage layer's batch paths and re-envelope the still-unresolved
+# remainder per next hop, so an envelope travelling through the hierarchy
+# only ever splits along the tree, never back into per-object messages.
+# Each envelope holds at most one item per object id (ticks coalesce
+# last-write-wins before enveloping).
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateBatchReq(Message):
+    """Many ``update(s)`` items for one destination server.
+
+    The receiver applies in-area items for which it is the agent through
+    one ``store.update_many`` pass, initiates (enveloped) handovers for
+    items that left its area, and forwards items it has only a
+    forwarding reference for as smaller envelopes down the path.
+    """
+
+    request_id: str
+    reply_to: str
+    sightings: tuple[SightingRecord, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateOutcome(Message):
+    """Per-object result carried inside an :class:`UpdateBatchRes` —
+    field-for-field the payload of an :class:`UpdateRes`."""
+
+    object_id: str
+    ok: bool
+    agent: str | None = None
+    offered_acc: float | None = None
+    deregistered: bool = False
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateBatchRes(Response):
+    request_id: str
+    outcomes: tuple[UpdateOutcome, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverBatchItem(Message):
+    """One object's handover payload (the ``handoverReq`` arguments)."""
+
+    sighting: SightingRecord
+    reg_info: RegistrationInfo
+    previous_offered: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverBatchReq(Message):
+    """Many ``handoverReq`` items routed as one message (Alg. 6-3,
+    enveloped).  Interior servers partition the in-area items per child
+    (one sub-envelope each), escalate the rest to their parent as one
+    envelope, and install forwarding pointers batch-wise from the
+    responses.  ``direct`` marks a §6.5 cached dispatch straight to a
+    believed agent leaf (the path must then be repaired)."""
+
+    request_id: str
+    reply_to: str
+    sender: str
+    items: tuple[HandoverBatchItem, ...]
+    direct: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverOutcome(Message):
+    """Per-object result inside a :class:`HandoverBatchRes` — the
+    payload of a :class:`HandoverRes` (``new_agent=None`` means the
+    object left the root service area and was deregistered)."""
+
+    object_id: str
+    new_agent: str | None
+    offered_acc: float | None
+    origin_area: Rect | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverBatchRes(Response):
+    request_id: str
+    outcomes: tuple[HandoverOutcome, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DeregisterBatchReq(Message):
+    """Many ``deregister(o)`` items for one destination server."""
+
+    request_id: str
+    reply_to: str
+    object_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DeregisterBatchRes(Response):
+    """Per-object ``(object_id, ok)`` results, in request order."""
+
+    request_id: str
+    results: tuple[tuple[str, bool], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PathTeardownBatch(Message):
+    """*Derived.*  One-way upward removal of many forwarding paths at
+    once (the batched counterpart of :class:`PathTeardown`); a server
+    only acts on the ids whose forwarding reference still points at
+    ``sender`` and forwards the surviving subset as one message."""
+
+    object_ids: tuple[str, ...]
+    sender: str
+
+
+# ---------------------------------------------------------------------------
 # Deregistration & soft state
 # ---------------------------------------------------------------------------
 
@@ -364,6 +487,41 @@ class NNCandidatesSubRes(Message):
     query_id: str
     entries: tuple[ObjectEntry, ...]
     covered_area: float
+    origin: str
+    origin_area: Rect
+
+
+@dataclass(frozen=True, slots=True)
+class NNBatchItem(Message):
+    """One expanding-ring probe of a batched NN fan-out; ``index``
+    identifies the probe within its batch."""
+
+    index: int
+    dispatch: Rect
+    req_acc: float
+
+
+@dataclass(frozen=True, slots=True)
+class NNCandidatesBatchFwd(Message):
+    """*Derived.*  Many NN candidate probes fanned out as one message,
+    mirroring :class:`RangeQueryBatchFwd`: interior servers re-partition
+    the batch per child in one hop and a leaf answers all of its probes
+    through a single batched spatial-index pass
+    (``nn_candidates_many`` → ``query_rect_many``)."""
+
+    query_id: str
+    items: tuple[NNBatchItem, ...]
+    entry_server: str
+    sender: str
+
+
+@dataclass(frozen=True, slots=True)
+class NNCandidatesBatchSubRes(Message):
+    """One leaf's candidates for every probe of a batch it covers;
+    ``results`` holds ``(item_index, entries, covered_area)`` triples."""
+
+    query_id: str
+    results: tuple[tuple[int, tuple[ObjectEntry, ...], float], ...]
     origin: str
     origin_area: Rect
 

@@ -211,9 +211,13 @@ class LocationServer(Endpoint):
         self.on(m.RegisterReq, self._on_register)
         self.on(m.CreatePath, self._on_create_path)
         self.on(m.UpdateReq, self._on_update)
+        self.on(m.UpdateBatchReq, self._on_update_batch)
         self.on(m.HandoverReq, self._on_handover)
+        self.on(m.HandoverBatchReq, self._on_handover_batch)
         self.on(m.DeregisterReq, self._on_deregister)
+        self.on(m.DeregisterBatchReq, self._on_deregister_batch)
         self.on(m.PathTeardown, self._on_path_teardown)
+        self.on(m.PathTeardownBatch, self._on_path_teardown_batch)
         self.on(m.PosQueryReq, self._on_pos_query)
         self.on(m.PosQueryFwd, self._on_pos_query_fwd)
         self.on(m.PosQueryDirect, self._on_pos_query_direct)
@@ -225,6 +229,8 @@ class LocationServer(Endpoint):
         self.on(m.NeighborQueryReq, self._on_neighbor_query)
         self.on(m.NNCandidatesFwd, self._on_nn_fwd)
         self.on(m.NNCandidatesSubRes, self._on_nn_sub_res)
+        self.on(m.NNCandidatesBatchFwd, self._on_nn_batch_fwd)
+        self.on(m.NNCandidatesBatchSubRes, self._on_nn_batch_sub_res)
         self.on(m.ChangeAccReq, self._on_change_acc)
         self.on(m.PathUpdate, self._on_path_update)
         self.on(m.RemovePath, self._on_remove_path)
@@ -244,12 +250,15 @@ class LocationServer(Endpoint):
         """Expire lapsed sightings and tear their forwarding paths down."""
         if not self.is_leaf:
             return
-        for oid in self.store.expire_due(self.ctx.now()):
-            self.stats.expired += 1
-            if self.config.parent is not None:
-                self.send(
-                    self.config.parent, m.PathTeardown(object_id=oid, sender=self.address)
-                )
+        expired = self.store.expire_due(self.ctx.now())
+        self.stats.expired += len(expired)
+        if not expired or self.config.parent is None:
+            return
+        # One batched teardown for the whole sweep (protocol lane).
+        self.send(
+            self.config.parent,
+            m.PathTeardownBatch(object_ids=tuple(expired), sender=self.address),
+        )
 
     def simulate_crash_recovery(self) -> None:
         """Wipe volatile state, as after a restart (persistent DB survives)."""
@@ -343,14 +352,16 @@ class LocationServer(Endpoint):
         aggregated locally (a query issued just before retirement must
         not hang); everything else goes to the successor unchanged — the
         messages carry their own reply/entry-server addresses, so
-        answers flow to the right place.
+        answers flow to the right place.  In particular a protocol-lane
+        *envelope* (update / handover / deregister batch) is forwarded
+        whole: retirement never splits it back into per-object messages.
         """
         if self._retired_to is not None and not isinstance(message, m.Response):
             if (
                 isinstance(message, (m.RangeQuerySubRes, m.NNCandidatesSubRes))
                 and message.query_id in self._collectors
             ) or (
-                isinstance(message, m.RangeQueryBatchSubRes)
+                isinstance(message, (m.RangeQueryBatchSubRes, m.NNCandidatesBatchSubRes))
                 and message.query_id in self._batch_collectors
             ):
                 super().deliver(message)
@@ -524,6 +535,344 @@ class LocationServer(Endpoint):
             self.store.deregister(object_id)
         else:
             self.visitors.remove(object_id)
+
+    # ======================================================================
+    # Batched protocol lane: envelope handlers
+    # ======================================================================
+    #
+    # Per-object semantics are exactly those of the Algorithm 6-2/6-3
+    # handlers above; an envelope only changes the *transport*: one
+    # message per destination, one batched store pass for everything
+    # locally applicable, and per-next-hop sub-envelopes for the rest —
+    # an envelope never degrades into per-object messages.
+
+    async def _gather(self, coros: list):
+        """Drive sub-envelope requests concurrently; results in order."""
+        if len(coros) == 1:
+            return [await coros[0]]
+        tasks = [
+            self.ctx.spawn(coro, name=f"{self.address}:batch-sub") for coro in coros
+        ]
+        return [await task for task in tasks]
+
+    async def _on_update_batch(self, msg: m.UpdateBatchReq) -> None:
+        self.stats.note(msg)
+        outcomes: dict[str, m.UpdateOutcome] = {}
+        fast: list = []  # agent here, still in-area → one store batch
+        fast_records: list = []
+        crossing: list = []  # agent here, left the area → handover lane
+        forward: dict[str, list] = {}  # known only by forwarding reference
+        is_leaf = self.is_leaf
+        for sighting in msg.sightings:
+            oid = sighting.object_id
+            record = self.visitors.leaf_record(oid) if is_leaf else None
+            if record is None:
+                next_hop = self.visitors.forward_ref(oid)
+                if next_hop is not None:
+                    forward.setdefault(next_hop, []).append(sighting)
+                else:
+                    outcomes[oid] = m.UpdateOutcome(
+                        object_id=oid,
+                        ok=False,
+                        error=f"{self.address} is not the agent of {oid}",
+                    )
+            elif self._contains(sighting.pos):
+                fast.append(sighting)
+                fast_records.append(record)
+            else:
+                crossing.append((sighting, record))
+        if fast:
+            self.store.update_many(fast, now=self.ctx.now())
+            self.stats.updates += len(fast)
+            for sighting, record in zip(fast, fast_records):
+                outcomes[sighting.object_id] = m.UpdateOutcome(
+                    object_id=sighting.object_id,
+                    ok=True,
+                    agent=self.address,
+                    offered_acc=record.offered_acc,
+                )
+        subtasks = [
+            self._forward_update_batch(next_hop, batch)
+            for next_hop, batch in forward.items()
+        ]
+        if crossing:
+            subtasks.append(self._handover_batch(crossing))
+        if subtasks:
+            for merged in await self._gather(subtasks):
+                outcomes.update(merged)
+        self.send(
+            msg.reply_to,
+            m.UpdateBatchRes(
+                request_id=msg.request_id,
+                outcomes=tuple(
+                    outcomes[oid]
+                    for oid in dict.fromkeys(s.object_id for s in msg.sightings)
+                ),
+            ),
+        )
+
+    async def _forward_update_batch(
+        self, next_hop: str, sightings: list
+    ) -> dict[str, m.UpdateOutcome]:
+        """Route a sub-envelope one step down the forwarding path."""
+        res = await self.request(
+            next_hop,
+            m.UpdateBatchReq(
+                request_id=self.next_request_id(),
+                reply_to=self.address,
+                sightings=tuple(sightings),
+            ),
+        )
+        assert isinstance(res, m.UpdateBatchRes)
+        return {outcome.object_id: outcome for outcome in res.outcomes}
+
+    async def _handover_batch(self, crossing: list) -> dict[str, m.UpdateOutcome]:
+        """Initiate handovers for a batch of out-of-area reports.
+
+        The batched counterpart of :meth:`_initiate_handover`: items are
+        grouped per destination — a §6.5-cached leaf (direct dispatch)
+        or the parent — and each group travels as one
+        :class:`~repro.core.messages.HandoverBatchReq`.
+        """
+        self.stats.handovers_initiated += len(crossing)
+        groups: dict[str | None, list[m.HandoverBatchItem]] = {}
+        for sighting, record in crossing:
+            target = self.caches.leaf_for_point(sighting.pos.x, sighting.pos.y)
+            if target == self.address:
+                target = None  # stale self-entry: route via the hierarchy
+            groups.setdefault(target, []).append(
+                m.HandoverBatchItem(
+                    sighting=sighting,
+                    reg_info=record.reg_info,
+                    previous_offered=record.offered_acc,
+                )
+            )
+        outcomes: dict[str, m.UpdateOutcome] = {}
+        subtasks = []
+        for target, items in groups.items():
+            if target is None and self._parent is None:
+                # Single-server LS: the objects left the root service area.
+                for item in items:
+                    oid = item.sighting.object_id
+                    self._drop_object(oid)
+                    outcomes[oid] = m.UpdateOutcome(
+                        object_id=oid, ok=True, deregistered=True
+                    )
+                continue
+            dest = self._parent if target is None else target
+            subtasks.append(
+                self._request_handover_batch(dest, items, direct=target is not None)
+            )
+        if subtasks:
+            for sub_outcomes in await self._gather(subtasks):
+                for hres in sub_outcomes:
+                    oid = hres.object_id
+                    self.caches.note_leaf_area(hres.new_agent, hres.origin_area)
+                    self._drop_object(oid)
+                    if hres.new_agent is None:
+                        outcomes[oid] = m.UpdateOutcome(
+                            object_id=oid, ok=True, deregistered=True
+                        )
+                    else:
+                        outcomes[oid] = m.UpdateOutcome(
+                            object_id=oid,
+                            ok=True,
+                            agent=hres.new_agent,
+                            offered_acc=hres.offered_acc,
+                        )
+        return outcomes
+
+    async def _request_handover_batch(
+        self, dest: str, items: list, direct: bool
+    ) -> tuple[m.HandoverOutcome, ...]:
+        res = await self.request(
+            dest,
+            m.HandoverBatchReq(
+                request_id=self.next_request_id(),
+                reply_to=self.address,
+                sender=self.address,
+                items=tuple(items),
+                direct=direct,
+            ),
+        )
+        assert isinstance(res, m.HandoverBatchRes)
+        return res.outcomes
+
+    async def _on_handover_batch(self, msg: m.HandoverBatchReq) -> None:
+        self.stats.note(msg)
+        outcomes: dict[str, m.HandoverOutcome] = {}
+        subtasks: list[tuple[str | None, object]] = []  # (child_id, coro)
+        if self.is_leaf:
+            admit, escalate = [], []
+            for item in msg.items:
+                (admit if self._contains(item.sighting.pos) else escalate).append(item)
+            if admit:
+                outcomes.update(self._admit_handover_batch(admit, direct=msg.direct))
+        else:
+            by_child: dict[str, list] = {}
+            escalate = []
+            for item in msg.items:
+                if self._contains(item.sighting.pos):
+                    child = self._child_for(item.sighting.pos)
+                    by_child.setdefault(child.server_id, []).append(item)
+                else:
+                    escalate.append(item)
+            for child_id, items in by_child.items():
+                subtasks.append(
+                    (child_id, self._request_handover_batch(child_id, items, False))
+                )
+        if escalate:
+            subtasks.append((None, self._escalate_handover_batch(escalate)))
+        if subtasks:
+            results = await self._gather([coro for _, coro in subtasks])
+            for (child_id, _), sub_outcomes in zip(subtasks, results):
+                if child_id is not None:
+                    # Create or reset the forwarding pointers (Alg. 6-3
+                    # lines 12-13) — one batched visitor-DB pass.
+                    self.visitors.insert_forward_many(
+                        (outcome.object_id, child_id) for outcome in sub_outcomes
+                    )
+                outcomes.update(
+                    (outcome.object_id, outcome) for outcome in sub_outcomes
+                )
+        self.send(
+            msg.reply_to,
+            m.HandoverBatchRes(
+                request_id=msg.request_id,
+                outcomes=tuple(
+                    outcomes[item.sighting.object_id] for item in msg.items
+                ),
+            ),
+        )
+
+    def _admit_handover_batch(
+        self, items: list, direct: bool
+    ) -> dict[str, m.HandoverOutcome]:
+        """Leaf-side admission of a whole envelope (Alg. 6-3 lines 3-9,
+        batched): one ``admit_handover_many`` store pass, path repairs
+        and accuracy notifications batched per destination."""
+        offers = self.store.admit_handover_many(
+            [(item.sighting, item.reg_info) for item in items], now=self.ctx.now()
+        )
+        self.stats.handovers_admitted += len(items)
+        outcomes: dict[str, m.HandoverOutcome] = {}
+        repairs: list[m.Message] = []
+        for item, offered in zip(items, offers):
+            oid = item.sighting.object_id
+            if direct and self._parent is not None:
+                repairs.append(m.PathUpdate(object_id=oid, sender=self.address))
+            if item.previous_offered is not None and offered != item.previous_offered:
+                self.send(
+                    item.reg_info.registrar,
+                    m.NotifyAvailAcc(object_id=oid, offered_acc=offered),
+                )
+            outcomes[oid] = m.HandoverOutcome(
+                object_id=oid,
+                new_agent=self.address,
+                offered_acc=offered,
+                origin_area=self.config.area,
+            )
+        if repairs:
+            self.send_many(self._parent, repairs)
+        return outcomes
+
+    async def _escalate_handover_batch(
+        self, items: list
+    ) -> tuple[m.HandoverOutcome, ...]:
+        """Pass out-of-area items up as one envelope (Alg. 6-3 lines
+        16-19, batched); at the root the objects left the service area
+        and are deregistered hierarchy-wide."""
+        if self._parent is None:
+            outcomes = []
+            for item in items:
+                oid = item.sighting.object_id
+                self.visitors.remove(oid)
+                outcomes.append(
+                    m.HandoverOutcome(object_id=oid, new_agent=None, offered_acc=None)
+                )
+            return tuple(outcomes)
+        sub_outcomes = await self._request_handover_batch(self._parent, items, False)
+        # This server is no longer on these paths (Alg. 6-3 line 19).
+        for outcome in sub_outcomes:
+            self.visitors.remove(outcome.object_id)
+        return sub_outcomes
+
+    async def _on_deregister_batch(self, msg: m.DeregisterBatchReq) -> None:
+        self.stats.note(msg)
+        results: dict[str, bool] = {}
+        local: list[str] = []
+        forward: dict[str, list[str]] = {}
+        is_leaf = self.is_leaf
+        for oid in msg.object_ids:
+            if is_leaf and self.visitors.leaf_record(oid) is not None:
+                local.append(oid)
+            else:
+                next_hop = self.visitors.forward_ref(oid)
+                if next_hop is not None:
+                    forward.setdefault(next_hop, []).append(oid)
+                else:
+                    results[oid] = False
+        if local:
+            for oid in local:
+                self.store.deregister(oid)
+                results[oid] = True
+            if self._parent is not None:
+                self.send(
+                    self._parent,
+                    m.PathTeardownBatch(object_ids=tuple(local), sender=self.address),
+                )
+        if forward:
+            merged = await self._gather(
+                [
+                    self._forward_deregister_batch(next_hop, oids)
+                    for next_hop, oids in forward.items()
+                ]
+            )
+            for sub in merged:
+                results.update(sub)
+        self.send(
+            msg.reply_to,
+            m.DeregisterBatchRes(
+                request_id=msg.request_id,
+                results=tuple(
+                    (oid, results[oid]) for oid in dict.fromkeys(msg.object_ids)
+                ),
+            ),
+        )
+
+    async def _forward_deregister_batch(
+        self, next_hop: str, object_ids: list[str]
+    ) -> dict[str, bool]:
+        res = await self.request(
+            next_hop,
+            m.DeregisterBatchReq(
+                request_id=self.next_request_id(),
+                reply_to=self.address,
+                object_ids=tuple(object_ids),
+            ),
+        )
+        assert isinstance(res, m.DeregisterBatchRes)
+        return dict(res.results)
+
+    async def _on_path_teardown_batch(self, msg: m.PathTeardownBatch) -> None:
+        self.stats.note(msg)
+        # Per-object guard as in _on_path_teardown: only ids whose
+        # reference still points at the sender survive into the upward
+        # envelope (the rest raced a handover that redirected the path).
+        live = [
+            oid
+            for oid in msg.object_ids
+            if self.visitors.forward_ref(oid) == msg.sender
+        ]
+        if not live:
+            return
+        for oid in live:
+            self.visitors.remove(oid)
+        if self._parent is not None:
+            self.send(
+                self._parent,
+                m.PathTeardownBatch(object_ids=tuple(live), sender=self.address),
+            )
 
     # ======================================================================
     # Algorithm 6-3: handover
@@ -1242,6 +1591,183 @@ class LocationServer(Endpoint):
             return list(collector.entries.items()), set(collector.origins)
         finally:
             self._collectors.pop(query_id, None)
+
+    async def evaluate_neighbors_many(
+        self, queries: list[NearestNeighborQuery]
+    ) -> list[NearestNeighborResult]:
+        """Run many NN queries with one batched fan-out per ring round.
+
+        The NN counterpart of :meth:`evaluate_range_many`: every round,
+        the still-unresolved queries' probe rects travel as a single
+        :class:`~repro.core.messages.NNCandidatesBatchFwd` (re-partitioned
+        per child by interior servers), and each involved leaf collects
+        candidates for all of its probes through one ``query_rect_many``
+        pass.  Per-query results match :meth:`_on_neighbor_query`'s
+        expanding-ring semantics candidate-for-candidate.
+        """
+        root_area = self.config.root_area
+        radii = [self._nn_initial_radius] * len(queries)
+        results: list[NearestNeighborResult] = [
+            NearestNeighborResult(nearest=None) for _ in queries
+        ]
+        active = list(range(len(queries)))
+        while active:
+            self.stats.nn_rounds_served += len(active)
+            probes: list[tuple[int, Rect | None, bool]] = []
+            for i in active:
+                probe = Rect.from_center(queries[i].pos, 2 * radii[i], 2 * radii[i])
+                covers_root = probe.contains_rect(root_area)
+                probes.append((i, probe.intersection(root_area), covers_root))
+            live = [(i, dispatch) for i, dispatch, _ in probes if dispatch is not None]
+            if live:
+                candidate_sets = await self._collect_nn_candidates_many(
+                    [dispatch for _, dispatch in live],
+                    [queries[i].req_acc for i, _ in live],
+                )
+                for (i, _), entries in zip(live, candidate_sets):
+                    results[i] = nearest_neighbor(entries, queries[i])
+            still_active = []
+            for i, _, covers_root in probes:
+                if covers_root:
+                    continue
+                result = results[i]
+                if result.nearest is not None:
+                    selected_distance = result.nearest[1].pos.distance_to(
+                        queries[i].pos
+                    )
+                    if selected_distance + queries[i].near_qual <= radii[i]:
+                        continue
+                radii[i] *= 2.0
+                still_active.append(i)
+            active = still_active
+        return results
+
+    async def _collect_nn_candidates_many(
+        self, dispatches: list[Rect], req_accs: list[float]
+    ) -> list[list[ObjectEntry]]:
+        """One ring round for many probes as a single batched fan-out."""
+        query_id = self.next_request_id()
+        collector = _BatchCollector(
+            self.ctx.create_future(), [d.area for d in dispatches]
+        )
+        self._batch_collectors[query_id] = collector
+        try:
+            area = self.config.area
+            if self.store is not None:
+                local = [
+                    slot
+                    for slot, dispatch in enumerate(dispatches)
+                    if dispatch.intersects(area)
+                ]
+                if local:
+                    answers = self.store.nn_candidates_many(
+                        [dispatches[slot] for slot in local],
+                        [req_accs[slot] for slot in local],
+                    )
+                    for slot, found in zip(local, answers):
+                        collector.add(
+                            slot,
+                            found,
+                            dispatches[slot].intersection_area(area),
+                            self.address,
+                        )
+            collector.resolve_if_complete()
+            if not collector.complete:
+                items = tuple(
+                    m.NNBatchItem(
+                        index=slot, dispatch=dispatches[slot], req_acc=req_accs[slot]
+                    )
+                    for slot in range(len(dispatches))
+                    if not collector.item_complete(slot)
+                )
+                # An interior entry (split mid-use) routes through its own
+                # fwd handler, as _execute_range_many does.
+                dest = self.address if self.store is None else self._parent
+                if dest is not None:
+                    self.send(
+                        dest,
+                        m.NNCandidatesBatchFwd(
+                            query_id=query_id,
+                            items=items,
+                            entry_server=self.address,
+                            sender=self.address,
+                        ),
+                    )
+                    await collector.future
+            return [
+                list(collector.entries[slot].items())
+                for slot in range(len(dispatches))
+            ]
+        finally:
+            self._batch_collectors.pop(query_id, None)
+
+    async def _on_nn_batch_fwd(self, msg: m.NNCandidatesBatchFwd) -> None:
+        self.stats.note(msg)
+        area = self.config.area
+        live = [item for item in msg.items if item.dispatch.intersects(area)]
+        if live:
+            if self.is_leaf:
+                answers = self.store.nn_candidates_many(
+                    [item.dispatch for item in live],
+                    [item.req_acc for item in live],
+                )
+                self.send(
+                    msg.entry_server,
+                    m.NNCandidatesBatchSubRes(
+                        query_id=msg.query_id,
+                        results=tuple(
+                            (
+                                item.index,
+                                tuple(found),
+                                item.dispatch.intersection_area(area),
+                            )
+                            for item, found in zip(live, answers)
+                        ),
+                        origin=self.address,
+                        origin_area=area,
+                    ),
+                )
+            else:
+                for child in self.config.children:
+                    if child.server_id == msg.sender:
+                        continue
+                    sub = tuple(
+                        item for item in live if item.dispatch.intersects(child.area)
+                    )
+                    if sub:
+                        self.send(
+                            child.server_id,
+                            m.NNCandidatesBatchFwd(
+                                query_id=msg.query_id,
+                                items=sub,
+                                entry_server=msg.entry_server,
+                                sender=self.address,
+                            ),
+                        )
+        if self._parent is not None and self._parent != msg.sender:
+            up = tuple(
+                item for item in msg.items if not area.contains_rect(item.dispatch)
+            )
+            if up:
+                self.send(
+                    self._parent,
+                    m.NNCandidatesBatchFwd(
+                        query_id=msg.query_id,
+                        items=up,
+                        entry_server=msg.entry_server,
+                        sender=self.address,
+                    ),
+                )
+
+    async def _on_nn_batch_sub_res(self, msg: m.NNCandidatesBatchSubRes) -> None:
+        self.stats.note(msg)
+        self.caches.note_leaf_area(msg.origin, msg.origin_area)
+        collector = self._batch_collectors.get(msg.query_id)
+        if collector is None:
+            return  # late answer for an already-completed batch
+        for index, entries, covered in msg.results:
+            collector.add(index, entries, covered, msg.origin)
+        collector.resolve_if_complete()
 
     async def _on_nn_fwd(self, msg: m.NNCandidatesFwd) -> None:
         self.stats.note(msg)

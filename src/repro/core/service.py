@@ -12,15 +12,104 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core import messages as m
 from repro.core.caching import CacheConfig
 from repro.core.client import LocationClient, NeighborAnswer, RangeAnswer, TrackedObject
 from repro.core.hierarchy import Hierarchy
 from repro.core.server import LocationServer
-from repro.errors import LocationServiceError
+from repro.errors import LocationServiceError, TransportError
 from repro.geo import Point, Region
 from repro.model import AccuracyModel, LocationDescriptor, SightingRecord
+from repro.runtime.base import Endpoint
 from repro.runtime.latency import CostModel, LatencyModel
 from repro.runtime.simnet import SimNetwork
+
+
+class _BatchReporter(Endpoint):
+    """Service-side sender of protocol-lane envelopes.
+
+    The batched tick coalesces many objects' protocol traffic into one
+    envelope per destination server; those envelopes need a single
+    network endpoint to carry their ``reply_to`` — this is it.
+    """
+
+    def __init__(self, address: str = "svc-batch-reporter") -> None:
+        super().__init__(address)
+
+
+async def drive_all(loop, named_coros) -> None:
+    """Drive many named coroutines concurrently and await them all —
+    the per-destination fan-out scaffolding shared by the protocol
+    lanes (service tick, deregistration, elastic harness)."""
+    tasks = [loop.create_task(coro, name=name) for name, coro in named_coros]
+    for task in tasks:
+        await task
+
+
+async def drive_protocol_envelope(
+    reporter: Endpoint,
+    service: "LocationService",
+    dest: str,
+    make_envelope,
+    timeout: float | None,
+    retries: int,
+    what: str = "protocol",
+):
+    """The shared recovery core of the batched protocol lane.
+
+    Envelope-level recovery, per attempt: a destination that is no
+    longer part of the service — a garbage-collected retirement alias —
+    is re-routed to the hierarchy root *before* sending (the root
+    reaches every object via its forwarding references, so no timeout is
+    needed for this case), and an unanswered envelope (crashed
+    destination; requires ``timeout``) is re-sent up to ``retries``
+    times.  ``make_envelope(dest)`` builds a fresh request per attempt
+    (fresh request id, fresh timestamps).  Returns the response; raises
+    :class:`~repro.errors.TransportError` when every attempt went
+    unanswered.
+    """
+    for attempt in range(retries + 1):
+        if dest not in service.servers and dest not in service.retired_servers:
+            dest = service.hierarchy.root_id
+        try:
+            return await reporter.request(dest, make_envelope(dest), timeout=timeout)
+        except TransportError:
+            if attempt >= retries:
+                raise TransportError(
+                    f"{what} envelope to {dest} unanswered after "
+                    f"{retries + 1} attempts"
+                )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+async def drive_update_envelope(
+    reporter: Endpoint,
+    service: "LocationService",
+    dest: str,
+    make_sightings,
+    timeout: float | None,
+    retries: int,
+) -> tuple:
+    """Send one destination's tick reports as one envelope (used by the
+    service tick and by :class:`~repro.sim.elastic.ElasticHarness`);
+    recovery rules are :func:`drive_protocol_envelope`'s.  Returns the
+    per-object :class:`~repro.core.messages.UpdateOutcome` tuple.
+    """
+    res = await drive_protocol_envelope(
+        reporter,
+        service,
+        dest,
+        lambda _dest: m.UpdateBatchReq(
+            request_id=reporter.next_request_id(),
+            reply_to=reporter.address,
+            sightings=make_sightings(),
+        ),
+        timeout,
+        retries,
+        what="update",
+    )
+    assert isinstance(res, m.UpdateBatchRes)
+    return res.outcomes
 
 
 class LocationService:
@@ -60,6 +149,7 @@ class LocationService:
             self.servers[server_id] = self._spawn(hierarchy.config(server_id))
         self._client_counter = 0
         self._default_client: LocationClient | None = None
+        self._batch_reporter: _BatchReporter | None = None
 
     def _spawn(self, config) -> LocationServer:
         server = LocationServer(config, **self._server_kwargs)
@@ -103,6 +193,24 @@ class LocationService:
         server = self.servers.pop(server_id)
         server.retire(successor)
         self.retired_servers[server_id] = server
+        return server
+
+    def drop_retired(self, server_id: str) -> LocationServer | None:
+        """Garbage-collect a retirement alias that has gone quiet.
+
+        The alias leaves the network entirely; every live server's §6.5
+        caches forget it in the same step — a cached direct dispatch to
+        a vanished address would be a dead letter with nothing behind it
+        to heal the sender — and stragglers from stale *clients* become
+        dead letters that the batched protocol lane re-routes through
+        the hierarchy root before (re)sending an envelope.  Returns the
+        dropped server, or ``None`` if it was already gone.
+        """
+        server = self.retired_servers.pop(server_id, None)
+        if server is not None:
+            self.network.leave(server_id)
+            for live in self.servers.values():
+                live.caches.forget_server(server_id)
         return server
 
     def entry_server_for(self, pos: Point) -> str:
@@ -174,7 +282,13 @@ class LocationService:
         """Send one position update for ``obj``."""
         return self.run(obj.report(pos))
 
-    def update_many(self, reports: Iterable[tuple[TrackedObject, Point]]) -> dict[str, int]:
+    def update_many(
+        self,
+        reports: Iterable[tuple[TrackedObject, Point]],
+        protocol_lane: str = "batched",
+        envelope_timeout: float | None = None,
+        envelope_retries: int = 3,
+    ) -> dict[str, int]:
         """Apply a batch of position reports — the server-tick fast path.
 
         A batch is one tick: when an object appears more than once, only
@@ -183,12 +297,27 @@ class LocationService:
         inside its current agent's service area are applied directly to
         the agent leaf's store, one batched spatial-index update per
         leaf (the local half of Algorithm 6-2; the paper's updates are
-        "always local").  Reports that leave the agent area fall back to
-        the full update protocol (handover, deregistration), driven
-        concurrently on the virtual clock.  Objects that are not
-        registered (no agent) raise :class:`~repro.errors.
-        LocationServiceError` before anything is applied.  Returns
-        operation counters: ``{"fast": n, "protocol": m}``.
+        "always local").  Reports that leave the agent area run the full
+        update protocol (handover, deregistration) — over the **batched
+        protocol lane** by default: one
+        :class:`~repro.core.messages.UpdateBatchReq` envelope per
+        destination server instead of one request task per report.
+        ``protocol_lane="per-report"`` keeps the one-message-per-report
+        behaviour (the lane benchmarks compare against it).
+
+        Envelope-level recovery: a destination that left the network
+        entirely (a garbage-collected retirement alias) is re-routed
+        through the hierarchy root before sending — no timeout needed —
+        and with ``envelope_timeout`` set an unanswered envelope (a
+        crashed destination, which may be restored meanwhile) is
+        re-sent up to ``envelope_retries`` times *as an envelope*.  A
+        finally-unanswered envelope raises
+        :class:`~repro.errors.TransportError`.
+
+        Objects that are not registered (no agent) raise
+        :class:`~repro.errors.LocationServiceError` before anything is
+        applied.  Returns operation counters: ``{"fast": n,
+        "protocol": m}``.
         """
         final: dict[TrackedObject, Point] = {}
         for obj, pos in reports:
@@ -221,19 +350,139 @@ class LocationService:
                 obj.last_reported = sighting.pos
             fast += len(entries)
         if slow:
-
-            async def run_protocol():
-                tasks = [
-                    self.loop.create_task(
-                        obj.report(pos), name=f"update-{obj.object_id}"
+            if protocol_lane == "per-report":
+                self.run(
+                    drive_all(
+                        self.loop,
+                        (
+                            (f"update-{obj.object_id}", obj.report(pos))
+                            for obj, pos in slow
+                        ),
                     )
-                    for obj, pos in slow
-                ]
-                for task in tasks:
-                    await task
-
-            self.run(run_protocol())
+                )
+            else:
+                by_dest: dict[str, list[tuple[TrackedObject, Point]]] = {}
+                for obj, pos in slow:
+                    by_dest.setdefault(obj.agent, []).append((obj, pos))
+                self.run(
+                    drive_all(
+                        self.loop,
+                        (
+                            (
+                                f"envelope-{dest}",
+                                self._drive_update_envelope(
+                                    dest, pairs, envelope_timeout, envelope_retries
+                                ),
+                            )
+                            for dest, pairs in by_dest.items()
+                        ),
+                    )
+                )
         return {"fast": fast, "protocol": len(slow)}
+
+    def _reporter(self) -> _BatchReporter:
+        if self._batch_reporter is None:
+            self._batch_reporter = _BatchReporter()
+            self.network.join(self._batch_reporter)
+        return self._batch_reporter
+
+    async def _drive_update_envelope(
+        self,
+        dest: str,
+        pairs: list[tuple[TrackedObject, Point]],
+        timeout: float | None,
+        retries: int,
+    ) -> None:
+        """Send one tick's reports for one destination as an envelope
+        (see :func:`drive_update_envelope` for the recovery rules) and
+        fold the per-object outcomes back into the tracked objects'
+        agent pointers."""
+        outcomes = await drive_update_envelope(
+            self._reporter(),
+            self,
+            dest,
+            lambda: tuple(
+                SightingRecord(obj.object_id, self.loop.now, pos, obj.sensor_acc)
+                for obj, pos in pairs
+            ),
+            timeout,
+            retries,
+        )
+        by_oid = {outcome.object_id: outcome for outcome in outcomes}
+        for obj, pos in pairs:
+            outcome = by_oid.get(obj.object_id)
+            if outcome is None or not outcome.ok:
+                continue  # protocol-level rejection; agent unchanged
+            if outcome.deregistered:
+                obj.agent = None
+                obj.deregistered = True
+            else:
+                obj.agent = outcome.agent
+                obj.offered_acc = outcome.offered_acc
+                obj.last_reported = pos
+
+    def deregister_many(
+        self,
+        objs: Iterable[TrackedObject],
+        envelope_timeout: float | None = None,
+        envelope_retries: int = 3,
+    ) -> dict[str, bool]:
+        """Deregister a batch of objects over the batched protocol lane.
+
+        One :class:`~repro.core.messages.DeregisterBatchReq` envelope per
+        destination (the objects' believed agents); returns object id →
+        success.  Objects that are not registered map to ``False``.
+        Recovery matches :meth:`update_many`'s envelopes: a believed
+        agent that left the network (a garbage-collected retirement
+        alias) is re-routed through the hierarchy root, and with
+        ``envelope_timeout`` set an unanswered envelope is retried up to
+        ``envelope_retries`` times before :class:`~repro.errors.
+        TransportError` is raised.
+        """
+        by_dest: dict[str, list[TrackedObject]] = {}
+        results: dict[str, bool] = {}
+        for obj in objs:
+            if obj.agent is None:
+                results[obj.object_id] = False
+            else:
+                by_dest.setdefault(obj.agent, []).append(obj)
+        if not by_dest:
+            return results
+        reporter = self._reporter()
+
+        async def drive(dest: str, batch: list[TrackedObject]) -> None:
+            res = await drive_protocol_envelope(
+                reporter,
+                self,
+                dest,
+                lambda _dest: m.DeregisterBatchReq(
+                    request_id=reporter.next_request_id(),
+                    reply_to=reporter.address,
+                    object_ids=tuple(obj.object_id for obj in batch),
+                ),
+                envelope_timeout,
+                envelope_retries,
+                what="deregister",
+            )
+            assert isinstance(res, m.DeregisterBatchRes)
+            ok_by_oid = dict(res.results)
+            for obj in batch:
+                ok = ok_by_oid.get(obj.object_id, False)
+                results[obj.object_id] = ok
+                if ok:
+                    obj.agent = None
+                    obj.deregistered = True
+
+        self.run(
+            drive_all(
+                self.loop,
+                (
+                    (f"dereg-{dest}", drive(dest, batch))
+                    for dest, batch in by_dest.items()
+                ),
+            )
+        )
+        return results
 
     def pos_query(
         self, object_id: str, entry_server: str | None = None, req_acc: float | None = None

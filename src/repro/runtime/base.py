@@ -55,6 +55,16 @@ class Context(ABC):
     def send(self, dest: str, message: Message) -> None:
         """Fire-and-forget message send."""
 
+    def send_many(self, dest: str, messages: "list[Message]") -> None:
+        """Fire-and-forget send of several messages to one destination.
+
+        Runtimes may override this to amortize delivery scheduling (the
+        simulated network coalesces per-destination batches into one
+        delivery event); the default is a plain per-message loop.
+        """
+        for message in messages:
+            self.send(dest, message)
+
     @abstractmethod
     def create_future(self) -> Any:
         """A runtime-appropriate awaitable future."""
@@ -129,6 +139,12 @@ class Endpoint:
         assert self.ctx is not None, "endpoint must be attached before sending"
         self.ctx.send(dest, message)
 
+    def send_many(self, dest: str, messages: "list[Message]") -> None:
+        """Send a batch of messages to one destination in one call (the
+        runtime may coalesce their delivery scheduling)."""
+        assert self.ctx is not None, "endpoint must be attached before sending"
+        self.ctx.send_many(dest, messages)
+
     async def request(
         self, dest: str, message: Message, timeout: float | None = None
     ) -> Response:
@@ -177,7 +193,7 @@ class Endpoint:
         return len(self._pending)
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Counters every runtime keeps; benches and tests read these."""
 

@@ -43,6 +43,9 @@ class SimContext(Context):
     def send(self, dest: str, message: Message) -> None:
         self._network.transmit(self._address, dest, message)
 
+    def send_many(self, dest: str, messages: list[Message]) -> None:
+        self._network.transmit_many(self._address, dest, messages)
+
     def create_future(self):
         return self._network.loop.create_future()
 
@@ -76,6 +79,11 @@ class SimNetwork:
         self._endpoints: dict[str, Endpoint] = {}
         self._busy_until: dict[str, float] = {}
         self._down: set[str] = set()
+        #: per-(src, dst) coalescing send buffer for :meth:`transmit_many`;
+        #: flushed once per loop turn so a burst of batched sends costs one
+        #: delivery event per destination instead of one per message.
+        self._outbox: dict[tuple[str, str], list[Message]] = {}
+        self._flush_scheduled = False
 
     # -- membership -------------------------------------------------------
 
@@ -91,6 +99,14 @@ class SimNetwork:
     def endpoint(self, address: str) -> Endpoint:
         return self._endpoints[address]
 
+    def leave(self, address: str) -> None:
+        """Remove an endpoint from the network (retired-alias garbage
+        collection).  Messages later addressed to it become dead letters,
+        exactly as for an address that never joined."""
+        self._endpoints.pop(address, None)
+        self._busy_until.pop(address, None)
+        self._down.discard(address)
+
     def addresses(self) -> list[str]:
         return sorted(self._endpoints)
 
@@ -101,9 +117,16 @@ class SimNetwork:
         self._down.add(address)
 
     def restore(self, address: str) -> None:
-        """Bring an endpoint back; its volatile state is its own concern."""
+        """Bring an endpoint back; its volatile state is its own concern.
+
+        A no-op for an address that :meth:`leave` removed — a departed
+        endpoint has nothing to restore.
+        """
         self._down.discard(address)
-        self._busy_until[address] = max(self._busy_until[address], self.loop.now)
+        if address in self._endpoints:
+            self._busy_until[address] = max(
+                self._busy_until.get(address, 0.0), self.loop.now
+            )
 
     def is_down(self, address: str) -> bool:
         return address in self._down
@@ -124,9 +147,95 @@ class SimNetwork:
         delay = self.latency.delay(src, dst, message)
         self.loop.call_later(delay, lambda: self._arrive(dst, message))
 
+    def transmit_many(self, src: str, dst: str, messages: list[Message]) -> None:
+        """Buffered batch send: messages queue in a per-(src, dst) outbox
+        that flushes at the end of the current loop turn, so the whole
+        batch pays one latency computation and one delivery event.
+
+        Virtual timing matches back-to-back :meth:`transmit` calls up to
+        the batch sharing a single group arrival (the slowest member's
+        delay) — the "messages sent together arrive together" behaviour
+        of one UDP burst.
+        """
+        if not messages:
+            return
+        self._outbox.setdefault((src, dst), []).extend(messages)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.loop.call_soon(self._flush_outbox)
+
+    def flush(self) -> None:
+        """Force the coalescing outbox out immediately (tests/teardown)."""
+        if self._outbox:
+            self._flush_outbox()
+
+    def _flush_outbox(self) -> None:
+        self._flush_scheduled = False
+        outbox, self._outbox = self._outbox, {}
+        for (src, dst), batch in outbox.items():
+            self._transmit_batch(src, dst, batch)
+
+    def _transmit_batch(self, src: str, dst: str, batch: list[Message]) -> None:
+        for message in batch:
+            self.stats.note_send(message)
+        if dst not in self._endpoints:
+            self.stats.dead_letters += len(batch)
+            return
+        if dst in self._down or src in self._down:
+            self.stats.messages_dropped += len(batch)
+            return
+        if self.drop_rate > 0.0:
+            survivors = []
+            for message in batch:
+                if self._rng.random() < self.drop_rate:
+                    self.stats.messages_dropped += 1
+                else:
+                    survivors.append(message)
+            batch = survivors
+            if not batch:
+                return
+        delay = max(self.latency.delay(src, dst, message) for message in batch)
+        self.loop.call_later(delay, lambda: self._arrive_many(dst, batch))
+
+    def _arrive_many(self, dst: str, batch: list[Message]) -> None:
+        """Group arrival: each message still occupies the destination CPU
+        for its own service time, but the whole batch shares one ready
+        event — the receiver starts processing once its CPU has absorbed
+        the burst, which is when it would have reached the last member
+        anyway under per-message delivery."""
+        if dst in self._down:
+            self.stats.messages_dropped += len(batch)
+            return
+        if dst not in self._endpoints:  # left the network while in flight
+            self.stats.dead_letters += len(batch)
+            return
+        service = sum(self.costs.service_time(message, dst=dst) for message in batch)
+        start = max(self.loop.now, self._busy_until[dst])
+        ready = start + service
+        self._busy_until[dst] = ready
+        if ready <= self.loop.now:
+            self._deliver_many(dst, batch)
+        else:
+            self.loop.call_at(ready, lambda: self._deliver_many(dst, batch))
+
+    def _deliver_many(self, dst: str, batch: list[Message]) -> None:
+        if dst in self._down:
+            self.stats.messages_dropped += len(batch)
+            return
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:  # left the network while the batch was in flight
+            self.stats.dead_letters += len(batch)
+            return
+        self.stats.messages_delivered += len(batch)
+        for message in batch:
+            endpoint.deliver(message)
+
     def _arrive(self, dst: str, message: Message) -> None:
         if dst in self._down:
             self.stats.messages_dropped += 1
+            return
+        if dst not in self._endpoints:  # left the network while in flight
+            self.stats.dead_letters += 1
             return
         service = self.costs.service_time(message, dst=dst)
         start = max(self.loop.now, self._busy_until[dst])
@@ -141,8 +250,12 @@ class SimNetwork:
         if dst in self._down:
             self.stats.messages_dropped += 1
             return
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:  # left the network while in flight
+            self.stats.dead_letters += 1
+            return
         self.stats.messages_delivered += 1
-        self._endpoints[dst].deliver(message)
+        endpoint.deliver(message)
 
     # -- convenience for tests and benches ------------------------------------------
 

@@ -10,7 +10,9 @@ runtime without a cycle.
 from repro.sim.calibration import CalibrationResult, calibrate, default_cost_model
 from repro.sim.engine import SimFuture, SimLoop, SimTask, SimulationError, TimeoutExpired
 from repro.sim.metrics import (
+    PROTOCOL_LANE_MESSAGE_TYPES,
     LatencyRecorder,
+    MessageLedger,
     Summary,
     ThroughputMeter,
     format_table,
@@ -55,6 +57,7 @@ _ELASTIC_EXPORTS = {
     "commuter_rush_scenario",
     "elastic_benchmark_payload",
     "flash_crowd_scenario",
+    "protocol_batch_benchmark_payload",
 }
 
 
@@ -77,8 +80,10 @@ __all__ = [
     "HotspotSpec",
     "LatencyRecorder",
     "ManhattanWalker",
+    "MessageLedger",
     "MobilitySimulation",
     "Operation",
+    "PROTOCOL_LANE_MESSAGE_TYPES",
     "RandomWalkWalker",
     "RandomWaypointWalker",
     "SimFuture",
@@ -107,6 +112,7 @@ __all__ = [
     "hotspot_positions",
     "make_walkers",
     "percentile",
+    "protocol_batch_benchmark_payload",
     "scatter_objects",
     "table1_store",
     "table2_service",

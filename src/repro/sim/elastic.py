@@ -28,6 +28,7 @@ rebalance is reachable after it.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.cluster import (
@@ -42,11 +43,12 @@ from repro.cluster import (
 )
 from repro.core import LocationService, build_table2_hierarchy
 from repro.core import messages as m
+from repro.core.service import drive_all, drive_update_envelope
 from repro.geo import Point, Rect
 from repro.model import RangeQuery, SightingRecord
 from repro.runtime.base import Endpoint
 from repro.runtime.latency import LatencyModel
-from repro.sim.metrics import LatencyRecorder
+from repro.sim.metrics import LatencyRecorder, MessageLedger
 from repro.sim.workload import HotspotSpec, hotspot_positions, wavefront_area
 
 
@@ -68,6 +70,7 @@ class _Reporter(Endpoint):
         )
         assert isinstance(res, m.UpdateRes)
         return res
+
 
 
 @dataclass
@@ -105,15 +108,31 @@ class ElasticHarness:
 
     # -- workload application ------------------------------------------------
 
-    def apply_reports(self, reports: list[tuple[str, Point]]) -> dict[str, int]:
+    def apply_reports(
+        self,
+        reports: list[tuple[str, Point]],
+        protocol_lane: str = "batched",
+        envelope_timeout: float | None = None,
+        envelope_retries: int = 3,
+    ) -> dict[str, int]:
         """Apply one tick of position reports.
 
         Reports whose object stays inside its current agent's area take
         the batched fast path (one ``update_many`` per leaf); the rest —
         area crossings, or objects whose believed agent was split or
         merged away since the last tick — go through the full update
-        protocol, whose acknowledgement re-points the home map.  Returns
-        ``{"fast": n, "protocol": k}``.
+        protocol, whose acknowledgement re-points the home map.  By
+        default the protocol traffic travels the **batched lane**: one
+        :class:`~repro.core.messages.UpdateBatchReq` envelope per
+        believed-agent destination; ``protocol_lane="per-report"`` keeps
+        one request task per report (the lane benches compare the two).
+        Envelope recovery matches
+        :meth:`~repro.core.service.LocationService.update_many` (shared
+        :func:`~repro.core.service.drive_update_envelope` core): a
+        believed agent that left the network (a garbage-collected
+        retirement alias) re-routes through the hierarchy root, and
+        ``envelope_timeout`` enables envelope-level retry against
+        crashed destinations.  Returns ``{"fast": n, "protocol": k}``.
         """
         svc = self.svc
         now = svc.loop.now
@@ -141,27 +160,62 @@ class ElasticHarness:
             reporter = self._reporter
             homes = self.homes
 
-            async def report_one(oid: str, pos: Point) -> None:
-                agent = homes.get(oid)
-                if agent is None:
-                    return
-                res = await reporter.send_report(
-                    agent, SightingRecord(oid, svc.loop.now, pos, 10.0)
+            if protocol_lane == "per-report":
+
+                async def report_one(oid: str, pos: Point) -> None:
+                    agent = homes.get(oid)
+                    if agent is None:
+                        return
+                    res = await reporter.send_report(
+                        agent, SightingRecord(oid, svc.loop.now, pos, 10.0)
+                    )
+                    if res.deregistered:
+                        homes.pop(oid, None)
+                    elif res.ok and res.agent is not None:
+                        homes[oid] = res.agent
+
+                svc.run(
+                    drive_all(
+                        svc.loop,
+                        ((f"report-{oid}", report_one(oid, pos)) for oid, pos in slow),
+                    )
                 )
-                if res.deregistered:
-                    homes.pop(oid, None)
-                elif res.ok and res.agent is not None:
-                    homes[oid] = res.agent
+            else:
+                by_dest: dict[str, list[tuple[str, Point]]] = {}
+                for oid, pos in slow:
+                    agent = homes.get(oid)
+                    if agent is not None:
+                        by_dest.setdefault(agent, []).append((oid, pos))
 
-            async def run_protocol() -> None:
-                tasks = [
-                    svc.loop.create_task(report_one(oid, pos), name=f"report-{oid}")
-                    for oid, pos in slow
-                ]
-                for task in tasks:
-                    await task
+                async def drive(dest: str, pairs: list[tuple[str, Point]]) -> None:
+                    outcomes = await drive_update_envelope(
+                        reporter,
+                        svc,
+                        dest,
+                        lambda: tuple(
+                            SightingRecord(oid, svc.loop.now, pos, 10.0)
+                            for oid, pos in pairs
+                        ),
+                        envelope_timeout,
+                        envelope_retries,
+                    )
+                    for outcome in outcomes:
+                        if not outcome.ok:
+                            continue
+                        if outcome.deregistered:
+                            homes.pop(outcome.object_id, None)
+                        elif outcome.agent is not None:
+                            homes[outcome.object_id] = outcome.agent
 
-            svc.run(run_protocol())
+                svc.run(
+                    drive_all(
+                        svc.loop,
+                        (
+                            (f"envelope-{dest}", drive(dest, pairs))
+                            for dest, pairs in by_dest.items()
+                        ),
+                    )
+                )
         return {"fast": sum(len(v) for v in per_leaf.values()), "protocol": len(slow)}
 
     # -- probes --------------------------------------------------------------
@@ -322,6 +376,7 @@ def _run_scenario(
     placements,
     positions_at,
     probe_area_at,
+    protocol_lane: str = "batched",
 ) -> dict[str, object]:
     """Common scenario loop; the two scenarios differ only in their
     placement and per-tick position generators."""
@@ -334,13 +389,24 @@ def _run_scenario(
         planner=_scenario_planner(),
     )
     rng = random.Random(seed)
+    ledger = MessageLedger(svc.network.stats)
     fast = protocol = 0
+    tick_wall = 0.0
+    protocol_messages = 0
+    protocol_by_type: dict[str, int] = {}
     for tick in range(ticks):
         progress = tick / max(ticks - 1, 1)
         reports = positions_at(rng, tick, progress)
-        counts = harness.apply_reports(reports)
+        ledger.rebase()  # count only the tick's own protocol traffic
+        wall_start = time.perf_counter()
+        counts = harness.apply_reports(reports, protocol_lane=protocol_lane)
+        tick_wall += time.perf_counter() - wall_start
         fast += counts["fast"]
         protocol += counts["protocol"]
+        tick_delta = ledger.protocol_delta()
+        protocol_messages += sum(tick_delta.values())
+        for name, count in tick_delta.items():
+            protocol_by_type[name] = protocol_by_type.get(name, 0) + count
         phase = "post" if harness.migrations else "pre"
         harness.probe_queries(rng, phase, range_area=probe_area_at(progress))
         svc.run(_advance(svc, dt))
@@ -359,8 +425,13 @@ def _run_scenario(
         "objects": objects,
         "ticks": ticks,
         "dt_s": dt,
+        "protocol_lane": protocol_lane,
         "fast_reports": fast,
         "protocol_reports": protocol,
+        "protocol_messages": protocol_messages,
+        "protocol_messages_per_tick": round(protocol_messages / ticks, 2),
+        "protocol_message_types": dict(sorted(protocol_by_type.items())),
+        "tick_wall_clock_s": round(tick_wall, 4),
         "leaf_count_final": len(svc.hierarchy.leaf_ids()),
         "splits": harness.split_count(),
         "merges": harness.merge_count(),
@@ -388,6 +459,7 @@ def flash_crowd_scenario(
     rebalance_every: int = 2,
     measure_ticks: int = 8,
     seed: int = 0,
+    protocol_lane: str = "batched",
 ) -> dict[str, object]:
     """A flash crowd inside one leaf of the Fig.-8 testbed.
 
@@ -429,6 +501,7 @@ def flash_crowd_scenario(
         placements=placements,
         positions_at=positions_at,
         probe_area_at=lambda progress: hotspot,
+        protocol_lane=protocol_lane,
     )
 
 
@@ -442,6 +515,7 @@ def commuter_rush_scenario(
     rebalance_every: int = 2,
     measure_ticks: int = 10,
     seed: int = 0,
+    protocol_lane: str = "batched",
 ) -> dict[str, object]:
     """A commuter-rush wavefront sweeping west→east across the area.
 
@@ -494,6 +568,7 @@ def commuter_rush_scenario(
         placements=placements,
         positions_at=positions_at,
         probe_area_at=lambda progress: wavefront_area(root, progress, wave_width),
+        protocol_lane=protocol_lane,
     )
 
 
@@ -529,4 +604,47 @@ def elastic_benchmark_payload(
     return {
         "bench": "elastic cluster layer: load-aware split/merge + migration",
         "scenarios": scenarios,
+    }
+
+
+def protocol_batch_benchmark_payload(
+    objects: int = 1000,
+    ticks: int | None = None,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Batched vs. per-report protocol lane head to head — the
+    ``BENCH_PR3.json`` body.
+
+    Both lanes run the identical crossing-heavy commuter-rush workload
+    (elastic, so splits/merges churn the believed-agent map too); the
+    acceptance numbers are ``message_reduction_factor`` (protocol-lane
+    messages per tick, per-report over batched, required ≥ 2) and
+    ``tick_speedup`` (wall-clock of the tick application, per-report
+    over batched, required > 1), with zero lost sightings on both lanes.
+    """
+    kwargs: dict[str, object] = {"objects": objects}
+    if ticks is not None:
+        kwargs["ticks"] = ticks
+    lanes: dict[str, dict[str, object]] = {}
+    for lane in ("per-report", "batched"):
+        lanes[lane] = commuter_rush_scenario(
+            elastic=True, seed=seed, protocol_lane=lane, **kwargs
+        )
+    per_report, batched = lanes["per-report"], lanes["batched"]
+    batched_rate = batched["protocol_messages_per_tick"]
+    batched_wall = batched["tick_wall_clock_s"]
+    return {
+        "bench": "batched protocol lane: per-destination envelopes vs. per-report messages",
+        "scenario": "commuter_rush",
+        "lanes": lanes,
+        "message_reduction_factor": (
+            round(per_report["protocol_messages_per_tick"] / batched_rate, 3)
+            if batched_rate > 0
+            else None
+        ),
+        "tick_speedup": (
+            round(per_report["tick_wall_clock_s"] / batched_wall, 3)
+            if batched_wall > 0
+            else None
+        ),
     }

@@ -184,6 +184,8 @@ class TimerHandle:
 class SimLoop:
     """A minimal deterministic event loop over virtual time (seconds)."""
 
+    __slots__ = ("_now", "_sequence", "_queue", "task_errors")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._sequence = 0

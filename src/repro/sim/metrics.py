@@ -103,6 +103,74 @@ class ThroughputMeter:
         return self.completed / (self._end - self._start)
 
 
+#: Message type names that make up the *protocol lane* — the Section-6
+#: update/handover/deregister traffic (per-object and enveloped forms)
+#: whose per-message overhead the batched lane amortizes.  Query fan-out
+#: messages are deliberately excluded: they are the query lane.
+PROTOCOL_LANE_MESSAGE_TYPES = frozenset(
+    {
+        "CreatePath",
+        "UpdateReq",
+        "UpdateRes",
+        "UpdateBatchReq",
+        "UpdateBatchRes",
+        "HandoverReq",
+        "HandoverRes",
+        "HandoverBatchReq",
+        "HandoverBatchRes",
+        "DeregisterReq",
+        "DeregisterRes",
+        "DeregisterBatchReq",
+        "DeregisterBatchRes",
+        "PathTeardown",
+        "PathTeardownBatch",
+        "PathUpdate",
+        "RemovePath",
+        "NotifyAvailAcc",
+    }
+)
+
+
+class MessageLedger:
+    """Per-type message-count deltas over a runtime's ``NetworkStats``.
+
+    Snapshot ``stats.by_type`` at construction (or :meth:`rebase`), read
+    the traffic since then with :meth:`delta` /
+    :meth:`protocol_messages`.  The elastic scenarios and the protocol-
+    batch bench use this to compare the batched and per-report lanes.
+    """
+
+    __slots__ = ("_stats", "_baseline")
+
+    def __init__(self, stats) -> None:
+        self._stats = stats
+        self._baseline: dict[str, int] = dict(stats.by_type)
+
+    def rebase(self) -> None:
+        self._baseline = dict(self._stats.by_type)
+
+    def delta(self) -> dict[str, int]:
+        """Messages sent per type since the last (re)base, zeros omitted."""
+        by_type = self._stats.by_type
+        return {
+            name: count - self._baseline.get(name, 0)
+            for name, count in by_type.items()
+            if count - self._baseline.get(name, 0) > 0
+        }
+
+    def protocol_delta(self) -> dict[str, int]:
+        """The protocol-lane slice of :meth:`delta`."""
+        return {
+            name: count
+            for name, count in self.delta().items()
+            if name in PROTOCOL_LANE_MESSAGE_TYPES
+        }
+
+    def protocol_messages(self) -> int:
+        """Total protocol-lane messages since the last (re)base."""
+        return sum(self.protocol_delta().values())
+
+
 @dataclass(frozen=True, slots=True)
 class TableRow:
     """One row of a paper-versus-measured comparison table."""

@@ -306,13 +306,22 @@ class DistributedHarness:
         tick), the batch's range queries run as one batched distributed
         fan-out per entry leaf (:meth:`~repro.core.server.LocationServer.
         evaluate_range_many` — one ``query_rect_many`` candidate pass per
-        involved leaf), and the remaining queries run through the normal
+        involved leaf), the nearest-neighbor queries likewise batch per
+        entry leaf (:meth:`~repro.core.server.LocationServer.
+        evaluate_neighbors_many` — one ``NNCandidatesBatchFwd`` fan-out
+        per ring round), and the remaining queries run through the normal
         request protocol.  Returns operation counters.
         """
-        from repro.model import RangeQuery
+        from repro.model import NearestNeighborQuery, RangeQuery
 
         loop = self.svc.loop
-        counters = {"updates": 0, "update_batches": 0, "queries": 0, "range_batches": 0}
+        counters = {
+            "updates": 0,
+            "update_batches": 0,
+            "queries": 0,
+            "range_batches": 0,
+            "nn_batches": 0,
+        }
         for batch in gen.operation_batches(operations, batch_size):
             updates_by_leaf, others = coalesce_updates(batch)
             now = loop.now
@@ -324,15 +333,16 @@ class DistributedHarness:
                 counters["updates"] += len(moves)
                 counters["update_batches"] += 1
             ranges_by_leaf: dict[str, list] = {}
+            nns_by_leaf: dict[str, list] = {}
             for op in others:
                 if op.kind == "range_query":
                     ranges_by_leaf.setdefault(op.entry_leaf, []).append(op)
                     continue
+                if op.kind == "nn_query":
+                    nns_by_leaf.setdefault(op.entry_leaf, []).append(op)
+                    continue
                 client = self.client_at(op.entry_leaf)
-                if op.kind == "pos_query":
-                    self.svc.run(client.pos_query(op.object_id))
-                else:
-                    self.svc.run(client.neighbor_query(op.pos, req_acc=50.0))
+                self.svc.run(client.pos_query(op.object_id))
                 counters["queries"] += 1
             for leaf, ops in ranges_by_leaf.items():
                 self.svc.run(
@@ -345,6 +355,14 @@ class DistributedHarness:
                 )
                 counters["queries"] += len(ops)
                 counters["range_batches"] += 1
+            for leaf, ops in nns_by_leaf.items():
+                self.svc.run(
+                    self.svc.servers[leaf].evaluate_neighbors_many(
+                        [NearestNeighborQuery(op.pos, req_acc=50.0) for op in ops]
+                    )
+                )
+                counters["queries"] += len(ops)
+                counters["nn_batches"] += 1
         return counters
 
     # -- canned operations matching Table 2's rows -----------------------------

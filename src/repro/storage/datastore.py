@@ -71,10 +71,12 @@ class LocalDataStore:
         self.sightings.upsert(sighting, now=now)
         return offered
 
-    def admit_handover(
-        self, sighting: SightingRecord, reg_info: RegistrationInfo, now: float = 0.0
+    def _admit_visitor(
+        self, sighting: SightingRecord, reg_info: RegistrationInfo
     ) -> float:
-        """Become the agent for an object arriving by handover (Alg. 6-3)."""
+        """Negotiate and install one arriving visitor record (Alg. 6-3);
+        the shared per-item core of :meth:`admit_handover` and
+        :meth:`admit_handover_many`."""
         offered = self.accuracy.negotiate(reg_info.des_acc, reg_info.min_acc)
         if offered is None:
             # Paper's protocol assumes the requested range stays satisfiable
@@ -83,8 +85,35 @@ class LocalDataStore:
             # renegotiation at the API layer.
             offered = max(self.accuracy.achievable, reg_info.des_acc)
         self.visitors.insert_leaf(sighting.object_id, offered, reg_info)
+        return offered
+
+    def admit_handover(
+        self, sighting: SightingRecord, reg_info: RegistrationInfo, now: float = 0.0
+    ) -> float:
+        """Become the agent for an object arriving by handover (Alg. 6-3)."""
+        offered = self._admit_visitor(sighting, reg_info)
         self.sightings.upsert(sighting, now=now)
         return offered
+
+    def admit_handover_many(
+        self,
+        arrivals: list[tuple[SightingRecord, RegistrationInfo]],
+        now: float = 0.0,
+    ) -> list[float]:
+        """Become the agent for a whole handover envelope in one pass.
+
+        The batched counterpart of :meth:`admit_handover` (identical
+        per-item negotiation semantics via :meth:`_admit_visitor`), then
+        every sighting lands through one
+        :meth:`~repro.storage.sighting_db.SightingDB.upsert_many` —
+        a single batched spatial-index pass for the whole envelope.
+        Returns the offered accuracy per arrival, in input order.
+        """
+        offers = [
+            self._admit_visitor(sighting, reg_info) for sighting, reg_info in arrivals
+        ]
+        self.sightings.upsert_many([sighting for sighting, _ in arrivals], now=now)
+        return offers
 
     def update(self, sighting: SightingRecord, now: float = 0.0) -> None:
         """Refresh an existing visitor's sighting (Alg. 6-2 line 8).
@@ -201,17 +230,38 @@ class LocalDataStore:
         """``neighborQuery`` against the local spatial index."""
         return self.sightings.nearest_neighbors(query, self.offered_acc)
 
+    def _nn_matches(self, hits, req_acc: float) -> list[ObjectEntry]:
+        """Filter raw index hits by offered accuracy and order them; the
+        shared matching core of :meth:`nn_candidates` and
+        :meth:`nn_candidates_many`."""
+        matched = []
+        for oid, pos in hits:
+            acc = self.offered_acc(oid)
+            if acc <= req_acc:
+                matched.append((oid, LocationDescriptor(pos, acc)))
+        matched.sort(key=lambda entry: entry[0])
+        return matched
+
     def nn_candidates(self, rect, req_acc: float) -> list[ObjectEntry]:
         """Candidates for one distributed nearest-neighbor round: every
         visitor whose position lies in ``rect`` and whose offered accuracy
         satisfies ``req_acc``."""
-        result = []
-        for oid, pos in self.sightings.positions_in_rect(rect):
-            acc = self.offered_acc(oid)
-            if acc <= req_acc:
-                result.append((oid, LocationDescriptor(pos, acc)))
-        result.sort(key=lambda entry: entry[0])
-        return result
+        return self._nn_matches(self.sightings.positions_in_rect(rect), req_acc)
+
+    def nn_candidates_many(
+        self, rects: list, req_accs: list[float]
+    ) -> list[list[ObjectEntry]]:
+        """Candidates for many NN probes through one batched index pass
+        (the NN counterpart of :meth:`range_query_many`, matching
+        :meth:`nn_candidates` candidate-for-candidate via
+        :meth:`_nn_matches`); result ``i`` matches
+        ``rects[i]``/``req_accs[i]``."""
+        return [
+            self._nn_matches(hits, req_acc)
+            for hits, req_acc in zip(
+                self.sightings.positions_in_rects(rects), req_accs
+            )
+        ]
 
     # -- soft state & recovery ---------------------------------------------------
 

@@ -251,6 +251,12 @@ class SightingDB:
         """Raw spatial-index scan: (object id, position) pairs in a rect."""
         return self._index.query_rect(rect)
 
+    def positions_in_rects(self, rects: Iterable[Rect]) -> list[list[tuple[str, Point]]]:
+        """Raw scans for many rects via one batched index traversal
+        (:meth:`~repro.spatial.SpatialIndex.query_rect_many`); result
+        ``i`` matches ``rects[i]``."""
+        return self._index.query_rect_many(list(rects))
+
     def counts_in_rects(self, rects: Iterable[Rect]) -> list[int]:
         """Entry counts per rect, via one batched index traversal.
 

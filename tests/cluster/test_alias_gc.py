@@ -1,0 +1,132 @@
+"""Tests for retired-server forwarding-alias garbage collection.
+
+A merged-away leaf keeps forwarding as a retirement alias; the
+:class:`~repro.cluster.LoadMonitor` drops an alias once it has seen no
+traffic for ``gc_retired_after`` consecutive sweeps, bounding the
+endpoint table under long split/merge churn.  Stragglers addressed to a
+dropped alias become dead letters and recover through the batched lane's
+envelope retry via the hierarchy root.
+"""
+
+import pytest
+
+from repro.cluster import LoadMonitor, MergePlan
+from repro.core import messages as m
+from repro.core.caching import CacheConfig
+from repro.model import SightingRecord
+from repro.sim.scenario import table2_service
+
+from tests.cluster.test_migration import Reporter, force_split
+
+
+def merged_service(object_count=150, seed=31, cache_config=None):
+    svc, homes = table2_service(
+        object_count=object_count, seed=seed, cache_config=cache_config
+    )
+    executor, split_report = force_split(svc)
+    executor.execute(MergePlan(parent_id="root.0", children=split_report.spawned))
+    return svc, homes, split_report.spawned
+
+
+class TestConfig:
+    def test_gc_retired_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LoadMonitor(gc_retired_after=0)
+
+    def test_gc_disabled_by_default(self):
+        svc, homes, retired = merged_service()
+        monitor = LoadMonitor()
+        for i in range(8):
+            monitor.sample(svc, float(i + 1))
+        assert set(retired) <= set(svc.retired_servers)
+
+
+class TestQuietAliasCollection:
+    def test_quiet_aliases_dropped_after_n_sweeps(self):
+        svc, homes, retired = merged_service()
+        monitor = LoadMonitor(gc_retired_after=2)
+        assert set(retired) <= set(svc.retired_servers)
+        # Sweep 1 baselines the counters; two idle sweeps then collect.
+        for i in range(3):
+            monitor.sample(svc, float(i + 1))
+        for alias in retired:
+            assert alias not in svc.retired_servers
+            assert alias not in svc.network.addresses()
+
+    def test_traffic_keeps_alias_alive(self):
+        svc, homes, retired = merged_service()
+        monitor = LoadMonitor(gc_retired_after=2)
+        busy, quiet = retired[0], retired[1]
+        reporter = Reporter()
+        svc.network.join(reporter)
+        oid = next(oid for oid, home in homes.items() if home == "root.0")
+        area = svc.hierarchy.config("root.0").area
+        for i in range(3):
+            # The busy alias sees a forwarded update between every sweep.
+            res = svc.run(reporter.send_update(busy, oid, area.center))
+            assert res.ok
+            monitor.sample(svc, float(i + 1))
+        assert busy in svc.retired_servers
+        assert quiet not in svc.retired_servers
+
+    def test_straggler_to_dropped_alias_is_dead_letter(self):
+        svc, homes, retired = merged_service()
+        monitor = LoadMonitor(gc_retired_after=1)
+        for i in range(2):
+            monitor.sample(svc, float(i + 1))
+        assert retired[0] not in svc.network.addresses()
+        before = svc.network.stats.dead_letters
+        oid = next(iter(homes))
+        reporter = Reporter()
+        svc.network.join(reporter)
+        reporter.send(
+            retired[0],
+            m.UpdateReq(
+                request_id=reporter.next_request_id(),
+                reply_to=reporter.address,
+                sighting=SightingRecord(oid, 0.0, svc.hierarchy.root_area().center, 10.0),
+            ),
+        )
+        svc.settle()
+        assert svc.network.stats.dead_letters == before + 1
+
+
+class TestCachePurge:
+    def test_gc_purges_stale_area_caches(self):
+        """A live leaf whose §6.5 area cache points at the dropped alias
+        must forget it with the GC — a cached direct handover dispatch to
+        the vanished address would be an unrecoverable dead letter."""
+        svc, homes, retired = merged_service(
+            cache_config=CacheConfig.all_enabled()
+        )
+        stale = retired[0]
+        child_area = svc.retired_servers[stale].config.area
+        live_leaf = "root.1"
+        # Learned from a handover response before the merge + GC.
+        svc.servers[live_leaf].caches.note_leaf_area(stale, child_area)
+        monitor = LoadMonitor(gc_retired_after=1)
+        for i in range(2):
+            monitor.sample(svc, float(i + 1))
+        assert stale not in svc.retired_servers
+        center = child_area.center
+        assert (
+            svc.servers[live_leaf].caches.leaf_for_point(center.x, center.y)
+            is None
+        )
+        # An object agented at the live leaf crossing into the old child
+        # area now routes through the hierarchy instead of dead-lettering.
+        oid = next(o for o, h in homes.items() if h == live_leaf)
+        reporter = Reporter()
+        svc.network.join(reporter)
+        res = svc.run(reporter.send_update(live_leaf, oid, center))
+        assert res.ok and res.agent == "root.0"
+        svc.check_consistency()
+
+
+class TestDropRetired:
+    def test_drop_retired_returns_server_once(self):
+        svc, homes, retired = merged_service()
+        server = svc.drop_retired(retired[0])
+        assert server is not None and server.retired
+        assert svc.drop_retired(retired[0]) is None
+        assert retired[0] not in svc.network.addresses()

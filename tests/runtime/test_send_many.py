@@ -1,0 +1,144 @@
+"""Tests for the per-destination coalescing send buffer and ``leave``.
+
+``Endpoint.send_many`` / ``SimNetwork.transmit_many`` queue messages in a
+per-(src, dst) outbox flushed once per loop turn, so a burst of batched
+sends costs one delivery event per destination; ``SimNetwork.leave``
+removes an endpoint entirely (retired-alias garbage collection) and
+in-flight or later messages become dead letters instead of crashing the
+simulation.
+"""
+
+from dataclasses import dataclass
+
+from repro.runtime.base import Endpoint, Message
+from repro.runtime.latency import LatencyModel
+from repro.runtime.simnet import SimNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class Note(Message):
+    payload: int
+
+
+class Sink(Endpoint):
+    def __init__(self, address: str) -> None:
+        super().__init__(address)
+        self.received: list[Note] = []
+        self.on(Note, self._on_note)
+
+    async def _on_note(self, msg: Note) -> None:
+        self.received.append(msg)
+
+
+class Sender(Endpoint):
+    pass
+
+
+def wired():
+    net = SimNetwork(latency=LatencyModel(base=0.001, per_entry=0.0))
+    sink = net.join(Sink("sink"))
+    sender = net.join(Sender("sender"))
+    return net, sink, sender
+
+
+class TestSendMany:
+    def test_batch_delivered_in_order(self):
+        net, sink, sender = wired()
+        sender.send_many("sink", [Note(i) for i in range(5)])
+        net.run()
+        assert [msg.payload for msg in sink.received] == [0, 1, 2, 3, 4]
+        assert net.stats.messages_sent == 5
+        assert net.stats.messages_delivered == 5
+
+    def test_empty_batch_is_noop(self):
+        net, sink, sender = wired()
+        sender.send_many("sink", [])
+        net.run()
+        assert sink.received == []
+        assert net.stats.messages_sent == 0
+
+    def test_batch_arrives_together(self):
+        """The whole batch shares one group arrival: every member becomes
+        visible at the same virtual instant."""
+        net = SimNetwork(latency=LatencyModel(base=0.001, per_entry=0.0))
+        arrivals: list[float] = []
+
+        class Stamper(Endpoint):
+            def __init__(self):
+                super().__init__("stamper")
+                self.on(Note, self._on_note)
+
+            async def _on_note(self, msg: Note) -> None:
+                arrivals.append(net.loop.now)
+
+        net.join(Stamper())
+        sender = net.join(Sender("sender"))
+        sender.send_many("stamper", [Note(i) for i in range(4)])
+        net.run()
+        assert len(arrivals) == 4
+        assert len(set(arrivals)) == 1
+
+    def test_interleaved_sends_coalesce_per_destination(self):
+        net = SimNetwork(latency=LatencyModel(base=0.001, per_entry=0.0))
+        a = net.join(Sink("a"))
+        b = net.join(Sink("b"))
+        sender = net.join(Sender("sender"))
+        sender.send_many("a", [Note(1), Note(2)])
+        sender.send_many("b", [Note(3)])
+        sender.send_many("a", [Note(4)])
+        net.run()
+        assert [msg.payload for msg in a.received] == [1, 2, 4]
+        assert [msg.payload for msg in b.received] == [3]
+
+    def test_flush_forces_outbox_out(self):
+        net, sink, sender = wired()
+        sender.send_many("sink", [Note(7)])
+        net.flush()  # moves the batch onto the wire without a loop turn
+        net.run()
+        assert [msg.payload for msg in sink.received] == [7]
+
+    def test_batch_to_crashed_destination_dropped(self):
+        net, sink, sender = wired()
+        net.crash("sink")
+        sender.send_many("sink", [Note(i) for i in range(3)])
+        net.run()
+        assert sink.received == []
+        assert net.stats.messages_dropped == 3
+
+
+class TestLeave:
+    def test_messages_to_left_endpoint_are_dead_letters(self):
+        net, sink, sender = wired()
+        net.leave("sink")
+        sender.send("sink", Note(1))
+        sender.send_many("sink", [Note(2), Note(3)])
+        net.run()
+        assert sink.received == []
+        assert net.stats.dead_letters == 3
+        assert net.stats.messages_dropped == 0
+
+    def test_leave_while_batch_in_flight(self):
+        net, sink, sender = wired()
+        sender.send_many("sink", [Note(1), Note(2)])
+        net.flush()  # on the wire, 1 ms from arriving
+        net.leave("sink")
+        net.run()
+        assert sink.received == []
+        assert net.stats.dead_letters == 2
+
+    def test_leave_is_idempotent_and_unknown_safe(self):
+        net, sink, sender = wired()
+        net.leave("sink")
+        net.leave("sink")
+        net.leave("never-joined")
+        assert "sink" not in net.addresses()
+
+    def test_restore_after_leave_is_a_noop(self):
+        net, sink, sender = wired()
+        net.crash("sink")
+        net.leave("sink")
+        net.restore("sink")  # departed endpoint: nothing to restore
+        assert "sink" not in net.addresses()
+        sender.send("sink", Note(1))
+        net.run()
+        assert net.stats.dead_letters == 1
