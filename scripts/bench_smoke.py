@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quick perf smoke — refreshes BENCH_PR1/PR2/PR3.json.
+"""Quick perf smoke — refreshes BENCH_PR1/PR2/PR3/PR4.json.
 
 The tier-1 test suite never runs benchmarks (bench files do not match
 pytest's default collection), and the full pytest-benchmark suite takes
@@ -19,6 +19,12 @@ minutes.  This script is the middle ground:
   messages per tick and tick wall-clock → ``BENCH_PR3.json``.  The
   acceptance numbers are ``message_reduction_factor`` (must be ≥ 2) and
   ``tick_speedup`` (must be > 1).
+* **PR4** — zero-stall elasticity: the festival-surge scenario run with
+  phased overlapped migrations vs. the quiesced baseline →
+  ``BENCH_PR4.json``.  The acceptance numbers are zero
+  ``stall_ticks`` on the overlapped lanes, a
+  ``migration_throughput_ratio`` ≥ 0.8, and zero lost sightings with
+  ``consistency_ok`` across all lanes.
 
 Usage::
 
@@ -161,6 +167,41 @@ def run_pr3(args) -> None:
     print(f"\nwrote {path} ({elapsed:.1f}s)")
 
 
+def run_pr4(args) -> None:
+    """The zero-stall measurement (overlapped vs. quiesced rebalance)."""
+    from repro.sim.elastic import zero_stall_benchmark_payload
+
+    start = time.perf_counter()
+    payload = zero_stall_benchmark_payload(seed=args.seed)
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = (
+        f"{'lane':22s} {'stalls':>7s} {'mig ticks':>10s} {'mig/steady':>11s} "
+        f"{'splits':>7s} {'merges':>7s} {'epoch':>6s} {'invals':>7s} {'lost':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for lane, result in payload["lanes"].items():
+        ratio = result["migration_throughput_ratio"]
+        print(
+            f"{lane:22s} {result['stall_ticks']:>7d} "
+            f"{result['migration_tick_count']:>10d} "
+            f"{ratio if ratio is not None else float('nan'):>11.3f} "
+            f"{result['splits']:>7d} {result['merges']:>7d} "
+            f"{result['topology_epoch']:>6d} "
+            f"{result['invalidations_sent']:>7d} "
+            f"{result['invariants']['lost_sightings']:>5d}"
+        )
+    print(
+        f"overlapped stalls: {payload['stall_ticks_overlapped']}, "
+        f"quiesced stalls: {payload['stall_ticks_quiesced']}, "
+        f"migration throughput ratio: {payload['migration_throughput_ratio']}"
+    )
+    path = write_bench_json(args.out_pr4, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
@@ -173,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_PR1.json")
     parser.add_argument("--out-pr2", default="BENCH_PR2.json")
     parser.add_argument("--out-pr3", default="BENCH_PR3.json")
+    parser.add_argument("--out-pr4", default="BENCH_PR4.json")
     parser.add_argument(
         "--skip-pr1", action="store_true", help="skip the fast-path bench"
     )
@@ -182,6 +224,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-pr3", action="store_true", help="skip the protocol-lane bench"
     )
+    parser.add_argument(
+        "--skip-pr4", action="store_true", help="skip the zero-stall bench"
+    )
     args = parser.parse_args(argv)
 
     ran = False
@@ -189,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
         (args.skip_pr1, run_pr1),
         (args.skip_pr2, run_pr2),
         (args.skip_pr3, run_pr3),
+        (args.skip_pr4, run_pr4),
     ):
         if skip:
             continue

@@ -22,21 +22,33 @@ disjoint, half-open routing assigns boundary points uniquely):
   ``query_rect_many`` traversal, picking the axis and position that best
   balance object counts.
 * :class:`~repro.cluster.migration.MigrationExecutor` — applies a plan
-  to a running :class:`~repro.core.service.LocationService`: new child
-  servers join the network, objects bulk-move through the stores'
-  ``bulk_admit`` path (one spatial-index ``bulk_load`` + ``compact``
-  per destination), forwarding pointers are replayed into the visitor
-  DBs, and in-flight reports keep flowing — a split leaf becomes an
-  interior server that routes stragglers down the fresh forwarding
-  path, and a merged-away leaf retires into a forwarding alias for its
-  absorbing parent — so no sighting is lost.
+  to a running :class:`~repro.core.service.LocationService` in phases
+  (copy → dual-write → cutover): the source leaves keep serving while
+  their objects stage incrementally into destination stores
+  (``bulk_admit`` chunks spread over ticks), a buffered
+  :class:`~repro.storage.datastore.StoreMirror` keeps the staged copy
+  exactly in sync with live mutations, and the cutover is pointer
+  surgery — role flips, one replayed forwarding pointer per migrated
+  object, a topology-epoch bump, and an explicit §6.5 cache
+  invalidation broadcast.  In-flight reports keep flowing throughout: a
+  split leaf becomes an interior server that routes stragglers down the
+  fresh forwarding path, a merged-away leaf retires into a forwarding
+  alias for its absorbing parent, and fan-out collectors racing a
+  cutover re-issue on the epoch bump — so no sighting is lost and no
+  tick is quiesced.
 
 The sim-side driver (:class:`repro.sim.elastic.ElasticHarness`) wires
-the three together into observe → plan → migrate rounds.
+the three together into observe → plan → migrate rounds, either
+one-shot (``rebalance``, the quiesced baseline) or phased
+(``advance_migrations`` + ``rebalance_overlapped``).
 """
 
 from repro.cluster.load import LoadMonitor, LoadSample
-from repro.cluster.migration import MigrationExecutor, MigrationReport
+from repro.cluster.migration import (
+    MigrationExecutor,
+    MigrationReport,
+    PhasedMigration,
+)
 from repro.cluster.planner import (
     MergePlan,
     PlannerConfig,
@@ -51,6 +63,7 @@ __all__ = [
     "MergePlan",
     "MigrationExecutor",
     "MigrationReport",
+    "PhasedMigration",
     "PlannerConfig",
     "RebalancePlan",
     "RebalancePlanner",

@@ -160,6 +160,32 @@ class LoadMonitor:
         for stale in set(self._retired_traffic) - set(retired):
             self._retired_traffic.pop(stale, None)
 
+    # -- migration rate seeding (phased cutover) ----------------------------
+
+    def seed_split(self, source_id: str, weights: dict[str, int]) -> None:
+        """Split the source leaf's decayed rate among its children.
+
+        Called at a split cutover: the children inherit the parent's
+        load proportional to the objects they received, so the planner
+        sees a realistic picture on the very next sample instead of a
+        cold start (which the merge-cooldown would otherwise have to
+        paper over while the EWMA ramps from zero).
+        """
+        rate = self._rates.pop(source_id, 0.0)
+        self._last_ops.pop(source_id, None)
+        total = sum(weights.values())
+        if total <= 0:
+            return
+        for child_id, weight in weights.items():
+            self._rates[child_id] = rate * weight / total
+
+    def seed_merge(self, parent_id: str, child_ids) -> None:
+        """Fold merged children's decayed rates into the parent leaf."""
+        total = sum(self._rates.pop(cid, 0.0) for cid in child_ids)
+        for cid in child_ids:
+            self._last_ops.pop(cid, None)
+        self._rates[parent_id] = self._rates.get(parent_id, 0.0) + total
+
     def rate_of(self, server_id: str) -> float:
         """The current decayed rate; 0 for unknown servers."""
         return self._rates.get(server_id, 0.0)

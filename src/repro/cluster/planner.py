@@ -88,21 +88,31 @@ class RebalancePlanner:
 
     # -- entry point --------------------------------------------------------
 
-    def plan(self, service, rates: dict[str, float]) -> list[RebalancePlan]:
+    def plan(
+        self,
+        service,
+        rates: dict[str, float],
+        busy: frozenset[str] = frozenset(),
+    ) -> list[RebalancePlan]:
         """Plans for the current hierarchy under the given load rates.
 
         Splits are planned first; a merge is suppressed when any of its
         children is itself being split (the two would conflict within
-        one rebalance round).
+        one rebalance round).  ``busy`` names servers an in-flight
+        phased migration already touches (sources and reserved
+        destination ids): they are skipped entirely, so overlapped
+        rebalancing never double-plans a leaf mid-copy.
         """
         plans: list[RebalancePlan] = []
         split_leaves: set[str] = set()
         for leaf_id in service.hierarchy.leaf_ids():
-            split = self._split_plan(service, leaf_id, rates)
+            if leaf_id in busy:
+                continue
+            split = self._split_plan(service, leaf_id, rates, busy)
             if split is not None:
                 plans.append(split)
                 split_leaves.add(leaf_id)
-        plans.extend(self._merge_plans(service, rates, split_leaves))
+        plans.extend(self._merge_plans(service, rates, split_leaves, busy))
         return plans
 
     # -- splits ------------------------------------------------------------
@@ -124,7 +134,11 @@ class RebalancePlanner:
         return None
 
     def _split_plan(
-        self, service, leaf_id: str, rates: dict[str, float]
+        self,
+        service,
+        leaf_id: str,
+        rates: dict[str, float],
+        busy: frozenset[str] = frozenset(),
     ) -> SplitPlan | None:
         reason = self._is_hot(service, leaf_id, rates)
         if reason is None:
@@ -151,7 +165,7 @@ class RebalancePlanner:
                 Rect(area.min_x, area.min_y, area.max_x, cut),
                 Rect(area.min_x, cut, area.max_x, area.max_y),
             )
-        names = self._child_ids(service, leaf_id, count=2)
+        names = self._child_ids(service, leaf_id, count=2, reserved=busy)
         return SplitPlan(
             leaf_id=leaf_id,
             axis=axis,
@@ -199,10 +213,13 @@ class RebalancePlanner:
                 best = (axis, cut)
         return best
 
-    def _child_ids(self, service, leaf_id: str, count: int) -> list[str]:
+    def _child_ids(
+        self, service, leaf_id: str, count: int, reserved: frozenset[str] = frozenset()
+    ) -> list[str]:
         """Fresh server ids for a split, unique across live *and* retired
-        servers (a re-split after a merge must not reuse an alias)."""
-        taken = service.servers.keys() | service.retired_servers.keys()
+        servers (a re-split after a merge must not reuse an alias) and
+        across ids an in-flight migration has already reserved."""
+        taken = service.servers.keys() | service.retired_servers.keys() | reserved
         for generation in itertools.count():
             if generation >= _GENERATIONS:
                 raise RuntimeError(f"no free child ids under {leaf_id!r}")
@@ -214,7 +231,11 @@ class RebalancePlanner:
     # -- merges ------------------------------------------------------------
 
     def _merge_plans(
-        self, service, rates: dict[str, float], split_leaves: set[str]
+        self,
+        service,
+        rates: dict[str, float],
+        split_leaves: set[str],
+        busy: frozenset[str] = frozenset(),
     ) -> list[MergePlan]:
         config = self.config
         plans: list[MergePlan] = []
@@ -222,10 +243,10 @@ class RebalancePlanner:
         now = service.loop.now
         for server_id in hierarchy.server_ids():
             node = hierarchy.config(server_id)
-            if node.is_leaf or node.is_root:
+            if node.is_leaf or node.is_root or server_id in busy:
                 continue
             child_ids = [ref.server_id for ref in node.children]
-            if any(cid in split_leaves for cid in child_ids):
+            if any(cid in split_leaves or cid in busy for cid in child_ids):
                 continue
             if not all(hierarchy.config(cid).is_leaf for cid in child_ids):
                 continue

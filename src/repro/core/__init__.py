@@ -26,9 +26,27 @@ Position reports travel one of two lanes:
   never back into per-object messages; retirement aliases forward
   envelopes whole.  Envelope-level timeout/retry re-routes through the
   hierarchy root when a destination has left the network (a garbage-
-  collected retirement alias).  The per-report lane is kept selectable
-  (``protocol_lane="per-report"``) as the baseline the protocol-batch
-  bench measures against.
+  collected retirement alias), and with ``envelope_sub_timeout`` set the
+  servers bound their internal sub-envelope fan-outs and answer items
+  stuck behind a crashed subtree as *unacknowledged*, so only those
+  items are resent (per-item retry bookkeeping).  The per-report lane is
+  kept selectable (``protocol_lane="per-report"``) as the baseline the
+  protocol-batch bench measures against.
+
+Elasticity and topology epochs
+------------------------------
+
+The elastic cluster layer (:mod:`repro.cluster`) reshapes the hierarchy
+under live traffic.  Every derived :class:`Hierarchy` carries a
+monotonically increasing **topology epoch**; fan-out messages and
+protocol envelopes are stamped with the sender's epoch, leaf answers
+with the answering leaf's, so a rebalance cutting over mid-collection
+is detected (the collector re-issues under the new topology) instead of
+requiring the event loop drained.  At every migration cutover the
+service broadcasts explicit §6.5 cache invalidations
+(``CacheInvalidate``): caching leaves forget entries routing to servers
+whose role changed and pre-learn the new owners, so chatty workloads
+skip the healing forward hop through the old addresses.
 """
 
 from repro.core.caching import CacheConfig, CacheStats, LeafCaches

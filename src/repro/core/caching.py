@@ -61,6 +61,8 @@ class CacheStats:
     agent_misses: int = 0
     descriptor_hits: int = 0
     descriptor_misses: int = 0
+    #: explicit §6.5 invalidation broadcasts applied (topology changes).
+    invalidations_applied: int = 0
 
 
 @dataclass
@@ -137,6 +139,25 @@ class LeafCaches:
         stale = [oid for oid, agent in self._agents.items() if agent == server_id]
         for oid in stale:
             del self._agents[oid]
+
+    def apply_invalidation(
+        self, forget: tuple[str, ...], learned: tuple[tuple[str, Rect], ...]
+    ) -> None:
+        """Apply one §6.5 invalidation broadcast (topology cutover).
+
+        Entries routing to the ``forget`` servers are dropped — their
+        role changed, so a cached dispatch to them would pay a healing
+        forward hop (split) or a retirement-alias hop (merge) — and the
+        ``learned`` (leaf, area) pairs pre-seed the area cache with the
+        new owners, skipping the hierarchy round trip the next dispatch
+        would otherwise need to re-learn them.
+        """
+        for server_id in forget:
+            self.forget_server(server_id)
+        for server_id, area in learned:
+            self.note_leaf_area(server_id, area)
+        if self.config.any_enabled:
+            self.stats.invalidations_applied += 1
 
     # -- (tracked object, current agent) ------------------------------------------
 

@@ -95,7 +95,12 @@ class GeoLocationService:
     def update(self, obj: TrackedObject, coord: GeoCoordinate):
         return self.service.update(obj, self.to_local(coord))
 
-    def update_many(self, reports, protocol_lane: str = "batched") -> dict[str, int]:
+    def update_many(
+        self,
+        reports,
+        protocol_lane: str = "batched",
+        envelope_sub_timeout: float | None = None,
+    ) -> dict[str, int]:
         """Batched position reports in WGS84; one tick of a geo fleet.
 
         ``reports`` yields ``(tracked_object, coordinate)`` pairs; they
@@ -103,17 +108,24 @@ class GeoLocationService:
         :meth:`LocationService.update_many` (direct batched store update
         for in-area moves, the batched protocol lane — one envelope per
         destination server — for leaf crossings; pass
-        ``protocol_lane="per-report"`` for the unbatched lane).
+        ``protocol_lane="per-report"`` for the unbatched lane, and
+        ``envelope_sub_timeout`` for per-item retry against partially
+        crashed subtrees).
         """
         to_local = self.to_local
         return self.service.update_many(
             ((obj, to_local(coord)) for obj, coord in reports),
             protocol_lane=protocol_lane,
+            envelope_sub_timeout=envelope_sub_timeout,
         )
 
-    def deregister_many(self, objs) -> dict[str, bool]:
-        """Batched deregistration (one envelope per destination server)."""
-        return self.service.deregister_many(objs)
+    def deregister_many(
+        self, objs, detailed: bool = False
+    ) -> dict[str, bool] | dict[str, str]:
+        """Batched deregistration (one envelope per destination server);
+        ``detailed=True`` returns per-object NACK statuses instead of
+        booleans (see :meth:`LocationService.deregister_many`)."""
+        return self.service.deregister_many(objs, detailed=detailed)
 
     def pos_query(self, object_id: str) -> tuple[GeoCoordinate, float] | None:
         descriptor = self.service.pos_query(object_id)

@@ -38,6 +38,26 @@ class ChildRef:
     area: Rect
 
 
+def child_for_point(children, point: Point) -> "ChildRef | None":
+    """The unique child ref responsible for ``point``.
+
+    Half-open containment resolves shared internal edges; the closed
+    fallback catches points on the area's outer maximum boundary.  The
+    single source of the boundary rule — protocol routing
+    (:meth:`ServerConfig.child_for`) and the migration executor's
+    staged routing both resolve through it, so a split can never stage
+    a boundary object at a different child than the one that will serve
+    it after cutover.
+    """
+    for child in children:
+        if child.area.contains_point_halfopen(point):
+            return child
+    for child in children:
+        if child.area.contains_point(point):
+            return child
+    return None
+
+
 @dataclass(frozen=True, slots=True)
 class ServerConfig:
     """The paper's configuration record ``c`` (Section 5).
@@ -71,25 +91,27 @@ class ServerConfig:
         return self.area.contains_point(point)
 
     def child_for(self, point: Point) -> ChildRef | None:
-        """The unique child responsible for ``point``.
-
-        Half-open containment resolves shared internal edges; the closed
-        fallback catches points on the area's outer maximum boundary.
-        """
-        for child in self.children:
-            if child.area.contains_point_halfopen(point):
-                return child
-        for child in self.children:
-            if child.area.contains_point(point):
-                return child
-        return None
+        """The unique child responsible for ``point``
+        (:func:`child_for_point` over this record's children)."""
+        return child_for_point(self.children, point)
 
 
 class Hierarchy:
-    """An immutable server tree: id → :class:`ServerConfig`."""
+    """An immutable server tree: id → :class:`ServerConfig`.
 
-    def __init__(self, configs: dict[str, ServerConfig]) -> None:
+    ``epoch`` is the **topology epoch** (elastic extension): a
+    monotonically increasing counter stamped on every derivation
+    (:meth:`with_split` / :meth:`with_merge` return ``epoch + 1``).  The
+    service carries the epoch in fan-out and protocol-envelope message
+    headers so that traffic routed under an older topology snapshot can
+    be detected mid-flight and re-routed through the current hierarchy
+    instead of requiring a drained loop around every rebalance.  The
+    paper's static configuration is epoch 0 forever.
+    """
+
+    def __init__(self, configs: dict[str, ServerConfig], epoch: int = 0) -> None:
         self._configs = dict(configs)
+        self.epoch = epoch
         roots = [c.server_id for c in self._configs.values() if c.parent is None]
         if len(roots) != 1:
             raise ConfigurationError(f"hierarchy must have exactly one root, found {roots}")
@@ -203,7 +225,7 @@ class Hierarchy:
             configs[child_id] = ServerConfig(
                 child_id, area, leaf_id, (), config.root_area
             )
-        return Hierarchy(configs)
+        return Hierarchy(configs, epoch=self.epoch + 1)
 
     def with_merge(self, parent_id: str) -> "Hierarchy":
         """A new hierarchy where ``parent_id``'s children fold back into it.
@@ -225,7 +247,7 @@ class Hierarchy:
         configs[parent_id] = ServerConfig(
             parent_id, config.area, config.parent, (), config.root_area
         )
-        return Hierarchy(configs)
+        return Hierarchy(configs, epoch=self.epoch + 1)
 
     # -- invariants ------------------------------------------------------------
 

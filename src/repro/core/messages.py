@@ -135,6 +135,18 @@ class HandoverRes(Response):
 # only ever splits along the tree, never back into per-object messages.
 # Each envelope holds at most one item per object id (ticks coalesce
 # last-write-wins before enveloping).
+#
+# Envelopes carry two elastic extensions:
+#
+# * ``epoch`` — the sender's topology epoch.  A receiver whose own epoch
+#   is newer routes the envelope through the *current* hierarchy (the
+#   role-change forwarding machinery) and counts the staleness, so a
+#   rebalance never requires the protocol lane to drain first.
+# * ``sub_timeout`` — when set, the receiver bounds every sub-envelope
+#   it fans out with this timeout and reports timed-out items as
+#   per-item *unacknowledged* outcomes instead of hanging the whole
+#   envelope on a crashed subtree; the service then resends only the
+#   unacknowledged items (per-item retry bookkeeping).
 
 
 @dataclass(frozen=True, slots=True)
@@ -150,6 +162,8 @@ class UpdateBatchReq(Message):
     request_id: str
     reply_to: str
     sightings: tuple[SightingRecord, ...]
+    epoch: int = 0
+    sub_timeout: float | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -194,18 +208,27 @@ class HandoverBatchReq(Message):
     sender: str
     items: tuple[HandoverBatchItem, ...]
     direct: bool = False
+    epoch: int = 0
+    sub_timeout: float | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class HandoverOutcome(Message):
     """Per-object result inside a :class:`HandoverBatchRes` — the
     payload of a :class:`HandoverRes` (``new_agent=None`` means the
-    object left the root service area and was deregistered)."""
+    object left the root service area and was deregistered).
+
+    ``unacknowledged=True`` marks an item whose sub-envelope went
+    unanswered within the envelope's ``sub_timeout`` (a crashed
+    subtree): the handover may or may not have landed, the initiating
+    agent must keep the object and the service retries the item.
+    """
 
     object_id: str
     new_agent: str | None
     offered_acc: float | None
     origin_area: Rect | None = None
+    unacknowledged: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -221,14 +244,33 @@ class DeregisterBatchReq(Message):
     request_id: str
     reply_to: str
     object_ids: tuple[str, ...]
+    epoch: int = 0
+    sub_timeout: float | None = None
+
+
+#: Negative-acknowledgement reasons carried by :class:`DeregisterBatchRes`
+#: (and :class:`PathTeardownNack`): the object was deregistered or handed
+#: away earlier (tombstoned), was never known here, or its sub-envelope
+#: went unanswered within ``sub_timeout`` (retryable).
+NACK_ALREADY_GONE = "already-gone"
+NACK_NEVER_EXISTED = "never-existed"
+NACK_UNACKNOWLEDGED = "unacknowledged"
+NACK_REDIRECTED = "redirected"
 
 
 @dataclass(frozen=True, slots=True)
 class DeregisterBatchRes(Response):
-    """Per-object ``(object_id, ok)`` results, in request order."""
+    """Per-object ``(object_id, ok)`` results, in request order.
+
+    ``nacks`` refines every ``ok=False`` entry with a reason (one of the
+    ``NACK_*`` constants above), so the service can tell a repeat
+    deregistration (*already gone*) from a typo'd id (*never existed*)
+    and retry only genuinely *unacknowledged* items.
+    """
 
     request_id: str
     results: tuple[tuple[str, bool], ...]
+    nacks: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -236,9 +278,27 @@ class PathTeardownBatch(Message):
     """*Derived.*  One-way upward removal of many forwarding paths at
     once (the batched counterpart of :class:`PathTeardown`); a server
     only acts on the ids whose forwarding reference still points at
-    ``sender`` and forwards the surviving subset as one message."""
+    ``sender`` and forwards the surviving subset as one message.  Ids
+    whose reference points elsewhere (or is gone) are answered with a
+    :class:`PathTeardownNack` so the sender can tell a raced redirect
+    from a path that was already torn down."""
 
     object_ids: tuple[str, ...]
+    sender: str
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PathTeardownNack(Message):
+    """*Derived.*  Per-id negative acknowledgement for a
+    :class:`PathTeardownBatch`: ``(object_id, reason)`` pairs for the
+    ids the receiver did *not* tear down — ``already-gone`` when the
+    reference was already removed (a concurrent teardown or expiry won),
+    ``never-existed`` when no reference was ever held here, and
+    ``"redirected"`` when the reference now points at a different child
+    (a handover raced the teardown; the path is live and must stay)."""
+
+    object_ids: tuple[tuple[str, str], ...]
     sender: str
 
 
@@ -393,6 +453,7 @@ class RangeQuerySubRes(Message):
     covered_area: float  # SIZE(dispatch ∩ leaf service area)
     origin: str
     origin_area: Rect
+    epoch: int = 0  # answering leaf's topology epoch (stale-race detection)
 
 
 @dataclass(frozen=True, slots=True)
@@ -420,13 +481,16 @@ class RangeQueryBatchFwd(Message):
     the sim/bench tick already used, now inside the query protocol.
     Batches always travel through the hierarchy (no §6.5 direct-dispatch
     variant: one cached-leaf dispatch per sub-query would fragment the
-    batch).
+    batch).  ``epoch`` is the entry server's topology epoch at dispatch;
+    leaves answer with their own epoch so the collector can detect a
+    rebalance racing the collection and re-issue under the new topology.
     """
 
     query_id: str
     items: tuple[RangeBatchItem, ...]
     entry_server: str
     sender: str
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -442,6 +506,7 @@ class RangeQueryBatchSubRes(Message):
     results: tuple[tuple[int, tuple[ObjectEntry, ...], float], ...]
     origin: str
     origin_area: Rect
+    epoch: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -489,6 +554,7 @@ class NNCandidatesSubRes(Message):
     covered_area: float
     origin: str
     origin_area: Rect
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -513,6 +579,7 @@ class NNCandidatesBatchFwd(Message):
     items: tuple[NNBatchItem, ...]
     entry_server: str
     sender: str
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -524,6 +591,7 @@ class NNCandidatesBatchSubRes(Message):
     results: tuple[tuple[int, tuple[ObjectEntry, ...], float], ...]
     origin: str
     origin_area: Rect
+    epoch: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -548,6 +616,22 @@ class RemovePath(Message):
     """*Derived.*  Downward removal of a stale forwarding branch."""
 
     object_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class CacheInvalidate(Message):
+    """*Derived* (§6.5, elastic extension).  Broadcast to live leaves at
+    a migration cutover: ``forget`` names servers whose role changed (a
+    split leaf now interior, merged-away children now aliases) so cached
+    area/agent entries routing to them are dropped instead of paying a
+    healing forward hop on the next dispatch; ``learned`` pre-seeds the
+    area cache with the new responsible leaves.  ``epoch`` is the
+    topology epoch the invalidation belongs to — receivers also adopt it
+    so later fan-outs are stamped with the current epoch."""
+
+    epoch: int
+    forget: tuple[str, ...]
+    learned: tuple[tuple[str, Rect], ...] = ()
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,7 @@ from repro.core.hierarchy import ServerConfig
 from repro.errors import (
     AccuracyUnavailableError,
     ConfigurationError,
+    TransportError,
     UnknownObjectError,
 )
 from repro.geo import Point, Rect, region_bounds
@@ -55,6 +56,12 @@ from repro.storage import LocalDataStore, PersistentStore, VisitorDB
 #: Relative slack for covered-area accounting (float tiling residue).
 _COVER_EPS = 1e-6
 
+#: Extra fan-out collection attempts when a rebalance races a query.
+#: Each retry only happens after the topology epoch actually advanced
+#: mid-collection, so the bound is never hit under steady churn; past it
+#: the accumulated (at-least-once) entries are returned as best effort.
+_EPOCH_RETRIES = 2
+
 
 @dataclass
 class ServerStats:
@@ -68,6 +75,13 @@ class ServerStats:
     range_queries_served: int = 0
     nn_rounds_served: int = 0
     expired: int = 0
+    #: messages stamped with an older topology epoch than this server's
+    #: (traffic routed under a pre-rebalance snapshot; healed in place).
+    stale_epoch_messages: int = 0
+    #: per-id teardown negative acknowledgements received.
+    teardown_nacks: int = 0
+    #: fan-out collections re-issued because a rebalance raced them.
+    epoch_retries: int = 0
     messages_handled: dict[str, int] = field(default_factory=dict)
 
     def note(self, message) -> None:
@@ -76,16 +90,31 @@ class ServerStats:
 
 
 class _Collector:
-    """Aggregates the multi-message answers of a fan-out query."""
+    """Aggregates the multi-message answers of a fan-out query.
 
-    __slots__ = ("future", "target", "covered", "entries", "origins")
+    ``epoch`` is the entry server's topology epoch when the fan-out was
+    dispatched; a sub-result stamped with a newer epoch marks the
+    collection ``stale`` — a rebalance cut over mid-flight, so the
+    coverage bookkeeping may mix pre- and post-migration service areas
+    (e.g. an absorbing parent overlapping an already-counted retired
+    child) and the entry server re-issues the query under the current
+    topology rather than trusting an early resolve.
+    """
 
-    def __init__(self, future, target: float) -> None:
+    __slots__ = ("future", "target", "covered", "entries", "origins", "epoch", "stale")
+
+    def __init__(self, future, target: float, epoch: int = 0) -> None:
         self.future = future
         self.target = target
         self.covered = 0.0
         self.entries: dict[str, object] = {}
         self.origins: set[str] = set()
+        self.epoch = epoch
+        self.stale = False
+
+    def note_epoch(self, epoch: int) -> None:
+        if epoch > self.epoch:
+            self.stale = True
 
     def add(self, entries, covered: float, origin: str) -> None:
         for oid, descriptor in entries:
@@ -112,17 +141,30 @@ class _Collector:
 
 
 class _BatchCollector:
-    """Per-item coverage accounting for one batched range fan-out."""
+    """Per-item coverage accounting for one batched range fan-out.
 
-    __slots__ = ("future", "targets", "covered", "entries", "origins", "_seen")
+    ``epoch``/``stale`` follow :class:`_Collector`'s stale-race
+    detection, batch-wide.
+    """
 
-    def __init__(self, future, targets: list[float]) -> None:
+    __slots__ = (
+        "future", "targets", "covered", "entries", "origins", "_seen",
+        "epoch", "stale",
+    )
+
+    def __init__(self, future, targets: list[float], epoch: int = 0) -> None:
         self.future = future
         self.targets = targets
         self.covered = [0.0] * len(targets)
         self.entries: list[dict[str, object]] = [{} for _ in targets]
         self.origins: set[str] = set()
         self._seen: set[tuple[int, str]] = set()
+        self.epoch = epoch
+        self.stale = False
+
+    def note_epoch(self, epoch: int) -> None:
+        if epoch > self.epoch:
+            self.stale = True
 
     def add(self, index: int, entries, covered: float, origin: str) -> None:
         bucket = self.entries[index]
@@ -163,7 +205,12 @@ class LocationServer(Endpoint):
         sighting_ttl: float = 300.0,
         sweep_interval: float | None = None,
         nn_initial_radius: float | None = None,
+        data_store: LocalDataStore | None = None,
     ) -> None:
+        """``data_store`` installs a pre-built leaf store (a phased
+        migration's staged copy) instead of constructing a fresh one —
+        the cutover path spawns split children this way, so no throwaway
+        index is built on the latency-sensitive flip."""
         super().__init__(address=config.server_id)
         self.config = config
         self.is_leaf = config.is_leaf
@@ -176,16 +223,25 @@ class LocationServer(Endpoint):
         #: set by :meth:`retire` when this server left the hierarchy after
         #: a merge; all further non-response traffic forwards there.
         self._retired_to: str | None = None
+        #: the topology epoch this server's config belongs to.  The
+        #: service advances it on every adopted rebalance; fan-outs and
+        #: envelopes are stamped with it so stale-epoch traffic (routed
+        #: under a pre-rebalance snapshot) is detectable mid-flight.
+        self.topology_epoch = 0
         #: whether the periodic soft-state sweep timer is running.  Once
         #: started it re-arms itself forever (sweeping no-ops while the
         #: server is interior), so it must be started at most once.
         self._sweep_scheduled = False
         if self.is_leaf:
-            self.store: LocalDataStore | None = LocalDataStore(
-                accuracy=self.accuracy,
-                index=make_index(index_kind),
-                store=store,
-                ttl=sighting_ttl,
+            self.store: LocalDataStore | None = (
+                data_store
+                if data_store is not None
+                else LocalDataStore(
+                    accuracy=self.accuracy,
+                    index=make_index(index_kind),
+                    store=store,
+                    ttl=sighting_ttl,
+                )
             )
             self.visitors = self.store.visitors
             self.caches = LeafCaches(self._cache_config)
@@ -234,6 +290,8 @@ class LocationServer(Endpoint):
         self.on(m.ChangeAccReq, self._on_change_acc)
         self.on(m.PathUpdate, self._on_path_update)
         self.on(m.RemovePath, self._on_remove_path)
+        self.on(m.PathTeardownNack, self._on_path_teardown_nack)
+        self.on(m.CacheInvalidate, self._on_cache_invalidate)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -257,7 +315,11 @@ class LocationServer(Endpoint):
         # One batched teardown for the whole sweep (protocol lane).
         self.send(
             self.config.parent,
-            m.PathTeardownBatch(object_ids=tuple(expired), sender=self.address),
+            m.PathTeardownBatch(
+                object_ids=tuple(expired),
+                sender=self.address,
+                epoch=self.topology_epoch,
+            ),
         )
 
     def simulate_crash_recovery(self) -> None:
@@ -317,7 +379,8 @@ class LocationServer(Endpoint):
         """A fresh data store configured like this server's leaf role.
 
         The migration executor bulk-builds the merged store outside the
-        server and installs it via :meth:`become_leaf`.
+        server and installs it via :meth:`become_leaf` (merge) or
+        :meth:`install_store` (split staging).
         """
         return LocalDataStore(
             accuracy=self.accuracy,
@@ -555,8 +618,21 @@ class LocationServer(Endpoint):
         ]
         return [await task for task in tasks]
 
+    def _note_epoch(self, msg) -> None:
+        """Count traffic stamped with a pre-rebalance topology epoch.
+
+        Stale-epoch messages need no special routing — the role-change
+        forwarding machinery (forward references, retirement aliases)
+        already re-routes them through the *current* hierarchy — but the
+        counter makes the overlap observable: a migration that cut over
+        under live traffic shows up here instead of as a drained loop.
+        """
+        if msg.epoch < self.topology_epoch:
+            self.stats.stale_epoch_messages += 1
+
     async def _on_update_batch(self, msg: m.UpdateBatchReq) -> None:
         self.stats.note(msg)
+        self._note_epoch(msg)
         outcomes: dict[str, m.UpdateOutcome] = {}
         fast: list = []  # agent here, still in-area → one store batch
         fast_records: list = []
@@ -592,11 +668,11 @@ class LocationServer(Endpoint):
                     offered_acc=record.offered_acc,
                 )
         subtasks = [
-            self._forward_update_batch(next_hop, batch)
+            self._forward_update_batch(next_hop, batch, msg.sub_timeout)
             for next_hop, batch in forward.items()
         ]
         if crossing:
-            subtasks.append(self._handover_batch(crossing))
+            subtasks.append(self._handover_batch(crossing, msg.sub_timeout))
         if subtasks:
             for merged in await self._gather(subtasks):
                 outcomes.update(merged)
@@ -612,21 +688,40 @@ class LocationServer(Endpoint):
         )
 
     async def _forward_update_batch(
-        self, next_hop: str, sightings: list
+        self, next_hop: str, sightings: list, sub_timeout: float | None = None
     ) -> dict[str, m.UpdateOutcome]:
-        """Route a sub-envelope one step down the forwarding path."""
-        res = await self.request(
-            next_hop,
-            m.UpdateBatchReq(
-                request_id=self.next_request_id(),
-                reply_to=self.address,
-                sightings=tuple(sightings),
-            ),
-        )
+        """Route a sub-envelope one step down the forwarding path.
+
+        With ``sub_timeout`` set, an unanswered next hop (crashed
+        subtree) yields per-item *unacknowledged* outcomes instead of
+        hanging the parent envelope — the service resends only those
+        items (per-item retry bookkeeping).
+        """
+        try:
+            res = await self.request(
+                next_hop,
+                m.UpdateBatchReq(
+                    request_id=self.next_request_id(),
+                    reply_to=self.address,
+                    sightings=tuple(sightings),
+                    epoch=self.topology_epoch,
+                    sub_timeout=sub_timeout,
+                ),
+                timeout=sub_timeout,
+            )
+        except TransportError:
+            return {
+                s.object_id: m.UpdateOutcome(
+                    object_id=s.object_id, ok=False, error=m.NACK_UNACKNOWLEDGED
+                )
+                for s in sightings
+            }
         assert isinstance(res, m.UpdateBatchRes)
         return {outcome.object_id: outcome for outcome in res.outcomes}
 
-    async def _handover_batch(self, crossing: list) -> dict[str, m.UpdateOutcome]:
+    async def _handover_batch(
+        self, crossing: list, sub_timeout: float | None = None
+    ) -> dict[str, m.UpdateOutcome]:
         """Initiate handovers for a batch of out-of-area reports.
 
         The batched counterpart of :meth:`_initiate_handover`: items are
@@ -661,12 +756,22 @@ class LocationServer(Endpoint):
                 continue
             dest = self._parent if target is None else target
             subtasks.append(
-                self._request_handover_batch(dest, items, direct=target is not None)
+                self._request_handover_batch(
+                    dest, items, direct=target is not None, sub_timeout=sub_timeout
+                )
             )
         if subtasks:
             for sub_outcomes in await self._gather(subtasks):
                 for hres in sub_outcomes:
                     oid = hres.object_id
+                    if hres.unacknowledged:
+                        # The handover may or may not have landed (crashed
+                        # subtree): keep the object — re-running the item
+                        # is idempotent — and report it retryable.
+                        outcomes[oid] = m.UpdateOutcome(
+                            object_id=oid, ok=False, error=m.NACK_UNACKNOWLEDGED
+                        )
+                        continue
                     self.caches.note_leaf_area(hres.new_agent, hres.origin_area)
                     self._drop_object(oid)
                     if hres.new_agent is None:
@@ -683,23 +788,38 @@ class LocationServer(Endpoint):
         return outcomes
 
     async def _request_handover_batch(
-        self, dest: str, items: list, direct: bool
+        self, dest: str, items: list, direct: bool, sub_timeout: float | None = None
     ) -> tuple[m.HandoverOutcome, ...]:
-        res = await self.request(
-            dest,
-            m.HandoverBatchReq(
-                request_id=self.next_request_id(),
-                reply_to=self.address,
-                sender=self.address,
-                items=tuple(items),
-                direct=direct,
-            ),
-        )
+        try:
+            res = await self.request(
+                dest,
+                m.HandoverBatchReq(
+                    request_id=self.next_request_id(),
+                    reply_to=self.address,
+                    sender=self.address,
+                    items=tuple(items),
+                    direct=direct,
+                    epoch=self.topology_epoch,
+                    sub_timeout=sub_timeout,
+                ),
+                timeout=sub_timeout,
+            )
+        except TransportError:
+            return tuple(
+                m.HandoverOutcome(
+                    object_id=item.sighting.object_id,
+                    new_agent=None,
+                    offered_acc=None,
+                    unacknowledged=True,
+                )
+                for item in items
+            )
         assert isinstance(res, m.HandoverBatchRes)
         return res.outcomes
 
     async def _on_handover_batch(self, msg: m.HandoverBatchReq) -> None:
         self.stats.note(msg)
+        self._note_epoch(msg)
         outcomes: dict[str, m.HandoverOutcome] = {}
         subtasks: list[tuple[str | None, object]] = []  # (child_id, coro)
         if self.is_leaf:
@@ -719,18 +839,29 @@ class LocationServer(Endpoint):
                     escalate.append(item)
             for child_id, items in by_child.items():
                 subtasks.append(
-                    (child_id, self._request_handover_batch(child_id, items, False))
+                    (
+                        child_id,
+                        self._request_handover_batch(
+                            child_id, items, False, sub_timeout=msg.sub_timeout
+                        ),
+                    )
                 )
         if escalate:
-            subtasks.append((None, self._escalate_handover_batch(escalate)))
+            subtasks.append(
+                (None, self._escalate_handover_batch(escalate, msg.sub_timeout))
+            )
         if subtasks:
             results = await self._gather([coro for _, coro in subtasks])
             for (child_id, _), sub_outcomes in zip(subtasks, results):
                 if child_id is not None:
                     # Create or reset the forwarding pointers (Alg. 6-3
-                    # lines 12-13) — one batched visitor-DB pass.
+                    # lines 12-13) — one batched visitor-DB pass.  An
+                    # unacknowledged item installed nothing downstream,
+                    # so no pointer must be created for it either.
                     self.visitors.insert_forward_many(
-                        (outcome.object_id, child_id) for outcome in sub_outcomes
+                        (outcome.object_id, child_id)
+                        for outcome in sub_outcomes
+                        if not outcome.unacknowledged
                     )
                 outcomes.update(
                     (outcome.object_id, outcome) for outcome in sub_outcomes
@@ -777,7 +908,7 @@ class LocationServer(Endpoint):
         return outcomes
 
     async def _escalate_handover_batch(
-        self, items: list
+        self, items: list, sub_timeout: float | None = None
     ) -> tuple[m.HandoverOutcome, ...]:
         """Pass out-of-area items up as one envelope (Alg. 6-3 lines
         16-19, batched); at the root the objects left the service area
@@ -791,15 +922,22 @@ class LocationServer(Endpoint):
                     m.HandoverOutcome(object_id=oid, new_agent=None, offered_acc=None)
                 )
             return tuple(outcomes)
-        sub_outcomes = await self._request_handover_batch(self._parent, items, False)
-        # This server is no longer on these paths (Alg. 6-3 line 19).
+        sub_outcomes = await self._request_handover_batch(
+            self._parent, items, False, sub_timeout=sub_timeout
+        )
+        # This server is no longer on these paths (Alg. 6-3 line 19) —
+        # except for unacknowledged items, whose path must stay intact
+        # for the retry.
         for outcome in sub_outcomes:
-            self.visitors.remove(outcome.object_id)
+            if not outcome.unacknowledged:
+                self.visitors.remove(outcome.object_id)
         return sub_outcomes
 
     async def _on_deregister_batch(self, msg: m.DeregisterBatchReq) -> None:
         self.stats.note(msg)
+        self._note_epoch(msg)
         results: dict[str, bool] = {}
+        nacks: dict[str, str] = {}
         local: list[str] = []
         forward: dict[str, list[str]] = {}
         is_leaf = self.is_leaf
@@ -812,6 +950,14 @@ class LocationServer(Endpoint):
                     forward.setdefault(next_hop, []).append(oid)
                 else:
                     results[oid] = False
+                    # NACK: a tombstone means a record for this id was
+                    # removed here before (a repeat deregistration or a
+                    # raced expiry) — without one the id was never known.
+                    nacks[oid] = (
+                        m.NACK_ALREADY_GONE
+                        if self.visitors.was_removed(oid)
+                        else m.NACK_NEVER_EXISTED
+                    )
         if local:
             for oid in local:
                 self.store.deregister(oid)
@@ -819,17 +965,22 @@ class LocationServer(Endpoint):
             if self._parent is not None:
                 self.send(
                     self._parent,
-                    m.PathTeardownBatch(object_ids=tuple(local), sender=self.address),
+                    m.PathTeardownBatch(
+                        object_ids=tuple(local),
+                        sender=self.address,
+                        epoch=self.topology_epoch,
+                    ),
                 )
         if forward:
             merged = await self._gather(
                 [
-                    self._forward_deregister_batch(next_hop, oids)
+                    self._forward_deregister_batch(next_hop, oids, msg.sub_timeout)
                     for next_hop, oids in forward.items()
                 ]
             )
-            for sub in merged:
-                results.update(sub)
+            for sub_results, sub_nacks in merged:
+                results.update(sub_results)
+                nacks.update(sub_nacks)
         self.send(
             msg.reply_to,
             m.DeregisterBatchRes(
@@ -837,33 +988,56 @@ class LocationServer(Endpoint):
                 results=tuple(
                     (oid, results[oid]) for oid in dict.fromkeys(msg.object_ids)
                 ),
+                nacks=tuple(sorted(nacks.items())),
             ),
         )
 
     async def _forward_deregister_batch(
-        self, next_hop: str, object_ids: list[str]
-    ) -> dict[str, bool]:
-        res = await self.request(
-            next_hop,
-            m.DeregisterBatchReq(
-                request_id=self.next_request_id(),
-                reply_to=self.address,
-                object_ids=tuple(object_ids),
-            ),
-        )
+        self, next_hop: str, object_ids: list[str], sub_timeout: float | None = None
+    ) -> tuple[dict[str, bool], dict[str, str]]:
+        try:
+            res = await self.request(
+                next_hop,
+                m.DeregisterBatchReq(
+                    request_id=self.next_request_id(),
+                    reply_to=self.address,
+                    object_ids=tuple(object_ids),
+                    epoch=self.topology_epoch,
+                    sub_timeout=sub_timeout,
+                ),
+                timeout=sub_timeout,
+            )
+        except TransportError:
+            return (
+                {oid: False for oid in object_ids},
+                {oid: m.NACK_UNACKNOWLEDGED for oid in object_ids},
+            )
         assert isinstance(res, m.DeregisterBatchRes)
-        return dict(res.results)
+        return dict(res.results), dict(res.nacks)
 
     async def _on_path_teardown_batch(self, msg: m.PathTeardownBatch) -> None:
         self.stats.note(msg)
+        self._note_epoch(msg)
         # Per-object guard as in _on_path_teardown: only ids whose
         # reference still points at the sender survive into the upward
         # envelope (the rest raced a handover that redirected the path).
-        live = [
-            oid
-            for oid in msg.object_ids
-            if self.visitors.forward_ref(oid) == msg.sender
-        ]
+        live: list[str] = []
+        nacks: list[tuple[str, str]] = []
+        for oid in msg.object_ids:
+            ref = self.visitors.forward_ref(oid)
+            if ref == msg.sender:
+                live.append(oid)
+            elif ref is not None:
+                nacks.append((oid, m.NACK_REDIRECTED))
+            elif self.visitors.was_removed(oid):
+                nacks.append((oid, m.NACK_ALREADY_GONE))
+            else:
+                nacks.append((oid, m.NACK_NEVER_EXISTED))
+        if nacks:
+            self.send(
+                msg.sender,
+                m.PathTeardownNack(object_ids=tuple(nacks), sender=self.address),
+            )
         if not live:
             return
         for oid in live:
@@ -871,8 +1045,20 @@ class LocationServer(Endpoint):
         if self._parent is not None:
             self.send(
                 self._parent,
-                m.PathTeardownBatch(object_ids=tuple(live), sender=self.address),
+                m.PathTeardownBatch(
+                    object_ids=tuple(live),
+                    sender=self.address,
+                    epoch=self.topology_epoch,
+                ),
             )
+
+    async def _on_path_teardown_nack(self, msg: m.PathTeardownNack) -> None:
+        """Record per-id teardown NACKs (observability only: a
+        *redirected* path is live again — a handover won the race and
+        the new branch must stay — and an *already-gone* or
+        *never-existed* path needs no further teardown)."""
+        self.stats.note(msg)
+        self.stats.teardown_nacks += len(msg.object_ids)
 
     # ======================================================================
     # Algorithm 6-3: handover
@@ -1004,6 +1190,13 @@ class LocationServer(Endpoint):
         self.visitors.remove(msg.object_id)
         if next_hop is not None:
             self.send(next_hop, m.RemovePath(object_id=msg.object_id))
+
+    async def _on_cache_invalidate(self, msg: m.CacheInvalidate) -> None:
+        """Apply a §6.5 invalidation broadcast (migration cutover)."""
+        self.stats.note(msg)
+        self.caches.apply_invalidation(msg.forget, msg.learned)
+        if msg.epoch > self.topology_epoch:
+            self.topology_epoch = msg.epoch
 
     # ======================================================================
     # Deregistration and soft-state teardown
@@ -1203,7 +1396,17 @@ class LocationServer(Endpoint):
         self, query: RangeQuery
     ) -> tuple[tuple[ObjectEntry, ...], set[str]]:
         """Entry-server half of Algorithm 6-5 (also used by the event
-        engine): collect the distributed answer for one range query."""
+        engine): collect the distributed answer for one range query.
+
+        A topology epoch newer than the collection's — observed on a
+        sub-result, or on this server itself when it resolves — means a
+        rebalance cut over mid-flight; the coverage bookkeeping may then
+        mix pre- and post-migration service areas (an absorbing parent's
+        answer overlaps an already-counted retired child's), so the
+        collection is re-issued under the current topology.  Entries
+        accumulate across attempts (deduplicated by object id), coverage
+        accounting restarts fresh each attempt.
+        """
         # Clamp the dispatch rect to the root service area: no tracked
         # object exists outside it, and a clamped rect lets the covered
         # accounting and the §6.5 area cache work with exact tilings.
@@ -1212,37 +1415,48 @@ class LocationServer(Endpoint):
         )
         if dispatch is None:
             return (), set()
-        query_id = self.next_request_id()
-        collector = _Collector(self.ctx.create_future(), dispatch.area)
-        self._collectors[query_id] = collector
-        try:
-            # Local portion (Alg. 6-5 entry, lines 3-7).  The store check
-            # covers a leaf that became interior mid-subscription.
-            if self.store is not None and dispatch.intersects(self.config.area):
-                local = self.store.range_query(query)
-                collector.add(
-                    local, dispatch.intersection_area(self.config.area), self.address
-                )
-            collector.resolve_if_complete()
-            if not collector.complete:
-                self._fan_out(
-                    query_id,
-                    dispatch,
-                    lambda sender, direct: m.RangeQueryFwd(
-                        query_id=query_id,
-                        area=query.area,
-                        req_acc=query.req_acc,
-                        req_overlap=query.req_overlap,
-                        dispatch=dispatch,
-                        entry_server=self.address,
-                        sender=sender,
-                        direct=direct,
-                    ),
-                )
-                await collector.future
-            return collector.sorted_entries(), set(collector.origins)
-        finally:
-            self._collectors.pop(query_id, None)
+        entries: dict[str, object] = {}
+        origins: set[str] = set()
+        for attempt in range(_EPOCH_RETRIES + 1):
+            query_id = self.next_request_id()
+            collector = _Collector(
+                self.ctx.create_future(), dispatch.area, epoch=self.topology_epoch
+            )
+            self._collectors[query_id] = collector
+            try:
+                # Local portion (Alg. 6-5 entry, lines 3-7).  The store
+                # check covers a leaf that became interior mid-use.
+                if self.store is not None and dispatch.intersects(self.config.area):
+                    local = self.store.range_query(query)
+                    collector.add(
+                        local, dispatch.intersection_area(self.config.area), self.address
+                    )
+                collector.resolve_if_complete()
+                if not collector.complete:
+                    self._fan_out(
+                        query_id,
+                        dispatch,
+                        lambda sender, direct: m.RangeQueryFwd(
+                            query_id=query_id,
+                            area=query.area,
+                            req_acc=query.req_acc,
+                            req_overlap=query.req_overlap,
+                            dispatch=dispatch,
+                            entry_server=self.address,
+                            sender=sender,
+                            direct=direct,
+                        ),
+                    )
+                    await collector.future
+            finally:
+                self._collectors.pop(query_id, None)
+            entries.update(collector.entries)
+            origins |= collector.origins
+            if not collector.stale and self.topology_epoch == collector.epoch:
+                break
+            if attempt < _EPOCH_RETRIES:  # a re-issue will actually run
+                self.stats.epoch_retries += 1
+        return tuple(sorted(entries.items())), origins
 
     # -- internal query API (event engine, embedding applications) ------------
 
@@ -1292,91 +1506,99 @@ class LocationServer(Endpoint):
         self.stats.range_queries_served += len(queries)
         if not active:
             return results, set()
-        query_id = self.next_request_id()
-        collector = _BatchCollector(
-            self.ctx.create_future(), [dispatches[i].area for i in active]
-        )
-        self._batch_collectors[query_id] = collector
-        try:
-            area = self.config.area
-            local = (
-                [
-                    (slot, i)
-                    for slot, i in enumerate(active)
-                    if dispatches[i].intersects(area)
-                ]
-                if self.store is not None
-                else []
+        merged: list[dict[str, object]] = [{} for _ in active]
+        origins: set[str] = set()
+        for attempt in range(_EPOCH_RETRIES + 1):
+            query_id = self.next_request_id()
+            collector = _BatchCollector(
+                self.ctx.create_future(),
+                [dispatches[i].area for i in active],
+                epoch=self.topology_epoch,
             )
-            if local:
-                answers = self.store.range_query_many([queries[i] for _, i in local])
-                for (slot, i), found in zip(local, answers):
-                    collector.add(
-                        slot, found, dispatches[i].intersection_area(area), self.address
-                    )
-            collector.resolve_if_complete()
-            if not collector.complete:
-                items = tuple(
-                    m.RangeBatchItem(
-                        index=slot,
-                        area=queries[i].area,
-                        req_acc=queries[i].req_acc,
-                        req_overlap=queries[i].req_overlap,
-                        dispatch=dispatches[i],
-                    )
-                    for slot, i in enumerate(active)
-                    if not collector.item_complete(slot)
+            self._batch_collectors[query_id] = collector
+            try:
+                area = self.config.area
+                local = (
+                    [
+                        (slot, i)
+                        for slot, i in enumerate(active)
+                        if dispatches[i].intersects(area)
+                    ]
+                    if self.store is not None
+                    else []
                 )
-                # An interior entry (split mid-use) routes through its own
-                # fwd handler so its children get the batch — see _fan_out.
-                dest = self.address if self.store is None else self._parent
-                if dest is not None:
-                    self.send(
-                        dest,
-                        m.RangeQueryBatchFwd(
-                            query_id=query_id,
-                            items=items,
-                            entry_server=self.address,
-                            sender=self.address,
-                        ),
+                if local:
+                    answers = self.store.range_query_many([queries[i] for _, i in local])
+                    for (slot, i), found in zip(local, answers):
+                        collector.add(
+                            slot, found, dispatches[i].intersection_area(area), self.address
+                        )
+                collector.resolve_if_complete()
+                if not collector.complete:
+                    items = tuple(
+                        m.RangeBatchItem(
+                            index=slot,
+                            area=queries[i].area,
+                            req_acc=queries[i].req_acc,
+                            req_overlap=queries[i].req_overlap,
+                            dispatch=dispatches[i],
+                        )
+                        for slot, i in enumerate(active)
+                        if not collector.item_complete(slot)
                     )
-                    await collector.future
-            for slot, i in enumerate(active):
-                results[i] = collector.sorted_entries(slot)
-            return results, set(collector.origins)
-        finally:
-            self._batch_collectors.pop(query_id, None)
+                    # An interior entry (split mid-use) routes through its own
+                    # fwd handler so its children get the batch — see _fan_out.
+                    dest = self.address if self.store is None else self._parent
+                    if dest is not None:
+                        self.send(
+                            dest,
+                            m.RangeQueryBatchFwd(
+                                query_id=query_id,
+                                items=items,
+                                entry_server=self.address,
+                                sender=self.address,
+                                epoch=self.topology_epoch,
+                            ),
+                        )
+                        await collector.future
+            finally:
+                self._batch_collectors.pop(query_id, None)
+            for slot in range(len(active)):
+                merged[slot].update(collector.entries[slot])
+            origins |= collector.origins
+            if not collector.stale and self.topology_epoch == collector.epoch:
+                break
+            if attempt < _EPOCH_RETRIES:  # a re-issue will actually run
+                self.stats.epoch_retries += 1
+        for slot, i in enumerate(active):
+            results[i] = tuple(sorted(merged[slot].items()))
+        return results, origins
 
-    async def _on_range_batch_fwd(self, msg: m.RangeQueryBatchFwd) -> None:
-        self.stats.note(msg)
+    def _route_batch_fanout(self, msg, answer_fn, make_fwd, make_sub_res) -> None:
+        """The shared routing skeleton of a batched fan-out message.
+
+        Deduplicates :meth:`_on_range_batch_fwd` and
+        :meth:`_on_nn_batch_fwd` (their double-count guards must stay in
+        lockstep): a **leaf** answers every live item through one batched
+        store pass (``answer_fn(live_items)``) and sends a single
+        sub-result straight to the entry server; an **interior** server
+        re-partitions the live items per child — skipping the sender, so
+        a batch never bounces straight back — and escalates the items
+        whose dispatch escapes this area upward, unless the parent is
+        the sender (upward-only-once guard).
+
+        ``answer_fn(items) -> list`` runs the leaf-side batched query;
+        ``make_fwd(items, sender)`` builds the re-partitioned forward;
+        ``make_sub_res(items, answers, area)`` builds the leaf's
+        sub-result (stamped with this server's topology epoch so the
+        collector can detect a rebalance racing the collection).
+        """
         area = self.config.area
         live = [item for item in msg.items if item.dispatch.intersects(area)]
         if live:
             if self.is_leaf:
-                answers = self.store.range_query_many(
-                    [
-                        RangeQuery(
-                            item.area, req_acc=item.req_acc, req_overlap=item.req_overlap
-                        )
-                        for item in live
-                    ]
-                )
-                self.send(
-                    msg.entry_server,
-                    m.RangeQueryBatchSubRes(
-                        query_id=msg.query_id,
-                        results=tuple(
-                            (
-                                item.index,
-                                tuple(found),
-                                item.dispatch.intersection_area(area),
-                            )
-                            for item, found in zip(live, answers)
-                        ),
-                        origin=self.address,
-                        origin_area=area,
-                    ),
-                )
+                answers = answer_fn(live)
+                self.send(msg.entry_server, make_sub_res(live, answers, area))
             else:
                 for child in self.config.children:
                     if child.server_id == msg.sender:
@@ -1385,29 +1607,45 @@ class LocationServer(Endpoint):
                         item for item in live if item.dispatch.intersects(child.area)
                     )
                     if sub:
-                        self.send(
-                            child.server_id,
-                            m.RangeQueryBatchFwd(
-                                query_id=msg.query_id,
-                                items=sub,
-                                entry_server=msg.entry_server,
-                                sender=self.address,
-                            ),
-                        )
+                        self.send(child.server_id, make_fwd(sub, self.address))
         if self._parent is not None and self._parent != msg.sender:
             up = tuple(
                 item for item in msg.items if not area.contains_rect(item.dispatch)
             )
             if up:
-                self.send(
-                    self._parent,
-                    m.RangeQueryBatchFwd(
-                        query_id=msg.query_id,
-                        items=up,
-                        entry_server=msg.entry_server,
-                        sender=self.address,
-                    ),
-                )
+                self.send(self._parent, make_fwd(up, self.address))
+
+    async def _on_range_batch_fwd(self, msg: m.RangeQueryBatchFwd) -> None:
+        self.stats.note(msg)
+        self._note_epoch(msg)
+        self._route_batch_fanout(
+            msg,
+            answer_fn=lambda live: self.store.range_query_many(
+                [
+                    RangeQuery(
+                        item.area, req_acc=item.req_acc, req_overlap=item.req_overlap
+                    )
+                    for item in live
+                ]
+            ),
+            make_fwd=lambda items, sender: m.RangeQueryBatchFwd(
+                query_id=msg.query_id,
+                items=items,
+                entry_server=msg.entry_server,
+                sender=sender,
+                epoch=msg.epoch,
+            ),
+            make_sub_res=lambda live, answers, area: m.RangeQueryBatchSubRes(
+                query_id=msg.query_id,
+                results=tuple(
+                    (item.index, tuple(found), item.dispatch.intersection_area(area))
+                    for item, found in zip(live, answers)
+                ),
+                origin=self.address,
+                origin_area=area,
+                epoch=self.topology_epoch,
+            ),
+        )
 
     async def _on_range_batch_sub_res(self, msg: m.RangeQueryBatchSubRes) -> None:
         self.stats.note(msg)
@@ -1415,6 +1653,7 @@ class LocationServer(Endpoint):
         collector = self._batch_collectors.get(msg.query_id)
         if collector is None:
             return  # late answer for an already-completed batch
+        collector.note_epoch(msg.epoch)
         for index, entries, covered in msg.results:
             collector.add(index, entries, covered, msg.origin)
         collector.resolve_if_complete()
@@ -1464,6 +1703,7 @@ class LocationServer(Endpoint):
                         covered_area=dispatch.intersection_area(self.config.area),
                         origin=self.address,
                         origin_area=self.config.area,
+                        epoch=self.topology_epoch,
                     ),
                 )
             else:
@@ -1506,6 +1746,7 @@ class LocationServer(Endpoint):
         collector = self._collectors.get(msg.query_id)
         if collector is None:
             return  # late answer for an already-completed query
+        collector.note_epoch(msg.epoch)
         collector.add(msg.entries, msg.covered_area, msg.origin)
         collector.resolve_if_complete()
 
@@ -1564,33 +1805,44 @@ class LocationServer(Endpoint):
         ``dispatch`` must already be clamped to the root service area.
         """
         target = dispatch.area
-        query_id = self.next_request_id()
-        collector = _Collector(self.ctx.create_future(), target)
-        self._collectors[query_id] = collector
-        try:
-            if self.store is not None and dispatch.intersects(self.config.area):
-                local = self.store.nn_candidates(dispatch, req_acc)
-                collector.add(
-                    local, dispatch.intersection_area(self.config.area), self.address
-                )
-            collector.resolve_if_complete()
-            if not collector.complete:
-                self._fan_out(
-                    query_id,
-                    dispatch,
-                    lambda sender, direct: m.NNCandidatesFwd(
-                        query_id=query_id,
-                        dispatch=dispatch,
-                        req_acc=req_acc,
-                        entry_server=self.address,
-                        sender=sender,
-                        direct=direct,
-                    ),
-                )
-                await collector.future
-            return list(collector.entries.items()), set(collector.origins)
-        finally:
-            self._collectors.pop(query_id, None)
+        entries: dict[str, object] = {}
+        origins: set[str] = set()
+        for attempt in range(_EPOCH_RETRIES + 1):
+            query_id = self.next_request_id()
+            collector = _Collector(
+                self.ctx.create_future(), target, epoch=self.topology_epoch
+            )
+            self._collectors[query_id] = collector
+            try:
+                if self.store is not None and dispatch.intersects(self.config.area):
+                    local = self.store.nn_candidates(dispatch, req_acc)
+                    collector.add(
+                        local, dispatch.intersection_area(self.config.area), self.address
+                    )
+                collector.resolve_if_complete()
+                if not collector.complete:
+                    self._fan_out(
+                        query_id,
+                        dispatch,
+                        lambda sender, direct: m.NNCandidatesFwd(
+                            query_id=query_id,
+                            dispatch=dispatch,
+                            req_acc=req_acc,
+                            entry_server=self.address,
+                            sender=sender,
+                            direct=direct,
+                        ),
+                    )
+                    await collector.future
+            finally:
+                self._collectors.pop(query_id, None)
+            entries.update(collector.entries)
+            origins |= collector.origins
+            if not collector.stale and self.topology_epoch == collector.epoch:
+                break
+            if attempt < _EPOCH_RETRIES:  # a re-issue will actually run
+                self.stats.epoch_retries += 1
+        return list(entries.items()), origins
 
     async def evaluate_neighbors_many(
         self, queries: list[NearestNeighborQuery]
@@ -1646,118 +1898,96 @@ class LocationServer(Endpoint):
         self, dispatches: list[Rect], req_accs: list[float]
     ) -> list[list[ObjectEntry]]:
         """One ring round for many probes as a single batched fan-out."""
-        query_id = self.next_request_id()
-        collector = _BatchCollector(
-            self.ctx.create_future(), [d.area for d in dispatches]
-        )
-        self._batch_collectors[query_id] = collector
-        try:
-            area = self.config.area
-            if self.store is not None:
-                local = [
-                    slot
-                    for slot, dispatch in enumerate(dispatches)
-                    if dispatch.intersects(area)
-                ]
-                if local:
-                    answers = self.store.nn_candidates_many(
-                        [dispatches[slot] for slot in local],
-                        [req_accs[slot] for slot in local],
-                    )
-                    for slot, found in zip(local, answers):
-                        collector.add(
-                            slot,
-                            found,
-                            dispatches[slot].intersection_area(area),
-                            self.address,
+        merged: list[dict[str, object]] = [{} for _ in dispatches]
+        for attempt in range(_EPOCH_RETRIES + 1):
+            query_id = self.next_request_id()
+            collector = _BatchCollector(
+                self.ctx.create_future(),
+                [d.area for d in dispatches],
+                epoch=self.topology_epoch,
+            )
+            self._batch_collectors[query_id] = collector
+            try:
+                area = self.config.area
+                if self.store is not None:
+                    local = [
+                        slot
+                        for slot, dispatch in enumerate(dispatches)
+                        if dispatch.intersects(area)
+                    ]
+                    if local:
+                        answers = self.store.nn_candidates_many(
+                            [dispatches[slot] for slot in local],
+                            [req_accs[slot] for slot in local],
                         )
-            collector.resolve_if_complete()
-            if not collector.complete:
-                items = tuple(
-                    m.NNBatchItem(
-                        index=slot, dispatch=dispatches[slot], req_acc=req_accs[slot]
+                        for slot, found in zip(local, answers):
+                            collector.add(
+                                slot,
+                                found,
+                                dispatches[slot].intersection_area(area),
+                                self.address,
+                            )
+                collector.resolve_if_complete()
+                if not collector.complete:
+                    items = tuple(
+                        m.NNBatchItem(
+                            index=slot, dispatch=dispatches[slot], req_acc=req_accs[slot]
+                        )
+                        for slot in range(len(dispatches))
+                        if not collector.item_complete(slot)
                     )
-                    for slot in range(len(dispatches))
-                    if not collector.item_complete(slot)
-                )
-                # An interior entry (split mid-use) routes through its own
-                # fwd handler, as _execute_range_many does.
-                dest = self.address if self.store is None else self._parent
-                if dest is not None:
-                    self.send(
-                        dest,
-                        m.NNCandidatesBatchFwd(
-                            query_id=query_id,
-                            items=items,
-                            entry_server=self.address,
-                            sender=self.address,
-                        ),
-                    )
-                    await collector.future
-            return [
-                list(collector.entries[slot].items())
-                for slot in range(len(dispatches))
-            ]
-        finally:
-            self._batch_collectors.pop(query_id, None)
+                    # An interior entry (split mid-use) routes through its own
+                    # fwd handler, as _execute_range_many does.
+                    dest = self.address if self.store is None else self._parent
+                    if dest is not None:
+                        self.send(
+                            dest,
+                            m.NNCandidatesBatchFwd(
+                                query_id=query_id,
+                                items=items,
+                                entry_server=self.address,
+                                sender=self.address,
+                                epoch=self.topology_epoch,
+                            ),
+                        )
+                        await collector.future
+            finally:
+                self._batch_collectors.pop(query_id, None)
+            for slot in range(len(dispatches)):
+                merged[slot].update(collector.entries[slot])
+            if not collector.stale and self.topology_epoch == collector.epoch:
+                break
+            if attempt < _EPOCH_RETRIES:  # a re-issue will actually run
+                self.stats.epoch_retries += 1
+        return [list(bucket.items()) for bucket in merged]
 
     async def _on_nn_batch_fwd(self, msg: m.NNCandidatesBatchFwd) -> None:
         self.stats.note(msg)
-        area = self.config.area
-        live = [item for item in msg.items if item.dispatch.intersects(area)]
-        if live:
-            if self.is_leaf:
-                answers = self.store.nn_candidates_many(
-                    [item.dispatch for item in live],
-                    [item.req_acc for item in live],
-                )
-                self.send(
-                    msg.entry_server,
-                    m.NNCandidatesBatchSubRes(
-                        query_id=msg.query_id,
-                        results=tuple(
-                            (
-                                item.index,
-                                tuple(found),
-                                item.dispatch.intersection_area(area),
-                            )
-                            for item, found in zip(live, answers)
-                        ),
-                        origin=self.address,
-                        origin_area=area,
-                    ),
-                )
-            else:
-                for child in self.config.children:
-                    if child.server_id == msg.sender:
-                        continue
-                    sub = tuple(
-                        item for item in live if item.dispatch.intersects(child.area)
-                    )
-                    if sub:
-                        self.send(
-                            child.server_id,
-                            m.NNCandidatesBatchFwd(
-                                query_id=msg.query_id,
-                                items=sub,
-                                entry_server=msg.entry_server,
-                                sender=self.address,
-                            ),
-                        )
-        if self._parent is not None and self._parent != msg.sender:
-            up = tuple(
-                item for item in msg.items if not area.contains_rect(item.dispatch)
-            )
-            if up:
-                self.send(
-                    self._parent,
-                    m.NNCandidatesBatchFwd(
-                        query_id=msg.query_id,
-                        items=up,
-                        entry_server=msg.entry_server,
-                        sender=self.address,
-                    ),
-                )
+        self._note_epoch(msg)
+        self._route_batch_fanout(
+            msg,
+            answer_fn=lambda live: self.store.nn_candidates_many(
+                [item.dispatch for item in live],
+                [item.req_acc for item in live],
+            ),
+            make_fwd=lambda items, sender: m.NNCandidatesBatchFwd(
+                query_id=msg.query_id,
+                items=items,
+                entry_server=msg.entry_server,
+                sender=sender,
+                epoch=msg.epoch,
+            ),
+            make_sub_res=lambda live, answers, area: m.NNCandidatesBatchSubRes(
+                query_id=msg.query_id,
+                results=tuple(
+                    (item.index, tuple(found), item.dispatch.intersection_area(area))
+                    for item, found in zip(live, answers)
+                ),
+                origin=self.address,
+                origin_area=area,
+                epoch=self.topology_epoch,
+            ),
+        )
 
     async def _on_nn_batch_sub_res(self, msg: m.NNCandidatesBatchSubRes) -> None:
         self.stats.note(msg)
@@ -1765,6 +1995,7 @@ class LocationServer(Endpoint):
         collector = self._batch_collectors.get(msg.query_id)
         if collector is None:
             return  # late answer for an already-completed batch
+        collector.note_epoch(msg.epoch)
         for index, entries, covered in msg.results:
             collector.add(index, entries, covered, msg.origin)
         collector.resolve_if_complete()
@@ -1783,6 +2014,7 @@ class LocationServer(Endpoint):
                         covered_area=dispatch.intersection_area(self.config.area),
                         origin=self.address,
                         origin_area=self.config.area,
+                        epoch=self.topology_epoch,
                     ),
                 )
             else:
@@ -1821,6 +2053,7 @@ class LocationServer(Endpoint):
         collector = self._collectors.get(msg.query_id)
         if collector is None:
             return
+        collector.note_epoch(msg.epoch)
         collector.add(msg.entries, msg.covered_area, msg.origin)
         collector.resolve_if_complete()
 

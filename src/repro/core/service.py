@@ -89,27 +89,64 @@ async def drive_update_envelope(
     make_sightings,
     timeout: float | None,
     retries: int,
+    sub_timeout: float | None = None,
 ) -> tuple:
     """Send one destination's tick reports as one envelope (used by the
     service tick and by :class:`~repro.sim.elastic.ElasticHarness`);
-    recovery rules are :func:`drive_protocol_envelope`'s.  Returns the
-    per-object :class:`~repro.core.messages.UpdateOutcome` tuple.
+    envelope-level recovery rules are :func:`drive_protocol_envelope`'s.
+    Returns the per-object :class:`~repro.core.messages.UpdateOutcome`
+    tuple.
+
+    **Per-item retry bookkeeping** (with ``sub_timeout`` set): servers
+    bound their sub-envelope fan-outs with ``sub_timeout`` and answer
+    items stuck behind a crashed subtree as *unacknowledged* instead of
+    letting the whole envelope hang — so a partial crash no longer
+    fails (and re-sends) the entire envelope.  This driver then resends
+    **only** the unacknowledged items, up to ``retries`` more rounds;
+    items that stay unacknowledged are returned as their ``ok=False``
+    outcomes for the caller's next tick to retry.
     """
-    res = await drive_protocol_envelope(
-        reporter,
-        service,
-        dest,
-        lambda _dest: m.UpdateBatchReq(
-            request_id=reporter.next_request_id(),
-            reply_to=reporter.address,
-            sightings=make_sightings(),
-        ),
-        timeout,
-        retries,
-        what="update",
-    )
-    assert isinstance(res, m.UpdateBatchRes)
-    return res.outcomes
+    epoch = service.hierarchy.epoch
+    outcomes: dict[str, m.UpdateOutcome] = {}
+    remaining: set[str] | None = None  # None → first round, send everything
+    for _round in range(retries + 1):
+        def make_envelope(_dest: str) -> m.UpdateBatchReq:
+            sightings = make_sightings()
+            if remaining is not None:
+                sightings = tuple(
+                    s for s in sightings if s.object_id in remaining
+                )
+            return m.UpdateBatchReq(
+                request_id=reporter.next_request_id(),
+                reply_to=reporter.address,
+                sightings=sightings,
+                epoch=epoch,
+                sub_timeout=sub_timeout,
+            )
+
+        # The full envelope-level retry budget applies once (first
+        # round); later per-item rounds target a destination that just
+        # answered, so they get a single attempt each — total envelope
+        # sends stay linear in ``retries``, not quadratic.
+        res = await drive_protocol_envelope(
+            reporter,
+            service,
+            dest,
+            make_envelope,
+            timeout,
+            retries if _round == 0 else 0,
+            what="update",
+        )
+        assert isinstance(res, m.UpdateBatchRes)
+        unacked: set[str] = set()
+        for outcome in res.outcomes:
+            outcomes[outcome.object_id] = outcome
+            if not outcome.ok and outcome.error == m.NACK_UNACKNOWLEDGED:
+                unacked.add(outcome.object_id)
+        if not unacked or sub_timeout is None:
+            break
+        remaining = unacked
+    return tuple(outcomes.values())
 
 
 class LocationService:
@@ -151,12 +188,13 @@ class LocationService:
         self._default_client: LocationClient | None = None
         self._batch_reporter: _BatchReporter | None = None
 
-    def _spawn(self, config) -> LocationServer:
-        server = LocationServer(config, **self._server_kwargs)
+    def _spawn(self, config, data_store=None) -> LocationServer:
+        server = LocationServer(config, data_store=data_store, **self._server_kwargs)
         #: birth time on the virtual clock; the rebalance planner uses it
         #: to keep freshly split children out of merge plans while their
         #: decayed load window is still ramping up.
         server.created_at = self.loop.now
+        server.topology_epoch = self.hierarchy.epoch
         self.network.join(server)
         return server
 
@@ -166,16 +204,19 @@ class LocationService:
     def loop(self):
         return self.network.loop
 
-    def spawn_server(self, config) -> LocationServer:
+    def spawn_server(self, config, store=None) -> LocationServer:
         """Instantiate and join a server for a freshly derived config.
 
         Used by the elastic cluster layer (:mod:`repro.cluster`) when a
         split adds new leaf servers; the server shares this service's
         accuracy model, index kind, cache and soft-state configuration.
+        ``store`` installs a pre-built :class:`~repro.storage.datastore.
+        LocalDataStore` (the phased migration's staged copy) in place of
+        the fresh empty one.
         """
         if config.server_id in self.servers or config.server_id in self.retired_servers:
             raise LocationServiceError(f"server {config.server_id!r} already exists")
-        server = self._spawn(config)
+        server = self._spawn(config, data_store=store)
         self.servers[config.server_id] = server
         return server
 
@@ -184,9 +225,46 @@ class LocationService:
 
         The caller (the migration executor) is responsible for having
         already converted the affected servers' roles and moved their
-        state; this only replaces the routing snapshot the facade uses.
+        state; this replaces the routing snapshot the facade uses and
+        advances every live server's topology epoch — traffic already
+        in flight keeps its old epoch stamp, which is how stale-epoch
+        detection works.
         """
+        if hierarchy.epoch <= self.hierarchy.epoch:
+            raise LocationServiceError(
+                f"cannot adopt epoch {hierarchy.epoch} over "
+                f"{self.hierarchy.epoch}: topology epochs must increase"
+            )
         self.hierarchy = hierarchy
+        for server in self.servers.values():
+            server.topology_epoch = hierarchy.epoch
+
+    def broadcast_cache_invalidation(
+        self, forget, learned=()
+    ) -> int:
+        """Broadcast explicit §6.5 cache invalidations (migration cutover).
+
+        One :class:`~repro.core.messages.CacheInvalidate` per live leaf
+        that runs any §6.5 cache (a cacheless leaf has nothing to
+        invalidate — the paper's measured prototype broadcasts nothing):
+        entries routing to the ``forget`` servers are dropped and the
+        ``learned`` (leaf, area) pairs pre-seed the area caches — so a
+        chatty workload's next cached dispatch goes straight to the new
+        owner instead of paying the healing forward hop through the old
+        address.  Returns the number of messages sent.
+        """
+        message = m.CacheInvalidate(
+            epoch=self.hierarchy.epoch,
+            forget=tuple(forget),
+            learned=tuple(learned),
+        )
+        reporter = self._reporter()
+        sent = 0
+        for server_id, server in self.servers.items():
+            if server.is_leaf and server.caches.config.any_enabled:
+                reporter.send(server_id, message)
+                sent += 1
+        return sent
 
     def retire_server(self, server_id: str, successor: str) -> LocationServer:
         """Retire a merged-away server to a forwarding alias."""
@@ -288,6 +366,7 @@ class LocationService:
         protocol_lane: str = "batched",
         envelope_timeout: float | None = None,
         envelope_retries: int = 3,
+        envelope_sub_timeout: float | None = None,
     ) -> dict[str, int]:
         """Apply a batch of position reports — the server-tick fast path.
 
@@ -313,6 +392,12 @@ class LocationService:
         re-sent up to ``envelope_retries`` times *as an envelope*.  A
         finally-unanswered envelope raises
         :class:`~repro.errors.TransportError`.
+
+        Per-item recovery: with ``envelope_sub_timeout`` set, servers
+        bound their internal sub-envelope fan-outs with it and answer
+        items stuck behind a crashed *subtree* as unacknowledged; only
+        those items are re-sent (see :func:`drive_update_envelope`)
+        instead of failing and re-sending the whole envelope.
 
         Objects that are not registered (no agent) raise
         :class:`~repro.errors.LocationServiceError` before anything is
@@ -371,7 +456,11 @@ class LocationService:
                             (
                                 f"envelope-{dest}",
                                 self._drive_update_envelope(
-                                    dest, pairs, envelope_timeout, envelope_retries
+                                    dest,
+                                    pairs,
+                                    envelope_timeout,
+                                    envelope_retries,
+                                    envelope_sub_timeout,
                                 ),
                             )
                             for dest, pairs in by_dest.items()
@@ -392,6 +481,7 @@ class LocationService:
         pairs: list[tuple[TrackedObject, Point]],
         timeout: float | None,
         retries: int,
+        sub_timeout: float | None = None,
     ) -> None:
         """Send one tick's reports for one destination as an envelope
         (see :func:`drive_update_envelope` for the recovery rules) and
@@ -407,6 +497,7 @@ class LocationService:
             ),
             timeout,
             retries,
+            sub_timeout=sub_timeout,
         )
         by_oid = {outcome.object_id: outcome for outcome in outcomes}
         for obj, pos in pairs:
@@ -426,7 +517,9 @@ class LocationService:
         objs: Iterable[TrackedObject],
         envelope_timeout: float | None = None,
         envelope_retries: int = 3,
-    ) -> dict[str, bool]:
+        envelope_sub_timeout: float | None = None,
+        detailed: bool = False,
+    ) -> dict[str, bool] | dict[str, str]:
         """Deregister a batch of objects over the batched protocol lane.
 
         One :class:`~repro.core.messages.DeregisterBatchReq` envelope per
@@ -438,40 +531,73 @@ class LocationService:
         ``envelope_timeout`` set an unanswered envelope is retried up to
         ``envelope_retries`` times before :class:`~repro.errors.
         TransportError` is raised.
+
+        Servers answer every failed id with a negative acknowledgement,
+        so ``detailed=True`` returns object id → status instead:
+        ``"ok"``, ``"already-gone"`` (a record for the id was removed
+        there before — a repeat deregistration), ``"never-existed"``
+        (the id was never known), ``"unacknowledged"`` (stuck behind a
+        crashed subtree; with ``envelope_sub_timeout`` set only these
+        items are re-sent, up to ``envelope_retries`` rounds), or
+        ``"not-registered"`` (the local handle has no agent).
         """
         by_dest: dict[str, list[TrackedObject]] = {}
         results: dict[str, bool] = {}
+        statuses: dict[str, str] = {}
         for obj in objs:
             if obj.agent is None:
                 results[obj.object_id] = False
+                statuses[obj.object_id] = "not-registered"
             else:
                 by_dest.setdefault(obj.agent, []).append(obj)
         if not by_dest:
-            return results
+            return statuses if detailed else results
         reporter = self._reporter()
 
         async def drive(dest: str, batch: list[TrackedObject]) -> None:
-            res = await drive_protocol_envelope(
-                reporter,
-                self,
-                dest,
-                lambda _dest: m.DeregisterBatchReq(
-                    request_id=reporter.next_request_id(),
-                    reply_to=reporter.address,
-                    object_ids=tuple(obj.object_id for obj in batch),
-                ),
-                envelope_timeout,
-                envelope_retries,
-                what="deregister",
-            )
-            assert isinstance(res, m.DeregisterBatchRes)
-            ok_by_oid = dict(res.results)
-            for obj in batch:
-                ok = ok_by_oid.get(obj.object_id, False)
-                results[obj.object_id] = ok
-                if ok:
-                    obj.agent = None
-                    obj.deregistered = True
+            remaining: set[str] | None = None
+            for _round in range(envelope_retries + 1):
+                ids = tuple(
+                    obj.object_id
+                    for obj in batch
+                    if remaining is None or obj.object_id in remaining
+                )
+                res = await drive_protocol_envelope(
+                    reporter,
+                    self,
+                    dest,
+                    lambda _dest: m.DeregisterBatchReq(
+                        request_id=reporter.next_request_id(),
+                        reply_to=reporter.address,
+                        object_ids=ids,
+                        epoch=self.hierarchy.epoch,
+                        sub_timeout=envelope_sub_timeout,
+                    ),
+                    envelope_timeout,
+                    # Linear total budget: envelope-level retries apply
+                    # to the first round only (as in drive_update_envelope).
+                    envelope_retries if _round == 0 else 0,
+                    what="deregister",
+                )
+                assert isinstance(res, m.DeregisterBatchRes)
+                ok_by_oid = dict(res.results)
+                nacks = dict(res.nacks)
+                unacked: set[str] = set()
+                for obj in batch:
+                    oid = obj.object_id
+                    if oid not in ok_by_oid:
+                        continue  # settled in an earlier round
+                    ok = ok_by_oid[oid]
+                    results[oid] = ok
+                    statuses[oid] = "ok" if ok else nacks.get(oid, m.NACK_NEVER_EXISTED)
+                    if ok:
+                        obj.agent = None
+                        obj.deregistered = True
+                    elif nacks.get(oid) == m.NACK_UNACKNOWLEDGED:
+                        unacked.add(oid)
+                if not unacked or envelope_sub_timeout is None:
+                    return
+                remaining = unacked
 
         self.run(
             drive_all(
@@ -482,7 +608,7 @@ class LocationService:
                 ),
             )
         )
-        return results
+        return statuses if detailed else results
 
     def pos_query(
         self, object_id: str, entry_server: str | None = None, req_acc: float | None = None

@@ -40,6 +40,9 @@ class AsyncioContext(Context):
     def send(self, dest: str, message: Message) -> None:
         self._network.transmit(self._address, dest, message)
 
+    def send_many(self, dest: str, messages: "list[Message]") -> None:
+        self._network.transmit_many(self._address, dest, messages)
+
     def create_future(self) -> asyncio.Future:
         return asyncio.get_event_loop().create_future()
 
@@ -121,6 +124,54 @@ class AsyncioNetwork:
             loop.call_soon(deliver)
         else:
             loop.call_later(delay, deliver)
+
+    def transmit_many(self, src: str, dst: str, messages: list[Message]) -> None:
+        """Coalescing batch send — the asyncio counterpart of the
+        simulated network's group delivery, carrying the envelope win
+        onto real event loops: the whole batch pays **one** latency
+        computation (the slowest member's delay, one UDP burst) and one
+        scheduled callback delivering every survivor back to back,
+        instead of one timer per message.  Per-message drop/crash
+        bookkeeping matches :meth:`transmit`.
+        """
+        if not messages:
+            return
+        survivors: list[Message] = []
+        delay = 0.0
+        for message in messages:
+            self.stats.note_send(message)
+            if dst not in self._endpoints:
+                self.stats.dead_letters += 1
+                continue
+            if dst in self._down or src in self._down:
+                self.stats.messages_dropped += 1
+                continue
+            if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
+                self.stats.messages_dropped += 1
+                continue
+            survivors.append(message)
+            delay = max(delay, self.latency.delay(src, dst, message))
+        if not survivors:
+            return
+        loop = asyncio.get_event_loop()
+
+        def deliver_batch() -> None:
+            if dst in self._down:
+                self.stats.messages_dropped += len(survivors)
+                return
+            endpoint = self._endpoints.get(dst)
+            if endpoint is None:
+                self.stats.dead_letters += len(survivors)
+                return
+            self.stats.messages_delivered += len(survivors)
+            for message in survivors:
+                endpoint.deliver(message)
+
+        scaled = delay * self.time_scale
+        if scaled <= 0.0:
+            loop.call_soon(deliver_batch)
+        else:
+            loop.call_later(scaled, deliver_batch)
 
     async def quiesce(self) -> None:
         """Wait until all spawned handler tasks have finished."""

@@ -69,7 +69,16 @@ class SimNetwork:
         costs: CostModel | None = None,
         drop_rate: float = 0.0,
         seed: int = 0,
+        outbox_flush_count: int | None = None,
+        outbox_flush_delay: float | None = None,
     ) -> None:
+        """``outbox_flush_count`` / ``outbox_flush_delay`` are the
+        coalescing outbox's **watermarks** (NIC-batching model): a
+        per-(src, dst) bucket flushes as soon as it holds ``count``
+        messages, and an armed bucket flushes at latest ``delay``
+        virtual seconds after its first message.  Defaults keep the
+        original behaviour — flush at the end of the current loop turn —
+        which is the ``delay=0`` corner of the same model."""
         self.loop = loop if loop is not None else SimLoop()
         self.latency = latency if latency is not None else LatencyModel()
         self.costs = costs if costs is not None else CostModel.zero()
@@ -80,10 +89,23 @@ class SimNetwork:
         self._busy_until: dict[str, float] = {}
         self._down: set[str] = set()
         #: per-(src, dst) coalescing send buffer for :meth:`transmit_many`;
-        #: flushed once per loop turn so a burst of batched sends costs one
-        #: delivery event per destination instead of one per message.
+        #: flushed once per loop turn (or by the watermarks above) so a
+        #: burst of batched sends costs one delivery event per destination
+        #: instead of one per message.
         self._outbox: dict[tuple[str, str], list[Message]] = {}
         self._flush_scheduled = False
+        if outbox_flush_count is not None and outbox_flush_count < 1:
+            raise ValueError(
+                f"outbox_flush_count must be >= 1, got {outbox_flush_count}"
+            )
+        if outbox_flush_delay is not None and outbox_flush_delay < 0.0:
+            raise ValueError(
+                f"outbox_flush_delay must be >= 0, got {outbox_flush_delay}"
+            )
+        self.outbox_flush_count = outbox_flush_count
+        self.outbox_flush_delay = outbox_flush_delay
+        #: watermark-triggered (size) flushes, for tests and benches.
+        self.watermark_flushes = 0
 
     # -- membership -------------------------------------------------------
 
@@ -149,8 +171,14 @@ class SimNetwork:
 
     def transmit_many(self, src: str, dst: str, messages: list[Message]) -> None:
         """Buffered batch send: messages queue in a per-(src, dst) outbox
-        that flushes at the end of the current loop turn, so the whole
-        batch pays one latency computation and one delivery event.
+        that flushes at the end of the current loop turn — or earlier /
+        later under the constructor's watermarks: a bucket reaching
+        ``outbox_flush_count`` messages flushes immediately (bounding
+        burstiness), and with ``outbox_flush_delay`` set the sweep runs
+        that many virtual seconds after arming instead of next turn
+        (letting cross-turn traffic coalesce, with bounded added
+        latency).  The whole batch pays one latency computation and one
+        delivery event.
 
         Virtual timing matches back-to-back :meth:`transmit` calls up to
         the batch sharing a single group arrival (the slowest member's
@@ -159,10 +187,24 @@ class SimNetwork:
         """
         if not messages:
             return
-        self._outbox.setdefault((src, dst), []).extend(messages)
+        bucket = self._outbox.setdefault((src, dst), [])
+        bucket.extend(messages)
+        if (
+            self.outbox_flush_count is not None
+            and len(bucket) >= self.outbox_flush_count
+        ):
+            # Size watermark: this bucket is full, flush it now.  Other
+            # buckets keep waiting for the scheduled sweep.
+            self.watermark_flushes += 1
+            del self._outbox[(src, dst)]
+            self._transmit_batch(src, dst, bucket)
+            return
         if not self._flush_scheduled:
             self._flush_scheduled = True
-            self.loop.call_soon(self._flush_outbox)
+            if self.outbox_flush_delay:
+                self.loop.call_later(self.outbox_flush_delay, self._flush_outbox)
+            else:
+                self.loop.call_soon(self._flush_outbox)
 
     def flush(self) -> None:
         """Force the coalescing outbox out immediately (tests/teardown)."""

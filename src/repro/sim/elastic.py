@@ -27,6 +27,7 @@ rebalance is reachable after it.
 
 from __future__ import annotations
 
+import gc
 import random
 import time
 from dataclasses import dataclass, field
@@ -41,7 +42,7 @@ from repro.cluster import (
     RebalancePlanner,
     SplitPlan,
 )
-from repro.core import LocationService, build_table2_hierarchy
+from repro.core import CacheConfig, LocationService, build_table2_hierarchy
 from repro.core import messages as m
 from repro.core.service import drive_all, drive_update_envelope
 from repro.geo import Point, Rect
@@ -98,10 +99,18 @@ class ElasticHarness:
         self.homes = dict(homes)
         self.monitor = monitor if monitor is not None else LoadMonitor()
         self.planner = planner if planner is not None else RebalancePlanner()
-        self.executor = executor if executor is not None else MigrationExecutor(service)
+        self.executor = (
+            executor
+            if executor is not None
+            else MigrationExecutor(service, monitor=self.monitor)
+        )
         self.migrations: list[MigrationReport] = []
         self.tick_loads: list[TickLoad] = []
         self.latencies = LatencyRecorder()
+        #: rebalance rounds that required the event loop drained before
+        #: plans could apply (the quiesced path); the overlapped path
+        #: never drains, so this stays 0 there.
+        self.stall_ticks = 0
         self._reporter = _Reporter()
         service.network.join(self._reporter)
         self._clients: dict[str, object] = {}
@@ -114,6 +123,7 @@ class ElasticHarness:
         protocol_lane: str = "batched",
         envelope_timeout: float | None = None,
         envelope_retries: int = 3,
+        envelope_sub_timeout: float | None = None,
     ) -> dict[str, int]:
         """Apply one tick of position reports.
 
@@ -198,6 +208,7 @@ class ElasticHarness:
                         ),
                         envelope_timeout,
                         envelope_retries,
+                        sub_timeout=envelope_sub_timeout,
                     )
                     for outcome in outcomes:
                         if not outcome.ok:
@@ -264,12 +275,65 @@ class ElasticHarness:
         return samples
 
     def rebalance(self) -> list[MigrationReport]:
-        """One plan → migrate round; updates the home map."""
+        """One **quiesced** plan → migrate round; updates the home map.
+
+        The PR-2 behaviour, kept as the zero-stall bench's baseline:
+        when there are plans, the event loop is drained first (no
+        in-flight traffic may straddle the one-shot copy + cutover) and
+        the round counts as a stall tick.  Use
+        :meth:`rebalance_overlapped` to rebalance under live traffic.
+        """
         plans = self.planner.plan(self.svc, self.monitor.rates())
+        if not plans:
+            return []
+        self.svc.settle()
+        self.stall_ticks += 1
         reports = self.executor.execute_all(plans)
         for report in reports:
             self.homes.update(report.new_homes)
         self.migrations.extend(reports)
+        return reports
+
+    def advance_migrations(self, copy_chunk: int = 256) -> int:
+        """Advance every in-flight migration's copy by one chunk.
+
+        Called once per tick by the overlapped driver: the bulk copy's
+        index-build cost spreads across ticks in ``copy_chunk``-object
+        slices instead of landing on a single tick, which is what keeps
+        reports/s during migration near steady state.  Returns objects
+        staged.
+        """
+        return sum(
+            self.executor.step(migration, copy_chunk)
+            for migration in self.executor.in_flight
+        )
+
+    def rebalance_overlapped(self) -> list[MigrationReport]:
+        """One phased rebalance round that never drains the loop.
+
+        First cuts over every in-flight migration whose chunked copy
+        has finished — its staged stores have tracked live traffic
+        through the dual-write mirrors since :meth:`advance_migrations`
+        drained the snapshot — then plans against the new topology
+        (skipping servers an in-flight migration still touches) and
+        opens the copy + dual-write window for the fresh plans.
+        Traffic keeps flowing throughout: stale-epoch envelopes re-route
+        through forwarding state and racing fan-out collectors re-issue
+        on the epoch bump, so there is no quiesced tick at all.
+        """
+        reports = [
+            self.executor.cutover(migration)
+            for migration in list(self.executor.in_flight)
+            if migration.copy_done
+        ]
+        for report in reports:
+            self.homes.update(report.new_homes)
+        self.migrations.extend(reports)
+        plans = self.planner.plan(
+            self.svc, self.monitor.rates(), busy=self.executor.busy_server_ids()
+        )
+        for plan in plans:
+            self.executor.begin(plan)
         return reports
 
     # -- verification ---------------------------------------------------------
@@ -336,9 +400,10 @@ def _populate(svc: LocationService, placements) -> dict[str, str]:
     return homes
 
 
-def _fresh_service() -> LocationService:
+def _fresh_service(cache_config=None) -> LocationService:
     return LocationService(
         build_table2_hierarchy(ROOT_SIDE),
+        cache_config=cache_config,
         latency=LatencyModel(base=350e-6, per_entry=1e-6),
         sighting_ttl=1e9,  # soft state disabled during measurements
     )
@@ -377,10 +442,23 @@ def _run_scenario(
     positions_at,
     probe_area_at,
     protocol_lane: str = "batched",
+    migration_mode: str = "quiesced",
+    cache_config=None,
 ) -> dict[str, object]:
-    """Common scenario loop; the two scenarios differ only in their
-    placement and per-tick position generators."""
-    svc = _fresh_service()
+    """Common scenario loop; the scenarios differ only in their
+    placement and per-tick position generators.
+
+    ``migration_mode`` selects how rebalance rounds apply:
+    ``"quiesced"`` drains the loop around every one-shot copy + cutover
+    (the PR-2 baseline; each such round is a stall tick), ``"overlapped"``
+    phases every migration copy → dual-write → cutover across rounds
+    with traffic flowing throughout (stall ticks stay 0).  A tick
+    counts as a *migration tick* when a migration is in flight during
+    it or a rebalance round at its end did work; the per-tick
+    throughput split lets the zero-stall bench compare reports/s during
+    migration against steady state.
+    """
+    svc = _fresh_service(cache_config=cache_config)
     homes = _populate(svc, placements)
     harness = ElasticHarness(
         svc,
@@ -393,14 +471,19 @@ def _run_scenario(
     fast = protocol = 0
     tick_wall = 0.0
     protocol_messages = 0
+    topology_messages = 0
     protocol_by_type: dict[str, int] = {}
+    tick_records: list[dict[str, object]] = []
     for tick in range(ticks):
         progress = tick / max(ticks - 1, 1)
         reports = positions_at(rng, tick, progress)
+        in_flight_during_tick = bool(harness.executor.in_flight)
         ledger.rebase()  # count only the tick's own protocol traffic
         wall_start = time.perf_counter()
         counts = harness.apply_reports(reports, protocol_lane=protocol_lane)
-        tick_wall += time.perf_counter() - wall_start
+        if in_flight_during_tick and migration_mode == "overlapped":
+            harness.advance_migrations()
+        apply_wall = time.perf_counter() - wall_start
         fast += counts["fast"]
         protocol += counts["protocol"]
         tick_delta = ledger.protocol_delta()
@@ -411,8 +494,33 @@ def _run_scenario(
         harness.probe_queries(rng, phase, range_area=probe_area_at(progress))
         svc.run(_advance(svc, dt))
         harness.sample()
+        rebalance_wall = 0.0
+        did_migrate = False
         if elastic and (tick + 1) % rebalance_every == 0:
-            harness.rebalance()
+            rebalance_start = time.perf_counter()
+            if migration_mode == "overlapped":
+                round_reports = harness.rebalance_overlapped()
+                did_migrate = bool(round_reports) or bool(harness.executor.in_flight)
+            else:
+                round_reports = harness.rebalance()
+                did_migrate = bool(round_reports)
+            rebalance_wall = time.perf_counter() - rebalance_start
+        # Read after the rebalance step: the §6.5 invalidation broadcasts
+        # (the topology lane) are sent at cutover, inside that step.
+        topology_messages += ledger.topology_messages()
+        tick_wall += apply_wall
+        tick_records.append(
+            {
+                "reports": len(reports),
+                "wall": apply_wall + rebalance_wall,
+                "migration": did_migrate or in_flight_during_tick,
+            }
+        )
+    if elastic:
+        # Close any dual-write window still open at the end of the run.
+        for report in harness.executor.cutover_all():
+            harness.homes.update(report.new_homes)
+            harness.migrations.append(report)
     invariants = harness.verify(expected_tracked=objects)
     sustained = harness.sustained_loads(measure_ticks)
     lat = harness.latencies
@@ -421,21 +529,62 @@ def _run_scenario(
         summary = lat.summary(name)
         return summary.mean * 1e3 if summary.count else None
 
+    def _rate(records: list[dict[str, object]]) -> float | None:
+        """Aggregate reports/s over a tick bucket.
+
+        Caveat for readers of the ratio: migration windows correlate
+        with the workload's churn phases (load shifts are what trigger
+        plans), so part of any gap between the buckets is the workload
+        being protocol-heavier during migrations, not migration
+        overhead itself — the quiesced lane's ratio on the same seed is
+        the like-for-like baseline.
+        """
+        total_reports = sum(r["reports"] for r in records)
+        total_wall = sum(r["wall"] for r in records)
+        return total_reports / total_wall if total_wall > 0 else None
+
+    migration_ticks = [r for r in tick_records if r["migration"]]
+    steady_ticks = [r for r in tick_records if not r["migration"]]
+    steady_rate = _rate(steady_ticks)
+    migration_rate = _rate(migration_ticks)
+    all_servers = list(svc.servers.values()) + list(svc.retired_servers.values())
     return {
         "objects": objects,
         "ticks": ticks,
         "dt_s": dt,
         "protocol_lane": protocol_lane,
+        "migration_mode": migration_mode if elastic else None,
         "fast_reports": fast,
         "protocol_reports": protocol,
         "protocol_messages": protocol_messages,
         "protocol_messages_per_tick": round(protocol_messages / ticks, 2),
         "protocol_message_types": dict(sorted(protocol_by_type.items())),
+        "topology_messages": topology_messages,
         "tick_wall_clock_s": round(tick_wall, 4),
         "leaf_count_final": len(svc.hierarchy.leaf_ids()),
         "splits": harness.split_count(),
         "merges": harness.merge_count(),
         "migrated_objects": sum(r.moved for r in harness.migrations),
+        "stall_ticks": harness.stall_ticks,
+        "migration_tick_count": len(migration_ticks),
+        "reports_per_s_steady": (
+            round(steady_rate) if steady_rate is not None else None
+        ),
+        "reports_per_s_migration": (
+            round(migration_rate) if migration_rate is not None else None
+        ),
+        "migration_throughput_ratio": (
+            round(migration_rate / steady_rate, 3)
+            if steady_rate is not None and steady_rate > 0 and migration_rate is not None
+            else None
+        ),
+        "topology_epoch": svc.hierarchy.epoch,
+        "stale_epoch_messages": sum(
+            s.stats.stale_epoch_messages for s in all_servers
+        ),
+        "epoch_retries": sum(s.stats.epoch_retries for s in all_servers),
+        "invalidations_sent": sum(r.invalidations_sent for r in harness.migrations),
+        "dual_writes": sum(r.dual_writes for r in harness.migrations),
         "max_sustained_load_ops_per_s": max(sustained.values(), default=0.0),
         "per_server_sustained_ops_per_s": {
             sid: round(rate, 2) for sid, rate in sorted(sustained.items())
@@ -460,6 +609,7 @@ def flash_crowd_scenario(
     measure_ticks: int = 8,
     seed: int = 0,
     protocol_lane: str = "batched",
+    migration_mode: str = "quiesced",
 ) -> dict[str, object]:
     """A flash crowd inside one leaf of the Fig.-8 testbed.
 
@@ -502,6 +652,7 @@ def flash_crowd_scenario(
         positions_at=positions_at,
         probe_area_at=lambda progress: hotspot,
         protocol_lane=protocol_lane,
+        migration_mode=migration_mode,
     )
 
 
@@ -516,6 +667,7 @@ def commuter_rush_scenario(
     measure_ticks: int = 10,
     seed: int = 0,
     protocol_lane: str = "batched",
+    migration_mode: str = "quiesced",
 ) -> dict[str, object]:
     """A commuter-rush wavefront sweeping west→east across the area.
 
@@ -569,6 +721,113 @@ def commuter_rush_scenario(
         positions_at=positions_at,
         probe_area_at=lambda progress: wavefront_area(root, progress, wave_width),
         protocol_lane=protocol_lane,
+        migration_mode=migration_mode,
+    )
+
+
+def festival_surge_scenario(
+    objects: int = 1200,
+    ticks: int = 36,
+    dt: float = 1.0,
+    crowd_fraction: float = 0.85,
+    stage_count: int = 3,
+    elastic: bool = True,
+    rebalance_every: int = 2,
+    measure_ticks: int = 10,
+    seed: int = 0,
+    protocol_lane: str = "batched",
+    migration_mode: str = "overlapped",
+) -> dict[str, object]:
+    """Sustained churn: a festival crowd surging between stages.
+
+    ``crowd_fraction`` of the objects report **every tick** (heavy
+    sustained load) while stampeding between ``stage_count`` stage
+    areas in different quadrants: each act packs the crowd into one
+    stage (splitting its leaf, recursively), and at every act change
+    the crowd crosses the service area to the next stage — handovers en
+    masse, the abandoned stage's children merging back.  Rebalancing
+    therefore never stops being needed while traffic never stops
+    flowing, which is exactly the case the phased (overlapped) migration
+    pipeline exists for; ``migration_mode="quiesced"`` runs the same
+    workload over the drain-the-loop baseline the zero-stall bench
+    compares against.
+    """
+    root = Rect(0, 0, ROOT_SIDE, ROOT_SIDE)
+    stage_side = 280.0
+    stage_centers = [
+        Point(380.0, 380.0),      # south-west quadrant
+        Point(1120.0, 1120.0),    # north-east quadrant
+        Point(1120.0, 380.0),     # south-east quadrant
+        Point(380.0, 1120.0),     # north-west quadrant
+    ]
+    stages = [
+        Rect.from_center(center, stage_side, stage_side)
+        for center in stage_centers[: max(2, min(stage_count, 4))]
+    ]
+    act_length = max(ticks // len(stages), 1)
+    crowd_count = round(crowd_fraction * objects)
+    placements = hotspot_positions(
+        root,
+        HotspotSpec(area=stages[0], fraction=crowd_fraction),
+        objects,
+        seed=seed,
+        prefix="fs",
+    )
+    base_positions = dict(placements)
+
+    def stage_at(tick: int) -> Rect:
+        return stages[min(tick // act_length, len(stages) - 1)]
+
+    def positions_at(
+        rng: random.Random, tick: int, progress: float
+    ) -> list[tuple[str, Point]]:
+        stage = stage_at(tick)
+        reports = []
+        for i, (oid, pos) in enumerate(base_positions.items()):
+            if i < crowd_count:
+                if not stage.contains_point(pos):
+                    # Act change: festival-goers drift to the new stage
+                    # over a few ticks (~30% arrive per tick) instead of
+                    # teleporting en masse — so no single tick is a
+                    # handover storm, the sustained-load shape the
+                    # zero-stall measurement is about.
+                    if rng.random() < 0.3:
+                        new_pos = Point(
+                            rng.uniform(stage.min_x, stage.max_x),
+                            rng.uniform(stage.min_y, stage.max_y),
+                        )
+                    else:
+                        new_pos = _jitter(rng, pos, 25.0, root)
+                else:
+                    new_pos = _jitter(rng, pos, 15.0, stage)
+            else:
+                if (i + tick) % 4 != 0:
+                    continue  # background objects report sparsely
+                new_pos = _jitter(rng, pos, 30.0, root)
+            base_positions[oid] = new_pos
+            reports.append((oid, new_pos))
+        return reports
+
+    return _run_scenario(
+        objects=objects,
+        ticks=ticks,
+        dt=dt,
+        elastic=elastic,
+        rebalance_every=rebalance_every,
+        measure_ticks=measure_ticks,
+        seed=seed + 1,
+        placements=placements,
+        positions_at=positions_at,
+        probe_area_at=lambda progress: stage_at(
+            min(int(progress * (ticks - 1)), ticks - 1) if ticks > 1 else 0
+        ),
+        protocol_lane=protocol_lane,
+        migration_mode=migration_mode,
+        # §6.5 caches on: the crowd's act-change handovers exercise the
+        # direct dispatch path, and the cutover invalidation broadcasts
+        # are what keeps it from paying healing hops through the old
+        # addresses.
+        cache_config=CacheConfig.all_enabled(),
     )
 
 
@@ -646,5 +905,69 @@ def protocol_batch_benchmark_payload(
             round(per_report["tick_wall_clock_s"] / batched_wall, 3)
             if batched_wall > 0
             else None
+        ),
+    }
+
+
+def zero_stall_benchmark_payload(
+    objects: int = 1200,
+    ticks: int | None = None,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Overlapped vs. quiesced rebalancing under sustained churn — the
+    ``BENCH_PR4.json`` body.
+
+    All lanes run the identical festival-surge workload (the crowd
+    stampedes between stages every act, so splits and merges never stop
+    being needed while every crowd member reports every tick).  The
+    acceptance numbers, per overlapped lane:
+
+    * ``stall_ticks == 0`` — no rebalance round ever drained the loop
+      (the quiesced baseline stalls once per migrating round);
+    * ``migration_throughput_ratio >= 0.8`` — reports/s through ticks
+      with a migration in flight stays within 20% of steady state;
+    * ``invariants.lost_sightings == 0`` and ``consistency_ok`` on
+      every lane — the copy → dual-write → cutover pipeline loses
+      nothing even with the protocol lane racing it.
+    """
+    kwargs: dict[str, object] = {"objects": objects}
+    if ticks is not None:
+        kwargs["ticks"] = ticks
+    lanes: dict[str, dict[str, object]] = {}
+    # The throughput ratio compares ~10 ms tick walls; a GC pause inside
+    # one migration tick would swing it, so collections run between
+    # lanes instead of mid-measurement (standard bench hygiene).
+    gc_was_enabled = gc.isenabled()
+    try:
+        for lane, lane_kwargs in (
+            ("quiesced", {"migration_mode": "quiesced"}),
+            ("overlapped", {"migration_mode": "overlapped"}),
+            (
+                "overlapped_per_report",
+                {"migration_mode": "overlapped", "protocol_lane": "per-report"},
+            ),
+        ):
+            gc.enable()
+            gc.collect()
+            gc.disable()
+            lanes[lane] = festival_surge_scenario(
+                elastic=True, seed=seed, **lane_kwargs, **kwargs
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    overlapped = lanes["overlapped"]
+    quiesced = lanes["quiesced"]
+    return {
+        "bench": "zero-stall elasticity: phased overlapped migration vs. quiesced rebalance",
+        "scenario": "festival_surge",
+        "lanes": lanes,
+        "stall_ticks_overlapped": overlapped["stall_ticks"],
+        "stall_ticks_quiesced": quiesced["stall_ticks"],
+        "migration_throughput_ratio": overlapped["migration_throughput_ratio"],
+        "zero_lost_all_lanes": all(
+            lane["invariants"]["lost_sightings"] == 0
+            and lane["invariants"]["consistency_ok"]
+            for lane in lanes.values()
         ),
     }

@@ -124,11 +124,19 @@ PROTOCOL_LANE_MESSAGE_TYPES = frozenset(
         "DeregisterBatchRes",
         "PathTeardown",
         "PathTeardownBatch",
+        "PathTeardownNack",
         "PathUpdate",
         "RemovePath",
         "NotifyAvailAcc",
     }
 )
+
+
+#: Message types of the *topology lane* — elastic-reconfiguration
+#: control traffic (§6.5 invalidation broadcasts at migration cutovers).
+#: Counted separately from the protocol lane: it scales with rebalance
+#: frequency × leaf count, not with report volume.
+TOPOLOGY_MESSAGE_TYPES = frozenset({"CacheInvalidate"})
 
 
 class MessageLedger:
@@ -169,6 +177,15 @@ class MessageLedger:
     def protocol_messages(self) -> int:
         """Total protocol-lane messages since the last (re)base."""
         return sum(self.protocol_delta().values())
+
+    def topology_messages(self) -> int:
+        """Total topology-lane messages (cache invalidation broadcasts)
+        since the last (re)base."""
+        return sum(
+            count
+            for name, count in self.delta().items()
+            if name in TOPOLOGY_MESSAGE_TYPES
+        )
 
 
 @dataclass(frozen=True, slots=True)

@@ -12,7 +12,7 @@ store a **leaf** location server operates on.  It is also:
 
 from __future__ import annotations
 
-from repro.errors import AccuracyUnavailableError, UnknownObjectError
+from repro.errors import AccuracyUnavailableError, StorageError, UnknownObjectError
 from repro.model import (
     AccuracyModel,
     LocationDescriptor,
@@ -29,10 +29,31 @@ from repro.storage.sighting_db import DEFAULT_TTL, SightingDB
 from repro.storage.visitor_db import LeafVisitorRecord, VisitorDB
 
 
+class StoreMirror:
+    """Observer protocol for the migration dual-write window.
+
+    While a phased migration copies a leaf's objects to their future
+    owners, the source store keeps serving; a mirror attached via
+    :meth:`LocalDataStore.attach_mirror` sees every visitor-state
+    mutation so the staged copy stays exactly in sync until cutover.
+    The hooks run *after* the local mutation succeeded, inside the same
+    loop turn — there is no window in which source and staging disagree.
+    """
+
+    def record_upsert(self, sighting, offered_acc, reg_info) -> None:
+        """A visitor was admitted or its sighting moved."""
+
+    def record_remove(self, object_id: str) -> None:
+        """A visitor left (deregistration, handover away, expiry)."""
+
+    def record_acc(self, object_id: str, offered_acc: float) -> None:
+        """A visitor's negotiated accuracy changed (``changeAcc``)."""
+
+
 class LocalDataStore:
     """Leaf-server storage: sightings in memory, visitor records durable."""
 
-    __slots__ = ("sightings", "visitors", "accuracy", "_ttl")
+    __slots__ = ("sightings", "visitors", "accuracy", "_ttl", "_mirror")
 
     def __init__(
         self,
@@ -45,6 +66,24 @@ class LocalDataStore:
         self.sightings = SightingDB(index=index, default_ttl=ttl)
         self.visitors = VisitorDB(store=store)
         self._ttl = ttl
+        self._mirror: StoreMirror | None = None
+
+    # -- dual-write mirroring (repro.cluster phased migration) ----------------
+
+    def attach_mirror(self, mirror: StoreMirror) -> None:
+        """Start mirroring every mutation into ``mirror`` (at most one)."""
+        if self._mirror is not None:
+            raise StorageError("a migration mirror is already attached")
+        self._mirror = mirror
+
+    def detach_mirror(self) -> StoreMirror | None:
+        """Stop mirroring; returns the detached mirror (or ``None``)."""
+        mirror, self._mirror = self._mirror, None
+        return mirror
+
+    @property
+    def mirrored(self) -> bool:
+        return self._mirror is not None
 
     # -- registration & updates (local halves of Algorithms 6-1 / 6-2) -------
 
@@ -69,6 +108,8 @@ class LocalDataStore:
         reg_info = RegistrationInfo(registrar, des_acc, min_acc)
         self.visitors.insert_leaf(sighting.object_id, offered, reg_info)
         self.sightings.upsert(sighting, now=now)
+        if self._mirror is not None:
+            self._mirror.record_upsert(sighting, offered, reg_info)
         return offered
 
     def _admit_visitor(
@@ -93,6 +134,8 @@ class LocalDataStore:
         """Become the agent for an object arriving by handover (Alg. 6-3)."""
         offered = self._admit_visitor(sighting, reg_info)
         self.sightings.upsert(sighting, now=now)
+        if self._mirror is not None:
+            self._mirror.record_upsert(sighting, offered, reg_info)
         return offered
 
     def admit_handover_many(
@@ -113,6 +156,9 @@ class LocalDataStore:
             self._admit_visitor(sighting, reg_info) for sighting, reg_info in arrivals
         ]
         self.sightings.upsert_many([sighting for sighting, _ in arrivals], now=now)
+        if self._mirror is not None:
+            for (sighting, reg_info), offered in zip(arrivals, offers):
+                self._mirror.record_upsert(sighting, offered, reg_info)
         return offers
 
     def update(self, sighting: SightingRecord, now: float = 0.0) -> None:
@@ -124,9 +170,12 @@ class LocalDataStore:
         requests come in" — so an update for a registered visitor without
         a sighting recreates it.
         """
-        if self.visitors.leaf_record(sighting.object_id) is None:
+        record = self.visitors.leaf_record(sighting.object_id)
+        if record is None:
             raise UnknownObjectError(sighting.object_id)
         self.sightings.upsert(sighting, now=now)
+        if self._mirror is not None:
+            self._mirror.record_upsert(sighting, record.offered_acc, record.reg_info)
 
     def update_many(self, sightings, now: float = 0.0) -> None:
         """Refresh many visitors' sightings with one batched index pass.
@@ -140,10 +189,21 @@ class LocalDataStore:
         """
         batch = list(sightings)
         leaf_record = self.visitors.leaf_record
+        if self._mirror is None:
+            for sighting in batch:
+                if leaf_record(sighting.object_id) is None:
+                    raise UnknownObjectError(sighting.object_id)
+            self.sightings.upsert_many(batch, now=now)
+            return
+        records = []
         for sighting in batch:
-            if leaf_record(sighting.object_id) is None:
+            record = leaf_record(sighting.object_id)
+            if record is None:
                 raise UnknownObjectError(sighting.object_id)
+            records.append(record)
         self.sightings.upsert_many(batch, now=now)
+        for sighting, record in zip(batch, records):
+            self._mirror.record_upsert(sighting, record.offered_acc, record.reg_info)
 
     # -- migration bulk paths (repro.cluster) ---------------------------------
 
@@ -165,6 +225,7 @@ class LocalDataStore:
         self,
         entries: list[tuple[SightingRecord, float, RegistrationInfo]],
         now: float = 0.0,
+        compact: bool = True,
     ) -> None:
         """Become the agent for a migrated batch in one bulk-load pass.
 
@@ -176,14 +237,21 @@ class LocalDataStore:
         carry over into the destination.  The sighting bulk insert runs
         first: it validates the whole batch before applying anything, so
         a duplicate id fails the admission without leaving visitor
-        records that have no backing sighting.
+        records that have no backing sighting.  ``compact=False`` defers
+        the compaction — the chunked migration copy admits many batches
+        and compacts once at cutover instead of paying an O(n) index
+        pass per chunk.
         """
         self.sightings.bulk_insert(
             [sighting for sighting, _, _ in entries], now=now
         )
         for sighting, offered_acc, reg_info in entries:
             self.visitors.insert_leaf(sighting.object_id, offered_acc, reg_info)
-        self.sightings.compact_index()
+        if compact:
+            self.sightings.compact_index()
+        if self._mirror is not None:
+            for sighting, offered_acc, reg_info in entries:
+                self._mirror.record_upsert(sighting, offered_acc, reg_info)
 
     def change_accuracy(self, object_id: str, des_acc: float, min_acc: float) -> float:
         """Renegotiate accuracy for a tracked object (``changeAcc``)."""
@@ -194,6 +262,8 @@ class LocalDataStore:
         if offered is None:
             raise AccuracyUnavailableError(self.accuracy.achievable, min_acc)
         self.visitors.set_offered_acc(object_id, offered)
+        if self._mirror is not None:
+            self._mirror.record_acc(object_id, offered)
         return offered
 
     def deregister(self, object_id: str) -> None:
@@ -201,6 +271,8 @@ class LocalDataStore:
         if object_id in self.sightings:
             self.sightings.remove(object_id)
         self.visitors.remove(object_id)
+        if self._mirror is not None:
+            self._mirror.record_remove(object_id)
 
     # -- queries (local halves of Algorithms 6-4 / 6-5) -----------------------
 
@@ -270,6 +342,8 @@ class LocalDataStore:
         expired = self.sightings.expire_due(now)
         for oid in expired:
             self.visitors.remove(oid)
+            if self._mirror is not None:
+                self._mirror.record_remove(oid)
         return expired
 
     def crash(self, now: float = 0.0) -> None:
@@ -289,9 +363,12 @@ class LocalDataStore:
         """Re-admit a sighting after a crash, if the object is still a
         registered visitor.  Returns whether the record was accepted —
         unknown objects must re-register."""
-        if self.visitors.leaf_record(sighting.object_id) is None:
+        record = self.visitors.leaf_record(sighting.object_id)
+        if record is None:
             return False
         self.sightings.upsert(sighting, now=now)
+        if self._mirror is not None:
+            self._mirror.record_upsert(sighting, record.offered_acc, record.reg_info)
         return True
 
     @property

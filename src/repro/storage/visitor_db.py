@@ -44,14 +44,24 @@ class LeafVisitorRecord:
 VisitorRecord = NonLeafVisitorRecord | LeafVisitorRecord
 
 
+#: How many removed object ids a visitor DB remembers as tombstones
+#: (oldest evicted first).  Tombstones are volatile bookkeeping for the
+#: protocol lane's negative acknowledgements — they let a server answer
+#: "already gone" instead of "never existed" for a repeat deregistration
+#: — so they are not logged to the persistent store.
+TOMBSTONE_CAPACITY = 4096
+
+
 class VisitorDB:
     """Persistent map of object id to visitor record."""
 
-    __slots__ = ("_records", "_store")
+    __slots__ = ("_records", "_store", "_tombstones")
 
     def __init__(self, store: PersistentStore | None = None) -> None:
         self._records: dict[str, VisitorRecord] = {}
         self._store = store if store is not None else MemoryStore()
+        #: insertion-ordered set of recently removed ids (dict-as-set).
+        self._tombstones: dict[str, None] = {}
 
     # -- mutation (each op is one durable log record) -----------------------
 
@@ -101,10 +111,24 @@ class VisitorDB:
             append("forward", {"oid": object_id, "ref": forward_ref})
 
     def remove(self, object_id: str) -> None:
-        """Drop the record (deregistration or handover departure)."""
+        """Drop the record (deregistration or handover departure).
+
+        The id is tombstoned so a later lookup can distinguish *already
+        gone* from *never existed* (protocol-lane NACKs).
+        """
         if object_id in self._records:
             del self._records[object_id]
             self._store.append("remove", {"oid": object_id})
+            self._tombstones.pop(object_id, None)
+            self._tombstones[object_id] = None
+            if len(self._tombstones) > TOMBSTONE_CAPACITY:
+                self._tombstones.pop(next(iter(self._tombstones)))
+
+    def was_removed(self, object_id: str) -> bool:
+        """Whether a record for this id was removed recently (bounded
+        memory: only the last :data:`TOMBSTONE_CAPACITY` removals are
+        remembered, so ``False`` means *no evidence*, not proof)."""
+        return object_id in self._tombstones
 
     # -- lookup --------------------------------------------------------------
 
@@ -166,6 +190,7 @@ class VisitorDB:
         db = cls.__new__(cls)
         db._records = {}
         db._store = store
+        db._tombstones = {}
         for operation, payload in store.replay():
             oid = payload.get("oid")
             if oid is None:

@@ -1,0 +1,193 @@
+"""Per-item envelope retry bookkeeping and protocol-lane NACKs.
+
+A partially-crashed subtree used to fail (and re-send) whole envelopes:
+with ``sub_timeout`` set, servers bound their sub-envelope fan-outs and
+answer stuck items as *unacknowledged*, so the service resends only
+those.  Deregistration and path teardown now answer negative
+acknowledgements that distinguish *already gone* from *never existed*.
+"""
+
+import pytest
+
+from repro.core import LocationService, build_fig6_hierarchy, messages as m
+from repro.geo import Point
+from repro.runtime.base import Endpoint
+from repro.runtime.latency import LatencyModel
+
+
+@pytest.fixture
+def svc():
+    """The Fig.-6 three-level hierarchy: s1 root; s2(w): s4, s5; s3(e):
+    s6, s7 — deep enough that a crashed *leaf* is a partially-crashed
+    subtree behind a live interior server."""
+    service = LocationService(
+        build_fig6_hierarchy(1000.0), latency=LatencyModel(base=1e-4)
+    )
+    yield service
+
+
+class TestPerItemUpdateRetry:
+    def test_crashed_subtree_fails_only_its_items(self, svc):
+        # a stays in the west (s4); b crosses into the crashed south-east
+        # leaf s6's area — its handover sub-envelope times out at s3.
+        a = svc.register("a", Point(100.0, 100.0))
+        b = svc.register("b", Point(120.0, 100.0))
+        svc.network.crash("s6")
+        stats = svc.update_many(
+            [(a, Point(140.0, 130.0)), (b, Point(800.0, 100.0))],
+            protocol_lane="batched",
+            envelope_timeout=10.0,
+            envelope_retries=1,
+            envelope_sub_timeout=1.0,
+        )
+        assert stats == {"fast": 1, "protocol": 1}
+        # a's fast-path report applied; b's item is unacknowledged, its
+        # agent unchanged — the envelope as a whole did NOT fail.
+        assert a.last_reported == Point(140.0, 130.0)
+        assert b.agent == "s4"
+        assert svc.pos_query("a").pos == Point(140.0, 130.0)
+        # After the leaf recovers, only b's item needs a new tick.
+        svc.network.restore("s6")
+        svc.update_many(
+            [(b, Point(800.0, 100.0))],
+            protocol_lane="batched",
+            envelope_sub_timeout=1.0,
+        )
+        assert b.agent == "s6"
+        svc.check_consistency()
+
+    def test_unacknowledged_items_resent_within_one_call(self, svc):
+        """The per-item rounds live inside one update_many call: restore
+        the crashed leaf on the virtual clock before the retry round
+        fires and the call itself completes every item."""
+        b = svc.register("b", Point(120.0, 100.0))
+        svc.network.crash("s6")
+        svc.loop.call_later(1.5, lambda: svc.network.restore("s6"))
+        svc.update_many(
+            [(b, Point(800.0, 100.0))],
+            protocol_lane="batched",
+            envelope_timeout=20.0,
+            envelope_retries=2,
+            envelope_sub_timeout=1.0,
+        )
+        assert b.agent == "s6"
+        assert svc.pos_query("b").pos == Point(800.0, 100.0)
+        svc.check_consistency()
+
+    def test_no_forward_pointer_installed_for_unacknowledged_item(self, svc):
+        b = svc.register("b", Point(120.0, 100.0))
+        svc.network.crash("s6")
+        svc.update_many(
+            [(b, Point(800.0, 100.0))],
+            protocol_lane="batched",
+            envelope_sub_timeout=1.0,
+        )
+        # s3 must not point at s6 for b: the handover never landed.
+        assert svc.servers["s3"].visitors.forward_ref("b") is None
+        assert svc.servers["s1"].visitors.forward_ref("b") == "s2"
+        svc.check_consistency()
+
+
+class TestDeregisterNacks:
+    def test_detailed_statuses(self, svc):
+        a = svc.register("a", Point(100.0, 100.0))
+        statuses = svc.deregister_many([a], detailed=True)
+        assert statuses == {"a": "ok"}
+        assert a.deregistered
+        # Repeat deregistration: the agent leaf tombstoned the id.
+        ghost = type(a)("a", "s4")
+        ghost.agent = "s4"
+        statuses = svc.deregister_many([ghost], detailed=True)
+        assert statuses == {"a": m.NACK_ALREADY_GONE}
+
+    def test_never_existed_vs_not_registered(self, svc):
+        a = svc.register("a", Point(100.0, 100.0))
+        phantom = type(a)("phantom", "s4")
+        phantom.agent = "s4"
+        unregistered = type(a)("late", "s4")  # agent is None
+        statuses = svc.deregister_many([phantom, unregistered], detailed=True)
+        assert statuses == {
+            "phantom": m.NACK_NEVER_EXISTED,
+            "late": "not-registered",
+        }
+        # The boolean contract is unchanged.
+        results = svc.deregister_many([phantom], detailed=False)
+        assert results == {"phantom": False}
+
+    def test_crashed_subtree_deregister_is_unacknowledged_then_retried(self, svc):
+        b = svc.register("b", Point(800.0, 100.0))
+        assert b.agent == "s6"
+        b_stale = type(b)("b", "s1")
+        b_stale.agent = "s1"  # routes down the root's forwarding path to s6
+        svc.network.crash("s6")
+        statuses = svc.deregister_many(
+            [b_stale], envelope_sub_timeout=1.0, envelope_retries=1, detailed=True
+        )
+        assert statuses == {"b": m.NACK_UNACKNOWLEDGED}
+        svc.network.restore("s6")
+        statuses = svc.deregister_many(
+            [b_stale], envelope_sub_timeout=1.0, detailed=True
+        )
+        assert statuses == {"b": "ok"}
+        assert svc.total_tracked() == 0
+
+
+class _Sender(Endpoint):
+    _counter = 0
+
+    def __init__(self):
+        type(self)._counter += 1
+        super().__init__(f"nack-sender-{type(self)._counter}")
+
+
+class TestPathTeardownNacks:
+    def test_mismatched_sender_gets_redirected_nack(self, svc):
+        svc.register("a", Point(100.0, 100.0))  # path s4 → s2 → s1
+        sender = svc.servers["s5"]  # s2's ref points at s4, not s5
+        before = sender.stats.teardown_nacks
+        sender.send(
+            "s2",
+            m.PathTeardownBatch(object_ids=("a",), sender="s5"),
+        )
+        svc.settle()
+        assert sender.stats.teardown_nacks == before + 1
+        # The live path survived the bogus teardown.
+        assert svc.servers["s2"].visitors.forward_ref("a") == "s4"
+        assert svc.pos_query("a") is not None
+
+    def test_unknown_and_gone_ids_get_reasoned_nacks(self, svc):
+        obj = svc.register("a", Point(100.0, 100.0))
+        svc.deregister(obj)  # tears the path down; s2 tombstones "a"
+        courier = _Sender()
+        svc.network.join(courier)
+        # NACKs are addressed to the teardown's ``sender`` field.
+        courier.send(
+            "s2",
+            m.PathTeardownBatch(object_ids=("a", "ghost"), sender=courier.address),
+        )
+        svc.settle()
+        nacks = [msg for msg in courier.unhandled if isinstance(msg, m.PathTeardownNack)]
+        assert len(nacks) == 1
+        reasons = dict(nacks[0].object_ids)
+        assert reasons == {
+            "a": m.NACK_ALREADY_GONE,
+            "ghost": m.NACK_NEVER_EXISTED,
+        }
+
+
+class TestTombstones:
+    def test_visitor_db_remembers_recent_removals(self):
+        from repro.storage.visitor_db import TOMBSTONE_CAPACITY, VisitorDB
+
+        db = VisitorDB()
+        db.insert_forward("x", "child")
+        assert not db.was_removed("x")
+        db.remove("x")
+        assert db.was_removed("x")
+        assert not db.was_removed("never")
+        # Capacity bound: oldest tombstones are evicted first.
+        for i in range(TOMBSTONE_CAPACITY + 1):
+            db.insert_forward(f"t{i}", "child")
+            db.remove(f"t{i}")
+        assert not db.was_removed("x")
+        assert db.was_removed(f"t{TOMBSTONE_CAPACITY}")

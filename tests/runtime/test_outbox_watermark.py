@@ -1,0 +1,98 @@
+"""Coalescing-outbox watermarks (NIC-batching model).
+
+The PR-3 outbox flushed exactly once per loop turn; the watermarks
+bound burstiness from both sides: a full bucket
+(``outbox_flush_count``) flushes immediately, and an armed bucket
+flushes at latest ``outbox_flush_delay`` virtual seconds after its
+first message — letting traffic coalesce *across* turns with bounded
+added latency.
+"""
+
+import pytest
+
+from repro.runtime.latency import LatencyModel
+from repro.runtime.simnet import SimNetwork
+
+from tests.runtime.test_send_many import Note, Sender, Sink
+
+
+def wired(**kwargs):
+    net = SimNetwork(latency=LatencyModel(base=0.001, per_entry=0.0), **kwargs)
+    sink = net.join(Sink("sink"))
+    sender = net.join(Sender("sender"))
+    return net, sink, sender
+
+
+class TestSizeWatermark:
+    def test_full_bucket_flushes_immediately(self):
+        net, sink, sender = wired(outbox_flush_count=4)
+        sender.send_many("sink", [Note(i) for i in range(4)])
+        # The watermark fired synchronously: nothing left buffered.
+        assert net.watermark_flushes == 1
+        assert not net._outbox
+        net.run()
+        assert [msg.payload for msg in sink.received] == [0, 1, 2, 3]
+
+    def test_partial_bucket_waits_for_turn_flush(self):
+        net, sink, sender = wired(outbox_flush_count=4)
+        sender.send_many("sink", [Note(0), Note(1)])
+        assert net.watermark_flushes == 0
+        assert net._outbox  # still buffered until the turn-end sweep
+        net.run()
+        assert len(sink.received) == 2
+
+    def test_watermark_flushes_only_the_full_bucket(self):
+        net, sink, sender = wired(outbox_flush_count=3)
+        other = net.join(Sink("other"))
+        sender.send_many("other", [Note(100)])
+        sender.send_many("sink", [Note(i) for i in range(3)])
+        assert net.watermark_flushes == 1
+        assert ("sender", "other") in net._outbox  # other bucket untouched
+        net.run()
+        assert len(sink.received) == 3
+        assert len(other.received) == 1
+
+    def test_count_accumulates_across_calls(self):
+        net, sink, sender = wired(outbox_flush_count=4)
+        sender.send_many("sink", [Note(0), Note(1)])
+        sender.send_many("sink", [Note(2), Note(3)])
+        assert net.watermark_flushes == 1
+        net.run()
+        assert len(sink.received) == 4
+
+    def test_invalid_watermark_rejected(self):
+        with pytest.raises(ValueError):
+            SimNetwork(outbox_flush_count=0)
+        with pytest.raises(ValueError):
+            SimNetwork(outbox_flush_delay=-1.0)
+
+
+class TestDelayWatermark:
+    def test_flush_deferred_by_delay(self):
+        net, sink, sender = wired(outbox_flush_delay=0.010)
+        sender.send_many("sink", [Note(0)])
+        # One extra turn later the message is still buffered (the sweep
+        # is armed at +10 ms, per-hop latency is 1 ms).
+        net.run(max_time=0.005)
+        assert sink.received == []
+        net.run()
+        assert len(sink.received) == 1
+        # Arming + latency: delivery lands at ~delay + latency.
+        assert net.loop.now == pytest.approx(0.011)
+
+    def test_size_watermark_overrides_delay(self):
+        net, sink, sender = wired(outbox_flush_count=2, outbox_flush_delay=10.0)
+        sender.send_many("sink", [Note(0), Note(1)])
+        assert net.watermark_flushes == 1
+        net.run(max_time=1.0)
+        assert len(sink.received) == 2
+
+    def test_cross_turn_coalescing(self):
+        """Two sends in different turns share one delivery event under a
+        delay watermark — the cross-turn coalescing the per-turn flush
+        could never give."""
+        net, sink, sender = wired(outbox_flush_delay=0.050)
+        sender.send_many("sink", [Note(0)])
+        net.loop.call_later(0.002, lambda: sender.send_many("sink", [Note(1)]))
+        net.run()
+        assert [msg.payload for msg in sink.received] == [0, 1]

@@ -9,6 +9,7 @@ from repro.sim.elastic import (
     ElasticHarness,
     _populate,
     _fresh_service,
+    festival_surge_scenario,
     flash_crowd_scenario,
 )
 from repro.sim.workload import HotspotSpec, hotspot_positions, wavefront_area
@@ -88,4 +89,39 @@ class TestFlashCrowdScenario:
         )
         assert result["splits"] == 0
         assert result["leaf_count_final"] == 4
+        assert result["invariants"]["lost_sightings"] == 0
+
+
+class TestFestivalSurgeScenario:
+    def test_overlapped_run_never_stalls_and_loses_nothing(self):
+        result = festival_surge_scenario(
+            objects=700,
+            ticks=16,
+            elastic=True,
+            migration_mode="overlapped",
+            rebalance_every=2,
+            measure_ticks=6,
+            seed=4,
+        )
+        assert result["migration_mode"] == "overlapped"
+        assert result["stall_ticks"] == 0
+        assert result["splits"] >= 1
+        assert result["topology_epoch"] >= 1
+        assert result["invalidations_sent"] >= 1  # §6.5 broadcast at cutover
+        assert result["dual_writes"] > 0  # traffic flowed mid-window
+        assert result["invariants"]["lost_sightings"] == 0
+        assert result["invariants"]["consistency_ok"]
+
+    def test_quiesced_mode_counts_stalls(self):
+        result = festival_surge_scenario(
+            objects=700,
+            ticks=16,
+            elastic=True,
+            migration_mode="quiesced",
+            rebalance_every=2,
+            measure_ticks=6,
+            seed=4,
+        )
+        assert result["stall_ticks"] >= 1
+        assert result["dual_writes"] == 0  # one-shot copy, no window
         assert result["invariants"]["lost_sightings"] == 0
