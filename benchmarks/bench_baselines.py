@@ -14,11 +14,9 @@ latency/cost models and reports per-operation latency and messages:
   pay tree hops; range queries touch only the leaves they overlap.
 """
 
-import pytest
-
 from benchreport import report
 from repro.baselines import CentralLocationServer, build_home_service
-from repro.core import LocationClient, TrackedObject
+from repro.core import LocationClient
 from repro.geo import Point, Rect
 from repro.model import SightingRecord
 from repro.runtime.latency import LatencyModel
@@ -26,7 +24,6 @@ from repro.runtime.simnet import SimNetwork
 from repro.sim.calibration import default_cost_model
 from repro.sim.metrics import format_table
 from repro.sim.scenario import DistributedHarness, table2_service
-from repro.sim.workload import scatter_objects
 
 OBJECTS = 2_000
 OPS = 150

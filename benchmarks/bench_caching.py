@@ -13,8 +13,6 @@ Metrics: mean response time and server-to-server messages per operation,
 cache off versus on.
 """
 
-import pytest
-
 from benchreport import report
 from repro.core import CacheConfig
 from repro.geo import Point, Rect

@@ -13,8 +13,6 @@ runs both sweeps on the simulated runtime:
    lower mean latency, the effect the paper's design bets on.
 """
 
-import pytest
-
 from benchreport import report
 from repro.core import LocationService, build_grid_hierarchy
 from repro.geo import Rect

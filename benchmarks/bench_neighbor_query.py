@@ -12,13 +12,11 @@ placement:
   the ``nearQual`` ring even when the nearest object is local.
 """
 
-import pytest
-
 from benchreport import report
 from repro.geo import Point
 from repro.sim.calibration import default_cost_model
 from repro.sim.metrics import LatencyRecorder, format_table
-from repro.sim.scenario import DistributedHarness, table2_service
+from repro.sim.scenario import table2_service
 
 QUERIES = 120
 

@@ -1,4 +1,33 @@
-"""Collector for paper-versus-measured tables (shared bench state)."""
+"""Collector for paper-versus-measured tables (shared bench state).
+
+Bench-JSON schema
+-----------------
+
+Machine-readable perf artifacts live at the repository root as
+``BENCH_<tag>.json``, one per PR that measures something, written by
+:func:`write_bench_json`.  Shared conventions (what
+``scripts/bench_check.py`` — the CI perf-regression gate — relies on):
+
+* every payload has a ``bench`` (one-line description) and a
+  ``generated_by`` (producing script/bench file) key;
+* scenario benches group per-configuration runs under ``lanes`` (lane
+  name → full scenario result dict) or ``scenarios``; every scenario
+  result carries an ``invariants`` dict with ``lost_sightings``,
+  ``consistency_ok`` and ``hierarchy_valid``;
+* the *acceptance numbers* sit at the payload top level, named for
+  what they gate — e.g. ``load_drop_factor`` (PR2, ≥ 2),
+  ``message_reduction_factor`` (PR3, ≥ 2) and ``tick_speedup`` (PR3,
+  > 1), ``stall_ticks_overlapped`` (PR4, == 0) and
+  ``migration_throughput_ratio`` (PR4/PR5, ≥ 0.8),
+  ``round_reduction_ratio`` (PR5, ≤ 0.5), ``zero_lost_all_lanes``
+  (boolean);
+* numbers are rounded for diffability and the payload is written with
+  ``sort_keys`` so regenerated artifacts diff cleanly.
+
+The documented thresholds are enforced in CI: ``bench-smoke``
+regenerates every artifact and ``python scripts/bench_check.py`` fails
+the build when any acceptance number regresses.
+"""
 
 from __future__ import annotations
 

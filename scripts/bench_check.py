@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: validate every ``BENCH_*.json`` artifact.
+
+Each bench artifact documents acceptance numbers in its producing
+bench's docstring (``benchmarks/bench_*.py``); until now nothing
+*checked* them after CI regenerated the artifacts, so a regression in
+any number would merge silently.  This script encodes the documented
+thresholds and fails (exit code 1) when any regenerated artifact misses
+one:
+
+* ``BENCH_PR1.json`` — every spatial index's ``update_many`` fast path
+  must beat the remove+insert baseline (speedup > 1).
+* ``BENCH_PR2.json`` — flash-crowd ``load_drop_factor`` ≥ 2 and zero
+  lost sightings on every elastic lane.
+* ``BENCH_PR3.json`` — ``message_reduction_factor`` ≥ 2,
+  ``tick_speedup`` > 1, zero lost sightings on both lanes.
+* ``BENCH_PR4.json`` — ``stall_ticks_overlapped`` == 0,
+  ``migration_throughput_ratio`` ≥ 0.8, zero lost on all lanes.
+* ``BENCH_PR5.json`` — ``round_reduction_ratio`` ≤ 0.5,
+  ``migration_throughput_ratio`` ≥ 0.8, zero lost on both lanes.
+
+Usage::
+
+    python scripts/bench_check.py            # check repo-root artifacts
+    python scripts/bench_check.py --root DIR # check artifacts elsewhere
+
+A missing artifact is a failure too — the gate exists precisely so the
+trajectory cannot quietly shrink.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class Check:
+    """One named threshold over one artifact's payload."""
+
+    def __init__(self, description: str, probe) -> None:
+        self.description = description
+        self.probe = probe  # payload -> (ok, observed-value string)
+
+    def run(self, payload: dict) -> tuple[bool, str]:
+        try:
+            return self.probe(payload)
+        except (KeyError, TypeError, IndexError) as exc:
+            return False, f"missing field ({exc!r})"
+
+
+def _threshold(value, ok: bool) -> tuple[bool, str]:
+    return ok, str(value)
+
+
+def _pr1_speedups(payload):
+    worst = None
+    for name, index in payload["indexes"].items():
+        speedup = index["speedup_vs_baseline"]["update_many"]
+        if worst is None or speedup < worst[1]:
+            worst = (name, speedup)
+    return _threshold(
+        f"{worst[1]:.2f}x ({worst[0]})", worst is not None and worst[1] > 1.0
+    )
+
+
+def _pr2_lost(payload):
+    lost = {
+        name: scenario["elastic"]["invariants"]["lost_sightings"]
+        for name, scenario in payload["scenarios"].items()
+    }
+    return _threshold(lost, all(count == 0 for count in lost.values()))
+
+
+def _lanes_lost(payload):
+    lost = {
+        lane: result["invariants"]["lost_sightings"]
+        for lane, result in payload["lanes"].items()
+    }
+    return _threshold(lost, all(count == 0 for count in lost.values()))
+
+
+CHECKS: dict[str, list[Check]] = {
+    "BENCH_PR1.json": [
+        Check("update_many speedup vs remove+insert > 1 (all indexes)", _pr1_speedups),
+    ],
+    "BENCH_PR2.json": [
+        Check(
+            "flash_crowd load_drop_factor >= 2",
+            lambda p: _threshold(
+                p["scenarios"]["flash_crowd"]["load_drop_factor"],
+                p["scenarios"]["flash_crowd"]["load_drop_factor"] >= 2.0,
+            ),
+        ),
+        Check("zero lost sightings (all elastic scenarios)", _pr2_lost),
+    ],
+    "BENCH_PR3.json": [
+        Check(
+            "message_reduction_factor >= 2",
+            lambda p: _threshold(
+                p["message_reduction_factor"], p["message_reduction_factor"] >= 2.0
+            ),
+        ),
+        Check(
+            "tick_speedup > 1",
+            lambda p: _threshold(p["tick_speedup"], p["tick_speedup"] > 1.0),
+        ),
+        Check("zero lost sightings (both lanes)", _lanes_lost),
+    ],
+    "BENCH_PR4.json": [
+        Check(
+            "stall_ticks_overlapped == 0",
+            lambda p: _threshold(
+                p["stall_ticks_overlapped"], p["stall_ticks_overlapped"] == 0
+            ),
+        ),
+        Check(
+            "migration_throughput_ratio >= 0.8",
+            lambda p: _threshold(
+                p["migration_throughput_ratio"],
+                p["migration_throughput_ratio"] is not None
+                and p["migration_throughput_ratio"] >= 0.8,
+            ),
+        ),
+        Check(
+            "zero lost sightings + consistency (all lanes)",
+            lambda p: _threshold(
+                p["zero_lost_all_lanes"], bool(p["zero_lost_all_lanes"])
+            ),
+        ),
+    ],
+    "BENCH_PR5.json": [
+        Check(
+            "round_reduction_ratio <= 0.5 (v2 settles in half the rounds)",
+            lambda p: _threshold(
+                p["round_reduction_ratio"],
+                p["round_reduction_ratio"] is not None
+                and p["round_reduction_ratio"] <= 0.5,
+            ),
+        ),
+        Check(
+            "v2 migration_throughput_ratio >= 0.8",
+            lambda p: _threshold(
+                p["migration_throughput_ratio"],
+                p["migration_throughput_ratio"] is not None
+                and p["migration_throughput_ratio"] >= 0.8,
+            ),
+        ),
+        Check(
+            "zero lost sightings + consistency (both lanes)",
+            lambda p: _threshold(
+                p["zero_lost_all_lanes"], bool(p["zero_lost_all_lanes"])
+            ),
+        ),
+    ],
+}
+
+
+def check_artifacts(root: pathlib.Path) -> int:
+    """Run every check; prints a table and returns the failure count."""
+    failures = 0
+    width = max(len(d.description) for checks in CHECKS.values() for d in checks)
+    for filename, checks in CHECKS.items():
+        path = root / filename
+        print(filename)
+        if not path.exists():
+            print("  MISSING — regenerate with scripts/bench_smoke.py")
+            failures += len(checks)
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"  UNREADABLE — {exc}")
+            failures += len(checks)
+            continue
+        for check in checks:
+            ok, observed = check.run(payload)
+            status = "ok" if ok else "FAIL"
+            print(f"  {status:4s} {check.description:{width}s}  [{observed}]")
+            if not ok:
+                failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=ROOT,
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    failures = check_artifacts(args.root)
+    if failures:
+        print(f"\n{failures} bench acceptance check(s) FAILED")
+        return 1
+    print("\nall bench acceptance checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

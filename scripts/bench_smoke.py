@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quick perf smoke — refreshes BENCH_PR1/PR2/PR3/PR4.json.
+"""Quick perf smoke — refreshes BENCH_PR1/PR2/PR3/PR4/PR5.json.
 
 The tier-1 test suite never runs benchmarks (bench files do not match
 pytest's default collection), and the full pytest-benchmark suite takes
@@ -25,6 +25,12 @@ minutes.  This script is the middle ground:
   ``stall_ticks`` on the overlapped lanes, a
   ``migration_throughput_ratio`` ≥ 0.8, and zero lost sightings with
   ``consistency_ok`` across all lanes.
+* **PR5** — planner v2: the hot-object-skew scenario run under the
+  rate-weighted k-way planner vs. the count-based binary one →
+  ``BENCH_PR5.json``.  The acceptance numbers are
+  ``round_reduction_ratio`` ≤ 0.5 (v2 settles in at most half the
+  migration rounds), ``migration_throughput_ratio`` ≥ 0.8 on the v2
+  lane, and zero lost sightings on both lanes.
 
 Usage::
 
@@ -202,6 +208,41 @@ def run_pr4(args) -> None:
     print(f"\nwrote {path} ({elapsed:.1f}s)")
 
 
+def run_pr5(args) -> None:
+    """The planner-v2 measurement (rate-weighted k-way vs. count binary)."""
+    from repro.sim.elastic import planner_v2_benchmark_payload
+
+    start = time.perf_counter()
+    payload = planner_v2_benchmark_payload(seed=args.seed)
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = (
+        f"{'lane':16s} {'rounds':>7s} {'splits':>7s} {'mig/steady':>11s} "
+        f"{'leaves':>7s} {'chunk':>6s} {'lost':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for lane, result in payload["lanes"].items():
+        ratio = result["migration_throughput_ratio"]
+        print(
+            f"{lane:16s} {result['rounds_to_balance']:>7d} "
+            f"{result['splits']:>7d} "
+            f"{ratio if ratio is not None else float('nan'):>11.3f} "
+            f"{result['leaf_count_final']:>7d} "
+            f"{result['copy_chunk_final']:>6d} "
+            f"{result['invariants']['lost_sightings']:>5d}"
+        )
+    print(
+        f"rounds to balance: v2 {payload['rounds_to_balance_v2']} vs "
+        f"v1 {payload['rounds_to_balance_v1']} "
+        f"(ratio {payload['round_reduction_ratio']}), "
+        f"v2 migration throughput ratio: {payload['migration_throughput_ratio']}"
+    )
+    path = write_bench_json(args.out_pr5, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
@@ -215,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-pr2", default="BENCH_PR2.json")
     parser.add_argument("--out-pr3", default="BENCH_PR3.json")
     parser.add_argument("--out-pr4", default="BENCH_PR4.json")
+    parser.add_argument("--out-pr5", default="BENCH_PR5.json")
     parser.add_argument(
         "--skip-pr1", action="store_true", help="skip the fast-path bench"
     )
@@ -227,6 +269,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-pr4", action="store_true", help="skip the zero-stall bench"
     )
+    parser.add_argument(
+        "--skip-pr5", action="store_true", help="skip the planner-v2 bench"
+    )
     args = parser.parse_args(argv)
 
     ran = False
@@ -235,6 +280,7 @@ def main(argv: list[str] | None = None) -> int:
         (args.skip_pr2, run_pr2),
         (args.skip_pr3, run_pr3),
         (args.skip_pr4, run_pr4),
+        (args.skip_pr5, run_pr5),
     ):
         if skip:
             continue

@@ -13,8 +13,7 @@ the whole offered load).
 from __future__ import annotations
 
 from repro.core import messages as m
-from repro.core.hierarchy import ServerConfig
-from repro.geo import Rect, region_bounds
+from repro.geo import Rect
 from repro.model import (
     AccuracyModel,
     NearestNeighborQuery,

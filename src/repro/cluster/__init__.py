@@ -12,15 +12,19 @@ disjoint, half-open routing assigns boundary points uniquely):
 
 * :class:`~repro.cluster.load.LoadMonitor` — samples per-server
   operation counters and index sizes into a decayed sliding window of
-  per-server load rates.
+  per-server load rates, plus (planner v2) per-object update-rate EWMAs
+  sampled from the batched update lane and an undecayed instant-rate
+  view of the last interval.
 * :class:`~repro.cluster.planner.RebalancePlanner` — detects hot leaves
   (load above a configurable threshold, absolutely or relative to their
   siblings) and cold all-leaf sibling sets, and emits
   :class:`~repro.cluster.planner.SplitPlan` /
-  :class:`~repro.cluster.planner.MergePlan` records.  Split cut lines
-  are costed against the live spatial index through one batched
-  ``query_rect_many`` traversal, picking the axis and position that best
-  balance object counts.
+  :class:`~repro.cluster.planner.MergePlan` records.  Cut lines are
+  placed at *rate-weighted* quantiles of the leaf population (hot
+  objects, not just hot areas; object counts are the fallback when no
+  rates are known), and the fan-out scales with load over threshold —
+  k-way bands along one axis, or a 2x2 quad, in a single plan — so an
+  extreme hotspot reaches steady state in one migration round.
 * :class:`~repro.cluster.migration.MigrationExecutor` — applies a plan
   to a running :class:`~repro.core.service.LocationService` in phases
   (copy → dual-write → cutover): the source leaves keep serving while
@@ -45,6 +49,7 @@ one-shot (``rebalance``, the quiesced baseline) or phased
 
 from repro.cluster.load import LoadMonitor, LoadSample
 from repro.cluster.migration import (
+    AdaptiveCopyChunker,
     MigrationExecutor,
     MigrationReport,
     PhasedMigration,
@@ -58,6 +63,7 @@ from repro.cluster.planner import (
 )
 
 __all__ = [
+    "AdaptiveCopyChunker",
     "LoadMonitor",
     "LoadSample",
     "MergePlan",

@@ -9,6 +9,16 @@ average whose half-life is configurable.  A burst therefore raises a
 server's load quickly, and an idle stretch decays it back — exactly the
 signal the rebalance planner needs to tell a sustained hotspot from a
 blip.
+
+Planner v2 extends the same window to **per-object update rates**:
+:meth:`LoadMonitor.record_object_updates` accumulates update counts
+sampled from the batched update lane (the leaf servers' update
+listeners and the harness fast path both feed it), and each
+:meth:`LoadMonitor.sample` folds them into per-object EWMAs with the
+identical half-life.  The planner costs split cut lines by these
+weights instead of raw object counts, so a leaf whose load is a few
+*hot objects* (rather than a hot area) still splits along the line that
+actually divides its load.
 """
 
 from __future__ import annotations
@@ -16,6 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.server import LocationServer
+
+#: Per-object EWMAs decaying below this rate (ops/s) are dropped — an
+#: object that went dormant stops costing memory in the monitor.
+_OBJECT_RATE_FLOOR = 1e-3
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,9 +88,14 @@ class LoadMonitor:
         self.gc_retired_after = gc_retired_after
         self._last_ops: dict[str, int] = {}
         self._rates: dict[str, float] = {}
+        self._instant: dict[str, float] = {}
         self._last_time: float | None = None
         #: retired alias → (messages seen at last sweep, idle sweep count)
         self._retired_traffic: dict[str, tuple[int, int]] = {}
+        #: object id → decayed updates/second (planner-v2 cut weighting).
+        self._object_rates: dict[str, float] = {}
+        #: object id → updates recorded since the last sample.
+        self._object_pending: dict[str, int] = {}
 
     def sample(self, service, now: float) -> dict[str, LoadSample]:
         """Fold the current counters into the window; returns all samples.
@@ -116,6 +135,7 @@ class LoadMonitor:
                 rate = instant
             self._last_ops[server_id] = ops
             self._rates[server_id] = rate
+            self._instant[server_id] = instant
             samples[server_id] = LoadSample(
                 server_id=server_id,
                 ops=ops,
@@ -126,9 +146,54 @@ class LoadMonitor:
         for stale in set(self._rates) - live_ids:
             self._rates.pop(stale, None)
             self._last_ops.pop(stale, None)
+            self._instant.pop(stale, None)
+        self._fold_object_rates(dt, alpha)
         if self.gc_retired_after is not None:
             self._sweep_retired(service)
         return samples
+
+    # -- per-object update rates (planner v2 cut weighting) ------------------
+
+    def record_object_updates(self, object_ids) -> None:
+        """Accumulate one update per id since the last sample.
+
+        Fed from the batched update lane: the harness/service fast paths
+        and the leaf servers' update listeners call this for every
+        applied position report (including handover admissions — a hot
+        object stays hot across a leaf crossing).  The counts fold into
+        per-object EWMAs at the next :meth:`sample`.
+        """
+        pending = self._object_pending
+        for oid in object_ids:
+            pending[oid] = pending.get(oid, 0) + 1
+
+    def _fold_object_rates(self, dt: float | None, alpha: float) -> None:
+        if dt is None or dt <= 0.0:
+            return  # first sample: keep accumulating, no interval to rate over
+        rates = self._object_rates
+        pending, self._object_pending = self._object_pending, {}
+        keep = 1.0 - alpha
+        for oid, count in pending.items():
+            instant = count / dt
+            previous = rates.get(oid)
+            rates[oid] = (
+                instant if previous is None else keep * previous + alpha * instant
+            )
+        for oid in list(rates):
+            if oid not in pending:
+                decayed = keep * rates[oid]
+                if decayed < _OBJECT_RATE_FLOOR:
+                    del rates[oid]  # dormant: stop tracking (bounds memory)
+                else:
+                    rates[oid] = decayed
+
+    def object_rate(self, object_id: str) -> float:
+        """The decayed update rate of one object; 0 for unknown/dormant."""
+        return self._object_rates.get(object_id, 0.0)
+
+    def object_rates(self) -> dict[str, float]:
+        """Decayed updates/second per (recently active) object."""
+        return dict(self._object_rates)
 
     def _sweep_retired(self, service) -> None:
         """Drop retirement aliases that went quiet (ROADMAP follow-up).
@@ -162,14 +227,18 @@ class LoadMonitor:
 
     # -- migration rate seeding (phased cutover) ----------------------------
 
-    def seed_split(self, source_id: str, weights: dict[str, int]) -> None:
+    def seed_split(self, source_id: str, weights: dict[str, float]) -> None:
         """Split the source leaf's decayed rate among its children.
 
         Called at a split cutover: the children inherit the parent's
-        load proportional to the objects they received, so the planner
-        sees a realistic picture on the very next sample instead of a
-        cold start (which the merge-cooldown would otherwise have to
-        paper over while the EWMA ramps from zero).
+        load proportional to the weight they received — the *rate mass*
+        of their staged objects when per-object rates are tracked
+        (planner v2: a child taking the dormant majority of a skewed
+        leaf must not inherit the hot minority's load), object counts
+        otherwise — so the planner sees a realistic picture on the very
+        next sample instead of a cold start (which the merge-cooldown
+        would otherwise have to paper over while the EWMA ramps from
+        zero).
         """
         rate = self._rates.pop(source_id, 0.0)
         self._last_ops.pop(source_id, None)
@@ -192,3 +261,15 @@ class LoadMonitor:
 
     def rates(self) -> dict[str, float]:
         return dict(self._rates)
+
+    def instant_rates(self) -> dict[str, float]:
+        """Per-server ops/s over the *last sampling interval only*.
+
+        The undecayed companion of :meth:`rates`: a surge registers here
+        in full on its first sample while the EWMA is still ramping, so
+        the planner sizes a split's fan-out by how big the hotspot
+        really is instead of by how much of it the window has absorbed
+        so far (the EWMA remains the *trigger* — a blip spikes the
+        instant rate too, but never the decayed one).
+        """
+        return dict(self._instant)

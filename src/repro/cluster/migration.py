@@ -46,11 +46,12 @@ stall bench compares against).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.cluster.planner import MergePlan, RebalancePlan, SplitPlan
-from repro.core.hierarchy import ChildRef, child_for_point
-from repro.errors import LocationServiceError
+from repro.core.hierarchy import ChildRef, child_for_point, split_rects
+from repro.errors import ConfigurationError, LocationServiceError
 from repro.geo import Point, Rect
 from repro.storage.datastore import LocalDataStore, StoreMirror
 
@@ -70,6 +71,43 @@ class MigrationReport:
     dual_writes: int = 0
 
 
+def _band_router(plan: SplitPlan | None, children):
+    """A closure routing ``(x, y)`` to its split child in O(log k).
+
+    When the plan's children are exactly the :func:`split_rects` bands
+    of its axis/cuts (the planner always builds them that way), routing
+    is a :func:`bisect_right` over the cut positions — or two
+    comparisons for a quad — instead of a linear rect scan per object.
+    The boundary rule matches :func:`child_for_point`'s half-open
+    containment: a coordinate equal to a cut routes to the high side.
+    Returns ``None`` (generic routing) for hand-built plans whose
+    children do not line up with their cuts.
+    """
+    if plan is None:
+        return None
+    rects = [area for _, area, _ in children]
+    bounds = Rect(
+        min(r.min_x for r in rects),
+        min(r.min_y for r in rects),
+        max(r.max_x for r in rects),
+        max(r.max_y for r in rects),
+    )
+    try:
+        expected = split_rects(bounds, plan.axis, list(plan.cuts))
+    except ConfigurationError:
+        return None
+    if expected != rects:
+        return None
+    ids = [child_id for child_id, _, _ in children]
+    cuts = list(plan.cuts)
+    if plan.axis == "x":
+        return lambda x, y: ids[bisect_right(cuts, x)]
+    if plan.axis == "y":
+        return lambda x, y: ids[bisect_right(cuts, y)]
+    x_cut, y_cut = cuts
+    return lambda x, y: ids[(1 if x >= x_cut else 0) + (2 if y >= y_cut else 0)]
+
+
 class _SplitMirror(StoreMirror):
     """Dual-write mirror for one splitting leaf.
 
@@ -86,11 +124,20 @@ class _SplitMirror(StoreMirror):
     hot leaf's tick throughput, which is the zero-stall bench's number.
     """
 
-    def __init__(self, children: list[tuple[str, Rect, LocalDataStore]]) -> None:
+    def __init__(
+        self,
+        children: list[tuple[str, Rect, LocalDataStore]],
+        plan: SplitPlan | None = None,
+    ) -> None:
         self._children = children
         self._refs = [ChildRef(child_id, area) for child_id, area, _ in children]
         self._stores = {child_id: store for child_id, _, store in children}
+        self._router = _band_router(plan, children)
         self.homes: dict[str, str] = {}
+        #: objects mutated during the window: their snapshot entries are
+        #: superseded, so the chunked copy skips them — the flush lands
+        #: their latest state exactly once instead of copy-then-rewrite.
+        self.dirty: set[str] = set()
         #: per-child buffered upserts: oid → (sighting, offered, reg_info).
         self._pending: dict[str, dict[str, tuple]] = {
             child_id: {} for child_id, _, _ in children
@@ -105,10 +152,18 @@ class _SplitMirror(StoreMirror):
         }
         self.writes = 0
 
+    @property
+    def banded(self) -> bool:
+        """Whether the plan's children are exactly its axis bands (the
+        fast-router layout every planner-built plan has)."""
+        return self._router is not None
+
     def _route(self, x: float, y: float) -> str:
         # The same boundary rule protocol routing uses: a staged object
         # can never land at a different child than the one that will
         # serve it after cutover.
+        if self._router is not None:
+            return self._router(x, y)
         ref = child_for_point(self._refs, Point(x, y))
         if ref is None:
             raise LocationServiceError(f"no split child covers ({x}, {y})")
@@ -117,6 +172,7 @@ class _SplitMirror(StoreMirror):
     def record_upsert(self, sighting, offered_acc, reg_info) -> None:
         self.writes += 1
         oid = sighting.object_id
+        self.dirty.add(oid)
         child_id = self._route(sighting.pos.x, sighting.pos.y)
         previous = self.homes.get(oid)
         if previous is not None and previous != child_id:
@@ -134,6 +190,7 @@ class _SplitMirror(StoreMirror):
 
     def record_remove(self, object_id: str) -> None:
         self.writes += 1
+        self.dirty.add(object_id)
         child_id = self.homes.pop(object_id, None)
         if child_id is not None:
             self._pending[child_id].pop(object_id, None)
@@ -155,7 +212,13 @@ class _SplitMirror(StoreMirror):
 
     def flush(self, now: float) -> None:
         """Land the buffered dual-write window on the staging stores —
-        one batched sighting pass per child (cutover time)."""
+        one batched sighting pass per child (cutover time).
+
+        Entries the chunked copy never staged (their snapshots were
+        superseded while queued — the common case for hot objects, see
+        :attr:`dirty`) go through the index's **bulk-load** path; only
+        the already-staged remainder pays per-record upserts.
+        """
         for child_id, _, store in self._children:
             for oid in self._removed[child_id]:
                 store.deregister(oid)
@@ -163,9 +226,15 @@ class _SplitMirror(StoreMirror):
             if pending:
                 for oid, (sighting, offered, reg_info) in pending.items():
                     store.visitors.insert_leaf(oid, offered, reg_info)
-                store.sightings.upsert_many(
-                    [sighting for sighting, _, _ in pending.values()], now=now
-                )
+                staged = store.sightings
+                fresh: list = []
+                known: list = []
+                for sighting, _, _ in pending.values():
+                    (known if sighting.object_id in staged else fresh).append(sighting)
+                if fresh:
+                    staged.bulk_insert(fresh, now=now)
+                if known:
+                    staged.upsert_many(known, now=now)
             for oid, offered in self._acc[child_id].items():
                 store.visitors.set_offered_acc(oid, offered)
             self._removed[child_id].clear()
@@ -190,11 +259,14 @@ class _MergeMirror:
         self._pending: dict[str, tuple] = {}
         self._acc: dict[str, float] = {}
         self._removed: set[str] = set()
+        #: see :attr:`_SplitMirror.dirty` — mutated objects skip the copy.
+        self.dirty: set[str] = set()
         self.writes = 0
 
     def record_upsert(self, source: str, sighting, offered_acc, reg_info) -> None:
         self.writes += 1
         oid = sighting.object_id
+        self.dirty.add(oid)
         self.last_writer[oid] = source
         self._removed.discard(oid)
         # Supersedes any older buffered acc change (flush applies _acc
@@ -204,6 +276,7 @@ class _MergeMirror:
 
     def record_remove(self, source: str, object_id: str) -> None:
         self.writes += 1
+        self.dirty.add(object_id)
         if self.last_writer.get(object_id) == source:
             del self.last_writer[object_id]
             self._pending.pop(object_id, None)
@@ -254,6 +327,107 @@ class _MergeAdapter(StoreMirror):
 
     def record_acc(self, object_id: str, offered_acc: float) -> None:
         self._mirror.record_acc(self._source, object_id, offered_acc)
+
+
+class AdaptiveCopyChunker:
+    """Self-tuning migration copy chunk size from observed tick headroom.
+
+    PR-4 fixed the copy pace at 256 objects/tick; this controller closes
+    the ROADMAP follow-up by steering it from measurements instead.  Two
+    signals drive it:
+
+    * steady ticks (no migration in flight) build an EWMA **baseline**
+      of the tick wall clock, and timed copy steps build an EWMA of the
+      **per-entry copy cost** — together they size the chunk so one
+      tick's copy work consumes about ``budget`` of a steady tick
+      (e.g. 0.15 → copying taxes the tick ~15%, keeping reports/s
+      during migration near steady state by construction);
+    * migration ticks that overshoot ``headroom`` x the baseline anyway
+      (the copy is not the only migration cost — dual-write mirroring
+      and cutovers land on ticks too) halve the budget (AIMD decrease),
+      and comfortable ticks recover it additively toward the configured
+      target — so sustained pressure backs the copy off, and cheap
+      ticks speed it back up.
+    """
+
+    __slots__ = (
+        "initial",
+        "min_chunk",
+        "max_chunk",
+        "target_budget",
+        "budget",
+        "headroom",
+        "_steady",
+        "_per_entry",
+    )
+
+    def __init__(
+        self,
+        initial: int = 256,
+        min_chunk: int = 64,
+        max_chunk: int = 8192,
+        budget: float = 0.05,
+        headroom: float = 1.3,
+    ) -> None:
+        if not 0 < min_chunk <= initial <= max_chunk:
+            raise ValueError(
+                f"need 0 < min_chunk <= initial <= max_chunk, got "
+                f"{min_chunk}/{initial}/{max_chunk}"
+            )
+        if not 0.0 < budget < 1.0:
+            raise ValueError(f"budget must be in (0, 1), got {budget}")
+        if headroom <= 1.0:
+            raise ValueError(f"headroom must exceed 1.0, got {headroom}")
+        self.initial = initial
+        self.min_chunk = min_chunk
+        self.max_chunk = max_chunk
+        self.target_budget = budget
+        self.budget = budget
+        self.headroom = headroom
+        #: EWMA of steady-state (no migration in flight) tick wall clock.
+        self._steady: float | None = None
+        #: EWMA of seconds per consumed snapshot entry.
+        self._per_entry: float | None = None
+
+    @property
+    def steady_wall(self) -> float | None:
+        return self._steady
+
+    @property
+    def chunk(self) -> int:
+        """Snapshot entries to consume per tick at the current budget."""
+        if self._steady is None or not self._per_entry:
+            return self.initial  # no measurements yet
+        ideal = self.budget * self._steady / self._per_entry
+        return max(self.min_chunk, min(self.max_chunk, int(ideal)))
+
+    def note_steady_tick(self, wall: float) -> None:
+        """Fold one migration-free tick's wall clock into the baseline."""
+        if wall <= 0.0:
+            return
+        self._steady = wall if self._steady is None else 0.8 * self._steady + 0.2 * wall
+
+    def note_copy(self, consumed: int, wall: float) -> None:
+        """Fold one timed copy step into the per-entry cost estimate."""
+        if consumed <= 0 or wall <= 0.0:
+            return
+        cost = wall / consumed
+        self._per_entry = (
+            cost if self._per_entry is None else 0.7 * self._per_entry + 0.3 * cost
+        )
+
+    def note_migration_tick(self, wall: float) -> None:
+        """Adapt the copy budget to one migrating tick's wall clock."""
+        if wall <= 0.0 or self._steady is None or self._steady <= 0.0:
+            return  # no baseline yet: keep the configured pace
+        ratio = wall / self._steady
+        if ratio > self.headroom:
+            self.budget = max(self.target_budget / 8.0, self.budget * 0.5)
+        elif ratio < 1.0 + 0.5 * (self.headroom - 1.0):
+            # Comfortably inside the headroom: recover additively.
+            self.budget = min(
+                self.target_budget, self.budget + self.target_budget / 4.0
+            )
 
 
 @dataclass(eq=False)
@@ -347,6 +521,7 @@ class MigrationExecutor:
         cutover flush), so chunk order never matters for consistency.
         """
         now = self.service.loop.now
+        dirty = migration.mirror.dirty
         copied = 0
         while migration.copy_queue and (max_objects is None or copied < max_objects):
             dest, entries = migration.copy_queue[-1]
@@ -361,11 +536,17 @@ class MigrationExecutor:
                 # of the whole remainder.  Staging order is irrelevant.
                 chunk = entries[-budget:]
                 del entries[-budget:]
+            # Consumed snapshot entries count against the budget, but
+            # objects the dual-write window already touched are *not*
+            # staged: their snapshot state is superseded, and the cutover
+            # flush lands their latest state — each object costs one
+            # index insert total, never copy-then-rewrite.
+            copied += len(chunk)
+            chunk = [e for e in chunk if e[0].object_id not in dirty]
             if chunk:
                 # Compaction is deferred to cutover — one pass per
                 # staging store instead of one per chunk.
                 migration.staging[dest].bulk_admit(chunk, now=now, compact=False)
-                copied += len(chunk)
         migration.copied += copied
         return copied
 
@@ -402,7 +583,8 @@ class MigrationExecutor:
             raise LocationServiceError(f"{plan.leaf_id} is not a leaf")
         staging = {child_id: parent.make_store() for child_id, _ in plan.children}
         mirror = _SplitMirror(
-            [(child_id, area, staging[child_id]) for child_id, area in plan.children]
+            [(child_id, area, staging[child_id]) for child_id, area in plan.children],
+            plan=plan,
         )
         parent.store.attach_mirror(mirror)
         # Snapshot: route every entry to its destination now (the homes
@@ -427,10 +609,21 @@ class MigrationExecutor:
     def _cutover_split(self, migration: PhasedMigration) -> MigrationReport:
         svc = self.service
         plan = migration.plan
-        hierarchy = svc.hierarchy.with_split(plan.leaf_id, list(plan.children))
+        mirror: _SplitMirror = migration.mirror
+        if mirror.banded:
+            # Planner-built plans: children are exactly the axis bands /
+            # quadrants of the cuts, so the k-way derivation goes through
+            # the named API (one epoch bump for the whole fan-out).
+            hierarchy = svc.hierarchy.with_split_k(
+                plan.leaf_id,
+                plan.axis,
+                list(plan.cuts),
+                [child_id for child_id, _ in plan.children],
+            )
+        else:
+            hierarchy = svc.hierarchy.with_split(plan.leaf_id, list(plan.children))
         parent = svc.servers[plan.leaf_id]
         parent.store.detach_mirror()
-        mirror: _SplitMirror = migration.mirror
         mirror.flush(svc.loop.now)
         for child_id, _ in plan.children:
             # One compaction per staging store, covering every copy chunk
@@ -450,11 +643,7 @@ class MigrationExecutor:
         )
         if self.monitor is not None:
             self.monitor.seed_split(
-                plan.leaf_id,
-                {
-                    child_id: len(migration.staging[child_id].sightings)
-                    for child_id, _ in plan.children
-                },
+                plan.leaf_id, self._seed_weights(migration.staging, plan.children)
             )
         return MigrationReport(
             plan=plan,
@@ -464,6 +653,32 @@ class MigrationExecutor:
             invalidations_sent=invalidations,
             dual_writes=mirror.writes,
         )
+
+    def _seed_weights(
+        self, staging: dict[str, LocalDataStore], children
+    ) -> dict[str, float]:
+        """How much of the split leaf's load each child inherits.
+
+        The staged objects' decayed update-rate mass when the monitor
+        tracks per-object rates (so a rate-weighted cut's dormant-heavy
+        child is not seeded with the hot minority's load), the staged
+        object counts otherwise.
+        """
+        object_rate = getattr(self.monitor, "object_rate", None)
+        if object_rate is not None:
+            masses = {
+                child_id: sum(
+                    object_rate(oid)
+                    for oid in staging[child_id].sightings.object_ids()
+                )
+                for child_id, _ in children
+            }
+            if any(mass > 0.0 for mass in masses.values()):
+                return masses
+        return {
+            child_id: float(len(staging[child_id].sightings))
+            for child_id, _ in children
+        }
 
     # -- merge ---------------------------------------------------------------
 

@@ -12,19 +12,29 @@ a split).  Cold detection is the dual with hysteresis: an all-leaf
 sibling set whose total load stays under ``merge_load`` — far below the
 split thresholds — folds back into its parent.
 
-Cut-line selection asks the hot leaf's spatial index directly: candidate
-cuts at even fractions along both axes are costed with **one** batched
-:meth:`~repro.spatial.SpatialIndex.query_rect_many` traversal
-(:meth:`~repro.storage.sighting_db.SightingDB.counts_in_rects`), and the
-axis/position whose two sides hold the most balanced object counts wins.
+**Cut selection (planner v2)** weighs every object by its decayed
+update rate (:meth:`~repro.cluster.load.LoadMonitor.object_rates`) when
+rates are available, falling back to plain object counts when they are
+not (or when every object is dormant): the children of a split then
+balance the *load* a leaf actually serves, not just its population —
+hot objects, not just hot areas.  How far a leaf's load exceeds
+``split_load`` also sets the **fan-out**: a leaf at ``k`` times the
+threshold splits ``k`` ways in one plan (bounded by
+``max_split_children``) — k-way bands along one axis, or a 2x2 quad
+when that partitions the weight better — so an extreme hotspot reaches
+its steady-state topology in one migration round instead of a cascade
+of binary splits.  Cuts are placed at weighted quantiles, snapped to
+midpoints between distinct coordinates so no object sits on a cut line.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
 
+from repro.core.hierarchy import split_rects
 from repro.geo import Rect
 
 #: Split children are named ``<leaf>/<generation>.<i>`` so ids stay
@@ -34,13 +44,24 @@ _GENERATIONS = 64
 
 @dataclass(frozen=True, slots=True)
 class SplitPlan:
-    """Split one hot leaf into children along one axis."""
+    """Split one hot leaf into children along one or two axes.
+
+    ``axis`` is ``"x"`` or ``"y"`` with ``len(cuts) >= 1`` ascending cut
+    positions (k-way bands), or ``"quad"`` with ``cuts == (x_cut,
+    y_cut)`` (2x2 quadrants).  ``children`` pair the reserved child ids
+    with their areas in :func:`~repro.core.hierarchy.split_rects` order.
+    """
 
     leaf_id: str
-    axis: str  # "x" or "y"
-    cut: float
+    axis: str  # "x", "y" or "quad"
+    cuts: tuple[float, ...]
     children: tuple[tuple[str, Rect], ...]
     reason: str = ""
+
+    @property
+    def cut(self) -> float:
+        """The first cut position (the only one for binary splits)."""
+        return self.cuts[0]
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,8 +97,22 @@ class PlannerConfig:
     min_split_objects: int = 16
     #: leaves narrower than this (in meters, both axes) never split.
     min_leaf_side: float = 1.0
-    #: candidate cut positions per axis.
-    cut_candidates: int = 7
+    #: weigh cut candidates by per-object update rates when the caller
+    #: provides them (planner v2); ``False`` forces count weighting (the
+    #: v1 behaviour the planner-v2 bench compares against).
+    rate_weighted: bool = True
+    #: upper bound on the children one split plan may create: the
+    #: fan-out scales with load over ``split_load``, so an extreme
+    #: hotspot splits k ways (or quad) in a single migration round.
+    #: ``2`` restores v1's strictly binary splits.
+    max_split_children: int = 4
+    #: fan-out margin: children are sized for ``split_load /
+    #: split_headroom`` rather than ``split_load`` exactly — a split
+    #: whose children land right at the threshold would re-trigger on
+    #: the next load wiggle (k = ceil(rate/split_load) puts them there
+    #: by construction, since the trigger fires just past the
+    #: threshold).
+    split_headroom: float = 1.25
 
 
 class RebalancePlanner:
@@ -93,6 +128,8 @@ class RebalancePlanner:
         service,
         rates: dict[str, float],
         busy: frozenset[str] = frozenset(),
+        object_rates: dict[str, float] | None = None,
+        surge_rates: dict[str, float] | None = None,
     ) -> list[RebalancePlan]:
         """Plans for the current hierarchy under the given load rates.
 
@@ -102,16 +139,30 @@ class RebalancePlanner:
         phased migration already touches (sources and reserved
         destination ids): they are skipped entirely, so overlapped
         rebalancing never double-plans a leaf mid-copy.
+        ``object_rates`` (object id → decayed updates/s, typically
+        :meth:`~repro.cluster.load.LoadMonitor.object_rates`) turns on
+        rate-weighted cut costing; without it cuts balance object
+        counts, exactly as v1 did.  ``surge_rates`` (typically
+        :meth:`~repro.cluster.load.LoadMonitor.instant_rates`) sizes
+        each split's fan-out by the *undecayed* load when it exceeds
+        the EWMA: the decayed rate triggers the split (sustained
+        pressure), but at the moment it first crosses ``split_load`` it
+        has — by construction — barely crossed it, so without the surge
+        view every hotspot would look exactly 2-way.
         """
         plans: list[RebalancePlan] = []
         split_leaves: set[str] = set()
+        reserved: set[str] = set(busy)
         for leaf_id in service.hierarchy.leaf_ids():
             if leaf_id in busy:
                 continue
-            split = self._split_plan(service, leaf_id, rates, busy)
+            split = self._split_plan(
+                service, leaf_id, rates, frozenset(reserved), object_rates, surge_rates
+            )
             if split is not None:
                 plans.append(split)
                 split_leaves.add(leaf_id)
+                reserved.update(cid for cid, _ in split.children)
         plans.extend(self._merge_plans(service, rates, split_leaves, busy))
         return plans
 
@@ -133,12 +184,22 @@ class RebalancePlanner:
                 )
         return None
 
+    def _target_fanout(self, rate: float) -> int:
+        """How many children the plan should create for this load level."""
+        config = self.config
+        if config.split_load <= 0.0:
+            return max(2, config.max_split_children)
+        k = math.ceil(rate * config.split_headroom / config.split_load)
+        return max(2, min(config.max_split_children, k))
+
     def _split_plan(
         self,
         service,
         leaf_id: str,
         rates: dict[str, float],
         busy: frozenset[str] = frozenset(),
+        object_rates: dict[str, float] | None = None,
+        surge_rates: dict[str, float] | None = None,
     ) -> SplitPlan | None:
         reason = self._is_hot(service, leaf_id, rates)
         if reason is None:
@@ -151,67 +212,84 @@ class RebalancePlanner:
         area = server.config.area
         if area.width < 2 * config.min_leaf_side and area.height < 2 * config.min_leaf_side:
             return None
-        best = self._best_cut(store, area)
+        points = self._weighted_points(store, object_rates)
+        sizing_rate = rates.get(leaf_id, 0.0)
+        if surge_rates is not None:
+            sizing_rate = max(sizing_rate, surge_rates.get(leaf_id, 0.0))
+        k = self._target_fanout(sizing_rate)
+        best = self._best_partition(area, points, k)
         if best is None:
             return None
-        axis, cut = best
-        if axis == "x":
-            halves = (
-                Rect(area.min_x, area.min_y, cut, area.max_y),
-                Rect(cut, area.min_y, area.max_x, area.max_y),
-            )
-        else:
-            halves = (
-                Rect(area.min_x, area.min_y, area.max_x, cut),
-                Rect(area.min_x, cut, area.max_x, area.max_y),
-            )
-        names = self._child_ids(service, leaf_id, count=2, reserved=busy)
+        axis, cuts = best
+        halves = split_rects(area, axis, cuts)
+        names = self._child_ids(service, leaf_id, count=len(halves), reserved=busy)
         return SplitPlan(
             leaf_id=leaf_id,
             axis=axis,
-            cut=cut,
+            cuts=tuple(cuts),
             children=tuple(zip(names, halves)),
-            reason=reason,
+            reason=f"{reason}; {len(halves)}-way {axis} split",
         )
 
-    def _best_cut(self, store, area: Rect) -> tuple[str, float] | None:
-        """The (axis, position) whose sides best balance object counts.
+    def _weighted_points(
+        self, store, object_rates: dict[str, float] | None
+    ) -> list[tuple[float, float, float]]:
+        """Every sighting as ``(x, y, weight)``.
 
-        All candidate "low side" rects — both axes — are costed with one
-        batched index traversal.  Candidates are half-open on the cut
-        (the low rect is shrunk by an epsilon) so a point *on* the cut
-        line counts for the high side, matching the half-open routing a
-        split would install.
+        Weight is the object's decayed update rate when rate weighting is
+        on and any tracked object carries one; otherwise every object
+        weighs 1 and the partition balances counts (v1 semantics — also
+        the automatic fallback for a uniformly dormant leaf, where rates
+        carry no signal).
+        """
+        records = list(store.sightings.records())
+        if self.config.rate_weighted and object_rates:
+            weighted = [
+                (r.pos.x, r.pos.y, object_rates.get(r.object_id, 0.0))
+                for r in records
+            ]
+            if any(w > 0.0 for _, _, w in weighted):
+                return weighted
+        return [(r.pos.x, r.pos.y, 1.0) for r in records]
+
+    def _best_partition(
+        self, area: Rect, points: list[tuple[float, float, float]], k: int
+    ) -> tuple[str, list[float]] | None:
+        """The (axis, cuts) partition with the lightest heaviest child.
+
+        Candidates: k-way bands along each axis wide enough to slice,
+        plus a quad (2x2 at the weighted medians) when the fan-out
+        warrants four children and both axes can cut.  Scored by maximum
+        child weight (the post-split hottest leaf), ties broken by
+        maximum child object count (migration skew).
         """
         config = self.config
-        candidates: list[tuple[str, float]] = []
-        rects: list[Rect] = []
-        steps = config.cut_candidates
-        if area.width >= 2 * config.min_leaf_side:
-            for j in range(1, steps + 1):
-                cut = area.min_x + area.width * j / (steps + 1)
-                candidates.append(("x", cut))
-                rects.append(Rect(area.min_x, area.min_y, _below(cut), area.max_y))
-        if area.height >= 2 * config.min_leaf_side:
-            for j in range(1, steps + 1):
-                cut = area.min_y + area.height * j / (steps + 1)
-                candidates.append(("y", cut))
-                rects.append(Rect(area.min_x, area.min_y, area.max_x, _below(cut)))
+        min_side = config.min_leaf_side
+        candidates: list[tuple[tuple[float, int], str, list[float]]] = []
+        xs = [(x, w) for x, _, w in points]
+        ys = [(y, w) for _, y, w in points]
+        if area.width >= 2 * min_side:
+            cuts = _quantile_cuts(xs, k, area.min_x, area.max_x, min_side)
+            if cuts:
+                candidates.append(
+                    (_band_score(points, "x", cuts), "x", cuts)
+                )
+        if area.height >= 2 * min_side:
+            cuts = _quantile_cuts(ys, k, area.min_y, area.max_y, min_side)
+            if cuts:
+                candidates.append(
+                    (_band_score(points, "y", cuts), "y", cuts)
+                )
+        if k >= 4 and area.width >= 2 * min_side and area.height >= 2 * min_side:
+            x_cut = _quantile_cuts(xs, 2, area.min_x, area.max_x, min_side)
+            y_cut = _quantile_cuts(ys, 2, area.min_y, area.max_y, min_side)
+            if x_cut and y_cut:
+                cuts = [x_cut[0], y_cut[0]]
+                candidates.append((_quad_score(points, cuts), "quad", cuts))
         if not candidates:
             return None
-        total = len(store.sightings)
-        counts = store.sightings.counts_in_rects(rects)
-        best: tuple[str, float] | None = None
-        best_imbalance = total + 1
-        for (axis, cut), low in zip(candidates, counts):
-            high = total - low
-            if low == 0 or high == 0:
-                continue  # a cut that moves nothing helps nothing
-            imbalance = abs(high - low)
-            if imbalance < best_imbalance:
-                best_imbalance = imbalance
-                best = (axis, cut)
-        return best
+        score, axis, cuts = min(candidates, key=lambda c: c[0])
+        return axis, cuts
 
     def _child_ids(
         self, service, leaf_id: str, count: int, reserved: frozenset[str] = frozenset()
@@ -277,6 +355,88 @@ class RebalancePlanner:
         return plans
 
 
-def _below(value: float) -> float:
-    """The largest float strictly less than ``value`` (half-open cuts)."""
-    return math.nextafter(value, -math.inf)
+# ---------------------------------------------------------------------------
+# Weighted partition geometry
+# ---------------------------------------------------------------------------
+
+
+def _quantile_cuts(
+    coords: list[tuple[float, float]],
+    k: int,
+    lo: float,
+    hi: float,
+    min_side: float,
+) -> list[float]:
+    """Up to ``k - 1`` ascending cuts at the weighted coordinate quantiles.
+
+    Only positive-weight points pull the quantiles (a dormant object
+    must not drag a cut away from the hot mass).  Each cut lands at the
+    midpoint between two *distinct* coordinate values, so no point ever
+    sits on a cut line and every band strictly separates weight; cuts
+    violating the ``min_side`` band width (against the area edges or
+    each other) are dropped.  Returns ``[]`` when no valid cut exists —
+    e.g. the whole population stacked on one point.
+    """
+    aggregated: dict[float, float] = {}
+    for value, weight in coords:
+        if weight > 0.0:
+            aggregated[value] = aggregated.get(value, 0.0) + weight
+    if len(aggregated) < 2:
+        return []
+    values = sorted(aggregated)
+    cumulative: list[float] = []
+    running = 0.0
+    for value in values:
+        running += aggregated[value]
+        cumulative.append(running)
+    total = running
+    cuts: list[float] = []
+    floor = lo + min_side
+    index = 0
+    for j in range(1, k):
+        target = total * j / k
+        while index < len(values) and cumulative[index] < target - 1e-12:
+            index += 1
+        if index >= len(values) - 1:
+            break  # no distinct coordinate left to cut before
+        cut = (values[index] + values[index + 1]) / 2.0
+        previous = cuts[-1] if cuts else lo
+        # Strictly increasing even at min_side == 0 (a heavy point can
+        # satisfy several quantile targets without advancing the index).
+        if (
+            cut <= previous
+            or cut < max(floor, previous + min_side)
+            or cut > hi - min_side
+        ):
+            continue
+        cuts.append(cut)
+    return cuts
+
+
+def _band_score(
+    points: list[tuple[float, float, float]], axis: str, cuts: list[float]
+) -> tuple[float, int]:
+    """(max band weight, max band count) for a k-way axis partition."""
+    bands = len(cuts) + 1
+    weights = [0.0] * bands
+    counts = [0] * bands
+    coord = 0 if axis == "x" else 1
+    for point in points:
+        band = bisect_right(cuts, point[coord])
+        weights[band] += point[2]
+        counts[band] += 1
+    return max(weights), max(counts)
+
+
+def _quad_score(
+    points: list[tuple[float, float, float]], cuts: list[float]
+) -> tuple[float, int]:
+    """(max quadrant weight, max quadrant count) for a 2x2 partition."""
+    x_cut, y_cut = cuts
+    weights = [0.0] * 4
+    counts = [0] * 4
+    for x, y, w in points:
+        quadrant = (1 if x >= x_cut else 0) + (2 if y >= y_cut else 0)
+        weights[quadrant] += w
+        counts[quadrant] += 1
+    return max(weights), max(counts)

@@ -18,7 +18,7 @@ can isolate their effects:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geo import Rect
 from repro.model import LocationDescriptor
@@ -74,13 +74,24 @@ class _CachedDescriptor:
 class LeafCaches:
     """The cache state attached to one leaf location server."""
 
-    __slots__ = ("config", "stats", "_areas", "_agents", "_descriptors")
+    __slots__ = (
+        "config",
+        "stats",
+        "_areas",
+        "_agents",
+        "_agent_refs",
+        "_descriptors",
+    )
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
         self._areas: dict[str, Rect] = {}
         self._agents: dict[str, str] = {}
+        #: agent address → number of (object → agent) entries targeting
+        #: it; keeps :meth:`holds_route_to` O(1) for the scoped
+        #: invalidation broadcast (probed per leaf at every cutover).
+        self._agent_refs: dict[str, int] = {}
         self._descriptors: dict[str, _CachedDescriptor] = {}
 
     # -- (leaf server, service area) -----------------------------------------
@@ -127,6 +138,28 @@ class LeafCaches:
     def known_leaf_count(self) -> int:
         return len(self._areas)
 
+    def holds_route_to(self, server_id: str) -> bool:
+        """Whether any cache entry currently routes to ``server_id``.
+
+        The scoped §6.5 invalidation broadcast asks this before sending:
+        a leaf that never learned a retiring address has nothing to
+        forget, so the cutover need not message it at all (it re-learns
+        the new owners lazily, from its next answer).  O(1): the agent
+        cache keeps a per-address reference count exactly for this
+        probe — a linear scan here would hand the cost the scoping
+        removes from the network back to the CPU on wide deployments.
+        """
+        return server_id in self._areas or server_id in self._agent_refs
+
+    def _drop_agent_entry(self, object_id: str) -> None:
+        agent = self._agents.pop(object_id, None)
+        if agent is not None:
+            remaining = self._agent_refs.get(agent, 0) - 1
+            if remaining > 0:
+                self._agent_refs[agent] = remaining
+            else:
+                self._agent_refs.pop(agent, None)
+
     def forget_server(self, server_id: str) -> None:
         """Drop every cache entry that routes to ``server_id``.
 
@@ -136,9 +169,12 @@ class LeafCaches:
         the sender.
         """
         self._areas.pop(server_id, None)
-        stale = [oid for oid, agent in self._agents.items() if agent == server_id]
-        for oid in stale:
-            del self._agents[oid]
+        if self._agent_refs.pop(server_id, None) is not None:
+            stale = [
+                oid for oid, agent in self._agents.items() if agent == server_id
+            ]
+            for oid in stale:
+                del self._agents[oid]
 
     def apply_invalidation(
         self, forget: tuple[str, ...], learned: tuple[tuple[str, Rect], ...]
@@ -163,7 +199,9 @@ class LeafCaches:
 
     def note_agent(self, object_id: str, agent: str | None) -> None:
         if self.config.agent_cache and agent is not None:
+            self._drop_agent_entry(object_id)  # re-point: old ref released
             self._agents[object_id] = agent
+            self._agent_refs[agent] = self._agent_refs.get(agent, 0) + 1
 
     def agent_of(self, object_id: str) -> str | None:
         if not self.config.agent_cache:
@@ -177,7 +215,8 @@ class LeafCaches:
 
     def invalidate_agent(self, object_id: str) -> None:
         """Called after a direct probe missed (the object handed over)."""
-        if self._agents.pop(object_id, None) is not None:
+        if object_id in self._agents:
+            self._drop_agent_entry(object_id)
             self.stats.agent_stale += 1
             # The optimistic hit turned out stale; correct the books.
             self.stats.agent_hits -= 1

@@ -23,7 +23,7 @@ Predicates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geo import Region
 from repro.model import RangeQuery

@@ -227,6 +227,28 @@ class Hierarchy:
             )
         return Hierarchy(configs, epoch=self.epoch + 1)
 
+    def with_split_k(
+        self, leaf_id: str, axis: str, cuts, child_ids
+    ) -> "Hierarchy":
+        """A new hierarchy where the leaf splits along ``cuts`` at once.
+
+        The k-way counterpart of :meth:`with_split` (planner v2): one
+        derivation turns the leaf into ``len(cuts) + 1`` children sliced
+        along ``axis`` (``"x"`` or ``"y"``), or into four quadrants for
+        ``axis="quad"`` with ``cuts=(x_cut, y_cut)``.  ``child_ids``
+        names the children in :func:`split_rects` order.  A single
+        epoch bump covers the whole fan-out, so an extreme hotspot
+        reaches its steady-state topology in one migration round
+        instead of a cascade of binary splits.
+        """
+        rects = split_rects(self.config(leaf_id).area, axis, cuts)
+        if len(child_ids) != len(rects):
+            raise ConfigurationError(
+                f"split of {leaf_id} needs {len(rects)} child ids, "
+                f"got {len(child_ids)}"
+            )
+        return self.with_split(leaf_id, list(zip(child_ids, rects)))
+
     def with_merge(self, parent_id: str) -> "Hierarchy":
         """A new hierarchy where ``parent_id``'s children fold back into it.
 
@@ -301,6 +323,44 @@ class Hierarchy:
             raise ConfigurationError(
                 f"children of {config.server_id} cover {total}, expected {config.area.area}"
             )
+
+
+def split_rects(area: Rect, axis: str, cuts) -> list[Rect]:
+    """Slice ``area`` into child rects for a k-way or quad split.
+
+    ``axis="x"`` / ``axis="y"`` produce ``len(cuts) + 1`` bands in
+    ascending coordinate order; ``axis="quad"`` takes exactly two cuts
+    ``(x_cut, y_cut)`` and produces the four quadrants in
+    (south-west, south-east, north-west, north-east) order.  Cuts must
+    be strictly increasing and strictly inside the area — the resulting
+    rects tile ``area`` exactly, which :meth:`Hierarchy.with_split`
+    re-validates.
+    """
+    if axis == "quad":
+        if len(cuts) != 2:
+            raise ConfigurationError(f"quad split needs (x_cut, y_cut), got {cuts}")
+        x_cut, y_cut = cuts
+        if not (area.min_x < x_cut < area.max_x and area.min_y < y_cut < area.max_y):
+            raise ConfigurationError(f"quad cuts {cuts} escape {area}")
+        return [
+            Rect(area.min_x, area.min_y, x_cut, y_cut),
+            Rect(x_cut, area.min_y, area.max_x, y_cut),
+            Rect(area.min_x, y_cut, x_cut, area.max_y),
+            Rect(x_cut, y_cut, area.max_x, area.max_y),
+        ]
+    if axis not in ("x", "y"):
+        raise ConfigurationError(f"unknown split axis {axis!r}")
+    lo, hi = (area.min_x, area.max_x) if axis == "x" else (area.min_y, area.max_y)
+    bounds = [lo, *cuts, hi]
+    if any(a >= b for a, b in zip(bounds, bounds[1:])):
+        raise ConfigurationError(
+            f"cuts {cuts} are not strictly increasing inside [{lo}, {hi}]"
+        )
+    if axis == "x":
+        return [
+            Rect(a, area.min_y, b, area.max_y) for a, b in zip(bounds, bounds[1:])
+        ]
+    return [Rect(area.min_x, a, area.max_x, b) for a, b in zip(bounds, bounds[1:])]
 
 
 # ---------------------------------------------------------------------------

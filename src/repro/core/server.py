@@ -45,7 +45,6 @@ from repro.model import (
     NearestNeighborResult,
     ObjectEntry,
     RangeQuery,
-    RegistrationInfo,
     effective_margin,
     nearest_neighbor,
 )
@@ -228,6 +227,11 @@ class LocationServer(Endpoint):
         #: envelopes are stamped with it so stale-epoch traffic (routed
         #: under a pre-rebalance snapshot) is detectable mid-flight.
         self.topology_epoch = 0
+        #: optional per-object update observer, ``listener(object_ids)``;
+        #: installed by :meth:`LocationService.set_update_listener` so the
+        #: elastic layer's load monitor can sample per-object update
+        #: rates off the batched update lane (planner-v2 cut weighting).
+        self.update_listener = None
         #: whether the periodic soft-state sweep timer is running.  Once
         #: started it re-arms itself forever (sweeping no-ops while the
         #: server is interior), so it must be started at most once.
@@ -532,6 +536,8 @@ class LocationServer(Endpoint):
         if self._contains(sighting.pos):
             self.store.update(sighting, now=self.ctx.now())
             self.stats.updates += 1
+            if self.update_listener is not None:
+                self.update_listener((sighting.object_id,))
             self.send(
                 msg.reply_to,
                 m.UpdateRes(
@@ -660,6 +666,8 @@ class LocationServer(Endpoint):
         if fast:
             self.store.update_many(fast, now=self.ctx.now())
             self.stats.updates += len(fast)
+            if self.update_listener is not None:
+                self.update_listener([s.object_id for s in fast])
             for sighting, record in zip(fast, fast_records):
                 outcomes[sighting.object_id] = m.UpdateOutcome(
                     object_id=sighting.object_id,
@@ -886,6 +894,8 @@ class LocationServer(Endpoint):
             [(item.sighting, item.reg_info) for item in items], now=self.ctx.now()
         )
         self.stats.handovers_admitted += len(items)
+        if self.update_listener is not None:
+            self.update_listener([item.sighting.object_id for item in items])
         outcomes: dict[str, m.HandoverOutcome] = {}
         repairs: list[m.Message] = []
         for item, offered in zip(items, offers):
@@ -1078,6 +1088,8 @@ class LocationServer(Endpoint):
     async def _admit_handover(self, msg: m.HandoverReq) -> None:
         offered = self.store.admit_handover(msg.sighting, msg.reg_info, now=self.ctx.now())
         self.stats.handovers_admitted += 1
+        if self.update_listener is not None:
+            self.update_listener((msg.sighting.object_id,))
         if msg.direct:
             # Cached (direct) handover: the hierarchy was bypassed, so the
             # forwarding path must be repaired explicitly.

@@ -182,6 +182,8 @@ class LocationService:
         #: servers that left the hierarchy after a merge; they stay on the
         #: network as forwarding aliases for in-flight traffic.
         self.retired_servers: dict[str, LocationServer] = {}
+        #: per-object update observer (see :meth:`set_update_listener`).
+        self._update_listener = None
         for server_id in hierarchy.server_ids():
             self.servers[server_id] = self._spawn(hierarchy.config(server_id))
         self._client_counter = 0
@@ -195,8 +197,24 @@ class LocationService:
         #: decayed load window is still ramping up.
         server.created_at = self.loop.now
         server.topology_epoch = self.hierarchy.epoch
+        server.update_listener = self._update_listener
         self.network.join(server)
         return server
+
+    def set_update_listener(self, listener) -> None:
+        """Install a per-object update observer on every leaf server.
+
+        ``listener(object_ids)`` is called with the ids of each applied
+        batch of position updates (the batched update lane's fast paths
+        and handover admissions) — this is how the elastic layer's
+        :class:`~repro.cluster.load.LoadMonitor` samples per-object
+        update rates without the servers knowing about the monitor.
+        Servers spawned later (split children) inherit the listener;
+        ``None`` uninstalls it.
+        """
+        self._update_listener = listener
+        for server in self.servers.values():
+            server.update_listener = listener
 
     # -- wiring ------------------------------------------------------------
 
@@ -240,7 +258,7 @@ class LocationService:
             server.topology_epoch = hierarchy.epoch
 
     def broadcast_cache_invalidation(
-        self, forget, learned=()
+        self, forget, learned=(), scope: str = "holders"
     ) -> int:
         """Broadcast explicit §6.5 cache invalidations (migration cutover).
 
@@ -251,19 +269,35 @@ class LocationService:
         ``learned`` (leaf, area) pairs pre-seed the area caches — so a
         chatty workload's next cached dispatch goes straight to the new
         owner instead of paying the healing forward hop through the old
-        address.  Returns the number of messages sent.
+        address.
+
+        The broadcast is **scoped** by default (``scope="holders"``): a
+        leaf whose caches hold no entry routing to any ``forget``
+        address has nothing to invalidate — a dispatch it never cached
+        cannot go stale — so the cutover skips it entirely, cutting the
+        topology lane from O(leaves) to O(holders) per migration on
+        wide deployments.  Skipped leaves re-learn the new owners
+        lazily from their next answers.  ``scope="all"`` restores the
+        unconditional PR-4 broadcast (every caching leaf, pre-seeded).
+        Returns the number of messages sent.
         """
+        forget = tuple(forget)
         message = m.CacheInvalidate(
             epoch=self.hierarchy.epoch,
-            forget=tuple(forget),
+            forget=forget,
             learned=tuple(learned),
         )
         reporter = self._reporter()
         sent = 0
         for server_id, server in self.servers.items():
-            if server.is_leaf and server.caches.config.any_enabled:
-                reporter.send(server_id, message)
-                sent += 1
+            if not (server.is_leaf and server.caches.config.any_enabled):
+                continue
+            if scope == "holders" and not any(
+                server.caches.holds_route_to(old) for old in forget
+            ):
+                continue
+            reporter.send(server_id, message)
+            sent += 1
         return sent
 
     def retire_server(self, server_id: str, successor: str) -> LocationServer:
@@ -431,6 +465,8 @@ class LocationService:
             server = self.servers[leaf_id]
             server.store.update_many([sighting for _, sighting in entries], now=now)
             server.stats.updates += len(entries)
+            if server.update_listener is not None:
+                server.update_listener([obj.object_id for obj, _ in entries])
             for obj, sighting in entries:
                 obj.last_reported = sighting.pos
             fast += len(entries)

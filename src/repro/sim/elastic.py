@@ -20,9 +20,14 @@ measurement for the elastic layer (recorded in ``BENCH_PR2.json``):
   wave arrives and the cold sibling sets left behind merge back,
   exercising split *and* merge plus object migration under motion.
 
-Both record before/after per-server sustained load and query latency,
-and verify the zero-loss property: every sighting present before the
-rebalance is reachable after it.
+Later PRs added :func:`festival_surge_scenario` (sustained churn for
+the zero-stall measurement, ``BENCH_PR4.json``) and
+:func:`hot_object_skew_scenario` (hot *objects* rather than hot areas,
+driving the planner-v2 comparison in ``BENCH_PR5.json``).
+
+All scenarios record before/after per-server sustained load and query
+latency, and verify the zero-loss property: every sighting present
+before the rebalance is reachable after it.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cluster import (
+    AdaptiveCopyChunker,
     LoadMonitor,
     LoadSample,
     MergePlan,
@@ -46,7 +52,7 @@ from repro.core import CacheConfig, LocationService, build_table2_hierarchy
 from repro.core import messages as m
 from repro.core.service import drive_all, drive_update_envelope
 from repro.geo import Point, Rect
-from repro.model import RangeQuery, SightingRecord
+from repro.model import SightingRecord
 from repro.runtime.base import Endpoint
 from repro.runtime.latency import LatencyModel
 from repro.sim.metrics import LatencyRecorder, MessageLedger
@@ -92,6 +98,7 @@ class ElasticHarness:
         monitor: LoadMonitor | None = None,
         planner: RebalancePlanner | None = None,
         executor: MigrationExecutor | None = None,
+        chunker: AdaptiveCopyChunker | None = None,
     ) -> None:
         self.svc = service
         #: object id → the leaf currently believed to be its agent; kept
@@ -104,6 +111,8 @@ class ElasticHarness:
             if executor is not None
             else MigrationExecutor(service, monitor=self.monitor)
         )
+        #: self-tuning migration copy pacing (see :meth:`note_tick`).
+        self.chunker = chunker if chunker is not None else AdaptiveCopyChunker()
         self.migrations: list[MigrationReport] = []
         self.tick_loads: list[TickLoad] = []
         self.latencies = LatencyRecorder()
@@ -111,6 +120,18 @@ class ElasticHarness:
         #: plans could apply (the quiesced path); the overlapped path
         #: never drains, so this stays 0 there.
         self.stall_ticks = 0
+        #: observe → plan → migrate rounds run so far.
+        self.rebalance_rounds = 0
+        #: rounds whose plans included at least one split.
+        self.split_rounds = 0
+        #: ordinal (1-based) of the last round that planned a split — the
+        #: "migration rounds to reach balance" number the planner-v2
+        #: bench compares across planner generations.
+        self.last_split_round = 0
+        # Per-object update rates feed the planner's weighted cut costing
+        # (v2); the protocol lane's server-side admissions report through
+        # the leaf update listeners, the fast path in apply_reports().
+        service.set_update_listener(self.monitor.record_object_updates)
         self._reporter = _Reporter()
         service.network.join(self._reporter)
         self._clients: dict[str, object] = {}
@@ -166,6 +187,7 @@ class ElasticHarness:
             server = svc.servers[leaf_id]
             server.store.update_many(sightings, now=now)
             server.stats.updates += len(sightings)
+            self.monitor.record_object_updates(s.object_id for s in sightings)
         if slow:
             reporter = self._reporter
             homes = self.homes
@@ -283,7 +305,13 @@ class ElasticHarness:
         the round counts as a stall tick.  Use
         :meth:`rebalance_overlapped` to rebalance under live traffic.
         """
-        plans = self.planner.plan(self.svc, self.monitor.rates())
+        plans = self.planner.plan(
+            self.svc,
+            self.monitor.rates(),
+            object_rates=self.monitor.object_rates(),
+            surge_rates=self.monitor.instant_rates(),
+        )
+        self._note_round(plans)
         if not plans:
             return []
         self.svc.settle()
@@ -294,19 +322,44 @@ class ElasticHarness:
         self.migrations.extend(reports)
         return reports
 
-    def advance_migrations(self, copy_chunk: int = 256) -> int:
+    def _note_round(self, plans) -> None:
+        """Round accounting for the planner-v2 settling measurement."""
+        self.rebalance_rounds += 1
+        if any(isinstance(plan, SplitPlan) for plan in plans):
+            self.split_rounds += 1
+            self.last_split_round = self.rebalance_rounds
+
+    def note_tick(self, wall: float, migrating: bool) -> None:
+        """Report one tick's wall clock to the copy-pacing controller.
+
+        Steady ticks build the baseline; ticks with a migration in
+        flight adapt :attr:`chunker`'s chunk size against it — the
+        scenario loop calls this right after timing each tick.
+        """
+        if migrating:
+            self.chunker.note_migration_tick(wall)
+        else:
+            self.chunker.note_steady_tick(wall)
+
+    def advance_migrations(self, copy_chunk: int | None = None) -> int:
         """Advance every in-flight migration's copy by one chunk.
 
         Called once per tick by the overlapped driver: the bulk copy's
-        index-build cost spreads across ticks in ``copy_chunk``-object
-        slices instead of landing on a single tick, which is what keeps
-        reports/s during migration near steady state.  Returns objects
-        staged.
+        index-build cost spreads across ticks in chunked slices instead
+        of landing on a single tick, which is what keeps reports/s
+        during migration near steady state.  The chunk size self-tunes
+        from observed tick headroom (:class:`~repro.cluster.migration.
+        AdaptiveCopyChunker` via :meth:`note_tick`) unless
+        ``copy_chunk`` pins it explicitly.  Returns objects staged.
         """
-        return sum(
-            self.executor.step(migration, copy_chunk)
+        chunk = copy_chunk if copy_chunk is not None else self.chunker.chunk
+        start = time.perf_counter()
+        consumed = sum(
+            self.executor.step(migration, chunk)
             for migration in self.executor.in_flight
         )
+        self.chunker.note_copy(consumed, time.perf_counter() - start)
+        return consumed
 
     def rebalance_overlapped(self) -> list[MigrationReport]:
         """One phased rebalance round that never drains the loop.
@@ -330,8 +383,13 @@ class ElasticHarness:
             self.homes.update(report.new_homes)
         self.migrations.extend(reports)
         plans = self.planner.plan(
-            self.svc, self.monitor.rates(), busy=self.executor.busy_server_ids()
+            self.svc,
+            self.monitor.rates(),
+            busy=self.executor.busy_server_ids(),
+            object_rates=self.monitor.object_rates(),
+            surge_rates=self.monitor.instant_rates(),
         )
+        self._note_round(plans)
         for plan in plans:
             self.executor.begin(plan)
         return reports
@@ -444,6 +502,7 @@ def _run_scenario(
     protocol_lane: str = "batched",
     migration_mode: str = "quiesced",
     cache_config=None,
+    planner: RebalancePlanner | None = None,
 ) -> dict[str, object]:
     """Common scenario loop; the scenarios differ only in their
     placement and per-tick position generators.
@@ -464,7 +523,7 @@ def _run_scenario(
         svc,
         homes,
         monitor=LoadMonitor(half_life=5.0),
-        planner=_scenario_planner(),
+        planner=planner if planner is not None else _scenario_planner(),
     )
     rng = random.Random(seed)
     ledger = MessageLedger(svc.network.stats)
@@ -484,6 +543,7 @@ def _run_scenario(
         if in_flight_during_tick and migration_mode == "overlapped":
             harness.advance_migrations()
         apply_wall = time.perf_counter() - wall_start
+        harness.note_tick(apply_wall, migrating=in_flight_during_tick)
         fast += counts["fast"]
         protocol += counts["protocol"]
         tick_delta = ledger.protocol_delta()
@@ -566,6 +626,10 @@ def _run_scenario(
         "merges": harness.merge_count(),
         "migrated_objects": sum(r.moved for r in harness.migrations),
         "stall_ticks": harness.stall_ticks,
+        "rebalance_rounds": harness.rebalance_rounds,
+        "split_rounds": harness.split_rounds,
+        "rounds_to_balance": harness.last_split_round,
+        "copy_chunk_final": harness.chunker.chunk,
         "migration_tick_count": len(migration_ticks),
         "reports_per_s_steady": (
             round(steady_rate) if steady_rate is not None else None
@@ -829,6 +893,179 @@ def festival_surge_scenario(
         # addresses.
         cache_config=CacheConfig.all_enabled(),
     )
+
+
+def hot_object_skew_scenario(
+    objects: int = 1200,
+    ticks: int = 28,
+    dt: float = 1.0,
+    hot_fraction: float = 0.25,
+    hot_side: float = 300.0,
+    dormant_period: int = 4,
+    elastic: bool = True,
+    rebalance_every: int = 2,
+    measure_ticks: int = 8,
+    seed: int = 0,
+    protocol_lane: str = "batched",
+    migration_mode: str = "overlapped",
+    planner: RebalancePlanner | None = None,
+) -> dict[str, object]:
+    """Hot *objects*, not just a hot area — the planner-v2 workload.
+
+    The whole population lives inside one quadrant leaf, but the load is
+    carried by a small slice of it: ``hot_fraction`` of the objects pack
+    into a ``hot_side``-square block in the leaf's corner and report
+    **every tick**, while the dormant majority spreads over the rest of
+    the leaf and reports only every ``dormant_period``-th tick.  Balancing *object
+    counts* across a cut therefore says almost nothing about balancing
+    *load*: the count-median cut strands most of the hot block on one
+    side, so the v1 planner (binary, count-costed) needs a cascade of
+    migration rounds to spread the update load, while v2's rate-weighted
+    k-way cuts place every line inside the hot mass and settle in one.
+    ``planner`` selects the generation under test (defaults to the
+    shared scenario planner).
+    """
+    # The south-west quadrant leaf (area [0, 750]^2 of the Fig.-8
+    # testbed); the hot block sits in its corner so repeated splits of
+    # the count-based planner keep re-splitting toward it.
+    leaf_area = Rect(0.0, 0.0, ROOT_SIDE / 2, ROOT_SIDE / 2)
+    hot_block = Rect(40.0, 40.0, 40.0 + hot_side, 40.0 + hot_side)
+    hot_count = round(hot_fraction * objects)
+    rng0 = random.Random(seed)
+    placements = []
+    for i in range(objects):
+        if i < hot_count:
+            pos = Point(
+                rng0.uniform(hot_block.min_x, hot_block.max_x),
+                rng0.uniform(hot_block.min_y, hot_block.max_y),
+            )
+        else:
+            pos = Point(
+                rng0.uniform(leaf_area.min_x, leaf_area.max_x - 1e-6),
+                rng0.uniform(leaf_area.min_y, leaf_area.max_y - 1e-6),
+            )
+        placements.append((f"ho-{i}", pos))
+    base_positions = dict(placements)
+
+    def positions_at(
+        rng: random.Random, tick: int, progress: float
+    ) -> list[tuple[str, Point]]:
+        reports = []
+        for i, (oid, pos) in enumerate(base_positions.items()):
+            if i < hot_count:
+                new_pos = _jitter(rng, pos, 12.0, hot_block)
+            else:
+                if (i + tick) % dormant_period != 0:
+                    continue  # dormant objects barely report
+                new_pos = _jitter(rng, pos, 10.0, leaf_area)
+            base_positions[oid] = new_pos
+            reports.append((oid, new_pos))
+        return reports
+
+    return _run_scenario(
+        objects=objects,
+        ticks=ticks,
+        dt=dt,
+        elastic=elastic,
+        rebalance_every=rebalance_every,
+        measure_ticks=measure_ticks,
+        seed=seed + 1,
+        placements=placements,
+        positions_at=positions_at,
+        probe_area_at=lambda progress: hot_block,
+        protocol_lane=protocol_lane,
+        migration_mode=migration_mode,
+        planner=planner,
+    )
+
+
+def planner_v1_config() -> PlannerConfig:
+    """The first-generation planner: binary one-axis splits costed by
+    object counts (the PR-2 behaviour, kept as the v2 bench baseline)."""
+    return PlannerConfig(
+        split_load=120.0,
+        hot_min_load=150.0,
+        merge_load=30.0,
+        rate_weighted=False,
+        max_split_children=2,
+    )
+
+
+def planner_v2_config() -> PlannerConfig:
+    """Planner v2: rate-weighted cut costing, k-way/quad fan-out."""
+    return PlannerConfig(
+        split_load=120.0,
+        hot_min_load=150.0,
+        merge_load=30.0,
+        rate_weighted=True,
+        max_split_children=8,
+    )
+
+
+def planner_v2_benchmark_payload(
+    objects: int = 1200,
+    ticks: int | None = None,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Planner v2 vs. v1 on the hot-object-skewed workload — the
+    ``BENCH_PR5.json`` body.
+
+    Both lanes run the identical :func:`hot_object_skew_scenario` over
+    the overlapped migration pipeline; only the planner generation
+    differs.  The acceptance numbers:
+
+    * ``round_reduction_ratio <= 0.5`` — v2 reaches its settled
+      topology (the last rebalance round that still planned a split) in
+      at most half the migration rounds of the count-based binary
+      planner;
+    * ``migration_throughput_ratio >= 0.8`` on the v2 lane — the k-way
+      migration and the self-tuned copy chunking keep reports/s during
+      migration within 20% of steady state (equal or better than v1's
+      ratio is recorded alongside);
+    * zero lost sightings and full consistency on both lanes.
+    """
+    kwargs: dict[str, object] = {"objects": objects}
+    if ticks is not None:
+        kwargs["ticks"] = ticks
+    lanes: dict[str, dict[str, object]] = {}
+    # Same bench hygiene as the zero-stall payload: the throughput ratio
+    # compares ~ms tick walls, so collections run between lanes, never
+    # mid-measurement.
+    gc_was_enabled = gc.isenabled()
+    try:
+        for lane, config in (
+            ("v1_count_binary", planner_v1_config()),
+            ("v2_rate_kway", planner_v2_config()),
+        ):
+            gc.enable()
+            gc.collect()
+            gc.disable()
+            lanes[lane] = hot_object_skew_scenario(
+                elastic=True, seed=seed, planner=RebalancePlanner(config), **kwargs
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    v1, v2 = lanes["v1_count_binary"], lanes["v2_rate_kway"]
+    rounds_v1 = v1["rounds_to_balance"]
+    rounds_v2 = v2["rounds_to_balance"]
+    return {
+        "bench": "planner v2: rate-weighted k-way splits vs. count-based binary splits",
+        "scenario": "hot_object_skew",
+        "lanes": lanes,
+        "rounds_to_balance_v1": rounds_v1,
+        "rounds_to_balance_v2": rounds_v2,
+        "round_reduction_ratio": (
+            round(rounds_v2 / rounds_v1, 3) if rounds_v1 else None
+        ),
+        "migration_throughput_ratio": v2["migration_throughput_ratio"],
+        "migration_throughput_ratio_v1": v1["migration_throughput_ratio"],
+        "zero_lost_all_lanes": all(
+            lane["invariants"]["lost_sightings"] == 0
+            and lane["invariants"]["consistency_ok"]
+            for lane in lanes.values()
+        ),
+    }
 
 
 def elastic_benchmark_payload(

@@ -26,7 +26,7 @@ from repro.model import (
 from repro.spatial import SpatialIndex
 from repro.storage.persistence import PersistentStore
 from repro.storage.sighting_db import DEFAULT_TTL, SightingDB
-from repro.storage.visitor_db import LeafVisitorRecord, VisitorDB
+from repro.storage.visitor_db import VisitorDB
 
 
 class StoreMirror:

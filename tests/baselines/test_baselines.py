@@ -7,12 +7,9 @@ ablation benches measure.
 
 import random
 
-import pytest
-
 from repro.baselines import CentralLocationServer, build_home_service, home_of
 from repro.core import LocationClient, LocationService, TrackedObject, build_table2_hierarchy
 from repro.geo import Point, Rect
-from repro.model import SightingRecord
 from repro.runtime.simnet import SimNetwork
 
 AREA = Rect(0, 0, 1500, 1500)

@@ -9,8 +9,6 @@ believed-agent map is stale or its aliases have been garbage-collected.
 
 import random
 
-import pytest
-
 from repro.cluster import LoadMonitor, MergePlan, PlannerConfig, RebalancePlanner
 from repro.core import messages as m
 from repro.geo import Point

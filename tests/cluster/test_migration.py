@@ -1,7 +1,5 @@
 """End-to-end tests for live split/merge migration."""
 
-import pytest
-
 from repro.cluster import (
     MergePlan,
     MigrationExecutor,

@@ -20,7 +20,7 @@ from repro.cluster import (
 from repro.core import messages as m
 from repro.core.caching import CacheConfig
 from repro.errors import LocationServiceError
-from repro.geo import Point, Rect
+from repro.geo import Point
 from repro.model import SightingRecord
 from repro.sim.scenario import table2_service
 
@@ -83,7 +83,12 @@ class TestDualWriteWindow:
         executor.execute(plan_split(svc))
         children = svc.hierarchy.config("root.0").children
         a, b = children[0].server_id, children[1].server_id
-        migration = executor.begin(MergePlan(parent_id="root.0", children=(a, b)))
+        migration = executor.begin(
+            MergePlan(
+                parent_id="root.0",
+                children=tuple(ref.server_id for ref in children),
+            )
+        )
         executor.step(migration)
         # An object hands over from child a to child b mid-window: the
         # departure from a must not erase b's staged arrival.
@@ -266,6 +271,12 @@ class TestInvalidationBroadcast:
             object_count=200, seed=49, cache_config=CacheConfig.all_enabled()
         )
         executor = MigrationExecutor(svc)
+        # The observer holds a route to the splitting leaf, so the scoped
+        # split broadcast reaches it and pre-seeds the children; holding
+        # those keeps it in scope for the merge broadcast too.
+        svc.servers["root.3"].caches.note_leaf_area(
+            "root.0", svc.servers["root.0"].config.area
+        )
         split_report = executor.execute(plan_split(svc))
         svc.settle()
         merge_report = executor.execute(

@@ -1,0 +1,103 @@
+"""Scoped §6.5 invalidation broadcasts (PR-4 ROADMAP follow-up).
+
+The PR-4 cutover broadcast one ``CacheInvalidate`` to *every* caching
+leaf; on wide deployments that made the topology lane scale with leaf
+count even though most leaves never cached the retiring address.  The
+scoped broadcast messages only the leaves whose caches actually hold a
+route to a forgotten server — the rest have nothing to invalidate and
+re-learn the new owners lazily.
+"""
+
+from repro.cluster import MergePlan, MigrationExecutor, PlannerConfig, RebalancePlanner, SplitPlan
+from repro.core import CacheConfig
+from repro.sim.metrics import MessageLedger
+from repro.sim.scenario import table2_service
+
+
+def plan_split(svc, leaf_id="root.0"):
+    planner = RebalancePlanner(PlannerConfig(split_load=1.0))
+    plans = planner.plan(svc, {leaf_id: 100.0})
+    assert len(plans) == 1 and isinstance(plans[0], SplitPlan)
+    return plans[0]
+
+
+class TestScopedBroadcast:
+    def test_non_holder_leaf_receives_no_invalidation(self):
+        """A leaf whose cache never learned the retiring address must
+        receive no CacheInvalidate at all — the topology lane counts
+        exactly one message for the one holder."""
+        svc, _ = table2_service(
+            object_count=200, seed=60, cache_config=CacheConfig.all_enabled()
+        )
+        holder = svc.servers["root.3"]
+        bystander = svc.servers["root.1"]
+        holder.caches.note_leaf_area("root.0", svc.servers["root.0"].config.area)
+        assert holder.caches.holds_route_to("root.0")
+        assert not bystander.caches.holds_route_to("root.0")
+
+        ledger = MessageLedger(svc.network.stats)
+        report = MigrationExecutor(svc).execute(plan_split(svc))
+        svc.settle()  # deliver the broadcast
+        assert report.invalidations_sent == 1  # the holder, nobody else
+        assert ledger.topology_messages() == 1
+        assert holder.caches.stats.invalidations_applied == 1
+        assert bystander.caches.stats.invalidations_applied == 0
+        assert "CacheInvalidate" not in bystander.stats.messages_handled
+        # The holder was retargeted; the bystander simply knows nothing.
+        center = svc.hierarchy.config("root.0").area.center
+        assert holder.caches.leaf_for_point(center.x, center.y) in report.spawned
+        assert bystander.caches.leaf_for_point(center.x, center.y) is None
+
+    def test_agent_cache_entries_also_count_as_held_routes(self):
+        svc, homes = table2_service(
+            object_count=200, seed=61, cache_config=CacheConfig.all_enabled()
+        )
+        holder = svc.servers["root.2"]
+        oid = next(oid for oid, home in homes.items() if home == "root.0")
+        holder.caches.note_agent(oid, "root.0")
+        assert holder.caches.holds_route_to("root.0")
+        report = MigrationExecutor(svc).execute(plan_split(svc))
+        svc.settle()
+        assert report.invalidations_sent == 1
+        assert holder.caches.stats.invalidations_applied == 1
+        # The stale (object -> agent) entry routing to the split leaf is gone.
+        assert holder.caches.agent_of(oid) is None
+
+    def test_merge_broadcast_scopes_to_child_holders(self):
+        svc, _ = table2_service(
+            object_count=200, seed=62, cache_config=CacheConfig.all_enabled()
+        )
+        executor = MigrationExecutor(svc)
+        split_report = executor.execute(plan_split(svc))
+        svc.settle()
+        holder = svc.servers["root.3"]
+        child = split_report.spawned[0]
+        holder.caches.note_leaf_area(child, svc.servers[child].config.area)
+        ledger = MessageLedger(svc.network.stats)
+        merge_report = executor.execute(
+            MergePlan(parent_id="root.0", children=split_report.spawned)
+        )
+        svc.settle()
+        assert merge_report.invalidations_sent == 1
+        assert ledger.topology_messages() == 1
+        center = svc.hierarchy.config("root.0").area.center
+        assert holder.caches.leaf_for_point(center.x, center.y) == "root.0"
+
+    def test_scope_all_restores_full_broadcast(self):
+        svc, _ = table2_service(
+            object_count=200, seed=63, cache_config=CacheConfig.all_enabled()
+        )
+        ledger = MessageLedger(svc.network.stats)
+        sent = svc.broadcast_cache_invalidation(forget=("root.0",), scope="all")
+        svc.settle()
+        # Every live caching leaf hears an unconditional broadcast.
+        assert sent == len(svc.hierarchy.leaf_ids())
+        assert ledger.topology_messages() == sent
+
+    def test_cacheless_deployment_sends_nothing(self):
+        svc, _ = table2_service(object_count=200, seed=64)  # caches disabled
+        ledger = MessageLedger(svc.network.stats)
+        report = MigrationExecutor(svc).execute(plan_split(svc))
+        svc.settle()
+        assert report.invalidations_sent == 0
+        assert ledger.topology_messages() == 0

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core import GeoLocationService, build_table2_hierarchy
-from repro.geo import GeoCoordinate, Point, haversine_distance
+from repro.core import GeoLocationService
+from repro.geo import GeoCoordinate, haversine_distance
 
 STUTTGART = GeoCoordinate(48.7758, 9.1829)
 

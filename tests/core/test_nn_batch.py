@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.geo import Point, Rect
+from repro.geo import Point
 from repro.model import NearestNeighborQuery
 from repro.sim.metrics import MessageLedger
 from repro.sim.scenario import table2_service

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.cluster import MigrationExecutor, PlannerConfig, RebalancePlanner
 from repro.geo import Point, Rect
 from repro.model import RangeQuery

@@ -5,7 +5,7 @@ import pytest
 from repro.core import LocationService, build_table2_hierarchy
 from repro.core import messages as m
 from repro.geo import Point, Rect
-from repro.model import NearestNeighborQuery, RangeQuery, SightingRecord
+from repro.model import RangeQuery, SightingRecord
 
 
 @pytest.fixture

@@ -103,8 +103,6 @@ class TestRegistrarRole:
     def test_tracker_receives_acc_notifications(self):
         """After a handover the notifyAvailAcc goes to the *tracker* —
         the registering instance — not to the (networkless) badge."""
-        from repro.model import AccuracyModel
-
         svc = LocationService(build_table2_hierarchy())
         # A second installation in another quadrant, so a badge can move
         # between cells that live under different leaf servers.

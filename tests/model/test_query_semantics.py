@@ -5,8 +5,6 @@ examples (its Figures 3 and 4) as concrete geometric scenarios and assert
 the inclusion/exclusion outcomes the figures depict.
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -6,8 +6,6 @@ demonstrating the runtime abstraction holds for the extensions too.
 
 import asyncio
 
-import pytest
-
 from repro.core import (
     LocationClient,
     LocationServer,

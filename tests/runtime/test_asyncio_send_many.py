@@ -9,7 +9,7 @@ one scheduled callback per batch instead of one timer per message.
 import asyncio
 from dataclasses import dataclass
 
-from repro.core import LocationService, TrackedObject, build_table2_hierarchy
+from repro.core import TrackedObject, build_table2_hierarchy
 from repro.geo import Point
 from repro.runtime.asyncio_rt import AsyncioNetwork
 from repro.runtime.base import Endpoint, Message

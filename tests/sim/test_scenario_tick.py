@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.geo import Point, Rect
+from repro.geo import Rect
 from repro.model import RangeQuery
 from repro.protocols.update_policies import DistancePolicy
 from repro.sim import MobilitySimulation, WorkloadGenerator, WorkloadSpec, coalesce_updates
