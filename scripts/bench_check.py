@@ -18,6 +18,9 @@ one:
   ``migration_throughput_ratio`` ≥ 0.8, zero lost on all lanes.
 * ``BENCH_PR5.json`` — ``round_reduction_ratio`` ≤ 0.5,
   ``migration_throughput_ratio`` ≥ 0.8, zero lost on both lanes.
+* ``BENCH_PR6.json`` — zero lost **and** zero duplicated sightings
+  after every injected fault class, consistent epochs everywhere,
+  ``max_recovery_ticks`` ≤ 3, ``reconvergence_ticks`` ≤ 3.
 
 Usage::
 
@@ -152,6 +155,51 @@ CHECKS: dict[str, list[Check]] = {
             "zero lost sightings + consistency (both lanes)",
             lambda p: _threshold(
                 p["zero_lost_all_lanes"], bool(p["zero_lost_all_lanes"])
+            ),
+        ),
+    ],
+    "BENCH_PR6.json": [
+        Check(
+            "zero lost sightings (every injected fault class)",
+            lambda p: _threshold(
+                {
+                    name: result["lost_sightings"]
+                    for name, result in p["scenarios"].items()
+                },
+                bool(p["zero_lost_all_scenarios"]),
+            ),
+        ),
+        Check(
+            "zero duplicated sightings (every injected fault class)",
+            lambda p: _threshold(
+                {
+                    name: result["duplicated_sightings"]
+                    for name, result in p["scenarios"].items()
+                },
+                bool(p["zero_duplicated_all_scenarios"]),
+            ),
+        ),
+        Check(
+            "consistent topology epoch everywhere after recovery",
+            lambda p: _threshold(
+                p["epoch_consistent_all_scenarios"],
+                bool(p["epoch_consistent_all_scenarios"]),
+            ),
+        ),
+        Check(
+            "max_recovery_ticks <= 3",
+            lambda p: _threshold(
+                p["max_recovery_ticks"],
+                p["max_recovery_ticks"] is not None
+                and p["max_recovery_ticks"] <= 3,
+            ),
+        ),
+        Check(
+            "partition reconvergence_ticks <= 3",
+            lambda p: _threshold(
+                p["reconvergence_ticks"],
+                p["reconvergence_ticks"] is not None
+                and p["reconvergence_ticks"] <= 3,
             ),
         ),
     ],

@@ -31,6 +31,13 @@ minutes.  This script is the middle ground:
   ``round_reduction_ratio`` ≤ 0.5 (v2 settles in at most half the
   migration rounds), ``migration_throughput_ratio`` ≥ 0.8 on the v2
   lane, and zero lost sightings on both lanes.
+* **PR6** — the chaos suite: every injected fault class (leaf crash
+  mid-tick, partition + heal, a crash in each migration phase) run
+  with detection, recovery and reconvergence measured →
+  ``BENCH_PR6.json``.  The acceptance numbers are
+  ``zero_lost_all_scenarios`` and ``zero_duplicated_all_scenarios``
+  (both true), ``max_recovery_ticks`` ≤ 3 and ``reconvergence_ticks``
+  ≤ 3.
 
 Usage::
 
@@ -243,6 +250,44 @@ def run_pr5(args) -> None:
     print(f"\nwrote {path} ({elapsed:.1f}s)")
 
 
+def run_pr6(args) -> None:
+    """The chaos-suite measurement (fault injection + exact recovery)."""
+    from repro.sim.chaos import chaos_benchmark_payload
+
+    start = time.perf_counter()
+    payload = chaos_benchmark_payload(seed=args.seed)
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = (
+        f"{'scenario':28s} {'faults':>7s} {'detect':>8s} {'rec ticks':>10s} "
+        f"{'replayed':>9s} {'lost':>5s} {'dup':>4s} {'epoch':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, result in payload["scenarios"].items():
+        detection = result.get("detection")
+        detect = "-" if detection is None else "{0:.2f}s".format(detection["time_s"])
+        print(
+            f"{name:28s} {result['faults_injected']:>7d} "
+            f"{detect:>8s} "
+            f"{str(result.get('recovery_ticks', '-')):>10s} "
+            f"{str(result.get('replayed_records', '-')):>9s} "
+            f"{result['lost_sightings']:>5d} "
+            f"{result['duplicated_sightings']:>4d} "
+            f"{result['topology_epoch']:>6d}"
+        )
+    print(
+        f"zero lost: {payload['zero_lost_all_scenarios']}, "
+        f"zero duplicated: {payload['zero_duplicated_all_scenarios']}, "
+        f"max recovery ticks: {payload['max_recovery_ticks']}, "
+        f"reconvergence ticks: {payload['reconvergence_ticks']}, "
+        f"cache staleness ticks: {payload['cache_staleness_ticks']}"
+    )
+    path = write_bench_json(args.out_pr6, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
@@ -257,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-pr3", default="BENCH_PR3.json")
     parser.add_argument("--out-pr4", default="BENCH_PR4.json")
     parser.add_argument("--out-pr5", default="BENCH_PR5.json")
+    parser.add_argument("--out-pr6", default="BENCH_PR6.json")
     parser.add_argument(
         "--skip-pr1", action="store_true", help="skip the fast-path bench"
     )
@@ -272,6 +318,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-pr5", action="store_true", help="skip the planner-v2 bench"
     )
+    parser.add_argument(
+        "--skip-pr6", action="store_true", help="skip the chaos bench"
+    )
     args = parser.parse_args(argv)
 
     ran = False
@@ -281,6 +330,7 @@ def main(argv: list[str] | None = None) -> int:
         (args.skip_pr3, run_pr3),
         (args.skip_pr4, run_pr4),
         (args.skip_pr5, run_pr5),
+        (args.skip_pr6, run_pr6),
     ):
         if skip:
             continue

@@ -1,0 +1,187 @@
+"""Link-level fault injection for the simulated and asyncio networks.
+
+The runtimes expose one hook: a network's optional ``fault_injector``
+attribute is consulted on every transmission *after* the crash
+(``network.crash``) and global ``drop_rate`` checks, via::
+
+    deliver, extra_delay, copies = injector.outcome(src, dst)
+
+:class:`FaultInjector` implements that protocol from a table of
+per-link :class:`LinkFaults` rules.  Everything it does is accounted
+in :class:`~repro.runtime.base.NetworkStats`: injected drops land in
+``messages_dropped``, manufactured duplicates in
+``messages_duplicated`` (never in ``messages_sent`` — the sender paid
+for one send), and every rule firing bumps ``faults_injected`` so a
+scenario can report exactly how much chaos it applied.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["LinkFaults", "FaultInjector", "inject_crash"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaults:
+    """The fault profile of one directed link.
+
+    ``delay`` adds a fixed extra latency; ``jitter`` adds a further
+    uniform ``[0, jitter)`` seconds *per message*, which reorders
+    messages relative to their send order on the single-send path (the
+    coalescing batch path keeps a batch together — the slowest member's
+    injected delay holds the whole burst, so reordering there happens
+    only *between* batches).  ``severed`` drops everything — the
+    partition primitive — and wins over the probabilistic fields.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay: float = 0.0
+    jitter: float = 0.0
+    severed: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("delay", "jitter"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+#: A link with no faults — :meth:`FaultInjector.heal` resets to this.
+NO_FAULTS = LinkFaults()
+
+
+class FaultInjector:
+    """Per-link fault rules over one network (install-on-construct).
+
+    Rules are keyed by directed ``(src, dst)`` pairs; ``"*"`` acts as a
+    wildcard on either side (an exact pair beats a ``(src, "*")`` rule,
+    which beats ``("*", dst)``, which beats ``("*", "*")``).  All
+    randomness comes from one seeded RNG, so a scenario replays
+    identically for a given seed.
+    """
+
+    def __init__(self, network, seed: int = 0) -> None:
+        self._network = network
+        self._rng = random.Random(seed)
+        self._links: dict[tuple[str, str], LinkFaults] = {}
+        self._partition: set[tuple[str, str]] = set()
+        network.fault_injector = self
+
+    # -- the runtime-facing protocol -----------------------------------------
+
+    def outcome(self, src: str, dst: str) -> tuple[bool, float, int]:
+        """Per-message verdict: ``(deliver, extra_delay_s, extra_copies)``."""
+        faults = self._lookup(src, dst)
+        if faults is None:
+            return True, 0.0, 0
+        stats = self._network.stats
+        if faults.severed:
+            stats.faults_injected += 1
+            return False, 0.0, 0
+        fired = False
+        if faults.drop_rate > 0.0 and self._rng.random() < faults.drop_rate:
+            stats.faults_injected += 1
+            return False, 0.0, 0
+        extra = 0.0
+        if faults.delay > 0.0 or faults.jitter > 0.0:
+            extra = faults.delay + (
+                faults.jitter * self._rng.random() if faults.jitter > 0.0 else 0.0
+            )
+            fired = fired or extra > 0.0
+        copies = 0
+        if faults.duplicate_rate > 0.0 and self._rng.random() < faults.duplicate_rate:
+            copies = 1
+            fired = True
+        if fired:
+            stats.faults_injected += 1
+        return True, extra, copies
+
+    def _lookup(self, src: str, dst: str) -> LinkFaults | None:
+        links = self._links
+        for key in ((src, dst), (src, "*"), ("*", dst), ("*", "*")):
+            faults = links.get(key)
+            if faults is not None:
+                return faults
+        return None
+
+    # -- rule management ------------------------------------------------------
+
+    def set_link(
+        self, src: str, dst: str, faults: LinkFaults, symmetric: bool = False
+    ) -> None:
+        """Install a fault rule on ``src → dst`` (both directions when
+        ``symmetric``)."""
+        self._links[(src, dst)] = faults
+        if symmetric:
+            self._links[(dst, src)] = faults
+
+    def clear_link(self, src: str, dst: str, symmetric: bool = False) -> None:
+        self._links.pop((src, dst), None)
+        if symmetric:
+            self._links.pop((dst, src), None)
+
+    def sever(self, a: str, b: str) -> None:
+        """Cut the ``a ↔ b`` link entirely (both directions)."""
+        self.set_link(a, b, LinkFaults(severed=True), symmetric=True)
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the ``a ↔ b`` link (removes any rule, both directions)."""
+        self.clear_link(a, b, symmetric=True)
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> int:
+        """Sever every link between the two groups (a network partition).
+
+        Links *within* each group — and to addresses in neither group,
+        e.g. the devices reporting to their local leaf — stay up.
+        Returns the number of directed links severed;
+        :meth:`heal_partition` undoes exactly this set.
+        """
+        severed = 0
+        for a in group_a:
+            for b in group_b:
+                if a == b:
+                    continue
+                self.sever(a, b)
+                self._partition.add((a, b))
+                self._partition.add((b, a))
+                severed += 2
+        return severed
+
+    def heal_partition(self) -> int:
+        """Restore every link the last :meth:`partition` call severed."""
+        healed = len(self._partition)
+        for src, dst in self._partition:
+            self._links.pop((src, dst), None)
+        self._partition.clear()
+        return healed
+
+    def clear(self) -> None:
+        """Drop every rule (including partition bookkeeping)."""
+        self._links.clear()
+        self._partition.clear()
+
+    def note_fault(self, count: int = 1) -> None:
+        """Account faults injected outside the link rules (e.g. a whole
+        server crash) so ``faults_injected`` covers the full scenario."""
+        self._network.stats.faults_injected += count
+
+    def detach(self) -> None:
+        """Uninstall from the network (rules stop applying)."""
+        if getattr(self._network, "fault_injector", None) is self:
+            self._network.fault_injector = None
+
+
+def inject_crash(service, server_id: str):
+    """Crash a server *as an injected fault*: exactly
+    :meth:`~repro.core.service.LocationService.crash_server`, plus one
+    ``faults_injected`` tick so scenario payloads count it."""
+    server = service.crash_server(server_id)
+    service.network.stats.faults_injected += 1
+    return server

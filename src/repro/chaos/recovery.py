@@ -1,0 +1,284 @@
+"""Dead-leaf detection and crash-exact recovery.
+
+:class:`RecoveryCoordinator` is the control-plane half of the chaos
+layer: it owns a probe endpoint on the service's network, detects a
+dead server with capped-exponential-backoff liveness probes
+(:class:`~repro.core.service.RetryPolicy` spacing real protocol-lane
+timeouts, not a side-channel oracle), and then repairs the cluster by
+one of two strategies:
+
+* ``"restart"`` — the paper's Section 5 story: replay the crashed
+  server's persistent visitor WAL in place
+  (:meth:`~repro.core.service.LocationService.restart_server`) and let
+  sightings rebuild from the report stream.
+* ``"merge"`` — the server stays dead: re-home its region onto the
+  parent via the :class:`~repro.cluster.migration.MigrationExecutor`'s
+  merge path, replaying the dead leaf's WAL into the staging store so
+  the parent becomes agent-of-record for every visitor the dead leaf
+  tracked — even though the dead leaf can export nothing itself.  The
+  cutover's epoch bump and scoped ``CacheInvalidate`` broadcast repair
+  forwarding aliases and §6.5 caches; the dead retirement alias is then
+  garbage-collected so stale envelopes re-route through the root
+  instead of dead-lettering against a downed address.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.migration import MigrationExecutor
+from repro.cluster.planner import MergePlan
+from repro.core import messages as m
+from repro.core.service import RetryPolicy
+from repro.errors import LocationServiceError, TransportError
+from repro.runtime.base import Endpoint
+from repro.storage.visitor_db import VisitorDB
+
+__all__ = ["RecoveryCoordinator", "RecoveryReport"]
+
+_prober_ids = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What one :meth:`RecoveryCoordinator.recover_leaf` call did."""
+
+    server_id: str
+    strategy: str  # "merge" or "restart"
+    #: liveness probes sent before declaring the server dead.
+    detection_attempts: int
+    #: virtual seconds from first probe to the dead verdict.
+    detection_time_s: float
+    #: leaf visitor records replayed from the crashed server's WAL.
+    replayed_records: int
+    #: objects re-homed by the merge cutover (0 for restarts).
+    moved: int
+    #: the region's new agent (the parent for merges, the restarted
+    #: server itself for restarts).
+    new_home: str
+    #: object id → new agent leaf — feed this to the driving harness's
+    #: home map, exactly like a ``MigrationReport``.
+    new_homes: dict[str, str] = field(default_factory=dict)
+
+
+class RecoveryCoordinator:
+    """Detects dead servers and re-homes their regions.
+
+    ``probe_policy`` spaces the liveness probes (capped exponential
+    backoff by default — a dead destination is not hammered at network
+    rate); ``probe_timeout`` bounds each individual probe.
+    """
+
+    def __init__(
+        self,
+        service,
+        executor: MigrationExecutor | None = None,
+        monitor=None,
+        probe_policy: RetryPolicy | None = None,
+        probe_timeout: float = 0.25,
+    ) -> None:
+        self.svc = service
+        self.executor = executor if executor is not None else MigrationExecutor(service)
+        self.monitor = monitor
+        self.probe_policy = (
+            probe_policy
+            if probe_policy is not None
+            else RetryPolicy(retries=4, base_delay=0.1, backoff_factor=2.0, max_delay=2.0)
+        )
+        self.probe_timeout = probe_timeout
+        self.reports: list[RecoveryReport] = []
+        self._prober = Endpoint(f"chaos-prober-{next(_prober_ids)}")
+        service.network.join(self._prober)
+
+    # -- detection -----------------------------------------------------------
+
+    async def _probe(self, server_id: str) -> bool:
+        """One liveness probe; ``True`` iff the server answered in time."""
+        request_id = self._prober.next_request_id()
+        try:
+            res = await self._prober.request(
+                server_id,
+                m.PingReq(request_id=request_id, reply_to=self._prober.address),
+                timeout=self.probe_timeout,
+            )
+        except TransportError:
+            return False
+        return isinstance(res, m.PingRes)
+
+    def probe_alive(self, server_id: str) -> bool:
+        """Single-probe liveness check (no retries)."""
+        return self.svc.run(self._probe(server_id))
+
+    def confirm_dead(self, server_id: str) -> tuple[bool, int, float]:
+        """Probe with backoff until an answer or the policy is exhausted.
+
+        Returns ``(dead, attempts, elapsed_virtual_seconds)`` — the
+        detection cost every recovery report carries.  A server that
+        answers any probe is *not* dead (transient loss tolerated).
+        """
+        policy = self.probe_policy
+        svc = self.svc
+        rng = getattr(svc.network, "_rng", None)
+
+        async def _confirm() -> tuple[bool, int, float]:
+            start = svc.loop.now
+            attempts = 0
+            for attempt in range(policy.retries + 1):
+                if attempt:
+                    delay = policy.delay_before(attempt, rng=rng)
+                    if delay > 0.0:
+                        await svc.loop.sleep(delay)
+                attempts += 1
+                if await self._probe(server_id):
+                    return False, attempts, svc.loop.now - start
+            return True, attempts, svc.loop.now - start
+
+        return svc.run(_confirm())
+
+    # -- repair --------------------------------------------------------------
+
+    def abort_in_flight_for(self, *server_ids: str) -> int:
+        """Abort every in-flight migration touching any of the servers.
+
+        A crash inside a migration's copy or dual-write window is
+        recovered by *discarding*: nothing pre-cutover is visible to
+        routing (staged stores are off-network, the epoch untouched), so
+        the abort is exact — the re-planned migration after recovery
+        starts from clean state.  Returns how many were aborted.
+        """
+        doomed = [
+            migration
+            for migration in list(self.executor.in_flight)
+            if migration.busy & set(server_ids)
+        ]
+        for migration in doomed:
+            self.executor.abort(migration)
+        return len(doomed)
+
+    def recover_leaf(self, server_id: str, strategy: str = "merge") -> RecoveryReport:
+        """Re-home a dead leaf's region; returns the recovery report.
+
+        Call after :meth:`confirm_dead`.  Both strategies leave the
+        cluster with exactly one agent per object and every live server
+        at the current topology epoch; neither can lose or duplicate a
+        sighting — sightings are soft state that the next position
+        reports rebuild (the paper restores volatile state "as position
+        update requests come in"), while the visitor records that make
+        those reports land travel through the WAL.
+        """
+        svc = self.svc
+        server = svc.servers.get(server_id)
+        if server is None or not server.is_leaf:
+            raise LocationServiceError(f"{server_id!r} is not a live leaf")
+        if not svc.network.is_down(server_id):
+            raise LocationServiceError(f"{server_id!r} is not down")
+        if strategy == "restart":
+            report = self._recover_restart(server_id, 0, 0.0)
+        elif strategy == "merge":
+            report = self._recover_merge(server_id, 0, 0.0)
+        else:
+            raise LocationServiceError(f"unknown recovery strategy {strategy!r}")
+        self.reports.append(report)
+        return report
+
+    def recover_dead_leaf(
+        self, server_id: str, strategy: str = "merge"
+    ) -> RecoveryReport | None:
+        """Detect-then-repair in one call: probe with backoff, and when
+        the leaf really is dead, recover it.  Returns ``None`` when the
+        server answered a probe (nothing to do)."""
+        dead, attempts, elapsed = self.confirm_dead(server_id)
+        if not dead:
+            return None
+        report = self.recover_leaf(server_id, strategy=strategy)
+        report = RecoveryReport(
+            server_id=report.server_id,
+            strategy=report.strategy,
+            detection_attempts=attempts,
+            detection_time_s=elapsed,
+            replayed_records=report.replayed_records,
+            moved=report.moved,
+            new_home=report.new_home,
+            new_homes=report.new_homes,
+        )
+        self.reports[-1] = report
+        return report
+
+    def _recover_restart(
+        self, server_id: str, attempts: int, elapsed: float
+    ) -> RecoveryReport:
+        self.abort_in_flight_for(server_id)
+        server = self.svc.restart_server(server_id)
+        replayed = sum(1 for _ in server.store.visitors.leaf_records())
+        return RecoveryReport(
+            server_id=server_id,
+            strategy="restart",
+            detection_attempts=attempts,
+            detection_time_s=elapsed,
+            replayed_records=replayed,
+            moved=0,
+            new_home=server_id,
+        )
+
+    def _recover_merge(
+        self, server_id: str, attempts: int, elapsed: float
+    ) -> RecoveryReport:
+        svc = self.svc
+        h = svc.hierarchy
+        parent_id = h.parent_of(server_id)
+        if parent_id is None:
+            raise LocationServiceError(
+                f"{server_id!r} has no parent to merge into — use the "
+                "'restart' strategy for a root leaf"
+            )
+        siblings = h.siblings_of(server_id)
+        children = tuple(sorted((server_id, *siblings)))
+        if any(not svc.servers[child].is_leaf for child in children):
+            raise LocationServiceError(
+                f"siblings of {server_id!r} are not all leaves — merge "
+                "recovery needs a mergeable sibling set"
+            )
+        # A crash inside a migration window is recovered by discarding
+        # the window first (exact: pre-cutover state was never routable).
+        self.abort_in_flight_for(parent_id, *children)
+
+        plan = MergePlan(
+            parent_id=parent_id, children=children, reason=f"recover {server_id}"
+        )
+        migration = self.executor.begin(plan)
+        # Stage the live siblings' exports first, then fill the gaps from
+        # the dead leaf's WAL: the crashed store exports nothing (its
+        # sightings died with the process), but its Section 5 visitor log
+        # survives — replaying the leaf records into the staging store
+        # makes the parent agent-of-record for every visitor the dead
+        # leaf tracked.  Records a live sibling already owns win (an
+        # object mid-handover at crash time has exactly one agent).
+        self.executor.step(migration)
+        dead = svc.servers[server_id]
+        recovered = VisitorDB.recover(dead.store.visitors.store)
+        staging = migration.staging[parent_id]
+        replayed = 0
+        for record in recovered.leaf_records():
+            if record.object_id not in staging.visitors:
+                staging.visitors.insert_leaf(
+                    record.object_id, record.offered_acc, record.reg_info
+                )
+                replayed += 1
+        report = self.executor.cutover(migration)
+        # The dead child's retirement alias cannot forward (the address
+        # is down) — garbage-collect it so stale envelopes re-route
+        # through the hierarchy root instead of timing out against it.
+        svc.drop_retired(server_id)
+        if self.monitor is not None:
+            self.monitor.forget_server(server_id)
+        return RecoveryReport(
+            server_id=server_id,
+            strategy="merge",
+            detection_attempts=attempts,
+            detection_time_s=elapsed,
+            replayed_records=replayed,
+            moved=report.moved,
+            new_home=parent_id,
+            new_homes=dict(report.new_homes),
+        )

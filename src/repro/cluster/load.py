@@ -255,6 +255,20 @@ class LoadMonitor:
             self._last_ops.pop(cid, None)
         self._rates[parent_id] = self._rates.get(parent_id, 0.0) + total
 
+    def forget_server(self, server_id: str) -> None:
+        """Drop every window entry for one server (chaos recovery).
+
+        A crashed-and-re-homed leaf's counters restart from zero (or the
+        address disappears entirely), so the next :meth:`sample` would
+        read a huge negative delta against the stale cumulative baseline;
+        forgetting the id makes the server — should it return — look
+        freshly spawned instead.
+        """
+        self._last_ops.pop(server_id, None)
+        self._rates.pop(server_id, None)
+        self._instant.pop(server_id, None)
+        self._retired_traffic.pop(server_id, None)
+
     def rate_of(self, server_id: str) -> float:
         """The current decayed rate; 0 for unknown servers."""
         return self._rates.get(server_id, 0.0)

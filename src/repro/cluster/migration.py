@@ -574,6 +574,36 @@ class MigrationExecutor:
         """Cut over every in-flight migration (oldest first)."""
         return [self.cutover(migration) for migration in list(self.in_flight)]
 
+    def abort(self, migration: PhasedMigration) -> None:
+        """Discard an in-flight migration without cutting over.
+
+        The recovery path for a crash *before* cutover: nothing about
+        the migration is visible to routing yet — the staged stores are
+        off-network, the hierarchy and epoch are untouched — so
+        discarding the staging and detaching the dual-write mirrors
+        returns the cluster to exactly its pre-``begin`` state.  (A
+        crash *after* cutover is the opposite case: the new topology is
+        already adopted, so recovery rolls **forward** by restarting the
+        crashed owner — its staged store's WAL holds every admitted
+        object.)  Safe to call with crashed source servers: only local
+        state is touched.
+        """
+        if migration not in self.in_flight:
+            raise LocationServiceError("migration is not in flight")
+        self.in_flight.remove(migration)
+        svc = self.service
+        if isinstance(migration.plan, SplitPlan):
+            source = svc.servers.get(migration.plan.leaf_id)
+            if source is not None and source.store is not None and source.store.mirrored:
+                source.store.detach_mirror()
+        else:
+            for child_id in migration.plan.children:
+                child = svc.servers.get(child_id)
+                if child is not None and child.store is not None and child.store.mirrored:
+                    child.store.detach_mirror()
+        migration.staging.clear()
+        migration.copy_queue.clear()
+
     # -- split ---------------------------------------------------------------
 
     def _begin_split(self, plan: SplitPlan) -> PhasedMigration:

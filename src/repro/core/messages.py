@@ -666,3 +666,29 @@ class NotifyAvailAcc(Message):
 
     object_id: str
     offered_acc: float
+
+
+# ---------------------------------------------------------------------------
+# Liveness probe (derived, chaos/recovery extension)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PingReq(Message):
+    """*Derived.*  Liveness probe from the recovery coordinator: a
+    server that is up answers immediately with :class:`PingRes`; a
+    crashed server's silence (probe timeout under the coordinator's
+    backoff policy) is the failure-detection signal."""
+
+    request_id: str
+    reply_to: str
+
+
+@dataclass(frozen=True, slots=True)
+class PingRes(Response):
+    """Liveness answer, carrying the responder's topology epoch so the
+    prober also learns whether the server is behind the current
+    hierarchy (a restarted server still converging)."""
+
+    request_id: str
+    epoch: int = 0

@@ -296,6 +296,7 @@ class LocationServer(Endpoint):
         self.on(m.RemovePath, self._on_remove_path)
         self.on(m.PathTeardownNack, self._on_path_teardown_nack)
         self.on(m.CacheInvalidate, self._on_cache_invalidate)
+        self.on(m.PingReq, self._on_ping)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -1209,6 +1210,20 @@ class LocationServer(Endpoint):
         self.caches.apply_invalidation(msg.forget, msg.learned)
         if msg.epoch > self.topology_epoch:
             self.topology_epoch = msg.epoch
+
+    async def _on_ping(self, msg: m.PingReq) -> None:
+        """Liveness probe (chaos/recovery lane): answer with our epoch.
+
+        A crashed server never answers — the network drops traffic to a
+        down address — so the recovery coordinator's probe timeout is the
+        failure signal.  A retired alias forwards the probe to its
+        successor like any other request, which is correct: the region
+        is still served."""
+        self.stats.note(msg)
+        self.send(
+            msg.reply_to,
+            m.PingRes(request_id=msg.request_id, epoch=self.topology_epoch),
+        )
 
     # ======================================================================
     # Deregistration and soft-state teardown

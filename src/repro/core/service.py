@@ -10,10 +10,12 @@ async layer directly.
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core import messages as m
-from repro.core.caching import CacheConfig
+from repro.core.caching import CacheConfig, LeafCaches
 from repro.core.client import LocationClient, NeighborAnswer, RangeAnswer, TrackedObject
 from repro.core.hierarchy import Hierarchy
 from repro.core.server import LocationServer
@@ -23,6 +25,48 @@ from repro.model import AccuracyModel, LocationDescriptor, SightingRecord
 from repro.runtime.base import Endpoint
 from repro.runtime.latency import CostModel, LatencyModel
 from repro.runtime.simnet import SimNetwork
+from repro.storage.visitor_db import VisitorDB
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Envelope retry policy: capped exponential backoff with jitter.
+
+    The protocol lane's drivers accept either a plain retry count (the
+    historical interface — ``retries`` immediate re-sends, no waiting)
+    or one of these.  The default ``base_delay=0.0`` reproduces the
+    fixed behaviour exactly, so every existing caller is unchanged;
+    chaos/recovery code passes a non-zero base to stop a dead
+    destination from being hammered at network rate: re-attempt *n*
+    waits ``base_delay * backoff_factor**(n-1)`` seconds, capped at
+    ``max_delay``, spread by ``±jitter`` (a fraction) when an RNG is
+    supplied.
+    """
+
+    retries: int = 3
+    base_delay: float = 0.0
+    backoff_factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.0
+
+    @classmethod
+    def of(cls, value: int | RetryPolicy) -> RetryPolicy:
+        """Normalize the historical plain-int retry count."""
+        if isinstance(value, cls):
+            return value
+        return cls(retries=int(value))
+
+    def delay_before(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to wait before (re-)attempt ``attempt`` (0-based; the
+        first attempt never waits)."""
+        if attempt <= 0 or self.base_delay <= 0.0:
+            return 0.0
+        delay = min(
+            self.base_delay * self.backoff_factor ** (attempt - 1), self.max_delay
+        )
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
 
 class _BatchReporter(Endpoint):
@@ -52,7 +96,7 @@ async def drive_protocol_envelope(
     dest: str,
     make_envelope,
     timeout: float | None,
-    retries: int,
+    retries: int | RetryPolicy,
     what: str = "protocol",
 ):
     """The shared recovery core of the batched protocol lane.
@@ -63,21 +107,28 @@ async def drive_protocol_envelope(
     reaches every object via its forwarding references, so no timeout is
     needed for this case), and an unanswered envelope (crashed
     destination; requires ``timeout``) is re-sent up to ``retries``
-    times.  ``make_envelope(dest)`` builds a fresh request per attempt
-    (fresh request id, fresh timestamps).  Returns the response; raises
-    :class:`~repro.errors.TransportError` when every attempt went
+    times.  ``retries`` may be a plain count (immediate re-sends) or a
+    :class:`RetryPolicy`, whose capped exponential backoff spaces the
+    re-attempts out.  ``make_envelope(dest)`` builds a fresh request per
+    attempt (fresh request id, fresh timestamps).  Returns the response;
+    raises :class:`~repro.errors.TransportError` when every attempt went
     unanswered.
     """
-    for attempt in range(retries + 1):
+    policy = RetryPolicy.of(retries)
+    for attempt in range(policy.retries + 1):
+        if attempt:
+            delay = policy.delay_before(attempt, rng=getattr(service.network, "_rng", None))
+            if delay > 0.0:
+                await service.loop.sleep(delay)
         if dest not in service.servers and dest not in service.retired_servers:
             dest = service.hierarchy.root_id
         try:
             return await reporter.request(dest, make_envelope(dest), timeout=timeout)
         except TransportError:
-            if attempt >= retries:
+            if attempt >= policy.retries:
                 raise TransportError(
                     f"{what} envelope to {dest} unanswered after "
-                    f"{retries + 1} attempts"
+                    f"{policy.retries + 1} attempts"
                 )
     raise AssertionError("unreachable")  # pragma: no cover
 
@@ -88,7 +139,7 @@ async def drive_update_envelope(
     dest: str,
     make_sightings,
     timeout: float | None,
-    retries: int,
+    retries: int | RetryPolicy,
     sub_timeout: float | None = None,
 ) -> tuple:
     """Send one destination's tick reports as one envelope (used by the
@@ -107,9 +158,10 @@ async def drive_update_envelope(
     outcomes for the caller's next tick to retry.
     """
     epoch = service.hierarchy.epoch
+    policy = RetryPolicy.of(retries)
     outcomes: dict[str, m.UpdateOutcome] = {}
     remaining: set[str] | None = None  # None → first round, send everything
-    for _round in range(retries + 1):
+    for _round in range(policy.retries + 1):
         def make_envelope(_dest: str) -> m.UpdateBatchReq:
             sightings = make_sightings()
             if remaining is not None:
@@ -134,7 +186,7 @@ async def drive_update_envelope(
             dest,
             make_envelope,
             timeout,
-            retries if _round == 0 else 0,
+            policy if _round == 0 else 0,
             what="update",
         )
         assert isinstance(res, m.UpdateBatchRes)
@@ -325,6 +377,56 @@ class LocationService:
                 live.caches.forget_server(server_id)
         return server
 
+    # -- failure injection (chaos layer) ---------------------------------------
+
+    def crash_server(self, server_id: str) -> LocationServer:
+        """Simulate a hard server crash (process kill).
+
+        The network drops every message to or from the address and the
+        server's volatile leaf state — sightings, spatial index — is
+        wiped, exactly what dying mid-write costs a real process.  The
+        *persistent* visitor store (Section 5's WAL) survives untouched;
+        :meth:`restart_server` or the chaos layer's
+        :class:`~repro.chaos.RecoveryCoordinator` replays it.
+        """
+        server = self.servers.get(server_id) or self.retired_servers.get(server_id)
+        if server is None:
+            raise LocationServiceError(f"unknown server {server_id!r}")
+        self.network.crash(server_id)
+        if server.is_leaf and server.store is not None:
+            server.store.crash(now=self.loop.now)
+        return server
+
+    def restart_server(self, server_id: str) -> LocationServer:
+        """Restart a crashed server via WAL replay (Section 5 recovery).
+
+        The persistent store is replayed into a fresh visitor DB —
+        forwarding paths and leaf registrations reappear exactly as
+        logged — while volatile state restarts empty: sightings rebuild
+        from the next position reports (soft state, one TTL to live
+        otherwise) and the §6.5 caches re-warm from answers.  The server
+        rejoins at the *current* topology epoch, so traffic it answers
+        is stamped correctly even if the hierarchy was rebalanced while
+        it was down.
+        """
+        server = self.servers.get(server_id) or self.retired_servers.get(server_id)
+        if server is None:
+            raise LocationServiceError(f"unknown server {server_id!r}")
+        if not self.network.is_down(server_id):
+            raise LocationServiceError(f"server {server_id!r} is not down")
+        if server.is_leaf and server.store is not None:
+            recovered = VisitorDB.recover(server.store.visitors.store)
+            server.store.visitors = recovered
+            server.visitors = recovered
+            # Fresh soft-state deadlines for every recovered visitor.
+            server.store.crash(now=self.loop.now)
+            server.caches = LeafCaches(server._cache_config)
+        else:
+            server.visitors = VisitorDB.recover(server.visitors.store)
+        server.topology_epoch = self.hierarchy.epoch
+        self.network.restore(server_id)
+        return server
+
     def entry_server_for(self, pos: Point) -> str:
         """The leaf server whose service area contains ``pos`` — stands in
         for the paper's local lookup service (e.g. Jini)."""
@@ -399,7 +501,7 @@ class LocationService:
         reports: Iterable[tuple[TrackedObject, Point]],
         protocol_lane: str = "batched",
         envelope_timeout: float | None = None,
-        envelope_retries: int = 3,
+        envelope_retries: int | RetryPolicy = 3,
         envelope_sub_timeout: float | None = None,
     ) -> dict[str, int]:
         """Apply a batch of position reports — the server-tick fast path.
@@ -452,6 +554,7 @@ class LocationService:
             if (
                 server is not None
                 and server.is_leaf
+                and not self.network.is_down(obj.agent)
                 and server.config.contains(pos)
                 and server.store.visitors.leaf_record(obj.object_id) is not None
             ):
@@ -552,7 +655,7 @@ class LocationService:
         self,
         objs: Iterable[TrackedObject],
         envelope_timeout: float | None = None,
-        envelope_retries: int = 3,
+        envelope_retries: int | RetryPolicy = 3,
         envelope_sub_timeout: float | None = None,
         detailed: bool = False,
     ) -> dict[str, bool] | dict[str, str]:
@@ -589,10 +692,11 @@ class LocationService:
         if not by_dest:
             return statuses if detailed else results
         reporter = self._reporter()
+        retry_policy = RetryPolicy.of(envelope_retries)
 
         async def drive(dest: str, batch: list[TrackedObject]) -> None:
             remaining: set[str] | None = None
-            for _round in range(envelope_retries + 1):
+            for _round in range(retry_policy.retries + 1):
                 ids = tuple(
                     obj.object_id
                     for obj in batch
@@ -612,7 +716,7 @@ class LocationService:
                     envelope_timeout,
                     # Linear total budget: envelope-level retries apply
                     # to the first round only (as in drive_update_envelope).
-                    envelope_retries if _round == 0 else 0,
+                    retry_policy if _round == 0 else 0,
                     what="deregister",
                 )
                 assert isinstance(res, m.DeregisterBatchRes)

@@ -77,6 +77,10 @@ class AsyncioNetwork:
         self.time_scale = time_scale
         self.stats = NetworkStats()
         self.drop_rate = drop_rate
+        #: optional :class:`repro.chaos.FaultInjector` consulted on every
+        #: transmission (after crash/drop-rate checks); installed by the
+        #: chaos layer, ``None`` in ordinary runs.
+        self.fault_injector = None
         self._rng = random.Random(seed)
         self._endpoints: dict[str, Endpoint] = {}
         self._down: set[str] = set()
@@ -110,7 +114,13 @@ class AsyncioNetwork:
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
             return
-        delay = self.latency.delay(src, dst, message) * self.time_scale
+        extra_delay, copies = 0.0, 0
+        if self.fault_injector is not None:
+            should_deliver, extra_delay, copies = self.fault_injector.outcome(src, dst)
+            if not should_deliver:
+                self.stats.messages_dropped += 1
+                return
+        delay = (self.latency.delay(src, dst, message) + extra_delay) * self.time_scale
         loop = asyncio.get_event_loop()
 
         def deliver() -> None:
@@ -120,10 +130,13 @@ class AsyncioNetwork:
             self.stats.messages_delivered += 1
             self._endpoints[dst].deliver(message)
 
-        if delay <= 0.0:
-            loop.call_soon(deliver)
-        else:
-            loop.call_later(delay, deliver)
+        if copies:
+            self.stats.messages_duplicated += copies
+        for _ in range(1 + copies):
+            if delay <= 0.0:
+                loop.call_soon(deliver)
+            else:
+                loop.call_later(delay, deliver)
 
     def transmit_many(self, src: str, dst: str, messages: list[Message]) -> None:
         """Coalescing batch send — the asyncio counterpart of the
@@ -149,8 +162,17 @@ class AsyncioNetwork:
             if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
                 self.stats.messages_dropped += 1
                 continue
+            extra_delay = 0.0
+            if self.fault_injector is not None:
+                should_deliver, extra_delay, copies = self.fault_injector.outcome(src, dst)
+                if not should_deliver:
+                    self.stats.messages_dropped += 1
+                    continue
+                if copies:
+                    self.stats.messages_duplicated += copies
+                    survivors.extend([message] * copies)
             survivors.append(message)
-            delay = max(delay, self.latency.delay(src, dst, message))
+            delay = max(delay, self.latency.delay(src, dst, message) + extra_delay)
         if not survivors:
             return
         loop = asyncio.get_event_loop()

@@ -200,6 +200,14 @@ class NetworkStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    #: extra deliveries manufactured by fault injection (a duplicated
+    #: message counts once here and never in ``messages_sent`` — the
+    #: sender only paid for one send, the network invented the rest).
+    messages_duplicated: int = 0
+    #: fault-injector rule firings (drops, delays, duplicates, severed
+    #: links) — distinct from ``messages_dropped``, which also counts
+    #: crash- and drop-rate losses.
+    faults_injected: int = 0
     dead_letters: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
 
@@ -212,5 +220,7 @@ class NetworkStats:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.faults_injected = 0
         self.dead_letters = 0
         self.by_type.clear()

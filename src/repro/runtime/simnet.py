@@ -84,6 +84,10 @@ class SimNetwork:
         self.costs = costs if costs is not None else CostModel.zero()
         self.stats = NetworkStats()
         self.drop_rate = drop_rate
+        #: optional :class:`repro.chaos.FaultInjector` consulted on every
+        #: transmission (after crash/drop-rate checks); installed by the
+        #: chaos layer, ``None`` in ordinary runs.
+        self.fault_injector = None
         self._rng = random.Random(seed)
         self._endpoints: dict[str, Endpoint] = {}
         self._busy_until: dict[str, float] = {}
@@ -166,8 +170,20 @@ class SimNetwork:
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
             return
-        delay = self.latency.delay(src, dst, message)
+        extra_delay, copies = 0.0, 0
+        if self.fault_injector is not None:
+            deliver, extra_delay, copies = self.fault_injector.outcome(src, dst)
+            if not deliver:
+                self.stats.messages_dropped += 1
+                return
+        delay = self.latency.delay(src, dst, message) + extra_delay
         self.loop.call_later(delay, lambda: self._arrive(dst, message))
+        if copies:
+            # Injected duplicates: the sender paid for one send, so only
+            # the duplicated-delivery counter moves.
+            self.stats.messages_duplicated += copies
+            for _ in range(copies):
+                self.loop.call_later(delay, lambda: self._arrive(dst, message))
 
     def transmit_many(self, src: str, dst: str, messages: list[Message]) -> None:
         """Buffered batch send: messages queue in a per-(src, dst) outbox
@@ -236,7 +252,27 @@ class SimNetwork:
             batch = survivors
             if not batch:
                 return
-        delay = max(self.latency.delay(src, dst, message) for message in batch)
+        extra_delay = 0.0
+        if self.fault_injector is not None:
+            # Per-message verdicts; the group still arrives together, so
+            # the slowest member's injected delay holds the whole burst.
+            survivors = []
+            for message in batch:
+                deliver, msg_delay, copies = self.fault_injector.outcome(src, dst)
+                if not deliver:
+                    self.stats.messages_dropped += 1
+                    continue
+                extra_delay = max(extra_delay, msg_delay)
+                survivors.append(message)
+                if copies:
+                    self.stats.messages_duplicated += copies
+                    survivors.extend([message] * copies)
+            batch = survivors
+            if not batch:
+                return
+        delay = extra_delay + max(
+            self.latency.delay(src, dst, message) for message in batch
+        )
         self.loop.call_later(delay, lambda: self._arrive_many(dst, batch))
 
     def _arrive_many(self, dst: str, batch: list[Message]) -> None:

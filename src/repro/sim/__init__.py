@@ -60,6 +60,15 @@ _ELASTIC_EXPORTS = {
     "protocol_batch_benchmark_payload",
 }
 
+#: The chaos scenarios sit on the elastic harness plus repro.chaos, so
+#: they are lazy for the same no-cycle reason.
+_CHAOS_EXPORTS = {
+    "chaos_benchmark_payload",
+    "leaf_crash_scenario",
+    "migration_crash_scenario",
+    "partition_scenario",
+}
+
 
 def __getattr__(name):
     if name in _SCENARIO_EXPORTS:
@@ -70,6 +79,10 @@ def __getattr__(name):
         from repro.sim import elastic
 
         return getattr(elastic, name)
+    if name in _CHAOS_EXPORTS:
+        from repro.sim import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
 
 
@@ -103,6 +116,7 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadSpec",
     "calibrate",
+    "chaos_benchmark_payload",
     "coalesce_updates",
     "commuter_rush_scenario",
     "default_cost_model",
@@ -110,7 +124,10 @@ __all__ = [
     "flash_crowd_scenario",
     "format_table",
     "hotspot_positions",
+    "leaf_crash_scenario",
     "make_walkers",
+    "migration_crash_scenario",
+    "partition_scenario",
     "percentile",
     "protocol_batch_benchmark_payload",
     "scatter_objects",

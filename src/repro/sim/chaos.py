@@ -1,0 +1,534 @@
+"""Chaos scenario family: the paper's availability story, adversarially.
+
+Three scenario families exercise the :mod:`repro.chaos` layer end to
+end over the table-2 service, each reporting the same invariant block —
+zero lost sightings, zero duplicated sightings, consistency, and a
+topology epoch every live server agrees on — plus family-specific
+recovery measurements:
+
+* :func:`leaf_crash_scenario` — a leaf is killed **mid-tick** (half the
+  tick's reports land, then the process dies).  The
+  :class:`~repro.chaos.RecoveryCoordinator` detects the death with
+  backoff probes and re-homes the region (merge-with-WAL-replay by
+  default, in-place restart optionally); the scenario measures
+  detection attempts/time and how many ticks of ordinary position
+  reports rebuild every sighting.
+* :func:`partition_scenario` — one leaf is severed from every other
+  *server* (devices keep reaching their local leaf, as in the paper's
+  deployment model) and later healed.  Measures the cache-staleness
+  window (ticks during which live leaves' §6.5 caches held routes into
+  the unreachable subtree) and the reconvergence ticks until every
+  object is tracked at the leaf containing it again.
+* :func:`migration_crash_scenario` — a server dies in each phased-
+  migration phase (``copy``, ``dual_write``, ``cutover``), proving the
+  epoch machinery's exactness: pre-cutover crashes *discard* (abort +
+  WAL-replay restart at an unchanged epoch, then a clean re-run),
+  post-cutover crashes *roll forward* (the staged store's WAL is the
+  new server's durable state).
+
+:func:`chaos_benchmark_payload` folds all five runs into the
+``BENCH_PR6.json`` artifact gated by ``scripts/bench_check.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos import FaultInjector, RecoveryCoordinator, inject_crash
+from repro.cluster.load import LoadMonitor
+from repro.cluster.planner import SplitPlan
+from repro.core.caching import CacheConfig
+from repro.geo import Rect
+from repro.sim.elastic import (
+    ROOT_SIDE,
+    ElasticHarness,
+    _advance,
+    _fresh_service,
+    _jitter,
+    _populate,
+)
+from repro.sim.workload import HotspotSpec, hotspot_positions
+
+__all__ = [
+    "chaos_benchmark_payload",
+    "leaf_crash_scenario",
+    "migration_crash_scenario",
+    "partition_scenario",
+]
+
+#: Envelope bounds used whenever faults may be live: a crashed or
+#: partitioned destination turns into bounded NACKs (items kept at
+#: their old agent for the next tick) instead of an unbounded wait.
+_FAULT_TIMEOUTS = {"envelope_timeout": 1.0, "envelope_sub_timeout": 0.4}
+
+_BOUNDS = Rect(0.0, 0.0, ROOT_SIDE, ROOT_SIDE)
+_QUARTER = ROOT_SIDE / 4  # 375 m — the pre-split cut inside root.0
+_HALF = ROOT_SIDE / 2  # 750 m — the root.0 quadrant side
+
+
+def _tick_reports(rng: random.Random, positions: dict, radius: float = 40.0):
+    """Advance every object one jitter step; returns the tick's reports."""
+    reports = []
+    for oid, pos in positions.items():
+        new_pos = _jitter(rng, pos, radius, _BOUNDS)
+        positions[oid] = new_pos
+        reports.append((oid, new_pos))
+    return reports
+
+
+def _apply_guarded(harness: ElasticHarness, reports) -> int:
+    """Apply a tick's reports while a server may be down.
+
+    Reports whose believed agent is a downed address are *deferred* —
+    the device's send would time out; it retries next tick once
+    recovery has re-homed the region — and the rest run with bounded
+    envelope timeouts.  Returns the deferred count.
+    """
+    svc = harness.svc
+    live, deferred = [], 0
+    for oid, pos in reports:
+        home = harness.homes.get(oid)
+        if home is not None and svc.network.is_down(home):
+            deferred += 1
+            continue
+        live.append((oid, pos))
+    harness.apply_reports(live, **_FAULT_TIMEOUTS)
+    return deferred
+
+
+def _epoch_consistent(svc) -> bool:
+    epoch = svc.hierarchy.epoch
+    return all(server.topology_epoch == epoch for server in svc.servers.values())
+
+
+def _consistency_ok(svc) -> bool:
+    from repro.errors import LocationServiceError
+
+    try:
+        svc.check_consistency()
+    except LocationServiceError:
+        return False
+    return True
+
+
+def _fully_homed(svc, harness: ElasticHarness, positions: dict) -> bool:
+    """Every object is agented by the leaf containing its position —
+    the state a fault-free tick always restores before it ends."""
+    for oid, pos in positions.items():
+        home = harness.homes.get(oid)
+        server = svc.servers.get(home) if home is not None else None
+        if server is None or not server.is_leaf or not server.config.contains(pos):
+            return False
+    return True
+
+
+def _invariant_block(svc, harness: ElasticHarness, objects: int) -> dict:
+    """The shared invariant payload (raises on broken consistency)."""
+    invariants = harness.verify(expected_tracked=objects)
+    tracked = invariants["tracked"]
+    stats = svc.network.stats
+    return {
+        "invariants": invariants,
+        "lost_sightings": max(0, objects - tracked),
+        "duplicated_sightings": max(0, tracked - objects),
+        "epoch_consistent": _epoch_consistent(svc),
+        "topology_epoch": svc.hierarchy.epoch,
+        "faults_injected": stats.faults_injected,
+        "dropped_deliveries": stats.messages_dropped,
+        "duplicated_deliveries": stats.messages_duplicated,
+    }
+
+
+def _presplit_sw_quadrant(harness: ElasticHarness, child_prefix: str):
+    """Split root.0 in two so its crash recovery is non-degenerate
+    (depth grows to 2; the merge path has a real parent to fold into).
+    Returns the child ids."""
+    children = (
+        (f"root.0/{child_prefix}.0", Rect(0.0, 0.0, _QUARTER, _HALF)),
+        (f"root.0/{child_prefix}.1", Rect(_QUARTER, 0.0, _HALF, _HALF)),
+    )
+    plan = SplitPlan(
+        leaf_id="root.0",
+        axis="x",
+        cuts=(_QUARTER,),
+        children=children,
+        reason="chaos prep",
+    )
+    report = harness.executor.execute(plan)
+    harness.homes.update(report.new_homes)
+    return tuple(child_id for child_id, _ in children)
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1 — leaf killed mid-tick
+# ---------------------------------------------------------------------------
+
+
+def leaf_crash_scenario(
+    objects: int = 400,
+    warm_ticks: int = 3,
+    post_ticks: int = 5,
+    dt: float = 1.0,
+    seed: int = 0,
+    strategy: str = "merge",
+) -> dict:
+    """Kill a leaf halfway through a tick; detect, recover, re-track."""
+    svc = _fresh_service()
+    placements = hotspot_positions(
+        _BOUNDS,
+        HotspotSpec(area=Rect(40.0, 40.0, 710.0, 710.0), fraction=0.6),
+        objects,
+        seed=seed,
+        prefix="lc",
+    )
+    homes = _populate(svc, placements)
+    harness = ElasticHarness(svc, homes, monitor=LoadMonitor(half_life=5.0))
+    FaultInjector(svc.network, seed=seed)
+    victim, _sibling = _presplit_sw_quadrant(harness, "c")
+
+    rng = random.Random(seed + 1)
+    positions = dict(placements)
+    for _ in range(warm_ticks):
+        harness.apply_reports(_tick_reports(rng, positions))
+        svc.run(_advance(svc, dt))
+        harness.sample()
+
+    # The mid-tick kill: half this tick's reports land, then the
+    # process dies; the rest of the tick runs against a dead agent.
+    reports = _tick_reports(rng, positions)
+    half_ix = len(reports) // 2
+    harness.apply_reports(reports[:half_ix])
+    inject_crash(svc, victim)
+    deferred = _apply_guarded(harness, reports[half_ix:])
+    svc.run(_advance(svc, dt))
+    harness.sample()
+
+    coordinator = RecoveryCoordinator(
+        svc, executor=harness.executor, monitor=harness.monitor
+    )
+    recovery = coordinator.recover_dead_leaf(victim, strategy=strategy)
+    assert recovery is not None, "crashed leaf answered a liveness probe"
+    harness.homes.update(recovery.new_homes)
+
+    recovery_ticks = None
+    for tick in range(post_ticks):
+        harness.apply_reports(_tick_reports(rng, positions), **_FAULT_TIMEOUTS)
+        svc.run(_advance(svc, dt))
+        harness.sample()
+        if recovery_ticks is None:
+            svc.settle()
+            if svc.total_tracked() == objects:
+                recovery_ticks = tick + 1
+
+    return {
+        "scenario": "leaf_crash_midtick",
+        "objects": objects,
+        "strategy": strategy,
+        "victim": victim,
+        "warm_ticks": warm_ticks,
+        "post_ticks": post_ticks,
+        "dt_s": dt,
+        "deferred_reports": deferred,
+        "detection": {
+            "attempts": recovery.detection_attempts,
+            "time_s": round(recovery.detection_time_s, 3),
+        },
+        "replayed_records": recovery.replayed_records,
+        "moved": recovery.moved,
+        "new_home": recovery.new_home,
+        "recovery_ticks": recovery_ticks,
+        **_invariant_block(svc, harness, objects),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2 — subtree partitioned, then healed
+# ---------------------------------------------------------------------------
+
+
+def partition_scenario(
+    objects: int = 400,
+    warm_ticks: int = 3,
+    partition_ticks: int = 4,
+    heal_ticks: int = 6,
+    dt: float = 1.0,
+    seed: int = 0,
+) -> dict:
+    """Sever one leaf from every other server; measure staleness and
+    reconvergence after the heal.  §6.5 caches run fully enabled so the
+    staleness window is real cached state, not a vacuous zero."""
+    svc = _fresh_service(cache_config=CacheConfig.all_enabled())
+    placements = hotspot_positions(
+        _BOUNDS,
+        HotspotSpec(area=_BOUNDS, fraction=0.0),  # uniform scatter
+        objects,
+        seed=seed,
+        prefix="pt",
+    )
+    homes = _populate(svc, placements)
+    harness = ElasticHarness(svc, homes, monitor=LoadMonitor(half_life=5.0))
+    injector = FaultInjector(svc.network, seed=seed)
+    isolated = "root.0"
+
+    rng = random.Random(seed + 1)
+    positions = dict(placements)
+    # Warm phase: ordinary traffic plus targeted queries so live leaves
+    # cache routes into the soon-to-be-isolated subtree.
+    prober = svc.new_client(entry_server="root.1")
+    isolated_oids = [oid for oid, home in harness.homes.items() if home == isolated]
+    for _ in range(warm_ticks):
+        harness.apply_reports(_tick_reports(rng, positions, radius=60.0))
+        for oid in isolated_oids[:4]:
+            svc.run(prober.pos_query(oid))
+        svc.run(_advance(svc, dt))
+        harness.sample()
+
+    others = [sid for sid in svc.hierarchy.server_ids() if sid != isolated]
+    severed_links = injector.partition([isolated], others)
+    cache_staleness_ticks = 0
+    deferred = 0
+    for _ in range(partition_ticks):
+        reports = _tick_reports(rng, positions, radius=60.0)
+        deferred += _apply_guarded(harness, reports)
+        stale = any(
+            svc.servers[sid].caches.holds_route_to(isolated)
+            for sid in svc.hierarchy.leaf_ids()
+            if sid != isolated and sid in svc.servers
+        )
+        if stale:
+            cache_staleness_ticks += 1
+        svc.run(_advance(svc, dt))
+        harness.sample()
+    unresolved_at_heal = sum(
+        1
+        for oid, pos in positions.items()
+        if (home := harness.homes.get(oid)) is None
+        or not svc.servers[home].config.contains(pos)
+    )
+    healed_links = injector.heal_partition()
+
+    reconvergence_ticks = None
+    for tick in range(heal_ticks):
+        harness.apply_reports(_tick_reports(rng, positions, radius=60.0), **_FAULT_TIMEOUTS)
+        svc.run(_advance(svc, dt))
+        harness.sample()
+        if reconvergence_ticks is None:
+            svc.settle()
+            if (
+                svc.total_tracked() == objects
+                and _fully_homed(svc, harness, positions)
+                and _consistency_ok(svc)
+            ):
+                reconvergence_ticks = tick + 1
+
+    return {
+        "scenario": "partition_heal",
+        "objects": objects,
+        "isolated": isolated,
+        "warm_ticks": warm_ticks,
+        "partition_ticks": partition_ticks,
+        "heal_ticks": heal_ticks,
+        "dt_s": dt,
+        "severed_links": severed_links,
+        "healed_links": healed_links,
+        "deferred_reports": deferred,
+        "unresolved_crossings_at_heal": unresolved_at_heal,
+        "cache_staleness_ticks": cache_staleness_ticks,
+        "reconvergence_ticks": reconvergence_ticks,
+        **_invariant_block(svc, harness, objects),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3 — server crashed in each migration phase
+# ---------------------------------------------------------------------------
+
+
+def migration_crash_scenario(
+    phase: str = "copy",
+    objects: int = 400,
+    warm_ticks: int = 2,
+    post_ticks: int = 5,
+    dt: float = 1.0,
+    seed: int = 0,
+) -> dict:
+    """Crash a server inside one phased-migration phase and recover.
+
+    ``copy`` and ``dual_write`` crash the *source* leaf before cutover:
+    recovery aborts the migration (discard — the epoch is untouched and
+    nothing staged was routable), WAL-replays the source in place, and
+    then re-runs the same plan cleanly.  ``cutover`` crashes a freshly
+    spawned child *after* the epoch bump: recovery rolls forward by
+    replaying the staged store's WAL.  Either way the report stream
+    rebuilds every sighting — zero lost, zero duplicated.
+    """
+    if phase not in ("copy", "dual_write", "cutover"):
+        raise ValueError(f"unknown migration phase {phase!r}")
+    svc = _fresh_service()
+    placements = hotspot_positions(
+        _BOUNDS,
+        HotspotSpec(area=Rect(40.0, 40.0, 710.0, 710.0), fraction=0.55),
+        objects,
+        seed=seed,
+        prefix=f"mc-{phase}",
+    )
+    homes = _populate(svc, placements)
+    harness = ElasticHarness(svc, homes, monitor=LoadMonitor(half_life=5.0))
+    FaultInjector(svc.network, seed=seed)
+
+    rng = random.Random(seed + 2)
+    positions = dict(placements)
+    for _ in range(warm_ticks):
+        harness.apply_reports(_tick_reports(rng, positions))
+        svc.run(_advance(svc, dt))
+        harness.sample()
+
+    source = "root.0"
+    children = (
+        ("root.0/s.0", Rect(0.0, 0.0, _QUARTER, _HALF)),
+        ("root.0/s.1", Rect(_QUARTER, 0.0, _HALF, _HALF)),
+    )
+    plan = SplitPlan(
+        leaf_id=source,
+        axis="x",
+        cuts=(_QUARTER,),
+        children=children,
+        reason=f"chaos {phase}",
+    )
+    epoch_before = svc.hierarchy.epoch
+    migration = harness.executor.begin(plan)
+    if phase == "copy":
+        # Crash mid-copy: only part of the snapshot is staged.
+        harness.executor.step(migration, max_objects=25)
+        victim = source
+    elif phase == "dual_write":
+        # Copy complete, dual-write window open across one live tick.
+        harness.executor.step(migration)
+        harness.apply_reports(_tick_reports(rng, positions))
+        svc.run(_advance(svc, dt))
+        harness.sample()
+        victim = source
+    else:  # cutover — the epoch has bumped; crash a new child after it
+        harness.executor.step(migration)
+        report = harness.executor.cutover(migration)
+        harness.homes.update(report.new_homes)
+        victim = children[0][0]
+    inject_crash(svc, victim)
+
+    coordinator = RecoveryCoordinator(
+        svc, executor=harness.executor, monitor=harness.monitor
+    )
+    # In-place WAL-replay restart for every phase: pre-cutover it is
+    # the *abort* (inside recover_leaf) that makes recovery exact,
+    # post-cutover the staged WAL rolls the new topology forward.
+    recovery = coordinator.recover_dead_leaf(victim, strategy="restart")
+    assert recovery is not None, "crashed server answered a liveness probe"
+    epoch_after_recovery = svc.hierarchy.epoch
+    discarded = phase != "cutover"
+
+    recovery_ticks = None
+    rerun_moved = 0
+    for tick in range(post_ticks):
+        harness.apply_reports(_tick_reports(rng, positions), **_FAULT_TIMEOUTS)
+        svc.run(_advance(svc, dt))
+        harness.sample()
+        if recovery_ticks is None:
+            svc.settle()
+            if svc.total_tracked() == objects:
+                recovery_ticks = tick + 1
+        if discarded and tick == 0:
+            # The discard left clean state at the old epoch — prove it
+            # by re-running the identical plan to completion.
+            rerun = harness.executor.execute(plan)
+            harness.homes.update(rerun.new_homes)
+            rerun_moved = rerun.moved
+
+    return {
+        "scenario": f"migration_crash_{phase}",
+        "objects": objects,
+        "phase": phase,
+        "victim": victim,
+        "warm_ticks": warm_ticks,
+        "post_ticks": post_ticks,
+        "dt_s": dt,
+        "copied_before_crash": migration.copied,
+        "detection": {
+            "attempts": recovery.detection_attempts,
+            "time_s": round(recovery.detection_time_s, 3),
+        },
+        "replayed_records": recovery.replayed_records,
+        "discarded": discarded,
+        "rolled_forward": not discarded,
+        "rerun_moved": rerun_moved,
+        "epoch_before": epoch_before,
+        "epoch_after_recovery": epoch_after_recovery,
+        "epoch_unchanged_by_discard": (
+            epoch_after_recovery == epoch_before if discarded else None
+        ),
+        "recovery_ticks": recovery_ticks,
+        **_invariant_block(svc, harness, objects),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Bench payload (BENCH_PR6.json)
+# ---------------------------------------------------------------------------
+
+
+def chaos_benchmark_payload(objects: int = 400, seed: int = 0) -> dict:
+    """All five injected fault classes, one artifact.
+
+    Acceptance numbers (gated by ``scripts/bench_check.py``):
+    ``zero_lost_all_scenarios`` and ``zero_duplicated_all_scenarios``
+    must be true, ``max_recovery_ticks`` ≤ 3 and
+    ``reconvergence_ticks`` ≤ 3 (each well under the scenarios' post-
+    fault tick budgets, so a recovery that merely limps to the deadline
+    fails the gate).
+    """
+    scenarios = {
+        "leaf_crash_midtick": leaf_crash_scenario(objects=objects, seed=seed),
+        "partition_heal": partition_scenario(objects=objects, seed=seed),
+        "migration_crash_copy": migration_crash_scenario(
+            "copy", objects=objects, seed=seed
+        ),
+        "migration_crash_dual_write": migration_crash_scenario(
+            "dual_write", objects=objects, seed=seed
+        ),
+        "migration_crash_cutover": migration_crash_scenario(
+            "cutover", objects=objects, seed=seed
+        ),
+    }
+    recovery_ticks = [
+        result["recovery_ticks"]
+        for result in scenarios.values()
+        if result.get("recovery_ticks") is not None
+    ]
+    detection_times = [
+        result["detection"]["time_s"]
+        for result in scenarios.values()
+        if "detection" in result
+    ]
+    return {
+        "bench": "chaos: fault injection, crash-exact recovery, partition reconvergence",
+        "objects": objects,
+        "seed": seed,
+        "scenarios": scenarios,
+        "zero_lost_all_scenarios": all(
+            result["lost_sightings"] == 0 for result in scenarios.values()
+        ),
+        "zero_duplicated_all_scenarios": all(
+            result["duplicated_sightings"] == 0 for result in scenarios.values()
+        ),
+        "epoch_consistent_all_scenarios": all(
+            result["epoch_consistent"] for result in scenarios.values()
+        ),
+        "max_recovery_ticks": max(recovery_ticks) if recovery_ticks else None,
+        "max_detection_time_s": (
+            round(max(detection_times), 3) if detection_times else None
+        ),
+        "cache_staleness_ticks": scenarios["partition_heal"]["cache_staleness_ticks"],
+        "reconvergence_ticks": scenarios["partition_heal"]["reconvergence_ticks"],
+        "faults_injected_total": sum(
+            result["faults_injected"] for result in scenarios.values()
+        ),
+    }

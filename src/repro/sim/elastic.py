@@ -175,6 +175,7 @@ class ElasticHarness:
             if (
                 server is not None
                 and server.is_leaf
+                and not svc.network.is_down(home)
                 and server.config.contains(pos)
                 and server.store.visitors.leaf_record(oid) is not None
             ):
@@ -649,6 +650,12 @@ def _run_scenario(
         "epoch_retries": sum(s.stats.epoch_retries for s in all_servers),
         "invalidations_sent": sum(r.invalidations_sent for r in harness.migrations),
         "dual_writes": sum(r.dual_writes for r in harness.migrations),
+        # Fault accounting (the service is fresh per scenario, so the raw
+        # network counters are per-scenario totals; zero in fault-free
+        # runs — the chaos scenarios in repro.sim.chaos light them up).
+        "faults_injected": svc.network.stats.faults_injected,
+        "dropped_deliveries": svc.network.stats.messages_dropped,
+        "duplicated_deliveries": svc.network.stats.messages_duplicated,
         "max_sustained_load_ops_per_s": max(sustained.values(), default=0.0),
         "per_server_sustained_ops_per_s": {
             sid: round(rate, 2) for sid, rate in sorted(sustained.items())

@@ -146,16 +146,42 @@ class MessageLedger:
     the traffic since then with :meth:`delta` /
     :meth:`protocol_messages`.  The elastic scenarios and the protocol-
     batch bench use this to compare the batched and per-report lanes.
+
+    Dropped and duplicated deliveries are tracked **distinctly** from
+    sent traffic: an injected duplicate never increments ``by_type`` or
+    ``messages_sent`` (the sender paid for one send; the network
+    manufactured the copies), so :meth:`delta` stays an honest sender-
+    side traffic count and :meth:`duplicated_deliveries` /
+    :meth:`dropped_deliveries` report what the fault layer did to it.
     """
 
-    __slots__ = ("_stats", "_baseline")
+    __slots__ = ("_stats", "_baseline", "_dropped", "_duplicated", "_faults")
 
     def __init__(self, stats) -> None:
         self._stats = stats
         self._baseline: dict[str, int] = dict(stats.by_type)
+        self._dropped = stats.messages_dropped
+        self._duplicated = getattr(stats, "messages_duplicated", 0)
+        self._faults = getattr(stats, "faults_injected", 0)
 
     def rebase(self) -> None:
         self._baseline = dict(self._stats.by_type)
+        self._dropped = self._stats.messages_dropped
+        self._duplicated = getattr(self._stats, "messages_duplicated", 0)
+        self._faults = getattr(self._stats, "faults_injected", 0)
+
+    def dropped_deliveries(self) -> int:
+        """Messages dropped (crashes, drop rate, injected faults) since
+        the last (re)base."""
+        return self._stats.messages_dropped - self._dropped
+
+    def duplicated_deliveries(self) -> int:
+        """Fault-injected duplicate deliveries since the last (re)base."""
+        return getattr(self._stats, "messages_duplicated", 0) - self._duplicated
+
+    def faults_injected(self) -> int:
+        """Fault-injector rule firings since the last (re)base."""
+        return getattr(self._stats, "faults_injected", 0) - self._faults
 
     def delta(self) -> dict[str, int]:
         """Messages sent per type since the last (re)base, zeros omitted."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Iterator
@@ -103,8 +104,11 @@ class FileStore(PersistentStore):
         try:
             with open(self._log_path, "a", encoding="utf-8") as f:
                 f.write(line + "\n")
+                # The append boundary is the durability point: always push
+                # the record out of the interpreter's buffer; fsync through
+                # the OS cache too when durability was requested.
+                f.flush()
                 if self._durable:
-                    f.flush()
                     os.fsync(f.fileno())
         except OSError as exc:
             raise StorageError(f"cannot append to {self._log_path}: {exc}") from exc
@@ -125,12 +129,30 @@ class FileStore(PersistentStore):
                         # A torn final line after a crash is expected with
                         # a WAL; anything mid-file is corruption.
                         if path == self._log_path and line_no == _line_count(path):
+                            warnings.warn(
+                                f"skipping torn trailing record at {path}:{line_no}"
+                                " (interrupted append)",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
                             continue
                         raise StorageError(
                             f"corrupt record at {path}:{line_no}: {exc}"
                         ) from exc
 
     def compact(self, snapshot_records: list[LogRecord]) -> None:
+        """Atomically replace snapshot + log with ``snapshot_records``.
+
+        Crash-safety argument: the snapshot is fully written and fsync'd
+        under a temporary name, renamed into place with ``os.replace``,
+        and the *directory entry* is fsync'd before the log is unlinked.
+        A host crash therefore leaves either (a) the old snapshot + old
+        log (rename not yet durable), or (b) the new snapshot, possibly
+        still with the old log — never neither.  Case (b) replays stale
+        log records *after* the snapshot that already folded them in,
+        which is harmless: every visitor-DB operation is a keyed upsert
+        or remove, so re-applying a suffix of history is idempotent.
+        """
         tmp = self._snapshot_path.with_suffix(".snapshot.tmp")
         try:
             with open(tmp, "w", encoding="utf-8") as f:
@@ -142,8 +164,12 @@ class FileStore(PersistentStore):
                 f.flush()
                 os.fsync(f.fileno())
             os.replace(tmp, self._snapshot_path)
+            if self._durable:
+                _fsync_dir(self._snapshot_path.parent)
             if self._log_path.exists():
                 os.unlink(self._log_path)
+                if self._durable:
+                    _fsync_dir(self._log_path.parent)
         except OSError as exc:
             raise StorageError(f"compaction failed for {self._snapshot_path}: {exc}") from exc
 
@@ -153,6 +179,15 @@ class FileStore(PersistentStore):
             for path in (self._snapshot_path, self._log_path)
             if path.exists()
         )
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry (rename/unlink durability on POSIX)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _line_count(path: Path) -> int:

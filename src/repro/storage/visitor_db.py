@@ -130,6 +130,11 @@ class VisitorDB:
         remembered, so ``False`` means *no evidence*, not proof)."""
         return object_id in self._tombstones
 
+    @property
+    def store(self) -> PersistentStore:
+        """The persistent backing store (crash-recovery replays it)."""
+        return self._store
+
     # -- lookup --------------------------------------------------------------
 
     def get(self, object_id: str) -> VisitorRecord | None:

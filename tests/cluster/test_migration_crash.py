@@ -1,0 +1,179 @@
+"""Crash-exact recovery at every migration phase boundary.
+
+The satellite matrix behind the chaos layer's migration scenarios: a
+server is killed before ``begin``, during the copy, during dual-write,
+and after cutover — in a quiesced lane (no traffic inside the
+migration window) and an overlapped one (position reports keep landing
+between copy steps).  Every cell must end with zero lost and zero
+duplicated sightings and every live server at the current topology
+epoch: pre-cutover crashes are recovered by *discarding* the window
+(the epoch never moves) and re-running it, the post-cutover crash by
+rolling the committed child forward from its WAL.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos import RecoveryCoordinator, inject_crash
+from repro.cluster import MigrationExecutor, SplitPlan
+from repro.core import messages as m
+from repro.geo import Point, Rect
+from repro.model import SightingRecord
+from repro.runtime.base import Endpoint
+from repro.sim.scenario import table2_service
+
+PHASES = ("before_begin", "copy", "dual_write", "cutover")
+LANES = ("quiesced", "overlapped")
+
+OBJECTS = 150
+
+
+class Reporter(Endpoint):
+    _counter = 0
+
+    def __init__(self):
+        type(self)._counter += 1
+        super().__init__(f"crash-test-reporter-{type(self)._counter}")
+
+    async def send_update(self, agent: str, oid: str, pos: Point) -> m.UpdateRes:
+        res = await self.request(
+            agent,
+            m.UpdateReq(
+                request_id=self.next_request_id(),
+                reply_to=self.address,
+                sighting=SightingRecord(oid, 0.0, pos, 10.0),
+            ),
+        )
+        assert isinstance(res, m.UpdateRes)
+        return res
+
+
+def _split_plan():
+    return SplitPlan(
+        leaf_id="root.0",
+        axis="x",
+        cuts=(375.0,),
+        children=(
+            ("root.0/t.0", Rect(0.0, 0.0, 375.0, 750.0)),
+            ("root.0/t.1", Rect(375.0, 0.0, 750.0, 750.0)),
+        ),
+        reason="crash matrix",
+    )
+
+
+class Fixture:
+    """One table-2 service plus the bookkeeping the matrix cells share."""
+
+    def __init__(self, seed: int):
+        self.svc, self.homes = table2_service(object_count=OBJECTS, seed=seed)
+        self.rng = random.Random(seed)
+        self.reporter = Reporter()
+        self.svc.network.join(self.reporter)
+        self.executor = MigrationExecutor(self.svc)
+        self.coordinator = RecoveryCoordinator(self.svc, executor=self.executor)
+        self.local = [o for o, h in self.homes.items() if h == "root.0"]
+
+    def report(self, oid: str, agent: str | None = None) -> None:
+        """One position report inside root.0's quadrant; repoints homes."""
+        pos = Point(self.rng.uniform(0.0, 750.0), self.rng.uniform(0.0, 750.0))
+        res = self.svc.run(
+            self.reporter.send_update(agent or self.homes[oid], oid, pos)
+        )
+        assert res.ok
+        self.homes[oid] = res.agent
+
+    def rebuild_sightings(self) -> None:
+        """Re-report every object once — the soft-state rebuild the
+        paper promises 'as position update requests come in'."""
+        for oid in list(self.homes):
+            self.report(oid)
+
+    def assert_exact(self) -> None:
+        """Zero lost, zero duplicated, consistent epoch everywhere."""
+        svc = self.svc
+        assert svc.total_tracked() == OBJECTS  # tracked > OBJECTS ⇒ duplicates
+        svc.hierarchy.validate()
+        svc.check_consistency()
+        epoch = svc.hierarchy.epoch
+        assert all(s.topology_epoch == epoch for s in svc.servers.values())
+
+
+def _drive_to_phase(fx: Fixture, plan, phase: str, lane: str):
+    """Advance the migration to ``phase`` and return the in-flight
+    migration (None when the window never opened).  Overlapped lanes
+    interleave live reports with the copy steps."""
+    if phase == "before_begin":
+        return None
+    migration = fx.executor.begin(plan)
+    if phase == "copy":
+        fx.executor.step(migration, max_objects=10)
+        if lane == "overlapped":
+            for oid in fx.local[:5]:
+                fx.report(oid, agent="root.0")
+        fx.executor.step(migration, max_objects=10)
+    else:  # dual_write or cutover: finish the copy, mirrors stay armed
+        fx.executor.step(migration)
+        if lane == "overlapped":
+            for oid in fx.local[:5]:
+                fx.report(oid, agent="root.0")
+    return migration
+
+
+@pytest.mark.parametrize("lane", LANES)
+@pytest.mark.parametrize("phase", PHASES)
+def test_crash_recovery_is_exact_at_every_boundary(phase, lane):
+    fx = Fixture(seed=11 + PHASES.index(phase))
+    plan = _split_plan()
+    epoch_before = fx.svc.hierarchy.epoch
+
+    migration = _drive_to_phase(fx, plan, phase, lane)
+    if phase == "cutover":
+        report = fx.executor.cutover(migration)
+        fx.homes.update(report.new_homes)
+        victim = "root.0/t.0"
+    else:
+        victim = "root.0"
+
+    inject_crash(fx.svc, victim)
+    recovery = fx.coordinator.recover_dead_leaf(victim, strategy="restart")
+    assert recovery is not None
+    assert list(fx.executor.in_flight) == []
+
+    if phase == "cutover":
+        # The committed window rolls forward: the child restarts from the
+        # WAL the cutover staged, at the (bumped) epoch.
+        assert fx.svc.hierarchy.epoch == epoch_before + 1
+        assert recovery.replayed_records == sum(
+            1 for h in fx.homes.values() if h == victim
+        )
+    else:
+        # Pre-cutover crashes discard: the epoch never moved, the staged
+        # children never joined the network.
+        assert fx.svc.hierarchy.epoch == epoch_before
+        assert "root.0/t.0" not in fx.svc.servers
+        assert fx.svc.servers["root.0"].is_leaf
+
+    fx.rebuild_sightings()
+    fx.assert_exact()
+
+    if phase != "cutover":
+        # The discarded window re-runs cleanly, per lane.
+        if lane == "quiesced":
+            rerun = fx.executor.execute(plan)
+        else:
+            rerun = _overlapped_rerun(fx, plan)
+        assert rerun.moved == sum(1 for h in fx.homes.values() if h == "root.0")
+        fx.homes.update(rerun.new_homes)
+        assert fx.svc.hierarchy.epoch == epoch_before + 1
+        fx.svc.settle()
+        fx.assert_exact()
+
+
+def _overlapped_rerun(fx: Fixture, plan):
+    """Re-run the discarded window with reports landing between steps."""
+    migration = fx.executor.begin(plan)
+    while fx.executor.step(migration, max_objects=20):
+        for oid in fx.local[:3]:
+            fx.report(oid, agent="root.0")
+    return fx.executor.cutover(migration)

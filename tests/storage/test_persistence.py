@@ -59,10 +59,50 @@ class TestFileStore:
         stem = tmp_path / "visitors"
         store = FileStore(stem)
         store.append("leaf", {"oid": "a"})
-        # Simulate a crash mid-append: a torn, incomplete final record.
+        # Simulate a crash mid-append: a torn, incomplete final record
+        # is skipped with a warning, never treated as corruption.
         with open(tmp_path / "visitors.log", "a", encoding="utf-8") as f:
             f.write('{"op": "leaf", "data": {"oid": "b"')
-        assert list(FileStore(stem).replay()) == [("leaf", {"oid": "a"})]
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            records = list(FileStore(stem).replay())
+        assert records == [("leaf", {"oid": "a"})]
+
+    def test_appends_continue_after_torn_recovery(self, tmp_path):
+        # The WAL keeps working after a crash truncated its tail: the
+        # torn record is skipped on replay, new appends land after it.
+        stem = tmp_path / "visitors"
+        store = FileStore(stem)
+        store.append("leaf", {"oid": "a"})
+        with open(tmp_path / "visitors.log", "a", encoding="utf-8") as f:
+            f.write('{"op": "leaf", "data": {"oid": "b"')
+        with pytest.warns(RuntimeWarning):
+            list(FileStore(stem).replay())
+        reopened = FileStore(stem)
+        reopened.compact([("leaf", {"oid": "a"})])
+        reopened.append("leaf", {"oid": "c"})
+        assert list(reopened.replay()) == [
+            ("leaf", {"oid": "a"}),
+            ("leaf", {"oid": "c"}),
+        ]
+
+    def test_torn_snapshot_is_corruption(self, tmp_path):
+        # Snapshots are written atomically (tmp + rename), so a torn
+        # line there can never be an interrupted append — fail loudly.
+        stem = tmp_path / "visitors"
+        store = FileStore(stem)
+        store.compact([("leaf", {"oid": "a"})])
+        with open(tmp_path / "visitors.snapshot", "a", encoding="utf-8") as f:
+            f.write('{"op": "leaf", "data": {"oid": "b"')
+        with pytest.raises(StorageError):
+            list(FileStore(stem).replay())
+
+    def test_compact_leaves_no_temp_files(self, tmp_path):
+        stem = tmp_path / "visitors"
+        store = FileStore(stem, durable=True)
+        store.append("leaf", {"oid": "a"})
+        store.compact([("leaf", {"oid": "a"})])
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["visitors.snapshot"]
 
     def test_midfile_corruption_raises(self, tmp_path):
         stem = tmp_path / "visitors"

@@ -36,6 +36,7 @@ class TestQuickstartContract:
 
     def test_subpackage_all_exports_resolve(self):
         import repro.baselines
+        import repro.chaos
         import repro.core
         import repro.geo
         import repro.model
@@ -47,6 +48,7 @@ class TestQuickstartContract:
 
         for module in (
             repro.baselines,
+            repro.chaos,
             repro.core,
             repro.geo,
             repro.model,
