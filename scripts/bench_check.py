@@ -21,6 +21,11 @@ one:
 * ``BENCH_PR6.json`` — zero lost **and** zero duplicated sightings
   after every injected fault class, consistent epochs everywhere,
   ``max_recovery_ticks`` ≤ 3, ``reconvergence_ticks`` ≤ 3.
+* ``BENCH_PR7.json`` — zero lost sightings on every real-transport
+  lane (in-process, multi-process UDP, and UDP with injected loss),
+  and ``min_throughput_ratio`` ≥ 0.25 (the multi-process lane pays
+  real serialization + syscalls — the gate catches collapse such as a
+  retry storm, not the expected constant factor).
 
 Usage::
 
@@ -200,6 +205,29 @@ CHECKS: dict[str, list[Check]] = {
                 p["reconvergence_ticks"],
                 p["reconvergence_ticks"] is not None
                 and p["reconvergence_ticks"] <= 3,
+            ),
+        ),
+    ],
+    "BENCH_PR7.json": [
+        Check(
+            "zero lost sightings (all real-transport lanes, incl. UDP loss)",
+            lambda p: _threshold(
+                p["lanes_lost"], bool(p["zero_lost_all_lanes"])
+            ),
+        ),
+        Check(
+            "multi-process min_throughput_ratio >= 0.25 (no collapse)",
+            lambda p: _threshold(
+                p["min_throughput_ratio"],
+                p["min_throughput_ratio"] is not None
+                and p["min_throughput_ratio"] >= 0.25,
+            ),
+        ),
+        Check(
+            "udp_loss lane actually lost datagrams (fault was real)",
+            lambda p: _threshold(
+                p["udp_loss"]["driver_messages_dropped"],
+                p["udp_loss"]["driver_messages_dropped"] > 0,
             ),
         ),
     ],

@@ -38,6 +38,15 @@ minutes.  This script is the middle ground:
   ``zero_lost_all_scenarios`` and ``zero_duplicated_all_scenarios``
   (both true), ``max_recovery_ticks`` ≤ 3 and ``reconvergence_ticks``
   ≤ 3.
+* **PR7** — the real-transport lane: both acceptance scenarios run
+  in-process (asyncio runtime) and multi-process (one OS process per
+  server, UDP sockets, versioned wire codec), plus a lossy-UDP lane
+  recovered entirely by protocol retries → ``BENCH_PR7.json``.  The
+  acceptance numbers are ``zero_lost_all_lanes`` (true — including
+  over injected datagram loss) and ``min_throughput_ratio`` ≥ 0.25
+  (multi-process reports/s must not collapse vs. in-process; the
+  processes pay real serialization + syscalls, so the gate catches a
+  retry storm, not the expected constant factor).
 
 Usage::
 
@@ -288,6 +297,44 @@ def run_pr6(args) -> None:
     print(f"\nwrote {path} ({elapsed:.1f}s)")
 
 
+def run_pr7(args) -> None:
+    """The real-transport measurement (in-process vs. multi-process)."""
+    from repro.net.scenario import socket_benchmark_payload
+
+    start = time.perf_counter()
+    payload = socket_benchmark_payload(seed=args.seed)
+    payload["bench"] = "real-transport lane: sockets vs in-process (smoke)"
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = (
+        f"{'scenario':16s} {'in-proc rep/s':>14s} {'multi-proc rep/s':>17s} "
+        f"{'ratio':>6s} {'procs':>6s} {'lost':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, result in payload["scenarios"].items():
+        print(
+            f"{name:16s} {result['in_process']['reports_per_s']:>12,.0f}/s "
+            f"{result['multi_process']['reports_per_s']:>15,.0f}/s "
+            f"{result['throughput_ratio']:>6.2f} "
+            f"{result['multi_process']['processes']:>6d} "
+            f"{result['multi_process']['lost_sightings']:>5d}"
+        )
+    loss = payload["udp_loss"]
+    print(
+        f"{'udp_loss':16s} {'-':>13s}  {loss['reports_per_s']:>15,.0f}/s "
+        f"{'-':>6s} {loss['processes']:>6d} {loss['lost_sightings']:>5d} "
+        f"(driver drops: {loss['driver_messages_dropped']})"
+    )
+    print(
+        f"zero lost (all lanes): {payload['zero_lost_all_lanes']}, "
+        f"min throughput ratio: {payload['min_throughput_ratio']}"
+    )
+    path = write_bench_json(args.out_pr7, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
@@ -303,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-pr4", default="BENCH_PR4.json")
     parser.add_argument("--out-pr5", default="BENCH_PR5.json")
     parser.add_argument("--out-pr6", default="BENCH_PR6.json")
+    parser.add_argument("--out-pr7", default="BENCH_PR7.json")
     parser.add_argument(
         "--skip-pr1", action="store_true", help="skip the fast-path bench"
     )
@@ -321,6 +369,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-pr6", action="store_true", help="skip the chaos bench"
     )
+    parser.add_argument(
+        "--skip-pr7", action="store_true", help="skip the real-transport bench"
+    )
     args = parser.parse_args(argv)
 
     ran = False
@@ -331,6 +382,7 @@ def main(argv: list[str] | None = None) -> int:
         (args.skip_pr4, run_pr4),
         (args.skip_pr5, run_pr5),
         (args.skip_pr6, run_pr6),
+        (args.skip_pr7, run_pr7),
     ):
         if skip:
             continue

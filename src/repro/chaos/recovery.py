@@ -88,8 +88,62 @@ class RecoveryCoordinator:
         )
         self.probe_timeout = probe_timeout
         self.reports: list[RecoveryReport] = []
+        #: destinations whose protocol envelopes exhausted their retry
+        #: budget, with the exhaustion count — fed by :meth:`watch`,
+        #: drained by :meth:`process_suspects`.
+        self.suspects: dict[str, int] = {}
+        self._watching = False
         self._prober = Endpoint(f"chaos-prober-{next(_prober_ids)}")
         service.network.join(self._prober)
+
+    # -- envelope-death subscription -----------------------------------------
+
+    def watch(self) -> "RecoveryCoordinator":
+        """Let the protocol lane report dead destinations itself.
+
+        Subscribes to the service's envelope-death notifications: any
+        envelope that burns its whole :class:`RetryPolicy` adds its
+        destination to :attr:`suspects`.  The listener only records —
+        the exhaustion fires inside the driving coroutine, where probing
+        or recovering would re-enter the event loop — and
+        :meth:`process_suspects` later confirms each suspect with the
+        usual backoff probes and recovers the ones that really are dead.
+        Idempotent; returns ``self`` for chaining.
+        """
+        if not self._watching:
+            self.svc.add_envelope_death_listener(self._on_envelope_death)
+            self._watching = True
+        return self
+
+    def unwatch(self) -> None:
+        """Stop recording envelope deaths (keeps existing suspects)."""
+        if self._watching:
+            self.svc.remove_envelope_death_listener(self._on_envelope_death)
+            self._watching = False
+
+    def _on_envelope_death(self, dest: str, what: str, attempts: int) -> None:
+        self.suspects[dest] = self.suspects.get(dest, 0) + 1
+
+    def process_suspects(
+        self, strategy: str = "merge"
+    ) -> dict[str, RecoveryReport | None]:
+        """Confirm-and-recover every recorded suspect, then forget them.
+
+        Each suspect gets the full :meth:`recover_dead_leaf` treatment:
+        backoff-spaced liveness probes first (a destination that answers
+        any probe was merely slow — transient loss, not a crash — and
+        maps to ``None``), then the chosen recovery strategy for the
+        confirmed-dead.  Suspects that are no longer live leaves (e.g. a
+        garbage-collected retirement alias) are skipped entirely.
+        """
+        results: dict[str, RecoveryReport | None] = {}
+        for server_id in sorted(self.suspects):
+            server = self.svc.servers.get(server_id)
+            if server is None or not server.is_leaf:
+                continue
+            results[server_id] = self.recover_dead_leaf(server_id, strategy=strategy)
+        self.suspects.clear()
+        return results
 
     # -- detection -----------------------------------------------------------
 

@@ -112,7 +112,10 @@ async def drive_protocol_envelope(
     re-attempts out.  ``make_envelope(dest)`` builds a fresh request per
     attempt (fresh request id, fresh timestamps).  Returns the response;
     raises :class:`~repro.errors.TransportError` when every attempt went
-    unanswered.
+    unanswered — after notifying the service's envelope-death listeners
+    (:meth:`LocationService.add_envelope_death_listener`), so a recovery
+    coordinator learns about a suspect destination from the protocol
+    lane itself rather than from harness-side liveness polling.
     """
     policy = RetryPolicy.of(retries)
     for attempt in range(policy.retries + 1):
@@ -126,6 +129,7 @@ async def drive_protocol_envelope(
             return await reporter.request(dest, make_envelope(dest), timeout=timeout)
         except TransportError:
             if attempt >= policy.retries:
+                service._note_envelope_death(dest, what, policy.retries + 1)
                 raise TransportError(
                     f"{what} envelope to {dest} unanswered after "
                     f"{policy.retries + 1} attempts"
@@ -236,6 +240,9 @@ class LocationService:
         self.retired_servers: dict[str, LocationServer] = {}
         #: per-object update observer (see :meth:`set_update_listener`).
         self._update_listener = None
+        #: envelope-exhaustion observers (see
+        #: :meth:`add_envelope_death_listener`).
+        self._envelope_death_listeners: list = []
         for server_id in hierarchy.server_ids():
             self.servers[server_id] = self._spawn(hierarchy.config(server_id))
         self._client_counter = 0
@@ -267,6 +274,33 @@ class LocationService:
         self._update_listener = listener
         for server in self.servers.values():
             server.update_listener = listener
+
+    def add_envelope_death_listener(self, listener) -> None:
+        """Subscribe to protocol-envelope retry exhaustion.
+
+        ``listener(dest, what, attempts)`` fires when a protocol-lane
+        envelope (:func:`drive_protocol_envelope` — the update, handover,
+        and deregistration drivers all route through it) burns its whole
+        :class:`RetryPolicy` against ``dest`` without an answer.  That is
+        the protocol's own dead-destination signal; the chaos layer's
+        :meth:`~repro.chaos.recovery.RecoveryCoordinator.watch` records
+        the suspect for confirmation instead of polling every server.
+
+        Listeners run *inside* the driving coroutine, immediately before
+        the :class:`~repro.errors.TransportError` is raised — they must
+        only record (no ``service.run`` reentry, no recovery inline).
+        """
+        if listener not in self._envelope_death_listeners:
+            self._envelope_death_listeners.append(listener)
+
+    def remove_envelope_death_listener(self, listener) -> None:
+        """Inverse of :meth:`add_envelope_death_listener` (idempotent)."""
+        if listener in self._envelope_death_listeners:
+            self._envelope_death_listeners.remove(listener)
+
+    def _note_envelope_death(self, dest: str, what: str, attempts: int) -> None:
+        for listener in tuple(self._envelope_death_listeners):
+            listener(dest, what, attempts)
 
     # -- wiring ------------------------------------------------------------
 
@@ -353,7 +387,16 @@ class LocationService:
         return sent
 
     def retire_server(self, server_id: str, successor: str) -> LocationServer:
-        """Retire a merged-away server to a forwarding alias."""
+        """Retire a merged-away server to a forwarding alias.
+
+        The successor is validated as a routable endpoint address up
+        front: an alias forwarding to a malformed address would dead-
+        letter every straggler it exists to save, and on a socket
+        transport the string must also survive the wire codec.
+        """
+        from repro.net.address import validate_address
+
+        validate_address(successor, what="forwarding successor")
         server = self.servers.pop(server_id)
         server.retire(successor)
         self.retired_servers[server_id] = server

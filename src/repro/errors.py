@@ -62,3 +62,17 @@ class TransportError(LocationServiceError):
 
 class ProtocolError(LocationServiceError):
     """A server received a message that violates the wire protocol."""
+
+
+class AddressError(TransportError):
+    """A logical endpoint address or ``host:port`` string is malformed.
+
+    Raised by :mod:`repro.net.address` — the single validation/parsing
+    helper every transport, launcher and forwarding-alias path goes
+    through instead of treating addresses as opaque strings.
+    """
+
+
+class WireError(ProtocolError):
+    """A wire frame could not be encoded or decoded (unknown message
+    type, bad framing, version mismatch, truncated payload)."""

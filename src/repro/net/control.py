@@ -1,0 +1,81 @@
+"""Node control-plane messages for the multi-process launcher.
+
+These ride the same wire as the protocol lane (they are ordinary
+:class:`~repro.runtime.base.Message` dataclasses, so the codec's
+auto-registration covers them) but address cluster *operations*, not
+locations: readiness probing reuses the protocol's own ``PingReq``;
+everything here is what ping cannot carry — stats snapshots, topology
+adoption, ordered shutdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.base import Message, Response
+
+__all__ = [
+    "NodeStatsReq",
+    "NodeStatsRes",
+    "AdoptHierarchyReq",
+    "AdoptHierarchyRes",
+    "NodeShutdownReq",
+    "NodeShutdownRes",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeStatsReq(Message):
+    """Ask a node for its server's tracked count, epoch and transport
+    counters (the launcher's cross-process ``verify`` primitive)."""
+
+    request_id: str
+    reply_to: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeStatsRes(Response):
+    request_id: str
+    server_id: str
+    #: objects this server is currently agent-of-record for.
+    tracked: int
+    #: the server's topology epoch.
+    epoch: int
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    dead_letters: int
+
+
+@dataclass(frozen=True, slots=True)
+class AdoptHierarchyReq(Message):
+    """Push an epoch-bumped hierarchy to a node.
+
+    ``hierarchy`` is the :func:`repro.net.wire.encode_hierarchy` wire
+    form serialized to JSON text (frames only carry registered types;
+    :class:`~repro.core.hierarchy.Hierarchy` is not a dataclass)."""
+
+    request_id: str
+    reply_to: str
+    hierarchy_json: str
+
+
+@dataclass(frozen=True, slots=True)
+class AdoptHierarchyRes(Response):
+    request_id: str
+    server_id: str
+    epoch: int  # the node's epoch after adoption
+
+
+@dataclass(frozen=True, slots=True)
+class NodeShutdownReq(Message):
+    """Ordered shutdown: the node acks, drains, and exits its loop."""
+
+    request_id: str
+    reply_to: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeShutdownRes(Response):
+    request_id: str
+    server_id: str

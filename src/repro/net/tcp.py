@@ -1,0 +1,136 @@
+"""TCP transport: ordered, reliable streams behind the same contract.
+
+Outgoing connections are cached per ``(host, port)`` and written to by
+a dedicated sender task fed from an outbox queue — ``transmit`` stays
+synchronous (the :class:`~repro.runtime.base.Context` contract) while
+connects and back-pressure happen on the loop.  A connection that fails
+is retried once with a fresh connect on the next write; bytes queued to
+a peer that stays unreachable are counted as drops, and the protocol
+lane's retries take it from there (same recovery story as UDP, it just
+fires far more rarely).
+
+Frames need no fragmentation here: the stream decoder reassembles
+arbitrarily chunked reads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import WireError
+from repro.net.transport import SocketTransport
+from repro.net.wire import FrameDecoder
+
+__all__ = ["TcpTransport"]
+
+
+class _Peer:
+    """Outbox + sender task for one remote ``(host, port)``."""
+
+    __slots__ = ("queue", "task")
+
+    def __init__(self, queue: asyncio.Queue, task: asyncio.Task) -> None:
+        self.queue = queue
+        self.task = task
+
+
+class TcpTransport(SocketTransport):
+    """Stream transport implementing the :class:`Context` contract."""
+
+    kind = "tcp"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._server: asyncio.base_events.Server | None = None
+        self._peers: dict[tuple[str, int], _Peer] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+
+    async def _open(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def _close(self) -> None:
+        for peer in self._peers.values():
+            peer.task.cancel()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        pending = [p.task for p in self._peers.values()] + list(self._reader_tasks)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._peers.clear()
+        self._reader_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- inbound -----------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except WireError as exc:
+                    self._on_wire_error(exc)
+                    break  # poisoned stream: drop the connection
+                if frames:
+                    self._on_frames(frames)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    # -- outbound ----------------------------------------------------------
+
+    def _send_bytes(self, data: bytes, location: tuple[str, int]) -> None:
+        peer = self._peers.get(location)
+        if peer is None:
+            queue: asyncio.Queue = asyncio.Queue()
+            task = asyncio.get_event_loop().create_task(
+                self._sender(location, queue), name=f"tcp-sender-{location}"
+            )
+            peer = _Peer(queue, task)
+            self._peers[location] = peer
+        peer.queue.put_nowait(data)
+
+    async def _sender(self, location: tuple[str, int], queue: asyncio.Queue) -> None:
+        writer: asyncio.StreamWriter | None = None
+        try:
+            while True:
+                data = await queue.get()
+                for attempt in (0, 1):
+                    if writer is None:
+                        try:
+                            _, writer = await asyncio.open_connection(*location)
+                        except OSError:
+                            writer = None
+                    if writer is not None:
+                        try:
+                            writer.write(data)
+                            await writer.drain()
+                            break
+                        except (ConnectionError, OSError):
+                            writer = None  # stale connection: reconnect once
+                else:
+                    # Unreachable peer: the frame is lost, like a dropped
+                    # datagram; retries at the protocol layer recover it.
+                    self.stats.messages_dropped += 1
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if writer is not None:
+                writer.close()

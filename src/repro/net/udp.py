@@ -1,0 +1,160 @@
+"""UDP transport: the paper's deployment story, datagrams and all.
+
+One frame per datagram on the common path; a ``send_many`` batch whose
+frame exceeds :data:`MAX_DATAGRAM_PAYLOAD` is split into
+:class:`Fragment` messages (each safely under the datagram ceiling) and
+reassembled at the receiver before normal dispatch — so envelope
+batching never silently truncates at 64 KiB.
+
+Loss semantics are UDP's: a dropped datagram is simply gone, and the
+protocol lane's ``RetryPolicy`` timeouts (unchanged from the simulated
+runtime) are what recover it.  The transport's own ``drop_rate`` knob
+exists so loss can be *provoked* deterministically on loopback, where
+real drops are rare.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import WireError
+from repro.net.transport import SocketTransport
+from repro.net.wire import FrameDecoder, encode_frame
+from repro.runtime.base import Message
+
+__all__ = ["UdpTransport", "Fragment", "MAX_DATAGRAM_PAYLOAD"]
+
+#: Keep frames comfortably below the 65,507-byte UDP payload limit —
+#: headroom for the fragment envelope's own framing overhead.
+MAX_DATAGRAM_PAYLOAD = 60_000
+
+#: Raw bytes per fragment: base64 inflates by 4/3, and the fragment
+#: rides inside its own JSON frame, so the chunk must leave the
+#: *encoded* fragment datagram under :data:`MAX_DATAGRAM_PAYLOAD`.
+FRAGMENT_CHUNK = 42_000
+
+#: Wire address fragments travel under (never a real endpoint).
+FRAGMENT_DST = "__fragment__"
+
+
+@dataclass(frozen=True, slots=True)
+class Fragment(Message):
+    """One slice of an oversized frame (``data`` is base64 text)."""
+
+    frag_id: str
+    index: int
+    count: int
+    data: str
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, transport: "UdpTransport") -> None:
+        self._transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._transport._on_datagram(data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - platform noise
+        pass
+
+
+class UdpTransport(SocketTransport):
+    """Datagram transport implementing the :class:`Context` contract."""
+
+    kind = "udp"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._sock = None
+        self._protocol = None
+        self._frag_counter = itertools.count()
+        #: frag_id → (count, {index: bytes}); reassembly is bounded by
+        #: dropping any partial batch older than ``_MAX_PARTIAL`` others.
+        self._partials: dict[str, tuple[int, dict[int, bytes]]] = {}
+
+    _MAX_PARTIAL = 256
+
+    async def _open(self) -> tuple[str, int]:
+        loop = asyncio.get_event_loop()
+        self._sock, self._protocol = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self), local_addr=(self.host, self.port)
+        )
+        host, port = self._sock.get_extra_info("sockname")[:2]
+        return host, port
+
+    async def _close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    # -- send --------------------------------------------------------------
+
+    def _send_bytes(self, data: bytes, location: tuple[str, int]) -> None:
+        if self._sock is None:
+            return
+        if len(data) <= MAX_DATAGRAM_PAYLOAD:
+            self._sock.sendto(data, location)
+            return
+        frag_id = f"{self.host}:{self.port}#{next(self._frag_counter)}"
+        chunks = [
+            data[i : i + FRAGMENT_CHUNK]
+            for i in range(0, len(data), FRAGMENT_CHUNK)
+        ]
+        for index, chunk in enumerate(chunks):
+            fragment = Fragment(
+                frag_id=frag_id,
+                index=index,
+                count=len(chunks),
+                data=base64.b64encode(chunk).decode("ascii"),
+            )
+            self._sock.sendto(
+                encode_frame("", FRAGMENT_DST, [fragment]), location
+            )
+
+    # -- receive -----------------------------------------------------------
+
+    def _on_datagram(self, data: bytes) -> None:
+        decoder = FrameDecoder()
+        try:
+            frames = decoder.feed(data)
+            if decoder.pending_bytes:
+                raise WireError("truncated datagram")
+        except WireError as exc:
+            self._on_wire_error(exc)
+            return
+        plain = []
+        for frame in frames:
+            if frame[1] == FRAGMENT_DST:
+                self._on_fragment(frame[2])
+            else:
+                plain.append(frame)
+        if plain:
+            self._on_frames(plain)
+
+    def _on_fragment(self, messages: list) -> None:
+        for fragment in messages:
+            if not isinstance(fragment, Fragment):
+                continue
+            count, chunks = self._partials.setdefault(
+                fragment.frag_id, (fragment.count, {})
+            )
+            chunks[fragment.index] = base64.b64decode(fragment.data)
+            if len(chunks) < count:
+                continue
+            del self._partials[fragment.frag_id]
+            whole = b"".join(chunks[i] for i in range(count))
+            decoder = FrameDecoder()
+            try:
+                frames = decoder.feed(whole)
+                if decoder.pending_bytes:
+                    raise WireError("truncated reassembled frame")
+            except WireError as exc:
+                self._on_wire_error(exc)
+                continue
+            self._on_frames(frames)
+        # Bound partial-state growth: UDP loss can strand reassemblies.
+        while len(self._partials) > self._MAX_PARTIAL:
+            self._partials.pop(next(iter(self._partials)))

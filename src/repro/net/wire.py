@@ -1,0 +1,363 @@
+"""Versioned, length-prefixed wire codec for the protocol messages.
+
+Every :class:`~repro.runtime.base.Message` dataclass in
+:mod:`repro.core.messages` (and any module that defines further
+subclasses, e.g. the launcher's control plane) is encodable without
+per-type code: types are **auto-registered by class name** from
+``Message.__subclasses__`` the first time an unknown type is seen, and
+their fields are walked in declaration order.  The geometry and
+service-model value types the messages embed (``Point``, ``Rect``,
+``SightingRecord``, ``RegistrationInfo``, …) are registered explicitly
+below.  Round-trips are exact: tuples stay tuples (the protocol uses no
+lists), floats round-trip by ``repr`` (including ``inf``), nested batch
+items and epoch stamps come back field-for-field equal.
+
+Wire format, one frame::
+
+    b"RW"  version:1  length:4 (big-endian)  payload:length
+
+The payload is compact JSON: ``{"s": src, "d": dst, "m": [message...]}``
+where every typed object is ``{"t": "<ClassName>", "f": [fields...]}``.
+JSON rather than pickle is a deliberate choice — the frames are
+inspectable on the wire, and a peer cannot make the decoder instantiate
+arbitrary code paths: only registered types construct.
+
+A frame carries *many* messages so the ``send_many`` coalescing the
+envelope lane relies on survives serialization: one batch, one frame,
+one datagram (or one stream write).  :class:`FrameDecoder` incrementally
+splits a byte stream (TCP) or a multi-frame datagram (UDP) back into
+frames.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Iterable
+
+from repro.core.hierarchy import ChildRef, Hierarchy, ServerConfig
+from repro.errors import WireError
+from repro.geo import Circle, Point, Polygon, Rect
+from repro.geo.point import Vector
+from repro.model import (
+    LocationDescriptor,
+    NearestNeighborResult,
+    RegistrationInfo,
+    SightingRecord,
+)
+from repro.runtime.base import Message
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAGIC",
+    "HEADER_SIZE",
+    "MAX_FRAME_SIZE",
+    "encode",
+    "decode",
+    "encode_frame",
+    "decode_frame",
+    "FrameDecoder",
+    "register_type",
+    "registered_types",
+    "encode_hierarchy",
+    "decode_hierarchy",
+]
+
+WIRE_VERSION = 1
+MAGIC = b"RW"
+HEADER_SIZE = len(MAGIC) + 1 + 4  # magic + version byte + length prefix
+#: Hard per-frame ceiling — a length prefix beyond this is treated as
+#: stream corruption, not an allocation request.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+_TYPE_KEY = "t"
+_FIELDS_KEY = "f"
+
+
+class _TypeEntry:
+    __slots__ = ("cls", "to_fields", "from_fields")
+
+    def __init__(
+        self,
+        cls: type,
+        to_fields: Callable[[object], list],
+        from_fields: Callable[[list], object],
+    ) -> None:
+        self.cls = cls
+        self.to_fields = to_fields
+        self.from_fields = from_fields
+
+
+_BY_NAME: dict[str, _TypeEntry] = {}
+_BY_CLS: dict[type, _TypeEntry] = {}
+
+
+def register_type(
+    cls: type,
+    to_fields: Callable[[object], list] | None = None,
+    from_fields: Callable[[list], object] | None = None,
+) -> type:
+    """Register ``cls`` under its class name.
+
+    Without explicit converters the class must be a dataclass: its
+    fields are encoded in declaration order and the constructor is
+    called positionally on decode.  Registering the same class twice is
+    a no-op; a *different* class under an already-taken name is an
+    error (wire names must be unambiguous).
+    """
+    name = cls.__name__
+    existing = _BY_NAME.get(name)
+    if existing is not None:
+        if existing.cls is cls:
+            return cls
+        raise WireError(
+            f"wire name {name!r} already registered for {existing.cls!r}, "
+            f"cannot also mean {cls!r}"
+        )
+    if to_fields is None or from_fields is None:
+        if not dataclasses.is_dataclass(cls):
+            raise WireError(f"{cls!r} is not a dataclass; pass explicit converters")
+        field_names = tuple(f.name for f in dataclasses.fields(cls))
+
+        def to_fields(obj, _names=field_names):  # type: ignore[misc]
+            return [_encode_value(getattr(obj, n)) for n in _names]
+
+        def from_fields(fields, _cls=cls):  # type: ignore[misc]
+            return _cls(*[_decode_value(v) for v in fields])
+
+    entry = _TypeEntry(cls, to_fields, from_fields)
+    _BY_NAME[name] = entry
+    _BY_CLS[cls] = entry
+    return cls
+
+
+def registered_types() -> dict[str, type]:
+    """Snapshot of the wire-name → class registry (after a refresh)."""
+    _refresh_message_types()
+    return {name: entry.cls for name, entry in _BY_NAME.items()}
+
+
+def _walk_subclasses(cls: type) -> Iterable[type]:
+    for sub in cls.__subclasses__():
+        yield sub
+        yield from _walk_subclasses(sub)
+
+
+def _refresh_message_types() -> None:
+    """Auto-register every :class:`Message` subclass currently defined.
+
+    Importing :mod:`repro.core.messages` first guarantees the full
+    protocol catalog is visible even if the caller only imported this
+    module; later-defined subclasses (control plane, tests) are picked
+    up on the next unknown-type miss.
+    """
+    import sys
+
+    import repro.core.messages  # noqa: F401  (side effect: defines the catalog)
+
+    for sub in _walk_subclasses(Message):
+        if sub in _BY_CLS or not dataclasses.is_dataclass(sub):
+            continue
+        # ``@dataclass(slots=True)`` replaces the class object, leaving
+        # the pre-slots original behind in ``__subclasses__``; only the
+        # class its module currently binds is the live wire type.
+        module = sys.modules.get(sub.__module__)
+        if module is None or getattr(module, sub.__name__, None) is not sub:
+            continue
+        existing = _BY_NAME.get(sub.__name__)
+        if existing is not None:
+            # The sweep is opportunistic, so it must not turn a name
+            # collision between unrelated *out-of-tree* subclasses
+            # (two test modules both defining ``Pong``) into a hard
+            # failure: the ambiguous latecomer is simply not wire
+            # encodable.  Catalog types (``repro.*``) always win the
+            # name — and colliding *inside* the catalog stays an error.
+            if not sub.__module__.startswith("repro."):
+                continue
+            if not existing.cls.__module__.startswith("repro."):
+                del _BY_NAME[sub.__name__]
+                del _BY_CLS[existing.cls]
+        register_type(sub)
+
+
+def _encode_value(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_encode_value(v) for v in value]
+    entry = _BY_CLS.get(type(value))
+    if entry is None:
+        _refresh_message_types()
+        entry = _BY_CLS.get(type(value))
+    if entry is None:
+        raise WireError(f"no wire encoding registered for {type(value)!r}")
+    return {_TYPE_KEY: type(value).__name__, _FIELDS_KEY: entry.to_fields(value)}
+
+
+def _decode_value(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return tuple(_decode_value(v) for v in value)
+    if isinstance(value, dict):
+        try:
+            name = value[_TYPE_KEY]
+            fields = value[_FIELDS_KEY]
+        except KeyError:
+            raise WireError(f"malformed wire object (keys {sorted(value)})") from None
+        entry = _BY_NAME.get(name)
+        if entry is None:
+            _refresh_message_types()
+            entry = _BY_NAME.get(name)
+        if entry is None:
+            raise WireError(f"unknown wire type {name!r}")
+        try:
+            return entry.from_fields(fields)
+        except WireError:
+            raise
+        except Exception as exc:
+            raise WireError(f"cannot decode {name}: {exc}") from exc
+    raise WireError(f"unsupported wire value {value!r}")
+
+
+def encode(value) -> object:
+    """Encode one value (message, record, tuple, scalar) to JSON-ables."""
+    return _encode_value(value)
+
+
+def decode(payload) -> object:
+    """Inverse of :func:`encode`."""
+    return _decode_value(payload)
+
+
+# -- value types the messages embed -----------------------------------------
+#
+# Everything here is a frozen dataclass except Polygon, which hides its
+# vertex tuple behind a property and validates in ``__init__``.
+
+register_type(Point)
+register_type(Vector)
+register_type(Rect)
+register_type(Circle)
+register_type(
+    Polygon,
+    to_fields=lambda poly: [[_encode_value(p) for p in poly.points]],
+    from_fields=lambda fields: Polygon([_decode_value(p) for p in fields[0]]),
+)
+register_type(SightingRecord)
+register_type(LocationDescriptor)
+register_type(RegistrationInfo)
+register_type(NearestNeighborResult)
+register_type(ChildRef)
+register_type(ServerConfig)
+
+# The query/event value types riding inside RangeQueryReq/SubscribeReq.
+from repro.core.events import AreaOccupancy, Proximity  # noqa: E402
+from repro.model import RangeQuery  # noqa: E402
+
+register_type(RangeQuery)
+register_type(AreaOccupancy)
+register_type(Proximity)
+
+
+# -- hierarchy (not a dataclass: explicit converters) ------------------------
+
+
+def encode_hierarchy(hierarchy: Hierarchy) -> dict:
+    """The wire form of a :class:`Hierarchy` (configs + epoch)."""
+    return {
+        "epoch": hierarchy.epoch,
+        "configs": [_encode_value(c) for c in hierarchy.configs.values()],
+    }
+
+
+def decode_hierarchy(payload: dict) -> Hierarchy:
+    configs = [_decode_value(c) for c in payload["configs"]]
+    return Hierarchy(
+        {config.server_id: config for config in configs},
+        epoch=int(payload["epoch"]),
+    )
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(src: str, dst: str, messages: "list[Message]") -> bytes:
+    """One length-prefixed frame carrying a batch of messages."""
+    body = json.dumps(
+        {
+            "s": src,
+            "d": dst,
+            "m": [_encode_value(message) for message in messages],
+        },
+        separators=(",", ":"),
+        allow_nan=True,  # req_acc may legitimately be float('inf')
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_SIZE:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_SIZE")
+    return MAGIC + bytes([WIRE_VERSION]) + len(body).to_bytes(4, "big") + body
+
+
+def decode_frame(data: bytes) -> tuple[str, str, list]:
+    """Decode exactly one frame (raises if trailing bytes remain)."""
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    if len(frames) != 1 or decoder.pending_bytes:
+        raise WireError(
+            f"expected exactly one frame, got {len(frames)} "
+            f"with {decoder.pending_bytes} bytes left over"
+        )
+    return frames[0]
+
+
+class FrameDecoder:
+    """Incremental frame splitter for streams and multi-frame datagrams.
+
+    Feed it arbitrarily chunked bytes; it returns every completed frame
+    as ``(src, dst, [messages])`` and buffers the remainder.  Corrupt
+    magic bytes or an unknown version raise :class:`WireError`
+    immediately — a socket transport treats that as a poisoned peer, not
+    something to resynchronise from.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[tuple[str, str, list]]:
+        self._buffer.extend(data)
+        frames: list[tuple[str, str, list]] = []
+        while True:
+            if len(self._buffer) < HEADER_SIZE:
+                return frames
+            if self._buffer[: len(MAGIC)] != MAGIC:
+                raise WireError(
+                    f"bad frame magic {bytes(self._buffer[:2])!r} "
+                    f"(expected {MAGIC!r})"
+                )
+            version = self._buffer[len(MAGIC)]
+            if version != WIRE_VERSION:
+                raise WireError(f"unsupported wire version {version}")
+            length = int.from_bytes(
+                self._buffer[len(MAGIC) + 1 : HEADER_SIZE], "big"
+            )
+            if length > MAX_FRAME_SIZE:
+                raise WireError(f"frame length {length} exceeds MAX_FRAME_SIZE")
+            if len(self._buffer) < HEADER_SIZE + length:
+                return frames
+            body = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buffer[: HEADER_SIZE + length]
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                src, dst = payload["s"], payload["d"]
+                messages = [_decode_value(m) for m in payload["m"]]
+            except WireError:
+                raise
+            except (ValueError, KeyError, TypeError) as exc:
+                raise WireError(f"undecodable frame payload: {exc}") from exc
+            frames.append((src, dst, messages))

@@ -54,8 +54,12 @@ _SCENARIO_EXPORTS = {
 #: package's engine.
 _ELASTIC_EXPORTS = {
     "ElasticHarness",
+    "ScenarioWorkload",
     "commuter_rush_scenario",
+    "commuter_rush_workload",
     "elastic_benchmark_payload",
+    "festival_surge_scenario",
+    "festival_surge_workload",
     "flash_crowd_scenario",
     "protocol_batch_benchmark_payload",
 }
@@ -91,6 +95,7 @@ __all__ = [
     "DistributedHarness",
     "ElasticHarness",
     "HotspotSpec",
+    "ScenarioWorkload",
     "LatencyRecorder",
     "ManhattanWalker",
     "MessageLedger",
@@ -119,8 +124,11 @@ __all__ = [
     "chaos_benchmark_payload",
     "coalesce_updates",
     "commuter_rush_scenario",
+    "commuter_rush_workload",
     "default_cost_model",
     "elastic_benchmark_payload",
+    "festival_surge_scenario",
+    "festival_surge_workload",
     "flash_crowd_scenario",
     "format_table",
     "hotspot_positions",

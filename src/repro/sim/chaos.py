@@ -38,6 +38,7 @@ from repro.chaos import FaultInjector, RecoveryCoordinator, inject_crash
 from repro.cluster.load import LoadMonitor
 from repro.cluster.planner import SplitPlan
 from repro.core.caching import CacheConfig
+from repro.errors import TransportError
 from repro.geo import Rect
 from repro.sim.elastic import (
     ROOT_SIDE,
@@ -185,6 +186,12 @@ def leaf_crash_scenario(
     harness = ElasticHarness(svc, homes, monitor=LoadMonitor(half_life=5.0))
     FaultInjector(svc.network, seed=seed)
     victim, _sibling = _presplit_sw_quadrant(harness, "c")
+    # Subscribed *before* the kill: the coordinator learns about the
+    # death from the protocol lane's own envelope exhaustion, not from
+    # this scenario telling it which server it crashed.
+    coordinator = RecoveryCoordinator(
+        svc, executor=harness.executor, monitor=harness.monitor
+    ).watch()
 
     rng = random.Random(seed + 1)
     positions = dict(placements)
@@ -194,19 +201,26 @@ def leaf_crash_scenario(
         harness.sample()
 
     # The mid-tick kill: half this tick's reports land, then the
-    # process dies; the rest of the tick runs against a dead agent.
+    # process dies; the rest of the tick runs against a dead agent —
+    # the devices don't know it died, so their envelope burns its whole
+    # retry budget and surfaces the victim as a suspect.
     reports = _tick_reports(rng, positions)
     half_ix = len(reports) // 2
     harness.apply_reports(reports[:half_ix])
     inject_crash(svc, victim)
-    deferred = _apply_guarded(harness, reports[half_ix:])
+    try:
+        harness.apply_reports(reports[half_ix:], **_FAULT_TIMEOUTS)
+        deferred = 0
+    except TransportError:
+        deferred = sum(
+            1 for oid, _ in reports[half_ix:] if harness.homes.get(oid) == victim
+        )
     svc.run(_advance(svc, dt))
     harness.sample()
 
-    coordinator = RecoveryCoordinator(
-        svc, executor=harness.executor, monitor=harness.monitor
-    )
-    recovery = coordinator.recover_dead_leaf(victim, strategy=strategy)
+    assert victim in coordinator.suspects, "envelope exhaustion did not flag the victim"
+    recoveries = coordinator.process_suspects(strategy=strategy)
+    recovery = recoveries.get(victim)
     assert recovery is not None, "crashed leaf answered a liveness probe"
     harness.homes.update(recovery.new_homes)
 

@@ -727,27 +727,39 @@ def flash_crowd_scenario(
     )
 
 
-def commuter_rush_scenario(
+@dataclass
+class ScenarioWorkload:
+    """One scenario's placement + movement generators, decoupled from
+    the driving harness.
+
+    The simulated :func:`_run_scenario` loop, the asyncio integration
+    tests, and the socket-cluster driver
+    (:mod:`repro.net.scenario`) all consume the same record, so "the
+    festival-surge scenario over real UDP sockets" is *literally* the
+    festival-surge workload — same placements, same per-tick movement
+    closures, same seeds — under a different transport.
+    """
+
+    name: str
+    objects: int
+    ticks: int
+    placements: list
+    #: ``positions_at(rng, tick, progress)`` → ``[(object_id, Point)]``.
+    positions_at: object
+    #: ``probe_area_at(progress)`` → the currently hot :class:`Rect`.
+    probe_area_at: object
+    #: §6.5 cache configuration the scenario runs with (None = default).
+    cache_config: object = None
+
+
+def commuter_rush_workload(
     objects: int = 1000,
     ticks: int = 36,
-    dt: float = 1.0,
     commuter_fraction: float = 0.8,
     wave_width: float = 300.0,
-    elastic: bool = True,
-    rebalance_every: int = 2,
-    measure_ticks: int = 10,
     seed: int = 0,
-    protocol_lane: str = "batched",
-    migration_mode: str = "quiesced",
-) -> dict[str, object]:
-    """A commuter-rush wavefront sweeping west→east across the area.
-
-    Commuters ride a hot vertical band that crosses the whole service
-    area over the run, handing over between leaves as they go; the band
-    heats leaves in sequence (splits) and leaves cold regions behind
-    (merges).  Background objects report sparsely, as in the flash-crowd
-    scenario.
-    """
+) -> ScenarioWorkload:
+    """The commuter-rush wavefront as a transport-agnostic workload."""
     root = Rect(0, 0, ROOT_SIDE, ROOT_SIDE)
     commuter_count = round(commuter_fraction * objects)
     initial_band = wavefront_area(root, 0.0, wave_width)
@@ -780,6 +792,44 @@ def commuter_rush_scenario(
             reports.append((oid, new_pos))
         return reports
 
+    return ScenarioWorkload(
+        name="commuter_rush",
+        objects=objects,
+        ticks=ticks,
+        placements=placements,
+        positions_at=positions_at,
+        probe_area_at=lambda progress: wavefront_area(root, progress, wave_width),
+    )
+
+
+def commuter_rush_scenario(
+    objects: int = 1000,
+    ticks: int = 36,
+    dt: float = 1.0,
+    commuter_fraction: float = 0.8,
+    wave_width: float = 300.0,
+    elastic: bool = True,
+    rebalance_every: int = 2,
+    measure_ticks: int = 10,
+    seed: int = 0,
+    protocol_lane: str = "batched",
+    migration_mode: str = "quiesced",
+) -> dict[str, object]:
+    """A commuter-rush wavefront sweeping west→east across the area.
+
+    Commuters ride a hot vertical band that crosses the whole service
+    area over the run, handing over between leaves as they go; the band
+    heats leaves in sequence (splits) and leaves cold regions behind
+    (merges).  Background objects report sparsely, as in the flash-crowd
+    scenario.
+    """
+    workload = commuter_rush_workload(
+        objects=objects,
+        ticks=ticks,
+        commuter_fraction=commuter_fraction,
+        wave_width=wave_width,
+        seed=seed,
+    )
     return _run_scenario(
         objects=objects,
         ticks=ticks,
@@ -788,9 +838,9 @@ def commuter_rush_scenario(
         rebalance_every=rebalance_every,
         measure_ticks=measure_ticks,
         seed=seed + 1,
-        placements=placements,
-        positions_at=positions_at,
-        probe_area_at=lambda progress: wavefront_area(root, progress, wave_width),
+        placements=workload.placements,
+        positions_at=workload.positions_at,
+        probe_area_at=workload.probe_area_at,
         protocol_lane=protocol_lane,
         migration_mode=migration_mode,
     )
@@ -823,6 +873,38 @@ def festival_surge_scenario(
     workload over the drain-the-loop baseline the zero-stall bench
     compares against.
     """
+    workload = festival_surge_workload(
+        objects=objects,
+        ticks=ticks,
+        crowd_fraction=crowd_fraction,
+        stage_count=stage_count,
+        seed=seed,
+    )
+    return _run_scenario(
+        objects=objects,
+        ticks=ticks,
+        dt=dt,
+        elastic=elastic,
+        rebalance_every=rebalance_every,
+        measure_ticks=measure_ticks,
+        seed=seed + 1,
+        placements=workload.placements,
+        positions_at=workload.positions_at,
+        probe_area_at=workload.probe_area_at,
+        protocol_lane=protocol_lane,
+        migration_mode=migration_mode,
+        cache_config=workload.cache_config,
+    )
+
+
+def festival_surge_workload(
+    objects: int = 1200,
+    ticks: int = 36,
+    crowd_fraction: float = 0.85,
+    stage_count: int = 3,
+    seed: int = 0,
+) -> ScenarioWorkload:
+    """The festival-surge crowd as a transport-agnostic workload."""
     root = Rect(0, 0, ROOT_SIDE, ROOT_SIDE)
     stage_side = 280.0
     stage_centers = [
@@ -879,21 +961,15 @@ def festival_surge_scenario(
             reports.append((oid, new_pos))
         return reports
 
-    return _run_scenario(
+    return ScenarioWorkload(
+        name="festival_surge",
         objects=objects,
         ticks=ticks,
-        dt=dt,
-        elastic=elastic,
-        rebalance_every=rebalance_every,
-        measure_ticks=measure_ticks,
-        seed=seed + 1,
         placements=placements,
         positions_at=positions_at,
         probe_area_at=lambda progress: stage_at(
             min(int(progress * (ticks - 1)), ticks - 1) if ticks > 1 else 0
         ),
-        protocol_lane=protocol_lane,
-        migration_mode=migration_mode,
         # §6.5 caches on: the crowd's act-change handovers exercise the
         # direct dispatch path, and the cutover invalidation broadcasts
         # are what keeps it from paying healing hops through the old

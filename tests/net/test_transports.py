@@ -1,0 +1,310 @@
+"""UDP and TCP socket transports: the ``Context`` contract over real
+loopback sockets, with ``AsyncioNetwork``-parity bookkeeping and the
+chaos layer's ``FaultInjector`` installed unchanged."""
+
+import asyncio
+from dataclasses import dataclass
+
+import pytest
+
+from repro.chaos import FaultInjector, LinkFaults
+from repro.core import messages as m
+from repro.errors import TransportError
+from repro.net.address import AddressBook
+from repro.net.tcp import TcpTransport
+from repro.net.udp import MAX_DATAGRAM_PAYLOAD, UdpTransport
+from repro.runtime.base import Endpoint, Message, Response
+
+TRANSPORTS = [UdpTransport, TcpTransport]
+
+
+@dataclass(frozen=True, slots=True)
+class XportEchoReq(Message):
+    request_id: str
+    reply_to: str
+    payload: str
+
+
+@dataclass(frozen=True, slots=True)
+class XportEchoRes(Response):
+    request_id: str
+    payload: str
+
+
+class Echo(Endpoint):
+    def __init__(self, address: str = "echo") -> None:
+        super().__init__(address)
+        self.received: list[Message] = []
+        self.on(XportEchoReq, self._on_echo)
+
+    async def _on_echo(self, req: XportEchoReq) -> None:
+        self.received.append(req)
+        self.send(req.reply_to, XportEchoRes(req.request_id, req.payload))
+
+
+class Collector(Endpoint):
+    def __init__(self, address: str = "sink") -> None:
+        super().__init__(address)
+        self.received: list[Message] = []
+        self.on(XportEchoReq, self._collect)
+
+    async def _collect(self, msg: Message) -> None:
+        self.received.append(msg)
+
+
+async def start_pair(cls, **kwargs):
+    """Two transports (caller-side and server-side) sharing one book."""
+    book = AddressBook()
+    left = cls(book=book, **kwargs)
+    right = cls(book=book)
+    await left.start()
+    host, port = await right.start()
+    book.bind("echo", host, port)
+    book.bind("sink", host, port)
+    book.bind("caller", *(left.host, left.port))
+    return left, right
+
+
+async def stop_all(*transports):
+    for transport in transports:
+        await transport.stop()
+
+
+async def settle(seconds: float = 0.15):
+    await asyncio.sleep(seconds)
+
+
+@pytest.mark.parametrize("cls", TRANSPORTS, ids=lambda c: c.kind)
+class TestLoopback:
+    def test_request_response_over_socket(self, cls):
+        async def scenario():
+            left, right = await start_pair(cls)
+            try:
+                right.join(Echo())
+                caller = left.join(Endpoint("caller"))
+                res = await caller.request(
+                    "echo",
+                    XportEchoReq(caller.next_request_id(), "caller", "hi"),
+                    timeout=5.0,
+                )
+                assert isinstance(res, XportEchoRes)
+                assert res.payload == "hi"
+                assert left.stats.messages_sent == 1
+                assert right.stats.messages_delivered == 1
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+    def test_send_many_coalesces_to_one_wire_write(self, cls):
+        async def scenario():
+            left, right = await start_pair(cls)
+            writes = []
+            real = left._send_bytes
+            left._send_bytes = lambda data, loc: (writes.append(len(data)), real(data, loc))
+            try:
+                sink = right.join(Collector())
+                caller = left.join(Endpoint("caller"))
+                batch = [
+                    XportEchoReq(f"r{i}", "caller", f"p{i}") for i in range(5)
+                ]
+                caller.send_many("sink", batch)
+                await settle()
+                assert len(writes) == 1  # one frame, one write
+                assert [r.request_id for r in sink.received] == [
+                    f"r{i}" for i in range(5)
+                ]
+                assert left.stats.messages_sent == 5
+                assert right.stats.messages_delivered == 5
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+    def test_unresolvable_destination_is_a_dead_letter(self, cls):
+        async def scenario():
+            left, right = await start_pair(cls)
+            try:
+                caller = left.join(Endpoint("caller"))
+                caller.send("nowhere", XportEchoReq("r", "caller", "x"))
+                assert left.stats.dead_letters == 1
+                assert left.stats.messages_sent == 1
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+    def test_down_destination_drops_locally(self, cls):
+        async def scenario():
+            left, right = await start_pair(cls)
+            try:
+                sink = right.join(Collector())
+                caller = left.join(Endpoint("caller"))
+                right.crash("sink")
+                caller.send("sink", XportEchoReq("r", "caller", "x"))
+                await settle()
+                assert sink.received == []
+                assert right.stats.messages_dropped == 1
+                right.restore("sink")
+                caller.send("sink", XportEchoReq("r2", "caller", "y"))
+                await settle()
+                assert [r.request_id for r in sink.received] == ["r2"]
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+    def test_timeout_and_retry_recover_from_drops(self, cls):
+        """The RetryPolicy story end-to-end: a lossy sender-side link
+        still converges because unanswered requests are re-sent."""
+
+        async def scenario():
+            left, right = await start_pair(cls, drop_rate=0.5, seed=3)
+            try:
+                right.join(Echo())
+                caller = left.join(Endpoint("caller"))
+                answered = 0
+                for i in range(10):
+                    for _attempt in range(8):
+                        try:
+                            res = await caller.request(
+                                "echo",
+                                XportEchoReq(
+                                    caller.next_request_id(), "caller", f"p{i}"
+                                ),
+                                timeout=0.3,
+                            )
+                            assert res.payload == f"p{i}"
+                            answered += 1
+                            break
+                        except TransportError:
+                            continue
+                    else:
+                        raise AssertionError(f"request {i} never answered")
+                assert answered == 10
+                assert left.stats.messages_dropped > 0
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.parametrize("cls", TRANSPORTS, ids=lambda c: c.kind)
+class TestFaultInjectorOnSockets:
+    """The PR-6 chaos hook runs unchanged on the socket transports."""
+
+    def test_severed_link_drops_and_counts(self, cls):
+        async def scenario():
+            left, right = await start_pair(cls)
+            injector = FaultInjector(left, seed=0)
+            try:
+                sink = right.join(Collector())
+                caller = left.join(Endpoint("caller"))
+                injector.sever("caller", "sink")
+                caller.send("sink", XportEchoReq("r", "caller", "x"))
+                await settle()
+                assert sink.received == []
+                assert left.stats.faults_injected == 1
+                assert left.stats.messages_dropped == 1
+                injector.heal("caller", "sink")
+                caller.send("sink", XportEchoReq("r2", "caller", "y"))
+                await settle()
+                assert [r.request_id for r in sink.received] == ["r2"]
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+    def test_duplicates_are_manufactured_not_sent(self, cls):
+        async def scenario():
+            left, right = await start_pair(cls)
+            injector = FaultInjector(left, seed=0)
+            try:
+                sink = right.join(Collector())
+                caller = left.join(Endpoint("caller"))
+                injector.set_link("caller", "sink", LinkFaults(duplicate_rate=1.0))
+                caller.send("sink", XportEchoReq("r", "caller", "x"))
+                await settle()
+                assert len(sink.received) == 2
+                assert left.stats.messages_sent == 1
+                assert left.stats.messages_duplicated == 1
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+    def test_injected_loss_recovered_by_retries(self, cls):
+        """FaultInjector loss + protocol-style retries: zero lost."""
+
+        async def scenario():
+            left, right = await start_pair(cls)
+            injector = FaultInjector(left, seed=11)
+            try:
+                right.join(Echo())
+                caller = left.join(Endpoint("caller"))
+                injector.set_link("caller", "echo", LinkFaults(drop_rate=0.5))
+                for i in range(6):
+                    for _attempt in range(10):
+                        try:
+                            await caller.request(
+                                "echo",
+                                XportEchoReq(
+                                    caller.next_request_id(), "caller", f"p{i}"
+                                ),
+                                timeout=0.3,
+                            )
+                            break
+                        except TransportError:
+                            continue
+                    else:
+                        raise AssertionError(f"request {i} never answered")
+                assert left.stats.faults_injected > 0
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+
+class TestUdpFragmentation:
+    def test_oversized_batch_survives_fragmentation(self):
+        async def scenario():
+            left, right = await start_pair(UdpTransport)
+            try:
+                sink = right.join(Collector())
+                caller = left.join(Endpoint("caller"))
+                big = "x" * 600
+                batch = [
+                    XportEchoReq(f"r{i}", "caller", big) for i in range(200)
+                ]
+                caller.send_many("sink", batch)  # ~125 KB frame
+                await settle(0.4)
+                assert len(sink.received) == 200
+                assert sink.received[0].payload == big
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())
+
+    def test_single_datagram_stays_unfragmented(self):
+        async def scenario():
+            left, right = await start_pair(UdpTransport)
+            sent = []
+            real_sendto = None
+
+            try:
+                sink = right.join(Collector())
+                caller = left.join(Endpoint("caller"))
+                real_sendto = left._sock.sendto
+                left._sock.sendto = lambda data, addr: (
+                    sent.append(len(data)),
+                    real_sendto(data, addr),
+                )
+                caller.send("sink", XportEchoReq("r", "caller", "small"))
+                await settle()
+                assert len(sent) == 1
+                assert sent[0] <= MAX_DATAGRAM_PAYLOAD
+                assert len(sink.received) == 1
+            finally:
+                await stop_all(left, right)
+
+        asyncio.run(scenario())

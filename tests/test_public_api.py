@@ -40,6 +40,7 @@ class TestQuickstartContract:
         import repro.core
         import repro.geo
         import repro.model
+        import repro.net
         import repro.protocols
         import repro.runtime
         import repro.sim
@@ -52,6 +53,7 @@ class TestQuickstartContract:
             repro.core,
             repro.geo,
             repro.model,
+            repro.net,
             repro.protocols,
             repro.runtime,
             repro.sim,
