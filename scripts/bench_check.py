@@ -26,6 +26,12 @@ one:
   and ``min_throughput_ratio`` ≥ 0.25 (the multi-process lane pays
   real serialization + syscalls — the gate catches collapse such as a
   retry storm, not the expected constant factor).
+* ``BENCH_PR9.json`` — under 2% frame corruption + 2% stale-epoch
+  replay on every runtime (sim, asyncio, real UDP sockets): zero
+  corrupted records accepted, zero lost and zero duplicated sightings,
+  a non-vacuous defense (faults fired and were caught on every lane),
+  and root-partition apex promotion reconverging within 5 ticks with
+  every cross-subtree query answered before the heal.
 
 Usage::
 
@@ -228,6 +234,73 @@ CHECKS: dict[str, list[Check]] = {
             lambda p: _threshold(
                 p["udp_loss"]["driver_messages_dropped"],
                 p["udp_loss"]["driver_messages_dropped"] > 0,
+            ),
+        ),
+    ],
+    "BENCH_PR9.json": [
+        Check(
+            "zero corrupted records accepted (all byzantine lanes)",
+            lambda p: _threshold(
+                {
+                    name: lane["corrupted_accepted"]
+                    for name, lane in p["lanes"].items()
+                },
+                bool(p["zero_corrupted_accepted_all_lanes"]),
+            ),
+        ),
+        Check(
+            "zero lost sightings under corruption (all byzantine lanes)",
+            lambda p: _threshold(
+                {
+                    name: lane["lost_sightings"]
+                    for name, lane in p["lanes"].items()
+                },
+                bool(p["zero_lost_all_lanes"]),
+            ),
+        ),
+        Check(
+            "zero duplicated sightings under replay (all byzantine lanes)",
+            lambda p: _threshold(
+                {
+                    name: lane["duplicated_sightings"]
+                    for name, lane in p["lanes"].items()
+                },
+                bool(p["zero_duplicated_all_lanes"]),
+            ),
+        ),
+        Check(
+            "defense exercised on every lane (faults fired AND were caught)",
+            lambda p: _threshold(
+                p["defense_catches"], bool(p["defense_exercised_all_lanes"])
+            ),
+        ),
+        Check(
+            "root-partition reconvergence_ticks <= 5",
+            lambda p: _threshold(
+                p["root_reconvergence_ticks"],
+                p["root_reconvergence_ticks"] is not None
+                and p["root_reconvergence_ticks"] <= 5,
+            ),
+        ),
+        Check(
+            "root partition: zero lost + zero duplicated after promotion",
+            lambda p: _threshold(
+                {
+                    "lost": p["root_partition"]["lost_sightings"],
+                    "duplicated": p["root_partition"]["duplicated_sightings"],
+                },
+                p["root_partition"]["lost_sightings"] == 0
+                and p["root_partition"]["duplicated_sightings"] == 0,
+            ),
+        ),
+        Check(
+            "every cross-subtree query answered before the heal",
+            lambda p: _threshold(
+                f"{p['root_partition']['cross_queries_answered_before_heal']}"
+                f"/{p['root_partition']['cross_queries_before_heal']}",
+                p["root_partition"]["cross_queries_before_heal"] > 0
+                and p["root_partition"]["cross_queries_answered_before_heal"]
+                == p["root_partition"]["cross_queries_before_heal"],
             ),
         ),
     ],

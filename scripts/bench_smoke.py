@@ -47,6 +47,14 @@ minutes.  This script is the middle ground:
   (multi-process reports/s must not collapse vs. in-process; the
   processes pay real serialization + syscalls, so the gate catches a
   retry storm, not the expected constant factor).
+* **PR9** — the byzantine suite: 2% frame corruption + 2% stale-epoch
+  replay on all three runtimes (SimNetwork, asyncio, real UDP sockets)
+  plus the root-partition apex-promotion scenario →
+  ``BENCH_PR9.json``.  The acceptance numbers are
+  ``zero_corrupted_accepted_all_lanes``, ``zero_lost_all_lanes`` and
+  ``zero_duplicated_all_lanes`` (all true),
+  ``defense_exercised_all_lanes`` (the adversary was real and caught),
+  and ``root_reconvergence_ticks`` ≤ 5.
 
 Usage::
 
@@ -335,6 +343,48 @@ def run_pr7(args) -> None:
     print(f"\nwrote {path} ({elapsed:.1f}s)")
 
 
+def run_pr9(args) -> None:
+    """The byzantine measurement (corrupt/stale defense + promotion)."""
+    from repro.sim.byzantine import byzantine_benchmark_payload
+
+    start = time.perf_counter()
+    payload = byzantine_benchmark_payload(seed=args.seed)
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = (
+        f"{'lane':8s} {'faults':>7s} {'frames':>7s} {'quar':>5s} {'stale':>6s} "
+        f"{'bad acc':>8s} {'lost':>5s} {'dup':>4s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, lane in payload["lanes"].items():
+        print(
+            f"{name:8s} {lane['faults_injected']:>7d} "
+            f"{lane['frames_corrupted']:>7d} "
+            f"{lane['messages_quarantined']:>5d} "
+            f"{lane['stale_epoch_rejected']:>6d} "
+            f"{lane['corrupted_accepted']:>8d} "
+            f"{lane['lost_sightings']:>5d} "
+            f"{lane['duplicated_sightings']:>4d}"
+        )
+    rp = payload["root_partition"]
+    print(
+        f"root partition: reconvergence {rp['reconvergence_ticks']} ticks, "
+        f"cross queries before heal "
+        f"{rp['cross_queries_answered_before_heal']}/{rp['cross_queries_before_heal']}, "
+        f"lost {rp['lost_sightings']}, dup {rp['duplicated_sightings']}"
+    )
+    print(
+        f"zero corrupted accepted: {payload['zero_corrupted_accepted_all_lanes']}, "
+        f"zero lost: {payload['zero_lost_all_lanes']}, "
+        f"zero duplicated: {payload['zero_duplicated_all_lanes']}, "
+        f"defense exercised: {payload['defense_exercised_all_lanes']}"
+    )
+    path = write_bench_json(args.out_pr9, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
@@ -351,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-pr5", default="BENCH_PR5.json")
     parser.add_argument("--out-pr6", default="BENCH_PR6.json")
     parser.add_argument("--out-pr7", default="BENCH_PR7.json")
+    parser.add_argument("--out-pr9", default="BENCH_PR9.json")
     parser.add_argument(
         "--skip-pr1", action="store_true", help="skip the fast-path bench"
     )
@@ -372,6 +423,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-pr7", action="store_true", help="skip the real-transport bench"
     )
+    parser.add_argument(
+        "--skip-pr9", action="store_true", help="skip the byzantine bench"
+    )
     args = parser.parse_args(argv)
 
     ran = False
@@ -383,6 +437,7 @@ def main(argv: list[str] | None = None) -> int:
         (args.skip_pr5, run_pr5),
         (args.skip_pr6, run_pr6),
         (args.skip_pr7, run_pr7),
+        (args.skip_pr9, run_pr9),
     ):
         if skip:
             continue

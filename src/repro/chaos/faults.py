@@ -4,7 +4,18 @@ The runtimes expose one hook: a network's optional ``fault_injector``
 attribute is consulted on every transmission *after* the crash
 (``network.crash``) and global ``drop_rate`` checks, via::
 
-    deliver, extra_delay, copies = injector.outcome(src, dst)
+    deliver, extra_delay, copies, message, replay = injector.verdict(
+        src, dst, message
+    )
+
+(the legacy ``outcome(src, dst)`` three-tuple remains for callers that
+only care about loss/delay/duplication).  Socket transports additionally
+roll :meth:`FaultInjector.frame_corrupt` once per dispatched frame and
+damage the encoded bytes with :meth:`FaultInjector.corrupt_bytes` —
+byte-layer corruption the CRC32 checksum must catch, distinct from the
+message-layer field mutation :meth:`FaultInjector.mutate_message`
+applies on the in-process runtimes (damage that *passes* the checksum
+and must be caught by receive-path validation instead).
 
 :class:`FaultInjector` implements that protocol from a table of
 per-link :class:`LinkFaults` rules.  Everything it does is accounted
@@ -17,6 +28,8 @@ scenario can report exactly how much chaos it applied.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import random
 from dataclasses import dataclass
 from typing import Iterable
@@ -35,6 +48,24 @@ class LinkFaults:
     injected delay holds the whole burst, so reordering there happens
     only *between* batches).  ``severed`` drops everything — the
     partition primitive — and wins over the probabilistic fields.
+
+    The Byzantine knobs (PR 9) model *damaged and lying* traffic rather
+    than lost traffic:
+
+    * ``corrupt_rate`` — the delivery event is damaged: at the frame
+      layer (socket transports) seeded bit-flips or truncation hit the
+      encoded bytes; at the message layer (sim/asyncio runtimes, local
+      loopback) one field of the message is mutated
+      (:meth:`FaultInjector.mutate_message`).  Every mutation is one the
+      receive-path validator can detect — the point is proving the
+      defenses catch it, not hiding the damage.
+    * ``stale_epoch_rate`` — the message is *also* replayed with an
+      ancient topology epoch stamp (``epoch`` rewound by
+      :attr:`FaultInjector.stale_epoch_skew`), modelling a
+      partition-returned peer echoing pre-reconfiguration state.
+    * ``reorder_rate``/``reorder_delay`` — the message is held back by
+      ``reorder_delay`` seconds, explicitly landing it *behind* traffic
+      sent after it (jitter's reordering, but deterministic and large).
     """
 
     drop_rate: float = 0.0
@@ -42,13 +73,18 @@ class LinkFaults:
     delay: float = 0.0
     jitter: float = 0.0
     severed: bool = False
+    corrupt_rate: float = 0.0
+    stale_epoch_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay: float = 0.05
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "duplicate_rate"):
+        for name in ("drop_rate", "duplicate_rate", "corrupt_rate",
+                     "stale_epoch_rate", "reorder_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
-        for name in ("delay", "jitter"):
+        for name in ("delay", "jitter", "reorder_delay"):
             if getattr(self, name) < 0.0:
                 raise ValueError(f"{name} must be >= 0")
 
@@ -74,7 +110,72 @@ class FaultInjector:
         self._partition: set[tuple[str, str]] = set()
         network.fault_injector = self
 
+    #: how far :meth:`make_stale` rewinds a replayed message's epoch —
+    #: far enough that the replay is *always* outside the legitimate
+    #: in-flight window the forwarding machinery heals.
+    stale_epoch_skew = 1000
+
     # -- the runtime-facing protocol -----------------------------------------
+
+    def verdict(
+        self, src: str, dst: str, message, *, mutate: bool = True
+    ):
+        """Full per-message verdict:
+        ``(deliver, extra_delay_s, extra_copies, message, replay)``.
+
+        ``message`` comes back possibly field-mutated (``corrupt`` rule,
+        only when ``mutate`` — socket transports pass ``False`` and do
+        their corruption at the frame layer); ``replay`` is an optional
+        manufactured stale-epoch echo the runtime must schedule as an
+        extra delivery.
+        """
+        faults = self._lookup(src, dst)
+        if faults is None:
+            return True, 0.0, 0, message, None
+        stats = self._network.stats
+        if faults.severed:
+            stats.faults_injected += 1
+            return False, 0.0, 0, message, None
+        if faults.drop_rate > 0.0 and self._rng.random() < faults.drop_rate:
+            stats.faults_injected += 1
+            return False, 0.0, 0, message, None
+        fired = False
+        extra = 0.0
+        if faults.delay > 0.0 or faults.jitter > 0.0:
+            extra = faults.delay + (
+                faults.jitter * self._rng.random() if faults.jitter > 0.0 else 0.0
+            )
+            fired = fired or extra > 0.0
+        if faults.reorder_rate > 0.0 and self._rng.random() < faults.reorder_rate:
+            extra += faults.reorder_delay
+            fired = True
+        copies = 0
+        if faults.duplicate_rate > 0.0 and self._rng.random() < faults.duplicate_rate:
+            copies = 1
+            fired = True
+        if (
+            mutate
+            and faults.corrupt_rate > 0.0
+            and self._rng.random() < faults.corrupt_rate
+        ):
+            mutated = self.mutate_message(message)
+            if mutated is not None:
+                message = mutated
+                fired = True
+        replay = None
+        if (
+            faults.stale_epoch_rate > 0.0
+            and self._rng.random() < faults.stale_epoch_rate
+        ):
+            replay = self.make_stale(message)
+            if replay is not None:
+                # A replay is a manufactured delivery, like a duplicate:
+                # the sender paid for one send.
+                stats.messages_duplicated += 1
+                fired = True
+        if fired:
+            stats.faults_injected += 1
+        return True, extra, copies, message, replay
 
     def outcome(self, src: str, dst: str) -> tuple[bool, float, int]:
         """Per-message verdict: ``(deliver, extra_delay_s, extra_copies)``."""
@@ -102,6 +203,87 @@ class FaultInjector:
         if fired:
             stats.faults_injected += 1
         return True, extra, copies
+
+    # -- byzantine damage helpers --------------------------------------------
+
+    def frame_corrupt(self, src: str, dst: str) -> bool:
+        """Roll ``corrupt_rate`` once for a frame-layer delivery event.
+
+        Socket transports call this per dispatched frame (and skip the
+        message-layer mutation by passing ``mutate=False`` to
+        :meth:`verdict`), so "2% corruption" means 2% of *frames*
+        regardless of how many messages each coalesces.
+        """
+        faults = self._lookup(src, dst)
+        if faults is None or faults.severed or faults.corrupt_rate <= 0.0:
+            return False
+        if self._rng.random() < faults.corrupt_rate:
+            self._network.stats.faults_injected += 1
+            return True
+        return False
+
+    def corrupt_bytes(self, data: bytes) -> bytes:
+        """Damage encoded frame bytes: seeded bit-flips or truncation.
+
+        The damage lands anywhere — header, length prefix, checksum,
+        payload — exercising every resynchronisation path in
+        :class:`~repro.net.wire.FrameDecoder`.
+        """
+        if not data:
+            return data
+        if len(data) > 1 and self._rng.random() < 0.25:
+            return data[: self._rng.randrange(1, len(data))]
+        out = bytearray(data)
+        for _ in range(self._rng.randint(1, 3)):
+            index = self._rng.randrange(len(out))
+            out[index] ^= 1 << self._rng.randrange(8)
+        return bytes(out)
+
+    def mutate_message(self, message):
+        """A copy of ``message`` with one field mutated — or ``None``.
+
+        Mutations are drawn from the classes the receive-path validator
+        (:mod:`repro.runtime.validation`) is guaranteed to reject: a
+        float becomes ``NaN``, an epoch goes negative, an identifier
+        empties.  Detectability is the point — the defense is proven by
+        the damage *never being accepted*, not by it being subtle.
+        Returns ``None`` when the message has no mutable field.
+        """
+        if not dataclasses.is_dataclass(message):
+            return None
+        from repro.runtime.validation import is_epoch_field, is_id_field
+
+        candidates: list[tuple[str, object]] = []
+        for fld in dataclasses.fields(message):
+            value = getattr(message, fld.name)
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, float) and not math.isnan(value):
+                candidates.append((fld.name, float("nan")))
+            elif isinstance(value, int) and is_epoch_field(fld.name):
+                candidates.append((fld.name, -1 - abs(value)))
+            elif isinstance(value, str) and value and is_id_field(fld.name):
+                candidates.append((fld.name, ""))
+        if not candidates:
+            return None
+        name, bad = candidates[self._rng.randrange(len(candidates))]
+        try:
+            return dataclasses.replace(message, **{name: bad})
+        except (TypeError, ValueError):
+            return None
+
+    def make_stale(self, message):
+        """A replayed copy stamped with an ancient topology epoch, or
+        ``None`` for messages that carry no epoch field."""
+        epoch = getattr(message, "epoch", None)
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            return None
+        try:
+            return dataclasses.replace(
+                message, epoch=max(0, epoch - self.stale_epoch_skew)
+            )
+        except (TypeError, ValueError):
+            return None
 
     def _lookup(self, src: str, dst: str) -> LinkFaults | None:
         links = self._links

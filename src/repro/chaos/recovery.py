@@ -24,12 +24,14 @@ one of two strategies:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
 
 from repro.cluster.migration import MigrationExecutor
 from repro.cluster.planner import MergePlan
 from repro.core import messages as m
+from repro.core.hierarchy import Hierarchy
 from repro.core.service import RetryPolicy
 from repro.errors import LocationServiceError, TransportError
 from repro.runtime.base import Endpoint
@@ -257,6 +259,99 @@ class RecoveryCoordinator:
             new_homes=report.new_homes,
         )
         self.reports[-1] = report
+        return report
+
+    def recover_apex(self, new_root_id: str | None = None) -> RecoveryReport | None:
+        """Promote a standby apex when the hierarchy root is unreachable.
+
+        The PR-6 strategies assume a healthy apex to re-route through; a
+        severed *root* breaks that assumption — no parent exists to merge
+        into and an in-place restart cannot undo a network partition.
+        Promotion closes the gap: after the usual backoff probes confirm
+        the root unreachable, a fresh interior server is spawned at a new
+        address with the root's exact service area and children, the old
+        apex's surviving visitor WAL (Section 5 — the forwarding log
+        every path through the root wrote) is replayed into it, and the
+        children are re-parented under a bumped topology epoch.  Leaf
+        traffic never stops (devices talk to leaves, not the apex);
+        cross-subtree routing resumes the moment the standby is adopted.
+        The severed root becomes a stale relic: nothing routes to it
+        under the new topology, and if it later reconnects, its
+        old-epoch chatter is exactly what the receive-path stale horizon
+        quarantines.  Returns ``None`` when the root answered a probe.
+        """
+        svc = self.svc
+        h = svc.hierarchy
+        root_id = h.root_id
+        dead, attempts, elapsed = self.confirm_dead(root_id)
+        if not dead:
+            return None
+        if new_root_id is None:
+            new_root_id = f"{root_id}-standby"
+        self.abort_in_flight_for(root_id)
+        old_config = h.config(root_id)
+        configs = h.configs
+        del configs[root_id]
+        configs[new_root_id] = dataclasses.replace(old_config, server_id=new_root_id)
+        for child in old_config.children:
+            configs[child.server_id] = dataclasses.replace(
+                configs[child.server_id], parent=new_root_id
+            )
+        promoted = Hierarchy(configs, epoch=h.epoch + 1)
+        # The relic leaves the service's registry *before* the adoption
+        # bumps live servers' epochs, so whatever it says after a heal
+        # is stamped with the topology it was severed under.
+        old_root = svc.servers.pop(root_id)
+        standby = svc.spawn_server(configs[new_root_id])
+        recovered = VisitorDB.recover(old_root.visitors.store)
+        standby.visitors = recovered
+        replayed = len(recovered)
+        # Anti-entropy: the WAL snapshot predates the outage, and a
+        # cross-subtree handover that committed leaf-to-leaf while the
+        # apex was unreachable never got its path update through — the
+        # children's own visitor tables are the live truth, so their
+        # records override the replayed ones.  Only records meaning "my
+        # subtree agents this object" count: a leaf child must hold the
+        # *leaf* record (an old agent keeps a §5 forwarding pointer to
+        # the new one after a handover), an interior child a forward
+        # ref pointing *down* into its own subtree.
+        for child in old_config.children:
+            child_server = svc.servers.get(child.server_id)
+            if child_server is None:
+                continue
+            visitors = child_server.visitors
+            for object_id in list(visitors.object_ids()):
+                if child_server.is_leaf:
+                    if visitors.leaf_record(object_id) is None:
+                        continue
+                else:
+                    ref = visitors.forward_ref(object_id)
+                    if ref is None or h.parent_of(ref) != child.server_id:
+                        continue
+                standby.visitors.insert_forward(object_id, child.server_id)
+        # Re-parent the live children: their own config records drive
+        # upward routing (path updates, escalating fan-outs), so the
+        # hierarchy swap alone would leave them talking to the relic.
+        for child in old_config.children:
+            child_server = svc.servers.get(child.server_id)
+            if child_server is not None:
+                child_server.config = configs[child.server_id]
+        svc.adopt_hierarchy(promoted)
+        # Scoped no-op unless some leaf really cached a route through
+        # the old apex address.
+        svc.broadcast_cache_invalidation(forget=(root_id,))
+        if self.monitor is not None:
+            self.monitor.forget_server(root_id)
+        report = RecoveryReport(
+            server_id=root_id,
+            strategy="promote",
+            detection_attempts=attempts,
+            detection_time_s=elapsed,
+            replayed_records=replayed,
+            moved=0,
+            new_home=new_root_id,
+        )
+        self.reports.append(report)
         return report
 
     def _recover_restart(

@@ -22,6 +22,7 @@ from repro.model import (
     SightingRecord,
 )
 from repro.runtime.base import Endpoint
+from repro.runtime.validation import find_defect
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +54,10 @@ class LocationClient(Endpoint):
         super().__init__(address)
         self.entry_server = entry_server
         self.timeout = timeout
+        # A mutated answer (NaN position, emptied id) must not resolve a
+        # parked request future; quarantining it degrades to the normal
+        # timeout-and-retry path (PR 9).
+        self.validator = find_defect
         #: event notifications received for this client's subscriptions
         self.notifications: list = []
         from repro.core import events as ev

@@ -59,10 +59,16 @@ class RegisterRes(Response):
 
 @dataclass(frozen=True, slots=True)
 class CreatePath(Message):
-    """``createPath(oId)`` — one-way, cascades from a new agent to the root."""
+    """``createPath(oId)`` — cascades from a new agent to the root.
+
+    Each hop is delivered at-least-once and acked with
+    :class:`PathAck` (PR 9); the trailing defaulted fields keep frames
+    from old-version peers decodable (applied, not acked)."""
 
     object_id: str
     sender: str  # the child the forwarding reference must point to
+    request_id: str = "legacy"
+    reply_to: str = ""
 
 
 # ---------------------------------------------------------------------------
@@ -605,17 +611,42 @@ class PathUpdate(Message):
     ancestors redirect their forwarding reference to ``sender`` and prune
     the stale branch with :class:`RemovePath`; propagation stops at the
     first server whose reference already pointed elsewhere (the common
-    ancestor)."""
+    ancestor).
+
+    ``request_id``/``reply_to`` are trailing defaulted fields (wire
+    schema evolution, PR 9): a current sender delivers each repair hop
+    at-least-once — the receiver acks with :class:`PathAck` and the
+    sender re-sends on timeout — so a corrupted or dropped repair can no
+    longer silently strand a stale forwarding path.  A frame from an
+    old-version peer decodes with the defaults: the repair is applied
+    but not acked (that sender was not waiting).
+    """
 
     object_id: str
     sender: str
+    request_id: str = "legacy"
+    reply_to: str = ""
 
 
 @dataclass(frozen=True, slots=True)
 class RemovePath(Message):
-    """*Derived.*  Downward removal of a stale forwarding branch."""
+    """*Derived.*  Downward removal of a stale forwarding branch.
+
+    Carries the same at-least-once repair plumbing as
+    :class:`PathUpdate` (trailing defaulted fields, acked hop by hop)."""
 
     object_id: str
+    request_id: str = "legacy"
+    reply_to: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class PathAck(Response):
+    """*Derived* (PR 9).  Per-hop acknowledgement of a :class:`PathUpdate`
+    or :class:`RemovePath` repair delivery — the receiver has applied the
+    repair locally (further propagation is its own acked delivery)."""
+
+    request_id: str
 
 
 @dataclass(frozen=True, slots=True)

@@ -27,7 +27,7 @@ Section 6.5 caches     ``_on_pos_query_direct``, ``_on_path_update``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core import messages as m
 from repro.core.caching import CacheConfig, LeafCaches
@@ -38,7 +38,7 @@ from repro.errors import (
     TransportError,
     UnknownObjectError,
 )
-from repro.geo import Point, Rect, region_bounds
+from repro.geo import Point, Rect, region_bounds, subtract_rects
 from repro.model import (
     AccuracyModel,
     NearestNeighborQuery,
@@ -49,6 +49,7 @@ from repro.model import (
     nearest_neighbor,
 )
 from repro.runtime.base import Endpoint
+from repro.runtime.validation import find_defect
 from repro.spatial import make_index
 from repro.storage import LocalDataStore, PersistentStore, VisitorDB
 
@@ -60,6 +61,30 @@ _COVER_EPS = 1e-6
 #: mid-collection, so the bound is never hit under steady churn; past it
 #: the accumulated (at-least-once) entries are returned as best effort.
 _EPOCH_RETRIES = 2
+
+#: How many epochs behind a message may be before the receive-path
+#: quarantine rejects it outright.  Traffic at most this far behind is
+#: ordinary rebalance lag and heals in place (``stale_epoch_messages``);
+#: anything further behind is a replayed or fabricated snapshot — under
+#: live churn no sender legitimately lags more than one adopted
+#: rebalance plus one in flight.
+_EPOCH_REJECT_HORIZON = 2
+
+#: Cap on the uncovered-remainder decomposition for coverage-aware epoch
+#: retries; past it the retry re-queries the original rect whole.
+_MAX_REMAINDER_RECTS = 32
+
+#: Re-sends of an unacked §6.5 path-repair delivery (PathUpdate /
+#: RemovePath).  The repair lane used to be fire-and-forget, which let a
+#: single corrupted or dropped repair strand a stale forwarding path
+#: forever; per-hop acks with bounded retries make a strand require
+#: ``_PATH_REPAIR_RETRIES + 1`` consecutive losses on one link.
+_PATH_REPAIR_RETRIES = 3
+
+#: Seconds a repair hop waits for its :class:`~repro.core.messages.
+#: PathAck` before re-sending (virtual seconds on the simulated
+#: runtime, wall-clock on asyncio/sockets — well above loopback RTT).
+_PATH_REPAIR_TIMEOUT = 0.5
 
 
 @dataclass
@@ -81,6 +106,17 @@ class ServerStats:
     teardown_nacks: int = 0
     #: fan-out collections re-issued because a rebalance raced them.
     epoch_retries: int = 0
+    #: messages rejected by the receive-path validator (mutated fields
+    #: — NaN coordinates, negative epochs, empty ids) before touching
+    #: any store or collector.
+    messages_quarantined: int = 0
+    #: messages rejected for an epoch beyond the stale horizon (replays
+    #: of a long-dead topology snapshot).
+    stale_epoch_rejected: int = 0
+    #: §6.5 path-repair deliveries re-sent after a missing ack.
+    path_repair_resends: int = 0
+    #: path-repair deliveries abandoned after exhausting retries.
+    path_repairs_abandoned: int = 0
     messages_handled: dict[str, int] = field(default_factory=dict)
 
     def note(self, message) -> None:
@@ -100,7 +136,10 @@ class _Collector:
     topology rather than trusting an early resolve.
     """
 
-    __slots__ = ("future", "target", "covered", "entries", "origins", "epoch", "stale")
+    __slots__ = (
+        "future", "target", "covered", "entries", "origins", "epoch", "stale",
+        "area_reports",
+    )
 
     def __init__(self, future, target: float, epoch: int = 0) -> None:
         self.future = future
@@ -110,10 +149,18 @@ class _Collector:
         self.origins: set[str] = set()
         self.epoch = epoch
         self.stale = False
+        #: origin -> (service area, epoch the answer was stamped with).
+        #: Coverage-aware retries subtract the areas whose epoch matches
+        #: the *current* topology from the re-queried rect — answers
+        #: from leaves that did not move are not collected twice.
+        self.area_reports: dict[str, tuple[Rect, int]] = {}
 
     def note_epoch(self, epoch: int) -> None:
         if epoch > self.epoch:
             self.stale = True
+
+    def note_area(self, origin: str, area: Rect, epoch: int) -> None:
+        self.area_reports[origin] = (area, epoch)
 
     def add(self, entries, covered: float, origin: str) -> None:
         for oid, descriptor in entries:
@@ -148,7 +195,7 @@ class _BatchCollector:
 
     __slots__ = (
         "future", "targets", "covered", "entries", "origins", "_seen",
-        "epoch", "stale",
+        "epoch", "stale", "slot_epochs",
     )
 
     def __init__(self, future, targets: list[float], epoch: int = 0) -> None:
@@ -160,12 +207,17 @@ class _BatchCollector:
         self._seen: set[tuple[int, str]] = set()
         self.epoch = epoch
         self.stale = False
+        #: epochs that contributed coverage to each slot.  A slot whose
+        #: every contribution carries the current topology epoch is
+        #: *clean* — a coverage-aware retry pre-credits it instead of
+        #: re-fanning it out.
+        self.slot_epochs: list[set[int]] = [set() for _ in targets]
 
     def note_epoch(self, epoch: int) -> None:
         if epoch > self.epoch:
             self.stale = True
 
-    def add(self, index: int, entries, covered: float, origin: str) -> None:
+    def add(self, index: int, entries, covered: float, origin: str, epoch: int | None = None) -> None:
         bucket = self.entries[index]
         for oid, descriptor in entries:
             bucket[oid] = descriptor
@@ -174,6 +226,12 @@ class _BatchCollector:
             self._seen.add((index, origin))
             self.covered[index] += covered
             self.origins.add(origin)
+            self.slot_epochs[index].add(self.epoch if epoch is None else epoch)
+
+    def mark_satisfied(self, index: int) -> None:
+        """Pre-credit a slot answered cleanly by an earlier attempt."""
+        self.covered[index] = self.targets[index]
+        self.slot_epochs[index] = {self.epoch}
 
     def item_complete(self, index: int) -> bool:
         target = self.targets[index]
@@ -423,7 +481,13 @@ class LocationServer(Endpoint):
         answers flow to the right place.  In particular a protocol-lane
         *envelope* (update / handover / deregister batch) is forwarded
         whole: retirement never splits it back into per-object messages.
+
+        Before any of that, the PR-9 quarantine runs: a message with
+        mutated fields or an epoch beyond the stale horizon is rejected
+        here — a retired alias must not *forward* poison either.
         """
+        if self._quarantine(message):
+            return
         if self._retired_to is not None and not isinstance(message, m.Response):
             if (
                 isinstance(message, (m.RangeQuerySubRes, m.NNCandidatesSubRes))
@@ -438,6 +502,61 @@ class LocationServer(Endpoint):
             self.send(self._retired_to, message)
             return
         super().deliver(message)
+
+    # -- receive-path quarantine (PR 9) ------------------------------------
+
+    def _quarantine(self, message) -> bool:
+        """Reject damaged or beyond-horizon-stale messages before dispatch.
+
+        Returns ``True`` when the message must not be processed.  A
+        defective *sub-result* additionally aborts the collector waiting
+        on it (retryably — the entry server re-issues the fan-out), so a
+        quarantined answer degrades to a retry instead of a hang.
+        """
+        defect = find_defect(message)
+        if defect is not None:
+            self.stats.messages_quarantined += 1
+            if self.ctx is not None:
+                self.ctx.note_quarantined()
+            self._abort_collectors_for(message)
+            return True
+        epoch = getattr(message, "epoch", None)
+        if (
+            isinstance(epoch, int)
+            and not isinstance(epoch, bool)
+            and self.topology_epoch - epoch > _EPOCH_REJECT_HORIZON
+        ):
+            self.stats.stale_epoch_rejected += 1
+            if self.ctx is not None:
+                self.ctx.note_stale_rejected()
+            return True
+        return False
+
+    def _abort_collectors_for(self, message) -> None:
+        """Retryably abort collectors a quarantined sub-result belonged to.
+
+        The aborted collection resolves immediately with ``stale`` set,
+        so the issuing retry loop re-fans it out instead of waiting for
+        coverage that can no longer arrive.  When the damage hit the
+        ``query_id`` itself the victim is unidentifiable — abort every
+        live collector of that family (rare at realistic corruption
+        rates, and strictly a latency cost).
+        """
+        if isinstance(message, (m.RangeQuerySubRes, m.NNCandidatesSubRes)):
+            collectors = self._collectors
+        elif isinstance(message, (m.RangeQueryBatchSubRes, m.NNCandidatesBatchSubRes)):
+            collectors = self._batch_collectors
+        else:
+            return
+        query_id = getattr(message, "query_id", "")
+        if query_id in collectors:
+            victims = [collectors[query_id]]
+        else:
+            victims = list(collectors.values())
+        for collector in victims:
+            collector.stale = True
+            if not collector.future.done():
+                collector.future.set_result(None)
 
     # -- routing helpers -----------------------------------------------------------
 
@@ -493,7 +612,10 @@ class LocationServer(Endpoint):
         )
         self.stats.registrations += 1
         if self._parent is not None:
-            self.send(self._parent, m.CreatePath(msg.sighting.object_id, sender=self.address))
+            self._spawn_repair(
+                self._parent,
+                m.CreatePath(msg.sighting.object_id, sender=self.address),
+            )
         self.send(
             msg.reply_to,
             m.RegisterRes(
@@ -503,9 +625,12 @@ class LocationServer(Endpoint):
 
     async def _on_create_path(self, msg: m.CreatePath) -> None:
         self.stats.note(msg)
+        self._ack_repair(msg)
         self.visitors.insert_forward(msg.object_id, msg.sender)
         if self._parent is not None:
-            self.send(self._parent, m.CreatePath(msg.object_id, sender=self.address))
+            self._spawn_repair(
+                self._parent, m.CreatePath(msg.object_id, sender=self.address)
+            )
 
     # ======================================================================
     # Algorithm 6-2: position updates
@@ -914,8 +1039,8 @@ class LocationServer(Endpoint):
                 offered_acc=offered,
                 origin_area=self.config.area,
             )
-        if repairs:
-            self.send_many(self._parent, repairs)
+        for repair in repairs:
+            self._spawn_repair(self._parent, repair)
         return outcomes
 
     async def _escalate_handover_batch(
@@ -1095,7 +1220,7 @@ class LocationServer(Endpoint):
             # Cached (direct) handover: the hierarchy was bypassed, so the
             # forwarding path must be repaired explicitly.
             if self._parent is not None:
-                self.send(
+                self._spawn_repair(
                     self._parent,
                     m.PathUpdate(object_id=msg.sighting.object_id, sender=self.address),
                 )
@@ -1179,21 +1304,76 @@ class LocationServer(Endpoint):
 
     # -- cached-handover path repair (§6.5, derived) -----------------------------
 
+    def _spawn_repair(self, dest: str, message) -> None:
+        """Deliver a path-repair message at-least-once (PR 9).
+
+        Each hop acks its *local* application with
+        :class:`~repro.core.messages.PathAck`; further propagation is the
+        hop's own acked delivery.  Retries re-send the same repair under
+        a fresh request id — application is idempotent (forwarding
+        inserts overwrite, removals of an absent ref are no-ops), so a
+        duplicate caused by a lost ack is harmless.
+        """
+
+        # The first attempt goes out inline, before the caller's own reply
+        # — path propagation must not lag behind the answer that makes the
+        # object queryable.  Only the ack wait (and any retries) runs in
+        # the spawned task.
+        first_id = self.next_request_id()
+        first_future = self.park(first_id)
+        self.send(
+            dest, replace(message, request_id=first_id, reply_to=self.address)
+        )
+
+        async def drive() -> None:
+            try:
+                await self.wait(first_id, first_future, _PATH_REPAIR_TIMEOUT)
+                return
+            except TransportError:
+                pass
+            for _ in range(_PATH_REPAIR_RETRIES):
+                self.stats.path_repair_resends += 1
+                try:
+                    await self.request(
+                        dest,
+                        replace(
+                            message,
+                            request_id=self.next_request_id(),
+                            reply_to=self.address,
+                        ),
+                        timeout=_PATH_REPAIR_TIMEOUT,
+                    )
+                    return
+                except TransportError:
+                    continue
+            self.stats.path_repairs_abandoned += 1
+
+        self.ctx.spawn(drive(), name=f"{self.address}:path-repair")
+
+    def _ack_repair(self, msg) -> None:
+        if msg.reply_to:
+            self.send(msg.reply_to, m.PathAck(request_id=msg.request_id))
+
     async def _on_path_update(self, msg: m.PathUpdate) -> None:
         self.stats.note(msg)
+        self._ack_repair(msg)
         previous = self.visitors.forward_ref(msg.object_id)
         if previous == msg.sender:
-            return  # path already correct: common ancestor reached
+            return  # path already correct: common ancestor reached (or a retry)
         self.visitors.insert_forward(msg.object_id, msg.sender)
         if previous is not None:
             # Common ancestor: prune the stale branch, stop propagating.
-            self.send(previous, m.RemovePath(object_id=msg.object_id))
+            self._spawn_repair(previous, m.RemovePath(object_id=msg.object_id))
             return
         if self._parent is not None:
-            self.send(self._parent, m.PathUpdate(object_id=msg.object_id, sender=self.address))
+            self._spawn_repair(
+                self._parent,
+                m.PathUpdate(object_id=msg.object_id, sender=self.address),
+            )
 
     async def _on_remove_path(self, msg: m.RemovePath) -> None:
         self.stats.note(msg)
+        self._ack_repair(msg)
         if self.is_leaf:
             record = self.visitors.leaf_record(msg.object_id)
             if record is not None:
@@ -1202,7 +1382,7 @@ class LocationServer(Endpoint):
         next_hop = self.visitors.forward_ref(msg.object_id)
         self.visitors.remove(msg.object_id)
         if next_hop is not None:
-            self.send(next_hop, m.RemovePath(object_id=msg.object_id))
+            self._spawn_repair(next_hop, m.RemovePath(object_id=msg.object_id))
 
     async def _on_cache_invalidate(self, msg: m.CacheInvalidate) -> None:
         """Apply a §6.5 invalidation broadcast (migration cutover)."""
@@ -1431,8 +1611,15 @@ class LocationServer(Endpoint):
         mix pre- and post-migration service areas (an absorbing parent's
         answer overlaps an already-counted retired child's), so the
         collection is re-issued under the current topology.  Entries
-        accumulate across attempts (deduplicated by object id), coverage
-        accounting restarts fresh each attempt.
+        accumulate across attempts (deduplicated by object id).
+
+        Retries are **coverage-aware** (PR 9): each answering leaf
+        reports its service area and epoch, and the re-issue subtracts
+        the areas already answered *under the current epoch* from the
+        dispatch rect — only the space whose coverage is actually in
+        doubt travels again.  When the remainder decomposition would
+        shatter past :data:`_MAX_REMAINDER_RECTS`, the retry falls back
+        to the whole rect.
         """
         # Clamp the dispatch rect to the root service area: no tracked
         # object exists outside it, and a clamped rect lets the covered
@@ -1444,46 +1631,76 @@ class LocationServer(Endpoint):
             return (), set()
         entries: dict[str, object] = {}
         origins: set[str] = set()
+        remainders: list[Rect] = [dispatch]
         for attempt in range(_EPOCH_RETRIES + 1):
-            query_id = self.next_request_id()
-            collector = _Collector(
-                self.ctx.create_future(), dispatch.area, epoch=self.topology_epoch
-            )
-            self._collectors[query_id] = collector
-            try:
-                # Local portion (Alg. 6-5 entry, lines 3-7).  The store
-                # check covers a leaf that became interior mid-use.
-                if self.store is not None and dispatch.intersects(self.config.area):
-                    local = self.store.range_query(query)
-                    collector.add(
-                        local, dispatch.intersection_area(self.config.area), self.address
-                    )
-                collector.resolve_if_complete()
-                if not collector.complete:
-                    self._fan_out(
-                        query_id,
-                        dispatch,
-                        lambda sender, direct: m.RangeQueryFwd(
-                            query_id=query_id,
-                            area=query.area,
-                            req_acc=query.req_acc,
-                            req_overlap=query.req_overlap,
-                            dispatch=dispatch,
-                            entry_server=self.address,
-                            sender=sender,
-                            direct=direct,
-                        ),
-                    )
-                    await collector.future
-            finally:
-                self._collectors.pop(query_id, None)
-            entries.update(collector.entries)
-            origins |= collector.origins
-            if not collector.stale and self.topology_epoch == collector.epoch:
+            stale = False
+            reports: dict[str, tuple[Rect, int]] = {}
+            # One collector per remainder rect: the per-origin coverage
+            # dedupe is a per-collection invariant, and on a retry the
+            # same leaf may legitimately answer two disjoint remainders.
+            for rect in remainders:
+                collector = await self._collect_range_rect(query, rect)
+                entries.update(collector.entries)
+                origins |= collector.origins
+                reports.update(collector.area_reports)
+                if collector.stale or self.topology_epoch != collector.epoch:
+                    stale = True
+            if not stale or attempt == _EPOCH_RETRIES:
                 break
-            if attempt < _EPOCH_RETRIES:  # a re-issue will actually run
-                self.stats.epoch_retries += 1
+            current = self.topology_epoch
+            valid = [area for area, epoch in reports.values() if epoch == current]
+            shrunk: list[Rect] | None = []
+            for rect in remainders:
+                pieces = subtract_rects(
+                    rect, valid, cap=_MAX_REMAINDER_RECTS - len(shrunk)
+                )
+                if pieces is None:
+                    shrunk = None  # confetti: re-query the current rects whole
+                    break
+                shrunk.extend(pieces)
+            if shrunk is not None:
+                if not shrunk:
+                    break  # every gap was answered under the current epoch
+                remainders = shrunk
+            self.stats.epoch_retries += 1  # a re-issue will actually run
         return tuple(sorted(entries.items())), origins
+
+    async def _collect_range_rect(self, query: RangeQuery, rect: Rect) -> _Collector:
+        """Run one fan-out collection of ``query`` over dispatch ``rect``."""
+        query_id = self.next_request_id()
+        collector = _Collector(
+            self.ctx.create_future(), rect.area, epoch=self.topology_epoch
+        )
+        self._collectors[query_id] = collector
+        try:
+            # Local portion (Alg. 6-5 entry, lines 3-7).  The store
+            # check covers a leaf that became interior mid-use.
+            if self.store is not None and rect.intersects(self.config.area):
+                local = self.store.range_query(query)
+                collector.add(
+                    local, rect.intersection_area(self.config.area), self.address
+                )
+                collector.note_area(self.address, self.config.area, self.topology_epoch)
+            collector.resolve_if_complete()
+            if not collector.complete:
+                self._fan_out(
+                    query_id,
+                    rect,
+                    lambda sender, direct: m.RangeQueryFwd(
+                        query_id=query_id,
+                        area=query.area,
+                        req_acc=query.req_acc,
+                        req_overlap=query.req_overlap,
+                        dispatch=rect,
+                        entry_server=self.address,
+                        sender=sender,
+                        direct=direct,
+                    ),
+                )
+                await collector.future
+        finally:
+            self._collectors.pop(query_id, None)
+        return collector
 
     # -- internal query API (event engine, embedding applications) ------------
 
@@ -1535,6 +1752,10 @@ class LocationServer(Endpoint):
             return results, set()
         merged: list[dict[str, object]] = [{} for _ in active]
         origins: set[str] = set()
+        #: slots answered entirely under the current epoch by an earlier
+        #: attempt — pre-credited on the retry so only the items whose
+        #: coverage is actually in doubt fan out again (PR 9).
+        done: set[int] = set()
         for attempt in range(_EPOCH_RETRIES + 1):
             query_id = self.next_request_id()
             collector = _BatchCollector(
@@ -1544,12 +1765,14 @@ class LocationServer(Endpoint):
             )
             self._batch_collectors[query_id] = collector
             try:
+                for slot in done:
+                    collector.mark_satisfied(slot)
                 area = self.config.area
                 local = (
                     [
                         (slot, i)
                         for slot, i in enumerate(active)
-                        if dispatches[i].intersects(area)
+                        if slot not in done and dispatches[i].intersects(area)
                     ]
                     if self.store is not None
                     else []
@@ -1558,7 +1781,11 @@ class LocationServer(Endpoint):
                     answers = self.store.range_query_many([queries[i] for _, i in local])
                     for (slot, i), found in zip(local, answers):
                         collector.add(
-                            slot, found, dispatches[i].intersection_area(area), self.address
+                            slot,
+                            found,
+                            dispatches[i].intersection_area(area),
+                            self.address,
+                            epoch=self.topology_epoch,
                         )
                 collector.resolve_if_complete()
                 if not collector.complete:
@@ -1595,6 +1822,17 @@ class LocationServer(Endpoint):
             origins |= collector.origins
             if not collector.stale and self.topology_epoch == collector.epoch:
                 break
+            # A slot is settled when it is covered and every contribution
+            # carries the current epoch — only the rest fans out again.
+            current = self.topology_epoch
+            done = {
+                slot
+                for slot in range(len(active))
+                if collector.item_complete(slot)
+                and collector.slot_epochs[slot] <= {current}
+            }
+            if len(done) == len(active):
+                break  # the race only grazed already-settled slots
             if attempt < _EPOCH_RETRIES:  # a re-issue will actually run
                 self.stats.epoch_retries += 1
         for slot, i in enumerate(active):
@@ -1682,7 +1920,7 @@ class LocationServer(Endpoint):
             return  # late answer for an already-completed batch
         collector.note_epoch(msg.epoch)
         for index, entries, covered in msg.results:
-            collector.add(index, entries, covered, msg.origin)
+            collector.add(index, entries, covered, msg.origin, epoch=msg.epoch)
         collector.resolve_if_complete()
 
     def _fan_out(self, query_id: str, dispatch: Rect, make_fwd) -> None:
@@ -1775,6 +2013,7 @@ class LocationServer(Endpoint):
             return  # late answer for an already-completed query
         collector.note_epoch(msg.epoch)
         collector.add(msg.entries, msg.covered_area, msg.origin)
+        collector.note_area(msg.origin, msg.origin_area, msg.epoch)
         collector.resolve_if_complete()
 
     # ======================================================================
@@ -1924,8 +2163,15 @@ class LocationServer(Endpoint):
     async def _collect_nn_candidates_many(
         self, dispatches: list[Rect], req_accs: list[float]
     ) -> list[list[ObjectEntry]]:
-        """One ring round for many probes as a single batched fan-out."""
+        """One ring round for many probes as a single batched fan-out.
+
+        Retries follow :meth:`_execute_range_many`'s coverage-aware
+        scheme: probe slots answered entirely under the current epoch
+        are pre-credited, so a rebalance race re-fans only the probes
+        it actually grazed.
+        """
         merged: list[dict[str, object]] = [{} for _ in dispatches]
+        done: set[int] = set()
         for attempt in range(_EPOCH_RETRIES + 1):
             query_id = self.next_request_id()
             collector = _BatchCollector(
@@ -1935,12 +2181,14 @@ class LocationServer(Endpoint):
             )
             self._batch_collectors[query_id] = collector
             try:
+                for slot in done:
+                    collector.mark_satisfied(slot)
                 area = self.config.area
                 if self.store is not None:
                     local = [
                         slot
                         for slot, dispatch in enumerate(dispatches)
-                        if dispatch.intersects(area)
+                        if slot not in done and dispatch.intersects(area)
                     ]
                     if local:
                         answers = self.store.nn_candidates_many(
@@ -1953,6 +2201,7 @@ class LocationServer(Endpoint):
                                 found,
                                 dispatches[slot].intersection_area(area),
                                 self.address,
+                                epoch=self.topology_epoch,
                             )
                 collector.resolve_if_complete()
                 if not collector.complete:
@@ -1984,6 +2233,15 @@ class LocationServer(Endpoint):
                 merged[slot].update(collector.entries[slot])
             if not collector.stale and self.topology_epoch == collector.epoch:
                 break
+            current = self.topology_epoch
+            done = {
+                slot
+                for slot in range(len(dispatches))
+                if collector.item_complete(slot)
+                and collector.slot_epochs[slot] <= {current}
+            }
+            if len(done) == len(dispatches):
+                break  # the race only grazed already-settled slots
             if attempt < _EPOCH_RETRIES:  # a re-issue will actually run
                 self.stats.epoch_retries += 1
         return [list(bucket.items()) for bucket in merged]
@@ -2024,7 +2282,7 @@ class LocationServer(Endpoint):
             return  # late answer for an already-completed batch
         collector.note_epoch(msg.epoch)
         for index, entries, covered in msg.results:
-            collector.add(index, entries, covered, msg.origin)
+            collector.add(index, entries, covered, msg.origin, epoch=msg.epoch)
         collector.resolve_if_complete()
 
     async def _on_nn_fwd(self, msg: m.NNCandidatesFwd) -> None:
@@ -2082,6 +2340,7 @@ class LocationServer(Endpoint):
             return
         collector.note_epoch(msg.epoch)
         collector.add(msg.entries, msg.covered_area, msg.origin)
+        collector.note_area(msg.origin, msg.origin_area, msg.epoch)
         collector.resolve_if_complete()
 
     # ======================================================================

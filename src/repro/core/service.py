@@ -23,6 +23,7 @@ from repro.errors import LocationServiceError, TransportError
 from repro.geo import Point, Region
 from repro.model import AccuracyModel, LocationDescriptor, SightingRecord
 from repro.runtime.base import Endpoint
+from repro.runtime.validation import find_defect
 from repro.runtime.latency import CostModel, LatencyModel
 from repro.runtime.simnet import SimNetwork
 from repro.storage.visitor_db import VisitorDB
@@ -79,6 +80,9 @@ class _BatchReporter(Endpoint):
 
     def __init__(self, address: str = "svc-batch-reporter") -> None:
         super().__init__(address)
+        # Quarantine mutated acks instead of resolving envelope futures
+        # with poison; the protocol lane then re-sends on timeout (PR 9).
+        self.validator = find_defect
 
 
 async def drive_all(loop, named_coros) -> None:

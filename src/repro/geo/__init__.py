@@ -8,7 +8,7 @@ from repro.geo.circle import Circle, circle_circle_intersection_area
 from repro.geo.coords import EARTH_RADIUS_M, GeoCoordinate, LocalProjection, haversine_distance
 from repro.geo.point import ORIGIN, Point, Vector, distance
 from repro.geo.polygon import Polygon
-from repro.geo.rect import Rect
+from repro.geo.rect import Rect, subtract_rects
 
 #: A queried or service-area region: either an axis-aligned rect or a polygon.
 Region = Rect | Polygon
@@ -27,6 +27,7 @@ __all__ = [
     "circle_circle_intersection_area",
     "distance",
     "haversine_distance",
+    "subtract_rects",
 ]
 
 

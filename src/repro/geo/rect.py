@@ -146,6 +146,32 @@ class Rect:
             max(self.max_y, other.max_y),
         )
 
+    def subtract(self, other: "Rect") -> "list[Rect]":
+        """The part of this rectangle not covered by ``other``.
+
+        Guillotine decomposition into at most four disjoint pieces
+        (bottom band, top band, left strip, right strip).  Zero-area
+        slivers are dropped: the remainders drive *re-queries* of
+        uncovered space (PR 9's coverage-aware epoch retries), and a
+        degenerate rect can only re-find boundary entries the covered
+        answer already reported.
+        """
+        overlap = self.intersection(other)
+        if overlap is None:
+            return [self]
+        if overlap == self:
+            return []
+        pieces = []
+        if overlap.min_y > self.min_y:
+            pieces.append(Rect(self.min_x, self.min_y, self.max_x, overlap.min_y))
+        if overlap.max_y < self.max_y:
+            pieces.append(Rect(self.min_x, overlap.max_y, self.max_x, self.max_y))
+        if overlap.min_x > self.min_x:
+            pieces.append(Rect(self.min_x, overlap.min_y, overlap.min_x, overlap.max_y))
+        if overlap.max_x < self.max_x:
+            pieces.append(Rect(overlap.max_x, overlap.min_y, self.max_x, overlap.max_y))
+        return [piece for piece in pieces if piece.area > 0.0]
+
     # -- derived rectangles ----------------------------------------------
 
     def enlarged(self, margin: float) -> "Rect":
@@ -208,3 +234,24 @@ class Rect:
         yield self.min_y
         yield self.max_x
         yield self.max_y
+
+
+def subtract_rects(base: Rect, covers: Sequence[Rect], cap: int = 32) -> "list[Rect] | None":
+    """``base`` minus the union of ``covers``, as disjoint rectangles.
+
+    Returns ``None`` when the decomposition would exceed ``cap`` pieces —
+    the caller should then fall back to re-querying ``base`` whole rather
+    than fan out into confetti.  An empty list means ``base`` is fully
+    covered.
+    """
+    remainders = [base]
+    for cover in covers:
+        next_remainders: list[Rect] = []
+        for piece in remainders:
+            next_remainders.extend(piece.subtract(cover))
+            if len(next_remainders) > cap:
+                return None
+        remainders = next_remainders
+        if not remainders:
+            break
+    return remainders

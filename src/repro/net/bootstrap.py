@@ -141,6 +141,10 @@ def _install_control_plane(server, transport, stop_event: asyncio.Event) -> None
                 messages_delivered=transport.stats.messages_delivered,
                 messages_dropped=transport.stats.messages_dropped,
                 dead_letters=transport.stats.dead_letters,
+                frames_corrupted=transport.stats.frames_corrupted,
+                messages_quarantined=transport.stats.messages_quarantined
+                + server.stats.messages_quarantined,
+                stale_epoch_rejected=server.stats.stale_epoch_rejected,
             ),
         )
 
@@ -388,6 +392,24 @@ class ClusterLauncher:
             if self.hierarchy.config(server_id).is_leaf:
                 total += (await self.node_stats(server_id)).tracked
         return total
+
+    async def defense_totals(self) -> dict[str, int]:
+        """Cluster-wide receive-path defense counters (PR 9).
+
+        Sums the trailing :class:`~repro.net.control.NodeStatsRes`
+        fields over every node; a pre-PR-9 node that omits them on the
+        wire contributes the schema-evolution defaults (0)."""
+        totals = {
+            "frames_corrupted": 0,
+            "messages_quarantined": 0,
+            "stale_epoch_rejected": 0,
+        }
+        for server_id in self.order:
+            stats = await self.node_stats(server_id)
+            totals["frames_corrupted"] += stats.frames_corrupted
+            totals["messages_quarantined"] += stats.messages_quarantined
+            totals["stale_epoch_rejected"] += stats.stale_epoch_rejected
+        return totals
 
     async def adopt_hierarchy(self, hierarchy: Hierarchy) -> dict[str, int]:
         """Push an epoch bump to every node; returns id → adopted epoch."""

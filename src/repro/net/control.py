@@ -45,6 +45,17 @@ class NodeStatsRes(Response):
     messages_delivered: int
     messages_dropped: int
     dead_letters: int
+    # Defense counters (PR 9) — *trailing defaulted* fields, the wire
+    # codec's schema-evolution contract in live use: a frame from a
+    # pre-PR-9 node decodes on a new launcher with these at 0, and an
+    # old launcher silently ignores them on a new node's reply.
+    #: frames the node's transport discarded on CRC/length damage.
+    frames_corrupted: int = 0
+    #: messages the validator quarantined before any handler ran
+    #: (transport + server layers combined).
+    messages_quarantined: int = 0
+    #: epoch-stamped messages rejected as stale replays.
+    stale_epoch_rejected: int = 0
 
 
 @dataclass(frozen=True, slots=True)

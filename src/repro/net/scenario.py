@@ -31,6 +31,7 @@ from repro.errors import TransportError
 from repro.model import SightingRecord
 from repro.net.bootstrap import ClusterLauncher
 from repro.runtime.base import Endpoint
+from repro.runtime.validation import find_defect
 
 __all__ = [
     "drive_workload",
@@ -45,6 +46,9 @@ class _WorkloadReporter(Endpoint):
 
     def __init__(self, address: str = "wl-reporter") -> None:
         super().__init__(address)
+        # Same defense as LocationClient: a mutated ack is quarantined,
+        # and the retrying request lane re-sends it (PR 9).
+        self.validator = find_defect
 
 
 async def _request_retrying(
@@ -72,12 +76,22 @@ async def drive_workload(
     register_concurrency: int = 32,
     seed: int = 0,
     verify: bool = True,
+    sub_timeout: float | None = None,
+    verify_entry: str | None = None,
 ) -> dict:
     """Run one scenario workload through the public protocol.
 
     ``join(endpoint)`` attaches an endpoint to whatever runtime is under
     test.  Returns the measurement payload (reports/s over the tick
     loop, plus the zero-lost verification sweep).
+
+    ``sub_timeout`` bounds the *cluster-side* fan-out each envelope
+    triggers (handover/forward sub-requests).  Leave it ``None`` only on
+    a loss-free fabric: with faults in play an unanswered sub-request
+    would otherwise park a server task forever.  ``verify_entry`` routes
+    the verification sweep through one fixed entry server (e.g. the
+    root) instead of each object's home leaf, forcing every query to
+    prove the *forwarding path*, not just leaf-local state.
     """
     reporter = join(_WorkloadReporter())
     homes: dict[str, str] = {}
@@ -132,6 +146,7 @@ async def drive_workload(
                     reply_to=reporter.address,
                     sightings=tuple(sightings),
                     epoch=hierarchy.epoch,
+                    sub_timeout=sub_timeout,
                 ),
                 timeout,
                 retries,
@@ -179,7 +194,10 @@ async def drive_workload(
                     found += 1
 
         await asyncio.gather(
-            *(query(oid, homes.get(oid, hierarchy.root_id)) for oid, _ in workload.placements)
+            *(
+                query(oid, verify_entry or homes.get(oid, hierarchy.root_id))
+                for oid, _ in workload.placements
+            )
         )
         payload["registered"] = len(workload.placements)
         payload["found"] = found

@@ -7,7 +7,9 @@ connects and back-pressure happen on the loop.  A connection that fails
 is retried once with a fresh connect on the next write; bytes queued to
 a peer that stays unreachable are counted as drops, and the protocol
 lane's retries take it from there (same recovery story as UDP, it just
-fires far more rarely).
+fires far more rarely).  Inbound corruption no longer poisons a
+connection: the stream decoder resynchronises on the frame magic and
+the damage lands in ``stats.frames_corrupted``.
 
 Frames need no fragmentation here: the stream decoder reassembles
 arbitrarily chunked reads.
@@ -17,7 +19,6 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.errors import WireError
 from repro.net.transport import SocketTransport
 from repro.net.wire import FrameDecoder
 
@@ -81,12 +82,15 @@ class TcpTransport(SocketTransport):
             while True:
                 data = await reader.read(65536)
                 if not data:
+                    # EOF mid-frame is damage; flush may still rescue
+                    # intact frames trapped behind a corrupt length.
+                    frames = decoder.flush()
+                    self._note_decoder_damage(decoder)
+                    if frames:
+                        self._on_frames(frames)
                     break
-                try:
-                    frames = decoder.feed(data)
-                except WireError as exc:
-                    self._on_wire_error(exc)
-                    break  # poisoned stream: drop the connection
+                frames = decoder.feed(data)
+                self._note_decoder_damage(decoder)
                 if frames:
                     self._on_frames(frames)
         except (asyncio.CancelledError, ConnectionError):

@@ -78,6 +78,12 @@ class SocketContext(Context):
     def sleep(self, delay: float) -> Awaitable[None]:
         return asyncio.sleep(delay)
 
+    def note_quarantined(self, count: int = 1) -> None:
+        self._transport.stats.messages_quarantined += count
+
+    def note_stale_rejected(self, count: int = 1) -> None:
+        self._transport.stats.stale_epoch_rejected += count
+
 
 class SocketTransport:
     """Shared machinery of the UDP and TCP transports.
@@ -181,15 +187,23 @@ class SocketTransport:
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
             return
-        extra_delay, copies = 0.0, 0
+        extra_delay, copies, replay = 0.0, 0, None
         if self.fault_injector is not None:
-            should_deliver, extra_delay, copies = self.fault_injector.outcome(src, dst)
+            # ``mutate=False``: on a socket transport corruption happens
+            # at the frame layer (see :meth:`_dispatch`), so the rate
+            # means "this share of *frames*", not of messages.
+            should_deliver, extra_delay, copies, message, replay = (
+                self.fault_injector.verdict(src, dst, message, mutate=False)
+            )
             if not should_deliver:
                 self.stats.messages_dropped += 1
                 return
         if copies:
             self.stats.messages_duplicated += copies
-        self._dispatch(src, dst, [message] * (1 + copies), extra_delay)
+        payloads = [message] * (1 + copies)
+        if replay is not None:
+            payloads.append(replay)
+        self._dispatch(src, dst, payloads, extra_delay)
 
     def transmit_many(self, src: str, dst: str, messages: "list[Message]") -> None:
         """Coalescing batch send: one frame, one wire write.
@@ -214,8 +228,8 @@ class SocketTransport:
                 self.stats.messages_dropped += 1
                 continue
             if self.fault_injector is not None:
-                should_deliver, extra_delay, copies = self.fault_injector.outcome(
-                    src, dst
+                should_deliver, extra_delay, copies, message, replay = (
+                    self.fault_injector.verdict(src, dst, message, mutate=False)
                 )
                 if not should_deliver:
                     self.stats.messages_dropped += 1
@@ -223,6 +237,8 @@ class SocketTransport:
                 if copies:
                     self.stats.messages_duplicated += copies
                     survivors.extend([message] * copies)
+                if replay is not None:
+                    survivors.append(replay)
                 delay = max(delay, extra_delay)
             survivors.append(message)
         if survivors:
@@ -233,7 +249,18 @@ class SocketTransport:
     ) -> None:
         """Deliver locally or serialize onto the socket, after ``delay``."""
         loop = asyncio.get_event_loop()
+        injector = self.fault_injector
+        frame_corrupt = injector is not None and injector.frame_corrupt(src, dst)
         if dst in self._endpoints:
+            if frame_corrupt and messages:
+                # Loopback never serializes, so frame damage becomes a
+                # field mutation on one member of the burst — damage the
+                # receive-path validator must quarantine.
+                messages = list(messages)
+                index = 0
+                mutated = injector.mutate_message(messages[index])
+                if mutated is not None:
+                    messages[index] = mutated
 
             def deliver_local() -> None:
                 if dst in self._down:
@@ -257,6 +284,8 @@ class SocketTransport:
             self.stats.dead_letters += len(messages)
             return
         data = encode_frame(src, dst, messages)
+        if frame_corrupt:
+            data = injector.corrupt_bytes(data)
         if delay <= 0.0:
             self._send_bytes(data, location)
         else:
@@ -281,6 +310,21 @@ class SocketTransport:
     def _on_wire_error(self, exc: WireError) -> None:
         """A peer sent an undecodable frame; count and move on."""
         self.stats.dead_letters += 1
+
+    def _note_decoder_damage(self, decoder: FrameDecoder) -> None:
+        """Fold a decoder's damage counters into stats (and zero them).
+
+        ``corrupted_frames`` episodes land in ``frames_corrupted``;
+        individually skipped messages (unknown type, mangled nested
+        object) land in ``messages_quarantined`` — they decoded but were
+        rejected before reaching any endpoint.
+        """
+        if decoder.corrupted_frames:
+            self.stats.frames_corrupted += decoder.corrupted_frames
+            decoder.corrupted_frames = 0
+        if decoder.skipped_messages:
+            self.stats.messages_quarantined += decoder.skipped_messages
+            decoder.skipped_messages = 0
 
     # -- draining ----------------------------------------------------------
 

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import asyncio
 import base64
+import binascii
 import itertools
 from dataclasses import dataclass
 
-from repro.errors import WireError
 from repro.net.transport import SocketTransport
 from repro.net.wire import FrameDecoder, encode_frame
 from repro.runtime.base import Message
@@ -71,11 +71,16 @@ class UdpTransport(SocketTransport):
         self._sock = None
         self._protocol = None
         self._frag_counter = itertools.count()
-        #: frag_id → (count, {index: bytes}); reassembly is bounded by
-        #: dropping any partial batch older than ``_MAX_PARTIAL`` others.
-        self._partials: dict[str, tuple[int, dict[int, bytes]]] = {}
+        #: frag_id → (count, {index: bytes}, born); reassembly is bounded
+        #: two ways: a partial older than :data:`PARTIAL_TTL` seconds is
+        #: expired (its missing fragment is never coming), and any
+        #: partial beyond ``_MAX_PARTIAL`` others is evicted.  Either
+        #: way the discarded reassembly counts as a corrupted frame.
+        self._partials: dict[str, tuple[int, dict[int, bytes], float]] = {}
 
     _MAX_PARTIAL = 256
+    #: seconds a partial reassembly may wait for its missing fragments.
+    PARTIAL_TTL = 5.0
 
     async def _open(self) -> tuple[str, int]:
         loop = asyncio.get_event_loop()
@@ -117,14 +122,13 @@ class UdpTransport(SocketTransport):
     # -- receive -----------------------------------------------------------
 
     def _on_datagram(self, data: bytes) -> None:
+        self._expire_partials()
         decoder = FrameDecoder()
-        try:
-            frames = decoder.feed(data)
-            if decoder.pending_bytes:
-                raise WireError("truncated datagram")
-        except WireError as exc:
-            self._on_wire_error(exc)
-            return
+        frames = decoder.feed(data)
+        # Datagram boundary: frames never span datagrams, so leftover
+        # bytes are damage — flush rescues any intact trailing frames.
+        frames.extend(decoder.flush())
+        self._note_decoder_damage(decoder)
         plain = []
         for frame in frames:
             if frame[1] == FRAGMENT_DST:
@@ -138,23 +142,54 @@ class UdpTransport(SocketTransport):
         for fragment in messages:
             if not isinstance(fragment, Fragment):
                 continue
-            count, chunks = self._partials.setdefault(
-                fragment.frag_id, (fragment.count, {})
+            if fragment.count <= 0 or not 0 <= fragment.index < fragment.count:
+                # A mutated header can't address a reassembly slot; the
+                # frame it belonged to is unrecoverable.
+                self._partials.pop(fragment.frag_id, None)
+                self.stats.frames_corrupted += 1
+                continue
+            count, chunks, _born = self._partials.setdefault(
+                fragment.frag_id,
+                (fragment.count, {}, asyncio.get_event_loop().time()),
             )
-            chunks[fragment.index] = base64.b64decode(fragment.data)
+            try:
+                chunks[fragment.index] = base64.b64decode(
+                    fragment.data, validate=True
+                )
+            except (ValueError, binascii.Error):
+                del self._partials[fragment.frag_id]
+                self.stats.frames_corrupted += 1
+                continue
             if len(chunks) < count:
                 continue
             del self._partials[fragment.frag_id]
-            whole = b"".join(chunks[i] for i in range(count))
+            whole = b"".join(chunks.get(i, b"") for i in range(count))
             decoder = FrameDecoder()
-            try:
-                frames = decoder.feed(whole)
-                if decoder.pending_bytes:
-                    raise WireError("truncated reassembled frame")
-            except WireError as exc:
-                self._on_wire_error(exc)
-                continue
+            frames = decoder.feed(whole)
+            frames.extend(decoder.flush())
+            self._note_decoder_damage(decoder)
             self._on_frames(frames)
         # Bound partial-state growth: UDP loss can strand reassemblies.
         while len(self._partials) > self._MAX_PARTIAL:
             self._partials.pop(next(iter(self._partials)))
+            self.stats.frames_corrupted += 1
+
+    def _expire_partials(self) -> None:
+        """Discard partial reassemblies whose fragments stopped arriving.
+
+        A lost fragment would otherwise pin its siblings' bytes forever;
+        after :data:`PARTIAL_TTL` seconds the frame is declared dead and
+        counted as corrupt (the sender's retry policy re-sends the
+        messages it carried).
+        """
+        if not self._partials:
+            return
+        now = asyncio.get_event_loop().time()
+        expired = [
+            frag_id
+            for frag_id, (_count, _chunks, born) in self._partials.items()
+            if now - born > self.PARTIAL_TTL
+        ]
+        for frag_id in expired:
+            del self._partials[frag_id]
+            self.stats.frames_corrupted += 1

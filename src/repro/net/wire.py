@@ -12,9 +12,16 @@ below.  Round-trips are exact: tuples stay tuples (the protocol uses no
 lists), floats round-trip by ``repr`` (including ``inf``), nested batch
 items and epoch stamps come back field-for-field equal.
 
-Wire format, one frame::
+Wire format, one frame (version 2)::
 
-    b"RW"  version:1  length:4 (big-endian)  payload:length
+    b"RW"  version:1  length:4 (big-endian)  crc32:4 (big-endian)  payload:length
+
+The CRC32 covers the payload bytes; a mismatch marks the frame corrupt
+and the decoder resynchronises on the next magic marker instead of
+trusting a damaged length prefix.  Version-1 frames (the pre-checksum
+layout, no ``crc32`` word) are still decoded for legacy peers, and a
+version byte *newer* than ours parses with the v2 layout — schema
+evolution is tolerated in both directions (see :class:`FrameDecoder`).
 
 The payload is compact JSON: ``{"s": src, "d": dst, "m": [message...]}``
 where every typed object is ``{"t": "<ClassName>", "f": [fields...]}``.
@@ -33,6 +40,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import zlib
 from typing import Callable, Iterable
 
 from repro.core.hierarchy import ChildRef, Hierarchy, ServerConfig
@@ -51,6 +59,7 @@ __all__ = [
     "WIRE_VERSION",
     "MAGIC",
     "HEADER_SIZE",
+    "HEADER_SIZE_V1",
     "MAX_FRAME_SIZE",
     "encode",
     "decode",
@@ -63,9 +72,12 @@ __all__ = [
     "decode_hierarchy",
 ]
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 MAGIC = b"RW"
-HEADER_SIZE = len(MAGIC) + 1 + 4  # magic + version byte + length prefix
+#: v2 header: magic + version byte + length prefix + payload CRC32.
+HEADER_SIZE = len(MAGIC) + 1 + 4 + 4
+#: v1 header (pre-checksum layout); still accepted on decode.
+HEADER_SIZE_V1 = len(MAGIC) + 1 + 4
 #: Hard per-frame ceiling — a length prefix beyond this is treated as
 #: stream corruption, not an allocation request.
 MAX_FRAME_SIZE = 64 * 1024 * 1024
@@ -122,8 +134,12 @@ def register_type(
         def to_fields(obj, _names=field_names):  # type: ignore[misc]
             return [_encode_value(getattr(obj, n)) for n in _names]
 
-        def from_fields(fields, _cls=cls):  # type: ignore[misc]
-            return _cls(*[_decode_value(v) for v in fields])
+        def from_fields(fields, _cls=cls, _arity=len(field_names)):  # type: ignore[misc]
+            # Schema evolution: a newer peer may append fields we do not
+            # know — trailing extras are ignored, trailing *absences*
+            # fall back to the constructor's defaults (or fail into the
+            # caller's per-message skip path if there are none).
+            return _cls(*[_decode_value(v) for v in fields[:_arity]])
 
     entry = _TypeEntry(cls, to_fields, from_fields)
     _BY_NAME[name] = entry
@@ -295,17 +311,37 @@ def encode_frame(src: str, dst: str, messages: "list[Message]") -> bytes:
     ).encode("utf-8")
     if len(body) > MAX_FRAME_SIZE:
         raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_SIZE")
-    return MAGIC + bytes([WIRE_VERSION]) + len(body).to_bytes(4, "big") + body
+    return (
+        MAGIC
+        + bytes([WIRE_VERSION])
+        + len(body).to_bytes(4, "big")
+        + zlib.crc32(body).to_bytes(4, "big")
+        + body
+    )
 
 
 def decode_frame(data: bytes) -> tuple[str, str, list]:
-    """Decode exactly one frame (raises if trailing bytes remain)."""
+    """Decode exactly one *intact* frame (raises on anything less).
+
+    Unlike :class:`FrameDecoder` — which self-heals past damage — this
+    strict single-frame API raises :class:`WireError` on any corruption,
+    skipped message or trailing bytes; callers holding one complete
+    frame in hand (tests, the fragment reassembler) want loud failure,
+    not silent repair.
+    """
     decoder = FrameDecoder()
     frames = decoder.feed(data)
-    if len(frames) != 1 or decoder.pending_bytes:
+    if (
+        len(frames) != 1
+        or decoder.pending_bytes
+        or decoder.corrupted_frames
+        or decoder.skipped_messages
+    ):
         raise WireError(
-            f"expected exactly one frame, got {len(frames)} "
-            f"with {decoder.pending_bytes} bytes left over"
+            f"expected exactly one intact frame, got {len(frames)} "
+            f"({decoder.corrupted_frames} corrupt, "
+            f"{decoder.skipped_messages} skipped messages, "
+            f"{decoder.pending_bytes} bytes left over)"
         )
     return frames[0]
 
@@ -314,16 +350,33 @@ class FrameDecoder:
     """Incremental frame splitter for streams and multi-frame datagrams.
 
     Feed it arbitrarily chunked bytes; it returns every completed frame
-    as ``(src, dst, [messages])`` and buffers the remainder.  Corrupt
-    magic bytes or an unknown version raise :class:`WireError`
-    immediately — a socket transport treats that as a poisoned peer, not
-    something to resynchronise from.
+    as ``(src, dst, [messages])`` and buffers the remainder.  The
+    decoder is **self-healing**: corrupt bytes — bad magic, a zero
+    version byte, an absurd length prefix, a CRC mismatch, an
+    undecodable legacy payload — never raise.  Each damage episode
+    bumps ``corrupted_frames`` and the decoder scans forward to the
+    next magic marker, so one flipped bit costs at most the frame it
+    actually hit, never the connection.
+
+    Schema evolution: frames from *newer* peers stay useful.  A version
+    byte ≥ 2 parses with the v2 (checksummed) layout, unknown trailing
+    fields on a known type are dropped (see :func:`register_type`), and
+    a message of an unknown type is skipped — counted in
+    ``skipped_messages`` — while the rest of its frame is delivered.
+    Version-1 frames (pre-checksum) remain decodable; since their
+    boundaries are unauthenticated, an undecodable v1 payload distrusts
+    the framing itself and resynchronises.
     """
 
-    __slots__ = ("_buffer",)
+    __slots__ = ("_buffer", "corrupted_frames", "skipped_messages")
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        #: corruption episodes survived (resyncs + consumed rotten frames).
+        self.corrupted_frames = 0
+        #: individual messages dropped from otherwise-intact frames
+        #: (unknown type from a newer peer, mangled nested object).
+        self.skipped_messages = 0
 
     @property
     def pending_bytes(self) -> int:
@@ -331,33 +384,95 @@ class FrameDecoder:
 
     def feed(self, data: bytes) -> list[tuple[str, str, list]]:
         self._buffer.extend(data)
+        buf = self._buffer
         frames: list[tuple[str, str, list]] = []
         while True:
-            if len(self._buffer) < HEADER_SIZE:
+            if len(buf) < len(MAGIC) + 1:
                 return frames
-            if self._buffer[: len(MAGIC)] != MAGIC:
-                raise WireError(
-                    f"bad frame magic {bytes(self._buffer[:2])!r} "
-                    f"(expected {MAGIC!r})"
-                )
-            version = self._buffer[len(MAGIC)]
-            if version != WIRE_VERSION:
-                raise WireError(f"unsupported wire version {version}")
-            length = int.from_bytes(
-                self._buffer[len(MAGIC) + 1 : HEADER_SIZE], "big"
-            )
+            if bytes(buf[: len(MAGIC)]) != MAGIC:
+                self._resync()
+                continue
+            version = buf[len(MAGIC)]
+            if version == 0:
+                self._resync()
+                continue
+            header_size = HEADER_SIZE_V1 if version == 1 else HEADER_SIZE
+            if len(buf) < header_size:
+                return frames
+            length = int.from_bytes(buf[len(MAGIC) + 1 : len(MAGIC) + 5], "big")
             if length > MAX_FRAME_SIZE:
-                raise WireError(f"frame length {length} exceeds MAX_FRAME_SIZE")
-            if len(self._buffer) < HEADER_SIZE + length:
+                self._resync()
+                continue
+            if len(buf) < header_size + length:
                 return frames
-            body = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
-            del self._buffer[: HEADER_SIZE + length]
+            body = bytes(buf[header_size : header_size + length])
+            if version >= 2:
+                crc = int.from_bytes(buf[len(MAGIC) + 5 : HEADER_SIZE], "big")
+                if zlib.crc32(body) != crc:
+                    self._resync()
+                    continue
+            frame = self._parse_body(body)
+            if frame is None and version == 1:
+                # No checksum vouches for a v1 boundary: an undecodable
+                # payload means the length prefix itself is suspect.
+                self._resync()
+                continue
+            del buf[: header_size + length]
+            if frame is None:
+                # Checksummed boundary, rotten payload (a peer re-framed
+                # damaged bytes verbatim): consume the frame whole.
+                self.corrupted_frames += 1
+                continue
+            frames.append(frame)
+
+    def flush(self) -> list[tuple[str, str, list]]:
+        """Force out the pending buffer (datagram boundary, stream EOF).
+
+        Bytes still buffered at a boundary belong to a frame that can
+        never complete — a truncated datagram, a stream cut mid-frame,
+        or a corrupt length prefix swallowing healthy trailing frames.
+        Count the damage, rescan the remainder for intact frames and
+        return any found; the decoder always ends empty.
+        """
+        frames: list[tuple[str, str, list]] = []
+        while self._buffer:
+            before = len(self._buffer)
+            self._resync()
+            frames.extend(self.feed(b""))
+            if self._buffer and len(self._buffer) >= before:
+                self._buffer.clear()  # no forward progress possible
+        return frames
+
+    def _parse_body(self, body: bytes) -> tuple[str, str, list] | None:
+        """Decode one frame payload; ``None`` marks it unusable."""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            src, dst = payload["s"], payload["d"]
+            raw_messages = payload["m"]
+        except (ValueError, KeyError, TypeError):
+            return None
+        if not (
+            isinstance(src, str)
+            and isinstance(dst, str)
+            and isinstance(raw_messages, list)
+        ):
+            return None
+        messages: list = []
+        for raw in raw_messages:
             try:
-                payload = json.loads(body.decode("utf-8"))
-                src, dst = payload["s"], payload["d"]
-                messages = [_decode_value(m) for m in payload["m"]]
+                messages.append(_decode_value(raw))
             except WireError:
-                raise
-            except (ValueError, KeyError, TypeError) as exc:
-                raise WireError(f"undecodable frame payload: {exc}") from exc
-            frames.append((src, dst, messages))
+                self.skipped_messages += 1
+        return src, dst, messages
+
+    def _resync(self) -> None:
+        """Count one damage episode and scan to the next magic marker."""
+        self.corrupted_frames += 1
+        buf = self._buffer
+        idx = buf.find(MAGIC, 1)
+        if idx >= 0:
+            del buf[:idx]
+        elif buf and buf[-1] == MAGIC[0]:
+            del buf[:-1]  # keep a possible split-magic prefix
+        else:
+            buf.clear()

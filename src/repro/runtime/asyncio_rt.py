@@ -57,6 +57,12 @@ class AsyncioContext(Context):
     def sleep(self, delay: float) -> Awaitable[None]:
         return asyncio.sleep(delay)
 
+    def note_quarantined(self, count: int = 1) -> None:
+        self._network.stats.messages_quarantined += count
+
+    def note_stale_rejected(self, count: int = 1) -> None:
+        self._network.stats.stale_epoch_rejected += count
+
 
 class AsyncioNetwork:
     """In-process message delivery over a real asyncio loop.
@@ -114,29 +120,34 @@ class AsyncioNetwork:
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
             return
-        extra_delay, copies = 0.0, 0
+        extra_delay, copies, replay = 0.0, 0, None
         if self.fault_injector is not None:
-            should_deliver, extra_delay, copies = self.fault_injector.outcome(src, dst)
+            should_deliver, extra_delay, copies, message, replay = (
+                self.fault_injector.verdict(src, dst, message)
+            )
             if not should_deliver:
                 self.stats.messages_dropped += 1
                 return
         delay = (self.latency.delay(src, dst, message) + extra_delay) * self.time_scale
         loop = asyncio.get_event_loop()
 
-        def deliver() -> None:
+        def deliver(payload: Message = message) -> None:
             if dst in self._down:
                 self.stats.messages_dropped += 1
                 return
             self.stats.messages_delivered += 1
-            self._endpoints[dst].deliver(message)
+            self._endpoints[dst].deliver(payload)
 
         if copies:
             self.stats.messages_duplicated += copies
-        for _ in range(1 + copies):
+        deliveries = [message] * (1 + copies)
+        if replay is not None:
+            deliveries.append(replay)
+        for payload in deliveries:
             if delay <= 0.0:
-                loop.call_soon(deliver)
+                loop.call_soon(deliver, payload)
             else:
-                loop.call_later(delay, deliver)
+                loop.call_later(delay, deliver, payload)
 
     def transmit_many(self, src: str, dst: str, messages: list[Message]) -> None:
         """Coalescing batch send — the asyncio counterpart of the
@@ -164,13 +175,17 @@ class AsyncioNetwork:
                 continue
             extra_delay = 0.0
             if self.fault_injector is not None:
-                should_deliver, extra_delay, copies = self.fault_injector.outcome(src, dst)
+                should_deliver, extra_delay, copies, message, replay = (
+                    self.fault_injector.verdict(src, dst, message)
+                )
                 if not should_deliver:
                     self.stats.messages_dropped += 1
                     continue
                 if copies:
                     self.stats.messages_duplicated += copies
                     survivors.extend([message] * copies)
+                if replay is not None:
+                    survivors.append(replay)
             survivors.append(message)
             delay = max(delay, self.latency.delay(src, dst, message) + extra_delay)
         if not survivors:

@@ -81,6 +81,20 @@ class Context(ABC):
     def sleep(self, delay: float) -> Awaitable[None]:
         """An awaitable that resolves after ``delay`` seconds."""
 
+    # -- defensive-layer bookkeeping (PR 9) --------------------------------
+    #
+    # Endpoints that quarantine malformed or stale-epoch traffic report
+    # it through their context so the counters land on the runtime's
+    # shared :class:`NetworkStats` (and from there on the scenarios'
+    # :class:`~repro.sim.metrics.MessageLedger`).  The default is a
+    # no-op so bare contexts (tests, tools) need not care.
+
+    def note_quarantined(self, count: int = 1) -> None:
+        """Record ``count`` messages rejected by receive-path validation."""
+
+    def note_stale_rejected(self, count: int = 1) -> None:
+        """Record ``count`` messages rejected as stale-epoch replays."""
+
 
 class Endpoint:
     """A network-addressable participant (server, client, tracked object).
@@ -98,6 +112,14 @@ class Endpoint:
         self._request_counter = itertools.count()
         #: messages delivered with no matching handler or pending request
         self.unhandled: list[Message] = []
+        #: optional receive-path validator: ``validator(message)`` returns
+        #: a defect string (message quarantined, never dispatched — not
+        #: even to a parked request future) or ``None`` (clean).  Installed
+        #: by endpoints that face adversarial traffic; ``None`` keeps the
+        #: delivery hot path free of the walk.
+        self.validator: Callable[[Message], str | None] | None = None
+        #: messages this endpoint quarantined via ``validator``.
+        self.quarantined_count = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -116,6 +138,13 @@ class Endpoint:
 
     def deliver(self, message: Message) -> None:
         """Runtime entry point for one incoming message."""
+        if self.validator is not None:
+            defect = self.validator(message)
+            if defect is not None:
+                self.quarantined_count += 1
+                if self.ctx is not None:
+                    self.ctx.note_quarantined()
+                return
         if isinstance(message, Response):
             request_id = getattr(message, "request_id", None)
             future = self._pending.pop(request_id, None)
@@ -209,6 +238,18 @@ class NetworkStats:
     #: crash- and drop-rate losses.
     faults_injected: int = 0
     dead_letters: int = 0
+    #: frames whose bytes failed checksum/framing validation (socket
+    #: transports; includes expired UDP partial reassemblies).  The
+    #: decoder resynchronises and the protocol lane's retries recover —
+    #: corrupt bytes are *detected*, never delivered.
+    frames_corrupted: int = 0
+    #: decoded messages rejected by receive-path validation (field
+    #: mutation, unknown wire types) before reaching any handler/store.
+    messages_quarantined: int = 0
+    #: messages rejected as stale-epoch replays (epoch far behind the
+    #: receiver's topology epoch — outside the legitimate in-flight
+    #: window the forwarding machinery heals).
+    stale_epoch_rejected: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
 
     def note_send(self, message: Message) -> None:
@@ -223,4 +264,7 @@ class NetworkStats:
         self.messages_duplicated = 0
         self.faults_injected = 0
         self.dead_letters = 0
+        self.frames_corrupted = 0
+        self.messages_quarantined = 0
+        self.stale_epoch_rejected = 0
         self.by_type.clear()

@@ -58,6 +58,12 @@ class SimContext(Context):
     def sleep(self, delay: float) -> Awaitable[None]:
         return self._network.loop.sleep(delay)
 
+    def note_quarantined(self, count: int = 1) -> None:
+        self._network.stats.messages_quarantined += count
+
+    def note_stale_rejected(self, count: int = 1) -> None:
+        self._network.stats.stale_epoch_rejected += count
+
 
 class SimNetwork:
     """All endpoints plus delivery scheduling on one simulation loop."""
@@ -170,9 +176,11 @@ class SimNetwork:
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
             return
-        extra_delay, copies = 0.0, 0
+        extra_delay, copies, replay = 0.0, 0, None
         if self.fault_injector is not None:
-            deliver, extra_delay, copies = self.fault_injector.outcome(src, dst)
+            deliver, extra_delay, copies, message, replay = (
+                self.fault_injector.verdict(src, dst, message)
+            )
             if not deliver:
                 self.stats.messages_dropped += 1
                 return
@@ -184,6 +192,10 @@ class SimNetwork:
             self.stats.messages_duplicated += copies
             for _ in range(copies):
                 self.loop.call_later(delay, lambda: self._arrive(dst, message))
+        if replay is not None:
+            # Manufactured stale-epoch echo (already accounted by the
+            # injector); it travels like any other delivery.
+            self.loop.call_later(delay, lambda: self._arrive(dst, replay))
 
     def transmit_many(self, src: str, dst: str, messages: list[Message]) -> None:
         """Buffered batch send: messages queue in a per-(src, dst) outbox
@@ -258,7 +270,9 @@ class SimNetwork:
             # the slowest member's injected delay holds the whole burst.
             survivors = []
             for message in batch:
-                deliver, msg_delay, copies = self.fault_injector.outcome(src, dst)
+                deliver, msg_delay, copies, message, replay = (
+                    self.fault_injector.verdict(src, dst, message)
+                )
                 if not deliver:
                     self.stats.messages_dropped += 1
                     continue
@@ -267,6 +281,8 @@ class SimNetwork:
                 if copies:
                     self.stats.messages_duplicated += copies
                     survivors.extend([message] * copies)
+                if replay is not None:
+                    survivors.append(replay)
             batch = survivors
             if not batch:
                 return

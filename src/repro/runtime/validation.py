@@ -1,0 +1,102 @@
+"""Receive-path message validation: the quarantine layer's inner check.
+
+A corrupted frame that survives transit (or a field mutation injected
+above the frame layer) must never reach a handler or a store.  The
+checksum in :mod:`repro.net.wire` catches *byte* damage; this module
+catches *semantic* damage — a message whose fields decode fine but
+carry values no honest sender emits:
+
+* ``NaN`` floats anywhere in the payload.  Positions, radii and
+  accuracies are always finite; ``inf`` stays legal (it is the
+  "no accuracy requirement" sentinel for ``req_acc``).
+* negative topology epochs (``epoch``-named int fields) — epochs start
+  at 0 and only grow.
+* empty identifier strings (``*_id`` / ``sender`` / ``origin`` /
+  ``dest``-style fields) — every participant has a non-empty address
+  and every object a non-empty id.
+
+The walk is generic over the frozen-dataclass message catalog
+(:class:`~repro.runtime.base.Message` subclasses): it recurses into
+lists/tuples/dicts and nested dataclasses (``Sighting``, ``Rect``,
+batch items), so a mutation buried three levels deep in a batch
+envelope is still caught.  :meth:`Endpoint.deliver` consults it through
+the optional ``validator`` hook; servers call :func:`find_defect`
+directly so they can also fold in epoch-window checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+__all__ = ["find_defect", "is_id_field", "is_epoch_field"]
+
+#: field names treated as identifiers (must be non-empty strings).
+_ID_SUFFIXES = ("_id",)
+_ID_NAMES = frozenset({"sender", "origin", "dest", "entry", "successor"})
+
+#: recursion guard — honest messages are shallow; a decoded payload
+#: nested deeper than this is itself suspicious.
+_MAX_DEPTH = 8
+
+
+def is_id_field(name: str) -> bool:
+    """True for field names whose values must be non-empty id strings."""
+    return name.endswith(_ID_SUFFIXES) or name in _ID_NAMES
+
+
+def is_epoch_field(name: str) -> bool:
+    """True for field names carrying a topology epoch (must be >= 0)."""
+    return name == "epoch" or name.endswith("_epoch")
+
+
+def _check_value(name: str, value: Any, depth: int) -> str | None:
+    if depth > _MAX_DEPTH:
+        return f"{name}: nesting exceeds depth {_MAX_DEPTH}"
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, float):
+        if math.isnan(value):
+            return f"{name}: NaN"
+        return None
+    if isinstance(value, int):
+        if is_epoch_field(name) and value < 0:
+            return f"{name}: negative epoch {value}"
+        return None
+    if isinstance(value, str):
+        if is_id_field(name) and not value:
+            return f"{name}: empty identifier"
+        return None
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        for fld in dataclasses.fields(value):
+            defect = _check_value(
+                fld.name, getattr(value, fld.name), depth + 1
+            )
+            if defect is not None:
+                return defect
+        return None
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            defect = _check_value(name, item, depth + 1)
+            if defect is not None:
+                return defect
+        return None
+    if isinstance(value, dict):
+        for key, item in value.items():
+            key_name = key if isinstance(key, str) else name
+            defect = _check_value(key_name, item, depth + 1)
+            if defect is not None:
+                return defect
+        return None
+    return None
+
+
+def find_defect(message: Any) -> str | None:
+    """Return a defect description, or ``None`` if the message is clean.
+
+    The description names the offending field path element and what was
+    wrong with it (``"pos NaN"``-style); callers use it for quarantine
+    accounting, never for dispatch.
+    """
+    return _check_value(type(message).__name__, message, 0)

@@ -26,8 +26,18 @@ recovery measurements:
   post-cutover crashes *roll forward* (the staged store's WAL is the
   new server's durable state).
 
-:func:`chaos_benchmark_payload` folds all five runs into the
-``BENCH_PR6.json`` artifact gated by ``scripts/bench_check.py``.
+* :func:`root_partition_scenario` (PR 9) — the *apex* is severed from
+  every other endpoint, so re-routing has no healthy root to lean on.
+  Leaf-local traffic keeps flowing (devices talk to leaves, never the
+  apex); :meth:`~repro.chaos.RecoveryCoordinator.recover_apex` promotes
+  a standby root from the severed apex's surviving visitor WAL, cross-
+  subtree queries resume through it while the partition still stands,
+  and the scenario measures reconvergence ticks after the heal.
+
+:func:`chaos_benchmark_payload` folds the five PR-6 runs into the
+``BENCH_PR6.json`` artifact gated by ``scripts/bench_check.py``; the
+root-partition run rides in ``BENCH_PR9.json`` (see
+:mod:`repro.sim.byzantine`).
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ __all__ = [
     "leaf_crash_scenario",
     "migration_crash_scenario",
     "partition_scenario",
+    "root_partition_scenario",
 ]
 
 #: Envelope bounds used whenever faults may be live: a crashed or
@@ -348,6 +359,126 @@ def partition_scenario(
         "deferred_reports": deferred,
         "unresolved_crossings_at_heal": unresolved_at_heal,
         "cache_staleness_ticks": cache_staleness_ticks,
+        "reconvergence_ticks": reconvergence_ticks,
+        **_invariant_block(svc, harness, objects),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2b — the *apex* partitioned: standby promotion (PR 9)
+# ---------------------------------------------------------------------------
+
+
+def root_partition_scenario(
+    objects: int = 400,
+    warm_ticks: int = 3,
+    outage_ticks: int = 3,
+    heal_ticks: int = 6,
+    dt: float = 1.0,
+    seed: int = 0,
+) -> dict:
+    """Sever the hierarchy root from everything; promote a standby apex.
+
+    The PR-6 partition scenario isolates a *leaf* — the tree above it
+    re-routes.  Here the apex itself is unreachable, so there is no
+    healthy root to re-route through: cross-subtree handovers and
+    queries stall (bounded NACKs, items kept at their old agent) while
+    leaf-local reports keep landing.  The coordinator's
+    :meth:`~repro.chaos.RecoveryCoordinator.recover_apex` then promotes
+    a standby root (WAL-replayed forwarding log, re-parented children,
+    epoch bump); the scenario proves queries flow again **before** the
+    heal, and measures reconvergence ticks after it.
+    """
+    svc = _fresh_service(cache_config=CacheConfig.all_enabled())
+    placements = hotspot_positions(
+        _BOUNDS,
+        HotspotSpec(area=_BOUNDS, fraction=0.0),  # uniform scatter
+        objects,
+        seed=seed,
+        prefix="rp",
+    )
+    homes = _populate(svc, placements)
+    harness = ElasticHarness(svc, homes, monitor=LoadMonitor(half_life=5.0))
+    injector = FaultInjector(svc.network, seed=seed)
+    coordinator = RecoveryCoordinator(
+        svc, executor=harness.executor, monitor=harness.monitor
+    )
+
+    rng = random.Random(seed + 1)
+    positions = dict(placements)
+    for _ in range(warm_ticks):
+        harness.apply_reports(_tick_reports(rng, positions, radius=60.0))
+        svc.run(_advance(svc, dt))
+        harness.sample()
+
+    root_id = svc.hierarchy.root_id
+    # Full apex isolation: every existing endpoint — servers, reporters,
+    # the coordinator's prober — loses its links to the root.
+    others = [addr for addr in svc.network.addresses() if addr != root_id]
+    severed_links = injector.partition([root_id], others)
+
+    # Outage phase: no apex, yet devices keep reporting to their leaf
+    # agents; cross-subtree handovers NACK and defer to the next tick.
+    tracked_during_outage = []
+    for _ in range(outage_ticks):
+        reports = _tick_reports(rng, positions, radius=60.0)
+        _apply_guarded(harness, reports)
+        svc.run(_advance(svc, dt))
+        harness.sample()
+        tracked_during_outage.append(svc.total_tracked())
+
+    promotion = coordinator.recover_apex()
+    assert promotion is not None, "severed apex answered a liveness probe"
+
+    # Cross-subtree queries flow through the standby apex while the old
+    # root is *still severed*: query a root.0-homed object from root.1.
+    prober = svc.new_client(entry_server="root.1", timeout=2.0)
+    cross_oids = [
+        oid for oid, home in harness.homes.items() if home.startswith("root.0")
+    ][:5]
+    queries_ok = 0
+    for oid in cross_oids:
+        try:
+            answer = svc.run(prober.pos_query(oid))
+        except TransportError:
+            continue
+        if answer is not None:
+            queries_ok += 1
+
+    healed_links = injector.heal_partition()
+    reconvergence_ticks = None
+    for tick in range(heal_ticks):
+        harness.apply_reports(_tick_reports(rng, positions, radius=60.0), **_FAULT_TIMEOUTS)
+        svc.run(_advance(svc, dt))
+        harness.sample()
+        if reconvergence_ticks is None:
+            svc.settle()
+            if (
+                svc.total_tracked() == objects
+                and _fully_homed(svc, harness, positions)
+                and _consistency_ok(svc)
+            ):
+                reconvergence_ticks = tick + 1
+
+    return {
+        "scenario": "root_partition_promote",
+        "objects": objects,
+        "severed_apex": root_id,
+        "promoted_apex": promotion.new_home,
+        "warm_ticks": warm_ticks,
+        "outage_ticks": outage_ticks,
+        "heal_ticks": heal_ticks,
+        "dt_s": dt,
+        "severed_links": severed_links,
+        "healed_links": healed_links,
+        "detection": {
+            "attempts": promotion.detection_attempts,
+            "time_s": round(promotion.detection_time_s, 3),
+        },
+        "replayed_records": promotion.replayed_records,
+        "tracked_during_outage_min": min(tracked_during_outage),
+        "cross_queries_before_heal": len(cross_oids),
+        "cross_queries_answered_before_heal": queries_ok,
         "reconvergence_ticks": reconvergence_ticks,
         **_invariant_block(svc, harness, objects),
     }

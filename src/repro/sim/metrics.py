@@ -155,7 +155,16 @@ class MessageLedger:
     :meth:`dropped_deliveries` report what the fault layer did to it.
     """
 
-    __slots__ = ("_stats", "_baseline", "_dropped", "_duplicated", "_faults")
+    __slots__ = (
+        "_stats",
+        "_baseline",
+        "_dropped",
+        "_duplicated",
+        "_faults",
+        "_corrupted",
+        "_quarantined",
+        "_stale_rejected",
+    )
 
     def __init__(self, stats) -> None:
         self._stats = stats
@@ -163,12 +172,18 @@ class MessageLedger:
         self._dropped = stats.messages_dropped
         self._duplicated = getattr(stats, "messages_duplicated", 0)
         self._faults = getattr(stats, "faults_injected", 0)
+        self._corrupted = getattr(stats, "frames_corrupted", 0)
+        self._quarantined = getattr(stats, "messages_quarantined", 0)
+        self._stale_rejected = getattr(stats, "stale_epoch_rejected", 0)
 
     def rebase(self) -> None:
         self._baseline = dict(self._stats.by_type)
         self._dropped = self._stats.messages_dropped
         self._duplicated = getattr(self._stats, "messages_duplicated", 0)
         self._faults = getattr(self._stats, "faults_injected", 0)
+        self._corrupted = getattr(self._stats, "frames_corrupted", 0)
+        self._quarantined = getattr(self._stats, "messages_quarantined", 0)
+        self._stale_rejected = getattr(self._stats, "stale_epoch_rejected", 0)
 
     def dropped_deliveries(self) -> int:
         """Messages dropped (crashes, drop rate, injected faults) since
@@ -182,6 +197,21 @@ class MessageLedger:
     def faults_injected(self) -> int:
         """Fault-injector rule firings since the last (re)base."""
         return getattr(self._stats, "faults_injected", 0) - self._faults
+
+    def frames_corrupted(self) -> int:
+        """Frames rejected at the byte layer (checksum/framing) since
+        the last (re)base."""
+        return getattr(self._stats, "frames_corrupted", 0) - self._corrupted
+
+    def messages_quarantined(self) -> int:
+        """Decoded messages rejected by receive-path validation since
+        the last (re)base."""
+        return getattr(self._stats, "messages_quarantined", 0) - self._quarantined
+
+    def stale_epoch_rejected(self) -> int:
+        """Messages rejected as stale-epoch replays since the last
+        (re)base."""
+        return getattr(self._stats, "stale_epoch_rejected", 0) - self._stale_rejected
 
     def delta(self) -> dict[str, int]:
         """Messages sent per type since the last (re)base, zeros omitted."""

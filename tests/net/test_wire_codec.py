@@ -229,17 +229,114 @@ class TestFraming:
         assert collected[1][0:2] == ("c", "d")
         assert decoder.pending_bytes == 0
 
-    def test_bad_magic_raises(self):
-        with pytest.raises(WireError):
-            FrameDecoder().feed(b"XX\x01\x00\x00\x00\x02{}")
+    def test_bad_magic_resyncs_to_next_frame(self):
+        good = encode_frame("a", "b", [m.PingReq(request_id="p", reply_to="c")])
+        decoder = FrameDecoder()
+        frames = decoder.feed(b"XXjunkjunk" + good)
+        assert len(frames) == 1
+        assert frames[0][:2] == ("a", "b")
+        assert decoder.corrupted_frames >= 1
+        assert decoder.pending_bytes == 0
 
-    def test_unknown_version_raises(self):
+    def test_bad_magic_raises_in_strict_decode(self):
+        with pytest.raises(WireError):
+            decode_frame(b"XX\x01\x00\x00\x00\x02{}")
+
+    def test_newer_version_byte_still_decodes(self):
+        # Forward compatibility: a peer one version ahead keeps the v2
+        # layout; its frames must decode, not poison the stream.
         frame = bytearray(
             encode_frame("a", "b", [m.PingReq(request_id="p", reply_to="c")])
         )
-        frame[2] = 99
-        with pytest.raises(WireError):
-            FrameDecoder().feed(bytes(frame))
+        frame[2] = wire.WIRE_VERSION + 1
+        decoder = FrameDecoder()
+        frames = decoder.feed(bytes(frame))
+        assert len(frames) == 1
+        assert decoder.corrupted_frames == 0
+
+    def test_zero_version_byte_is_corruption(self):
+        good = encode_frame("a", "b", [m.PingReq(request_id="p", reply_to="c")])
+        mangled = bytearray(good)
+        mangled[2] = 0
+        decoder = FrameDecoder()
+        frames = decoder.feed(bytes(mangled) + good)
+        assert len(frames) == 1
+        assert decoder.corrupted_frames >= 1
+
+    def test_checksum_mismatch_resyncs(self):
+        good = encode_frame("a", "b", [m.PingReq(request_id="p", reply_to="c")])
+        mangled = bytearray(good)
+        mangled[-1] ^= 0xFF  # flip one payload bit: CRC must catch it
+        decoder = FrameDecoder()
+        frames = decoder.feed(bytes(mangled) + good)
+        assert len(frames) == 1
+        assert frames[0][:2] == ("a", "b")
+        assert decoder.corrupted_frames >= 1
+
+    def test_v1_legacy_frame_still_decodes(self):
+        body = bytes(
+            encode_frame("a", "b", [m.PingReq(request_id="p", reply_to="c")])
+        )[wire.HEADER_SIZE :]
+        v1 = wire.MAGIC + bytes([1]) + len(body).to_bytes(4, "big") + body
+        decoder = FrameDecoder()
+        frames = decoder.feed(v1)
+        assert len(frames) == 1
+        assert frames[0][:2] == ("a", "b")
+        assert decoder.corrupted_frames == 0
+
+    def test_unknown_message_type_skipped_not_fatal(self):
+        # An unknown type from a newer peer drops that message only; the
+        # rest of the frame is delivered and counted as skipped.
+        import json as _json
+        import zlib as _zlib
+
+        body = _json.dumps(
+            {
+                "s": "a",
+                "d": "b",
+                "m": [
+                    {"t": "NoSuchFutureMessage", "f": [1, 2, 3]},
+                    wire.encode(m.PingReq(request_id="p", reply_to="c")),
+                ],
+            },
+            separators=(",", ":"),
+        ).encode()
+        frame = (
+            wire.MAGIC
+            + bytes([wire.WIRE_VERSION])
+            + len(body).to_bytes(4, "big")
+            + _zlib.crc32(body).to_bytes(4, "big")
+            + body
+        )
+        decoder = FrameDecoder()
+        frames = decoder.feed(frame)
+        assert len(frames) == 1
+        src, dst, messages = frames[0]
+        assert messages == [m.PingReq(request_id="p", reply_to="c")]
+        assert decoder.skipped_messages == 1
+        assert decoder.corrupted_frames == 0
+
+    def test_unknown_trailing_fields_ignored(self):
+        # Schema evolution: a newer peer appending fields to a known
+        # type must still round-trip into our (shorter) constructor.
+        payload = wire.encode(m.PingReq(request_id="p", reply_to="c"))
+        payload["f"].append("future-field")
+        decoded = wire.decode(payload)
+        assert decoded == m.PingReq(request_id="p", reply_to="c")
+
+    def test_flush_rescues_frames_behind_corrupt_length(self):
+        # A mutated length prefix can swallow a healthy trailing frame;
+        # the datagram-boundary flush must dig it back out.
+        good = encode_frame("a", "b", [m.PingReq(request_id="p", reply_to="c")])
+        mangled = bytearray(good)
+        mangled[4] = 0xFF  # length prefix now points far past the end
+        decoder = FrameDecoder()
+        frames = decoder.feed(bytes(mangled) + good)
+        frames.extend(decoder.flush())
+        assert len(frames) == 1
+        assert frames[0][:2] == ("a", "b")
+        assert decoder.corrupted_frames >= 1
+        assert decoder.pending_bytes == 0
 
     def test_unknown_type_raises(self):
         with pytest.raises(WireError, match="unknown wire type"):

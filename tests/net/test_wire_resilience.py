@@ -1,0 +1,163 @@
+"""Property tests: FrameDecoder resynchronisation under random damage.
+
+The byzantine lanes (PR 9) corrupt 2% of socket frames at arbitrary
+byte offsets; the decoder's contract is that one damaged byte costs *at
+most the frame it actually hit*, never the connection.  These tests
+drive that contract with hypothesis-chosen corruption offsets into
+multi-frame TCP streams and multi-frame UDP datagrams:
+
+* every frame the corruption did not touch still decodes, in order;
+* at most one frame is lost per flipped byte;
+* the decoder ends clean (empty buffer after flush), so the stream
+  stays usable for everything that follows.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import messages as m
+from repro.net.wire import FrameDecoder, encode_frame
+
+
+def _frame(index: int) -> tuple[bytes, str]:
+    """One encoded frame plus the object id that identifies it."""
+    oid = f"obj-{index}"
+    messages = [
+        m.PosQueryReq(request_id=f"r-{index}", reply_to="driver", object_id=oid),
+        m.PosQueryFwd(query_id=f"q-{index}", object_id=oid, entry_server="driver"),
+    ]
+    return encode_frame("driver", f"leaf.{index}", messages), oid
+
+
+def _decoded_ids(frames: list[tuple[str, str, list]]) -> list[str]:
+    return [batch[0].object_id for _, _, batch in frames]
+
+
+def _chunked(data: bytes, rng_sizes: list[int]):
+    """Split ``data`` at hypothesis-chosen points (stream chunking)."""
+    out, start = [], 0
+    for size in rng_sizes:
+        if start >= len(data):
+            break
+        out.append(data[start : start + size])
+        start += size
+    if start < len(data):
+        out.append(data[start:])
+    return out
+
+
+@st.composite
+def corrupted_stream(draw):
+    """A multi-frame stream, one byte flipped at a random offset."""
+    count = draw(st.integers(min_value=2, max_value=6))
+    frames = [_frame(i) for i in range(count)]
+    blob = bytearray(b"".join(data for data, _ in frames))
+    offset = draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    flip = draw(st.integers(min_value=1, max_value=255))
+    blob[offset] ^= flip
+    # Which frame does the damaged byte live in?
+    start, hit = 0, None
+    for index, (data, _) in enumerate(frames):
+        if start <= offset < start + len(data):
+            hit = index
+            break
+        start += len(data)
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=97), max_size=40))
+    return bytes(blob), [oid for _, oid in frames], hit, sizes
+
+
+class TestStreamResync:
+    @settings(max_examples=200, deadline=None)
+    @given(case=corrupted_stream())
+    def test_one_flipped_byte_costs_at_most_one_frame(self, case):
+        blob, oids, hit, sizes = case
+        decoder = FrameDecoder()
+        decoded: list[tuple[str, str, list]] = []
+        for chunk in _chunked(blob, sizes):
+            decoded.extend(decoder.feed(chunk))
+        decoded.extend(decoder.flush())  # stream EOF rescues tail frames
+
+        got = _decoded_ids(decoded)
+        survivors = [oid for i, oid in enumerate(oids) if i != hit]
+        # Every untouched frame decodes; the hit frame may survive too
+        # (e.g. a version-byte bump still parses as the v2 layout).
+        assert [oid for oid in got if oid != oids[hit]] == survivors
+        assert len(got) >= len(oids) - 1
+        # The decoder ends clean: nothing buffered, ready for more.
+        assert decoder.pending_bytes == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=5),
+        cut=st.integers(min_value=0, max_value=10_000),
+        sizes=st.lists(st.integers(min_value=1, max_value=97), max_size=40),
+    )
+    def test_truncated_stream_keeps_every_complete_frame(self, count, cut, sizes):
+        frames = [_frame(i) for i in range(count)]
+        blob = b"".join(data for data, _ in frames)
+        cut = min(cut, len(blob))
+        decoder = FrameDecoder()
+        decoded: list[tuple[str, str, list]] = []
+        for chunk in _chunked(blob[:cut], sizes):
+            decoded.extend(decoder.feed(chunk))
+        decoded.extend(decoder.flush())
+
+        complete = []
+        consumed = 0
+        for data, oid in frames:
+            consumed += len(data)
+            if consumed <= cut:
+                complete.append(oid)
+        assert _decoded_ids(decoded) == complete
+        assert decoder.pending_bytes == 0
+
+
+@st.composite
+def corrupted_datagrams(draw):
+    """Several multi-frame datagrams; one byte flipped in one of them."""
+    datagram_count = draw(st.integers(min_value=2, max_value=4))
+    per_datagram = draw(st.integers(min_value=1, max_value=3))
+    datagrams, oids = [], []
+    index = 0
+    for _ in range(datagram_count):
+        parts = []
+        for _ in range(per_datagram):
+            data, oid = _frame(index)
+            parts.append(data)
+            oids.append(oid)
+            index += 1
+        datagrams.append(bytearray(b"".join(parts)))
+    victim = draw(st.integers(min_value=0, max_value=datagram_count - 1))
+    offset = draw(st.integers(min_value=0, max_value=len(datagrams[victim]) - 1))
+    datagrams[victim][offset] ^= draw(st.integers(min_value=1, max_value=255))
+    return [bytes(d) for d in datagrams], oids, victim, per_datagram
+
+
+class TestDatagramResync:
+    @settings(max_examples=150, deadline=None)
+    @given(case=corrupted_datagrams())
+    def test_damage_never_crosses_a_datagram_boundary(self, case):
+        datagrams, oids, victim, per_datagram = case
+        # One decoder per peer, flushed at each datagram boundary —
+        # exactly the UDP receive path (_on_datagram feeds then flushes).
+        decoder = FrameDecoder()
+        got: list[str] = []
+        lost_per_datagram: list[int] = []
+        for number, datagram in enumerate(datagrams):
+            frames = decoder.feed(datagram)
+            frames.extend(decoder.flush())
+            ids = _decoded_ids(frames)
+            got.extend(ids)
+            lost_per_datagram.append(per_datagram - len(ids))
+            assert decoder.pending_bytes == 0
+            if number != victim:
+                # Clean datagrams are untouched by earlier damage.
+                assert lost_per_datagram[-1] == 0
+
+        # The flipped byte lives in one datagram; at most one of its
+        # frames is lost, every other frame in the run decodes in order.
+        assert sum(lost_per_datagram) <= 1
+        expected = set(oids)
+        assert set(got) <= expected
+        assert len(expected - set(got)) <= 1
+        assert got == [oid for oid in oids if oid in set(got)]

@@ -1,0 +1,51 @@
+"""The BENCH_PR9 byzantine lanes, at test scale.
+
+The bench artifact runs three runtimes under the 2% corrupt + 2% stale
+adversary; these smokes run the sim and asyncio lanes small enough for
+tier-1 and assert the *gates*, not the magnitudes: nothing corrupted is
+ever accepted, nothing is lost or duplicated, and the adversary was
+demonstrably real (faults fired, defenses caught).  The UDP lane opens
+real sockets and lives with the transport tests in
+``tests/net/test_socket_scenario.py``'s environment instead.
+"""
+
+from repro.sim.byzantine import (
+    AGED_EPOCH,
+    run_asyncio_byzantine_lane,
+    run_sim_byzantine_lane,
+)
+
+
+def _assert_defended(lane: dict) -> None:
+    assert lane["corrupted_accepted"] == 0
+    assert lane["lost_sightings"] == 0
+    assert lane["duplicated_sightings"] == 0
+    assert lane["faults_injected"] > 0
+    caught = (
+        lane["frames_corrupted"]
+        + lane["messages_quarantined"]
+        + lane["stale_epoch_rejected"]
+    )
+    assert caught > 0
+
+
+class TestSimLane:
+    def test_defends_and_loses_nothing(self):
+        lane = run_sim_byzantine_lane(objects=120, ticks=6, seed=0)
+        assert lane["transport"] == "sim"
+        _assert_defended(lane)
+        assert lane["epoch_consistent"]
+
+    def test_lane_ages_the_epoch_past_the_heal_horizon(self):
+        # At epoch 0 the stale-replay rewind saturates and the adversary
+        # would be vacuous; the lane must age the topology first.
+        lane = run_sim_byzantine_lane(objects=60, ticks=4, seed=1)
+        assert lane["topology_epoch"] >= AGED_EPOCH
+
+
+class TestAsyncioLane:
+    def test_defends_and_loses_nothing(self):
+        lane = run_asyncio_byzantine_lane(objects=60, ticks=4, seed=0)
+        assert lane["transport"] == "asyncio"
+        assert lane["registered"] == lane["found"] == 60
+        _assert_defended(lane)
