@@ -1,0 +1,81 @@
+"""Million-object columnar hot path vs. the object-per-sighting path.
+
+ROADMAP direction 3: at 10^6+ walkers the object path spends its time
+in the interpreter — one ``SightingRecord``, one ``Point`` and several
+dict operations per walker per tick.  The columnar backend
+(``LocalDataStore(backend="columnar")``) holds the sightings as
+contiguous float64 columns and lands each tick as one vectorized
+scatter through a pre-resolved slot handle; the streaming workload
+(:class:`repro.sim.workload.StreamingWalkers`) advances the population
+as arrays so the generator cannot mask the store's speedup.  Twin
+seeded populations give both backends bit-identical trajectories, so
+the harness cross-checks query answers exactly while it measures.
+
+Asserted acceptance (the ``BENCH_PR10.json`` numbers
+``scripts/bench_check.py`` gates in CI):
+
+* ``objects >= 1_000_000`` — the measurement is at paper-busting scale;
+* ``tick_speedup >= 5`` — columnar per-object tick cost at 10^6 beats
+  the object path's per-object cost at its own (smaller, *favorable*)
+  scale by at least 5x;
+* ``answers_identical`` — counts, rect contents, position lookups and
+  nearest probes match the object backend exactly on every tick;
+* ``load_monitor_bounded`` — the sketch-mode ``LoadMonitor`` ingested
+  every tick with constant memory.
+
+Emits the machine-readable ``BENCH_PR10.json`` artifact (see
+``benchreport.write_bench_json``); ``scripts/bench_smoke.py``
+regenerates it without pytest.
+"""
+
+import pytest
+
+from benchreport import report, write_bench_json
+from repro.sim.columnar import columnar_benchmark_payload
+from repro.sim.metrics import format_table
+
+OBJECTS = 1_000_000
+TICKS = 5
+SEED = 0
+
+
+@pytest.mark.benchmark(group="columnar-hot-path")
+def test_columnar_tick_throughput(benchmark):
+    payload = benchmark.pedantic(
+        lambda: columnar_benchmark_payload(objects=OBJECTS, ticks=TICKS, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    payload["bench"] = "columnar hot path: 1M-object tick vs object backend"
+    payload["generated_by"] = "benchmarks/bench_columnar.py"
+    write_bench_json("BENCH_PR10.json", payload)
+
+    assert payload["objects"] >= 1_000_000
+    assert payload["tick_speedup"] >= 5.0, payload["tick_speedup"]
+    assert payload["answers_identical"], payload["equivalence"]["mismatches"]
+    assert payload["load_monitor_bounded"], payload["load_monitor"]
+
+    rows = [
+        (
+            "columnar",
+            f"{payload['objects']:,}",
+            f"{payload['columnar']['seconds_per_tick'] * 1e3:,.0f} ms",
+            f"{payload['columnar']['updates_per_second']:,.0f}/s",
+        ),
+        (
+            "objects",
+            f"{payload['baseline_objects']:,}",
+            f"{payload['object_baseline']['seconds_per_tick'] * 1e3:,.0f} ms",
+            f"{payload['object_baseline']['updates_per_second']:,.0f}/s",
+        ),
+    ]
+    report(
+        format_table(
+            "Columnar hot path: 1M-object tick vs object backend",
+            ("backend", "objects", "tick wall", "updates/s"),
+            rows,
+        )
+        + f"\ntick speedup {payload['tick_speedup']:.1f}x, "
+        f"answers identical: {payload['answers_identical']}, "
+        f"monitor bounded: {payload['load_monitor_bounded']}"
+    )

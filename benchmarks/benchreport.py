@@ -27,6 +27,24 @@ Machine-readable perf artifacts live at the repository root as
 The documented thresholds are enforced in CI: ``bench-smoke``
 regenerates every artifact and ``python scripts/bench_check.py`` fails
 the build when any acceptance number regresses.
+
+Time-series schema
+------------------
+
+Fixed thresholds miss slow leaks, so the nightly workflow also keeps a
+rolling *time series* of the acceptance numbers in ``BENCH_SERIES.json``
+(same directory, ``schema: 1``)::
+
+    {"schema": 1,
+     "series": [{"run": "<ci run id>", "label": "<yyyy-mm-dd>",
+                 "metrics": {"pr10.tick_speedup": 44.07, ...}}, ...]}
+
+``scripts/bench_trend.py --append`` extracts its ``TRACKED_METRICS``
+from the freshly regenerated artifacts and appends one entry (pruned to
+the newest 120); ``--check`` fails the ``bench-trend`` job on a 3-night
+monotone drift > 10% in any metric's worse direction.  A metric that is
+missing some night is recorded as ``null`` and breaks any monotone run,
+so a flaky artifact can delay the gate but never trip it.
 """
 
 from __future__ import annotations

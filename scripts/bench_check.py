@@ -32,6 +32,11 @@ one:
   a non-vacuous defense (faults fired and were caught on every lane),
   and root-partition apex promotion reconverging within 5 ticks with
   every cross-subtree query answered before the heal.
+* ``BENCH_PR10.json`` — the columnar hot path measures a population of
+  at least 10^6 objects, beats the object backend's per-object tick
+  cost by ≥ 5x (``tick_speedup``), returns ``answers_identical`` to
+  the object backend on every probed query, and keeps the sketch-mode
+  ``LoadMonitor`` footprint bounded (``load_monitor_bounded``).
 
 Usage::
 
@@ -301,6 +306,31 @@ CHECKS: dict[str, list[Check]] = {
                 p["root_partition"]["cross_queries_before_heal"] > 0
                 and p["root_partition"]["cross_queries_answered_before_heal"]
                 == p["root_partition"]["cross_queries_before_heal"],
+            ),
+        ),
+    ],
+    "BENCH_PR10.json": [
+        Check(
+            "columnar population >= 1,000,000 objects",
+            lambda p: _threshold(p["objects"], p["objects"] >= 1_000_000),
+        ),
+        Check(
+            "tick_speedup >= 5 (per-object, vs object backend)",
+            lambda p: _threshold(
+                f"{p['tick_speedup']:.1f}x", p["tick_speedup"] >= 5.0
+            ),
+        ),
+        Check(
+            "answers identical to the object backend (all probes)",
+            lambda p: _threshold(
+                p["equivalence"]["mismatches"] or "no mismatches",
+                bool(p["answers_identical"]),
+            ),
+        ),
+        Check(
+            "sketch-mode LoadMonitor footprint bounded",
+            lambda p: _threshold(
+                p["load_monitor"], bool(p["load_monitor_bounded"])
             ),
         ),
     ],

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quick perf smoke — refreshes BENCH_PR1/PR2/PR3/PR4/PR5.json.
+"""Quick perf smoke — refreshes every ``BENCH_PR*.json`` artifact.
 
 The tier-1 test suite never runs benchmarks (bench files do not match
 pytest's default collection), and the full pytest-benchmark suite takes
@@ -55,6 +55,18 @@ minutes.  This script is the middle ground:
   ``zero_duplicated_all_lanes`` (all true),
   ``defense_exercised_all_lanes`` (the adversary was real and caught),
   and ``root_reconvergence_ticks`` ≤ 5.
+* **PR10** — the columnar hot path: twin seeded populations through
+  the columnar and object store backends, measuring tick throughput
+  and cross-checking query answers exactly → ``BENCH_PR10.json``.
+  The acceptance numbers are ``objects`` ≥ 10^6, ``tick_speedup`` ≥ 5
+  (per-object-normalized), ``answers_identical`` and
+  ``load_monitor_bounded`` (both true).
+
+After every runner the freshly written artifact is re-loaded and its
+acceptance keys are validated: a missing key or a NaN/Inf value makes
+the script exit non-zero instead of silently writing a payload the
+``bench_check.py`` gate would later trip over (or worse, miss — JSON
+``NaN`` survives a round-trip through Python's parser).
 
 Usage::
 
@@ -385,6 +397,117 @@ def run_pr9(args) -> None:
     print(f"\nwrote {path} ({elapsed:.1f}s)")
 
 
+def run_pr10(args) -> None:
+    """The columnar-hot-path measurement (vectorized vs object store)."""
+    from repro.sim.columnar import columnar_benchmark_payload
+
+    start = time.perf_counter()
+    payload = columnar_benchmark_payload(
+        objects=args.pr10_objects, ticks=args.pr10_ticks, seed=args.seed
+    )
+    payload["bench"] = "columnar hot path: 1M-object tick vs object backend"
+    payload["generated_by"] = "scripts/bench_smoke.py"
+    elapsed = time.perf_counter() - start
+
+    header = f"{'backend':10s} {'objects':>11s} {'tick wall':>11s} {'updates/s':>14s}"
+    print(header)
+    print("-" * len(header))
+    print(
+        f"{'columnar':10s} {payload['objects']:>11,d} "
+        f"{payload['columnar']['seconds_per_tick'] * 1e3:>8,.0f} ms "
+        f"{payload['columnar']['updates_per_second']:>12,.0f}/s"
+    )
+    print(
+        f"{'objects':10s} {payload['baseline_objects']:>11,d} "
+        f"{payload['object_baseline']['seconds_per_tick'] * 1e3:>8,.0f} ms "
+        f"{payload['object_baseline']['updates_per_second']:>12,.0f}/s"
+    )
+    print(
+        f"tick speedup: {payload['tick_speedup']:.1f}x, "
+        f"answers identical: {payload['answers_identical']}, "
+        f"monitor bounded: {payload['load_monitor_bounded']}, "
+        f"store memory: {payload['columnar']['store_memory_bytes'] / 1e6:,.1f} MB"
+    )
+    path = write_bench_json(args.out_pr10, payload)
+    print(f"\nwrote {path} ({elapsed:.1f}s)")
+
+
+#: Per-runner acceptance keys (dotted paths into the written payload).
+#: These are the numbers scripts/bench_check.py gates on; a runner that
+#: writes an artifact where any of them is missing or NaN/Inf has
+#: produced garbage the gate may not catch (e.g. ``NaN >= 2.0`` is just
+#: False with no hint why) — so main() fails fast right here instead.
+ACCEPTANCE_KEYS: dict[str, tuple[str, ...]] = {
+    "out": ("indexes",),
+    "out_pr2": ("scenarios.flash_crowd.load_drop_factor",),
+    "out_pr3": ("message_reduction_factor", "tick_speedup"),
+    "out_pr4": (
+        "stall_ticks_overlapped",
+        "migration_throughput_ratio",
+        "zero_lost_all_lanes",
+    ),
+    "out_pr5": (
+        "round_reduction_ratio",
+        "migration_throughput_ratio",
+        "zero_lost_all_lanes",
+    ),
+    "out_pr6": (
+        "zero_lost_all_scenarios",
+        "zero_duplicated_all_scenarios",
+        "max_recovery_ticks",
+        "reconvergence_ticks",
+    ),
+    "out_pr7": ("zero_lost_all_lanes", "min_throughput_ratio"),
+    "out_pr9": (
+        "zero_corrupted_accepted_all_lanes",
+        "zero_lost_all_lanes",
+        "zero_duplicated_all_lanes",
+        "defense_exercised_all_lanes",
+        "root_reconvergence_ticks",
+    ),
+    "out_pr10": (
+        "objects",
+        "tick_speedup",
+        "answers_identical",
+        "load_monitor_bounded",
+    ),
+}
+
+
+def validate_artifact(filename: str, keys: tuple[str, ...]) -> list[str]:
+    """Problems with the written artifact's acceptance keys, if any.
+
+    Re-loads the JSON from disk (so what is validated is exactly what CI
+    uploads) and walks each dotted key path.  A missing path or a
+    non-finite float is a problem; ``None`` passes — several acceptance
+    numbers are legitimately nullable and bench_check.py handles that.
+    """
+    import json
+    import math
+
+    from benchreport import ROOT as bench_root
+
+    path = bench_root / filename
+    if not path.exists():
+        return [f"{filename}: artifact missing after its runner completed"]
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    problems = []
+    for dotted in keys:
+        value = payload
+        for part in dotted.split("."):
+            if not isinstance(value, dict) or part not in value:
+                problems.append(f"{filename}: acceptance key {dotted!r} missing")
+                value = None
+                break
+            value = value[part]
+        else:
+            if isinstance(value, float) and not math.isfinite(value):
+                problems.append(
+                    f"{filename}: acceptance key {dotted!r} is non-finite ({value})"
+                )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--objects", type=_positive_int, default=bsi.OBJECTS)
@@ -394,6 +517,15 @@ def main(argv: list[str] | None = None) -> int:
         "--ticks", type=_positive_int, default=5, help="sim ticks per index kind"
     )
     parser.add_argument("--seed", type=int, default=0, help="rebalance-bench seed")
+    parser.add_argument(
+        "--pr10-objects",
+        type=_positive_int,
+        default=1_000_000,
+        help="columnar-bench population (acceptance measures at >= 1M)",
+    )
+    parser.add_argument(
+        "--pr10-ticks", type=_positive_int, default=5, help="columnar-bench sim ticks"
+    )
     parser.add_argument("--out", default="BENCH_PR1.json")
     parser.add_argument("--out-pr2", default="BENCH_PR2.json")
     parser.add_argument("--out-pr3", default="BENCH_PR3.json")
@@ -402,6 +534,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out-pr6", default="BENCH_PR6.json")
     parser.add_argument("--out-pr7", default="BENCH_PR7.json")
     parser.add_argument("--out-pr9", default="BENCH_PR9.json")
+    parser.add_argument("--out-pr10", default="BENCH_PR10.json")
     parser.add_argument(
         "--skip-pr1", action="store_true", help="skip the fast-path bench"
     )
@@ -426,18 +559,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-pr9", action="store_true", help="skip the byzantine bench"
     )
+    parser.add_argument(
+        "--skip-pr10", action="store_true", help="skip the columnar hot-path bench"
+    )
     args = parser.parse_args(argv)
 
     ran = False
-    for skip, runner in (
-        (args.skip_pr1, run_pr1),
-        (args.skip_pr2, run_pr2),
-        (args.skip_pr3, run_pr3),
-        (args.skip_pr4, run_pr4),
-        (args.skip_pr5, run_pr5),
-        (args.skip_pr6, run_pr6),
-        (args.skip_pr7, run_pr7),
-        (args.skip_pr9, run_pr9),
+    problems: list[str] = []
+    for skip, runner, out_attr in (
+        (args.skip_pr1, run_pr1, "out"),
+        (args.skip_pr2, run_pr2, "out_pr2"),
+        (args.skip_pr3, run_pr3, "out_pr3"),
+        (args.skip_pr4, run_pr4, "out_pr4"),
+        (args.skip_pr5, run_pr5, "out_pr5"),
+        (args.skip_pr6, run_pr6, "out_pr6"),
+        (args.skip_pr7, run_pr7, "out_pr7"),
+        (args.skip_pr9, run_pr9, "out_pr9"),
+        (args.skip_pr10, run_pr10, "out_pr10"),
     ):
         if skip:
             continue
@@ -445,6 +583,14 @@ def main(argv: list[str] | None = None) -> int:
             print()
         runner(args)
         ran = True
+        problems.extend(
+            validate_artifact(getattr(args, out_attr), ACCEPTANCE_KEYS[out_attr])
+        )
+    if problems:
+        print("\nacceptance-key validation FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -3,8 +3,29 @@
 The offline evaluation environment has no ``wheel`` package, so PEP 660
 editable installs cannot build an editable wheel.  This shim lets
 ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+
+Nothing here is *required* at runtime: the package is pure stdlib.  The
+extras declare the optional accelerators and dev tooling (CI installs
+them explicitly so its pip cache keys on this file):
+
+* ``fast`` — numpy, backing the columnar hot path
+  (``repro.spatial.columnar``); without it the same code runs on
+  stdlib ``array`` buffers, correct but slower.
+* ``test`` / ``bench`` — what the CI tier-1 and bench jobs install.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hls",
+    version="0.10.0",
+    description="Hierarchical location service reproduction (ICDCS '02)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    extras_require={
+        "fast": ["numpy"],
+        "test": ["pytest", "hypothesis", "numpy"],
+        "bench": ["pytest", "pytest-benchmark", "numpy"],
+    },
+)

@@ -47,7 +47,7 @@ one-shot (``rebalance``, the quiesced baseline) or phased
 (``advance_migrations`` + ``rebalance_overlapped``).
 """
 
-from repro.cluster.load import LoadMonitor, LoadSample
+from repro.cluster.load import HeavyHitterSketch, LoadMonitor, LoadSample
 from repro.cluster.migration import (
     AdaptiveCopyChunker,
     MigrationExecutor,
@@ -64,6 +64,7 @@ from repro.cluster.planner import (
 
 __all__ = [
     "AdaptiveCopyChunker",
+    "HeavyHitterSketch",
     "LoadMonitor",
     "LoadSample",
     "MergePlan",

@@ -263,11 +263,17 @@ class LocationServer(Endpoint):
         sweep_interval: float | None = None,
         nn_initial_radius: float | None = None,
         data_store: LocalDataStore | None = None,
+        backend: str = "objects",
     ) -> None:
         """``data_store`` installs a pre-built leaf store (a phased
         migration's staged copy) instead of constructing a fresh one —
         the cutover path spawns split children this way, so no throwaway
-        index is built on the latency-sensitive flip."""
+        index is built on the latency-sensitive flip.
+
+        ``backend`` selects the sighting storage engine
+        (:data:`repro.storage.datastore.BACKENDS`): ``columnar`` replaces
+        ``index_kind`` with the array-backed column table for the
+        million-object hot path."""
         super().__init__(address=config.server_id)
         self.config = config
         self.is_leaf = config.is_leaf
@@ -276,6 +282,7 @@ class LocationServer(Endpoint):
         self._sweep_interval = sweep_interval
         self._cache_config = cache_config or CacheConfig.disabled()
         self._index_kind = index_kind
+        self._backend = backend
         self._sighting_ttl = sighting_ttl
         #: set by :meth:`retire` when this server left the hierarchy after
         #: a merge; all further non-response traffic forwards there.
@@ -300,9 +307,10 @@ class LocationServer(Endpoint):
                 if data_store is not None
                 else LocalDataStore(
                     accuracy=self.accuracy,
-                    index=make_index(index_kind),
+                    index=None if backend == "columnar" else make_index(index_kind),
                     store=store,
                     ttl=sighting_ttl,
+                    backend=backend,
                 )
             )
             self.visitors = self.store.visitors
@@ -447,8 +455,9 @@ class LocationServer(Endpoint):
         """
         return LocalDataStore(
             accuracy=self.accuracy,
-            index=make_index(self._index_kind),
+            index=None if self._backend == "columnar" else make_index(self._index_kind),
             ttl=self._sighting_ttl,
+            backend=self._backend,
         )
 
     def retire(self, successor: str) -> None:

@@ -225,6 +225,7 @@ class LocationService:
         drop_rate: float = 0.0,
         seed: int = 0,
         nn_initial_radius: float | None = None,
+        backend: str = "objects",
     ) -> None:
         self.hierarchy = hierarchy
         self.network = SimNetwork(
@@ -237,6 +238,7 @@ class LocationService:
             sighting_ttl=sighting_ttl,
             sweep_interval=sweep_interval,
             nn_initial_radius=nn_initial_radius,
+            backend=backend,
         )
         self.servers: dict[str, LocationServer] = {}
         #: servers that left the hierarchy after a merge; they stay on the

@@ -28,6 +28,7 @@ from repro.sim.mobility import (
 from repro.sim.workload import (
     HotspotSpec,
     Operation,
+    StreamingWalkers,
     WorkloadGenerator,
     WorkloadSpec,
     coalesce_updates,
@@ -73,6 +74,13 @@ _CHAOS_EXPORTS = {
     "partition_scenario",
 }
 
+#: The streaming columnar lane pulls repro.storage + repro.cluster; lazy
+#: for the same no-cycle reason as the scenario helpers.
+_COLUMNAR_EXPORTS = {
+    "StreamingMobilitySimulation",
+    "columnar_benchmark_payload",
+}
+
 
 def __getattr__(name):
     if name in _SCENARIO_EXPORTS:
@@ -87,6 +95,10 @@ def __getattr__(name):
         from repro.sim import chaos
 
         return getattr(chaos, name)
+    if name in _COLUMNAR_EXPORTS:
+        from repro.sim import columnar
+
+        return getattr(columnar, name)
     raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
 
 
@@ -108,6 +120,8 @@ __all__ = [
     "SimLoop",
     "SimTask",
     "SimulationError",
+    "StreamingMobilitySimulation",
+    "StreamingWalkers",
     "Summary",
     "TABLE1_AREA_SIDE",
     "TABLE1_OBJECTS",
@@ -123,6 +137,7 @@ __all__ = [
     "calibrate",
     "chaos_benchmark_payload",
     "coalesce_updates",
+    "columnar_benchmark_payload",
     "commuter_rush_scenario",
     "commuter_rush_workload",
     "default_cost_model",

@@ -46,6 +46,7 @@ def table1_store(
     area_side: float = TABLE1_AREA_SIDE,
     index_kind: str = "quadtree",
     seed: int = 0,
+    backend: str = "objects",
 ) -> tuple[LocalDataStore, list[str]]:
     """The Section-7.1 data store with ``object_count`` registered objects."""
     from repro.spatial import make_index
@@ -53,7 +54,8 @@ def table1_store(
     rng = random.Random(seed)
     store = LocalDataStore(
         accuracy=AccuracyModel(sensor_floor=10.0, update_slack=5.0),
-        index=make_index(index_kind),
+        index=None if backend == "columnar" else make_index(index_kind),
+        backend=backend,
     )
     ids = []
     for i in range(object_count):
@@ -171,6 +173,7 @@ class MobilitySimulation:
         seed: int = 0,
         policy_factory=None,
         sensor_acc: float = 10.0,
+        backend: str = "objects",
         **walker_kwargs,
     ) -> "MobilitySimulation":
         """The Section-7.1 store populated with a walker per object."""
@@ -180,7 +183,8 @@ class MobilitySimulation:
         population = make_walkers(mobility, object_count, area, seed=seed, **walker_kwargs)
         store = LocalDataStore(
             accuracy=AccuracyModel(sensor_floor=10.0, update_slack=5.0),
-            index=make_index(index_kind),
+            index=None if backend == "columnar" else make_index(index_kind),
+            backend=backend,
         )
         walkers: dict[str, Walker] = {}
         for i, walker in enumerate(population):

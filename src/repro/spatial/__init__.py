@@ -3,7 +3,9 @@
 * :class:`PointQuadtree` — the paper's choice ([17], used in Section 7.1),
 * :class:`RTree` — the paper's named alternative ([6]),
 * :class:`GridIndex` — uniform hash grid baseline,
-* :class:`LinearScanIndex` — brute-force correctness oracle.
+* :class:`LinearScanIndex` — brute-force correctness oracle,
+* :class:`ColumnarIndex` — contiguous-column engine for the
+  million-object update-dominant hot path (numpy when available).
 
 All share the :class:`SpatialIndex` interface, including the batch entry
 points ``update_many`` / ``query_rect_many`` and per-index in-place move
@@ -13,6 +15,7 @@ fast-path invariants each implementation maintains.
 """
 
 from repro.spatial.base import NeighborHit, SpatialIndex
+from repro.spatial.columnar import ColumnarIndex, SlotHandle, StaleHandleError
 from repro.spatial.grid import GridIndex
 from repro.spatial.linear import LinearScanIndex
 from repro.spatial.quadtree import PointQuadtree
@@ -24,6 +27,7 @@ INDEX_FACTORIES = {
     "rtree": RTree,
     "grid": GridIndex,
     "linear": LinearScanIndex,
+    "columnar": ColumnarIndex,
 }
 
 
@@ -32,7 +36,8 @@ def make_index(kind: str = "quadtree", **kwargs) -> SpatialIndex:
 
     Args:
         kind: one of ``quadtree`` (default, the paper's choice), ``rtree``,
-            ``grid`` or ``linear``.
+            ``grid``, ``linear`` or ``columnar`` (the array-backed
+            million-object hot path, :mod:`repro.spatial.columnar`).
         **kwargs: forwarded to the index constructor.
     """
     try:
@@ -45,12 +50,15 @@ def make_index(kind: str = "quadtree", **kwargs) -> SpatialIndex:
 
 
 __all__ = [
+    "ColumnarIndex",
     "GridIndex",
     "INDEX_FACTORIES",
     "LinearScanIndex",
     "NeighborHit",
     "PointQuadtree",
     "RTree",
+    "SlotHandle",
     "SpatialIndex",
+    "StaleHandleError",
     "make_index",
 ]

@@ -5,7 +5,8 @@ with WAL-backed recovery, soft-state expiry, and the per-server
 :class:`LocalDataStore` facade.
 """
 
-from repro.storage.datastore import LocalDataStore
+from repro.storage.columnar_db import ColumnarSightingDB
+from repro.storage.datastore import BACKENDS, LocalDataStore
 from repro.storage.persistence import FileStore, MemoryStore, PersistentStore
 from repro.storage.sighting_db import DEFAULT_TTL, SightingDB
 from repro.storage.soft_state import ExpiryTimer
@@ -17,6 +18,8 @@ from repro.storage.visitor_db import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "ColumnarSightingDB",
     "DEFAULT_TTL",
     "ExpiryTimer",
     "FileStore",

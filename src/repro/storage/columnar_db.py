@@ -1,0 +1,328 @@
+"""Columnar sighting database: sightings as columns, not objects.
+
+:class:`~repro.storage.sighting_db.SightingDB` keeps one frozen
+``SightingRecord`` per visitor plus a heap-based expiry timer — at 10^6
+visitors that is millions of small allocations per simulated minute.
+:class:`ColumnarSightingDB` keeps the same *logical* contents in the
+:class:`~repro.spatial.columnar.ColumnarIndex` column table instead:
+the engine's x/y columns double as the spatial index, and three extra
+columns registered here hold each sighting's timestamp (``t``), sensed
+accuracy (``acc``) and soft-state expiry deadline (``deadline``).  A
+``SightingRecord`` is materialized only when a caller actually asks for
+one; the tick-rate hot path (:meth:`update_positions`) never builds any.
+
+Soft state lives in the ``deadline`` column rather than an
+:class:`~repro.storage.soft_state.ExpiryTimer` heap: renewing a record's
+lifetime is one float store, and :meth:`expire_due` is a vectorized
+``deadline <= now`` scan.  Dead slots hold ``nan`` deadlines, which
+compare false, so free-list reuse needs no timer bookkeeping at all.
+Deadlines armed for ids *without* a sighting yet (crash recovery —
+:meth:`schedule_expiry`) are the rare case and sit in a side dict.
+
+The public surface is the exact :class:`SightingDB` contract — the
+location server, handover, recovery and query layers run unmodified on
+either backend; the equivalence property suite drives both with the
+same operation interleavings and asserts identical answers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.model import SightingRecord
+from repro.geo import Point, Rect
+from repro.spatial.columnar import ColumnarIndex, SlotHandle
+from repro.storage.sighting_db import DEFAULT_TTL, SightingDB
+
+
+class ColumnarSightingDB(SightingDB):
+    """Drop-in :class:`SightingDB` backed by contiguous columns."""
+
+    __slots__ = ("_pending_expiry",)
+
+    def __init__(
+        self,
+        index: ColumnarIndex | None = None,
+        default_ttl: float = DEFAULT_TTL,
+    ) -> None:
+        if index is None:
+            index = ColumnarIndex()
+        elif not isinstance(index, ColumnarIndex):
+            raise StorageError(
+                "ColumnarSightingDB requires a ColumnarIndex (its columns "
+                f"hold the sighting state), got {type(index).__name__}"
+            )
+        # The record dict and timer are replaced by columns; leaving the
+        # parent slots unset makes any missed override fail loudly.
+        self._index = index
+        self._default_ttl = default_ttl
+        for name in ("t", "acc", "deadline"):
+            index.add_column(name)
+        #: deadlines armed for ids that have no sighting slot (recovery).
+        self._pending_expiry: dict[str, float] = {}
+
+    # -- record materialization ------------------------------------------------
+
+    def _record_at(self, slot: int, oid: str) -> SightingRecord:
+        index = self._index
+        return SightingRecord(
+            object_id=oid,
+            timestamp=float(index.column("t")[slot]),
+            pos=Point(
+                float(index.column("x")[slot]), float(index.column("y")[slot])
+            ),
+            acc_sens=float(index.column("acc")[slot]),
+        )
+
+    def _store_fields(
+        self, slot: int, sighting: SightingRecord, deadline: float
+    ) -> None:
+        index = self._index
+        index.column("t")[slot] = sighting.timestamp
+        index.column("acc")[slot] = sighting.acc_sens
+        index.column("deadline")[slot] = deadline
+
+    def _deadline(self, now: float, ttl: float | None) -> float:
+        return now + (ttl if ttl is not None else self._default_ttl)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, sighting: SightingRecord, now: float = 0.0, ttl: float | None = None) -> None:
+        oid = sighting.object_id
+        if oid in self:
+            raise KeyError(f"sighting for {oid!r} already present; use update()")
+        slot = self._index.insert_slot(oid, sighting.pos.x, sighting.pos.y)
+        self._store_fields(slot, sighting, self._deadline(now, ttl))
+        self._pending_expiry.pop(oid, None)
+
+    def update(self, sighting: SightingRecord, now: float = 0.0, ttl: float | None = None) -> None:
+        oid = sighting.object_id
+        slot = self._index.slot_of(oid)  # KeyError(oid) if absent
+        index = self._index
+        index.column("x")[slot] = sighting.pos.x
+        index.column("y")[slot] = sighting.pos.y
+        self._store_fields(slot, sighting, self._deadline(now, ttl))
+
+    def upsert(self, sighting: SightingRecord, now: float = 0.0, ttl: float | None = None) -> None:
+        if sighting.object_id in self:
+            self.update(sighting, now, ttl)
+        else:
+            self.insert(sighting, now, ttl)
+
+    def update_many(
+        self,
+        sightings: Iterable[SightingRecord],
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        batch = list(sightings)
+        index = self._index
+        slots = [index.slot_of(s.object_id) for s in batch]  # validate first
+        deadline = self._deadline(now, ttl)
+        col_x = index.column("x")
+        col_y = index.column("y")
+        col_t = index.column("t")
+        col_acc = index.column("acc")
+        col_dl = index.column("deadline")
+        for slot, s in zip(slots, batch):
+            col_x[slot] = s.pos.x
+            col_y[slot] = s.pos.y
+            col_t[slot] = s.timestamp
+            col_acc[slot] = s.acc_sens
+            col_dl[slot] = deadline
+
+    def upsert_many(
+        self,
+        sightings: Iterable[SightingRecord],
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        updates: list[SightingRecord] = []
+        for sighting in sightings:
+            if sighting.object_id in self:
+                updates.append(sighting)
+            else:
+                self.insert(sighting, now=now, ttl=ttl)
+        if updates:
+            self.update_many(updates, now=now, ttl=ttl)
+
+    def bulk_insert(
+        self,
+        sightings: Iterable[SightingRecord],
+        now: float = 0.0,
+        ttl: float | None = None,
+    ) -> None:
+        batch = list(sightings)
+        for sighting in batch:
+            if sighting.object_id in self:
+                raise KeyError(
+                    f"sighting for {sighting.object_id!r} already present; use update()"
+                )
+        handle = self._index.bulk_load_arrays(
+            [s.object_id for s in batch],
+            [s.pos.x for s in batch],
+            [s.pos.y for s in batch],
+        )
+        index = self._index
+        col_t = index.column("t")
+        col_acc = index.column("acc")
+        col_dl = index.column("deadline")
+        deadline = self._deadline(now, ttl)
+        for slot, s in zip(handle.slots, batch):
+            col_t[slot] = s.timestamp
+            col_acc[slot] = s.acc_sens
+            col_dl[slot] = deadline
+            self._pending_expiry.pop(s.object_id, None)
+
+    def remove(self, object_id: str) -> SightingRecord:
+        slot = self._index.slot_of(object_id)  # KeyError if absent
+        record = self._record_at(slot, object_id)
+        self._index.remove(object_id)  # nan-fills every column
+        self._pending_expiry.pop(object_id, None)
+        return record
+
+    def clear(self) -> None:
+        self._index.clear()
+        self._pending_expiry.clear()
+
+    # -- lookup -----------------------------------------------------------------
+
+    def get(self, object_id: str) -> SightingRecord | None:
+        try:
+            slot = self._index.slot_of(object_id)
+        except KeyError:
+            return None
+        return self._record_at(slot, object_id)
+
+    def __contains__(self, object_id: str) -> bool:
+        try:
+            self._index.slot_of(object_id)
+        except KeyError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def object_ids(self) -> Iterator[str]:
+        for _slot, oid in self._index.live_slots():
+            yield oid
+
+    def records(self) -> Iterator[SightingRecord]:
+        for slot, oid in self._index.live_slots():
+            yield self._record_at(slot, oid)
+
+    # -- queries ----------------------------------------------------------------
+    # objects_in_area(s), positions_in_rect(s) and nearest_neighbors are
+    # inherited: they only touch self._index and the acc_of callback.
+
+    def counts_in_rects(self, rects: Iterable[Rect]) -> list[int]:
+        """Vectorized popcounts — no candidate materialization at all."""
+        return self._index.counts_in_rects(list(rects))
+
+    # -- soft state -------------------------------------------------------------
+
+    def schedule_expiry(self, object_id: str, now: float, ttl: float | None = None) -> None:
+        deadline = self._deadline(now, ttl)
+        try:
+            slot = self._index.slot_of(object_id)
+        except KeyError:
+            self._pending_expiry[object_id] = deadline
+        else:
+            self._index.column("deadline")[slot] = deadline
+
+    def expire_due(self, now: float) -> list[str]:
+        index = self._index
+        col_dl = index.column("deadline")
+        if index._np is not None:
+            due = col_dl[: index._next] <= now  # nan compares false
+            slots = due.nonzero()[0].tolist()
+        else:
+            slots = [
+                slot
+                for slot, _oid in index.live_slots()
+                if col_dl[slot] <= now
+            ]
+        expired = [index.id_at(slot) for slot in slots]
+        for oid in expired:
+            index.remove(oid)
+        for oid, deadline in list(self._pending_expiry.items()):
+            if deadline <= now:
+                del self._pending_expiry[oid]
+                expired.append(oid)
+        return expired
+
+    def next_expiry(self) -> float | None:
+        index = self._index
+        col_dl = index.column("deadline")
+        best = math.inf
+        if index._np is not None:
+            live = col_dl[: index._next]
+            if live.size and not index._np.isnan(live).all():
+                best = float(index._np.nanmin(live))
+        else:
+            for slot, _oid in index.live_slots():
+                if col_dl[slot] < best:
+                    best = col_dl[slot]
+        if self._pending_expiry:
+            best = min(best, min(self._pending_expiry.values()))
+        return None if math.isinf(best) else best
+
+    def expiry_deadline(self, object_id: str) -> float | None:
+        try:
+            slot = self._index.slot_of(object_id)
+        except KeyError:
+            return self._pending_expiry.get(object_id)
+        deadline = float(self._index.column("deadline")[slot])
+        return None if math.isnan(deadline) else deadline
+
+    # -- array-native fast lane --------------------------------------------------
+
+    def resolve_handle(self, object_ids: Sequence[str]) -> SlotHandle:
+        """Resolve ids once; reuse across ticks until the mapping changes."""
+        return self._index.resolve_slots(object_ids)
+
+    def update_positions(
+        self,
+        handle: SlotHandle,
+        xs,
+        ys,
+        now: float,
+        acc=None,
+        ttl: float | None = None,
+    ) -> None:
+        """The tick-rate hot path: scatter new positions for a resolved
+        population and stamp timestamp + deadline, allocating nothing.
+
+        Raises :class:`~repro.spatial.columnar.StaleHandleError` when the
+        slot mapping changed since the handle was resolved (a walker
+        deregistered, a migration landed) — re-resolve and retry.
+        """
+        index = self._index
+        index.update_slots(handle, xs, ys)
+        index.fill_slots("t", handle, now)
+        index.fill_slots("deadline", handle, self._deadline(now, ttl))
+        if acc is not None:
+            index.fill_slots("acc", handle, acc)
+
+    def bulk_insert_arrays(
+        self,
+        object_ids: Sequence[str],
+        xs,
+        ys,
+        now: float,
+        acc: float,
+        ttl: float | None = None,
+    ) -> SlotHandle:
+        """Array-native registration: admit a whole population in one
+        bulk load and return the handle for subsequent ticks."""
+        handle = self._index.bulk_load_arrays(object_ids, xs, ys)
+        index = self._index
+        index.fill_slots("t", handle, now)
+        index.fill_slots("acc", handle, acc)
+        index.fill_slots("deadline", handle, self._deadline(now, ttl))
+        for oid in object_ids:
+            self._pending_expiry.pop(oid, None)
+        return handle

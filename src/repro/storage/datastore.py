@@ -13,6 +13,7 @@ store a **leaf** location server operates on.  It is also:
 from __future__ import annotations
 
 from repro.errors import AccuracyUnavailableError, StorageError, UnknownObjectError
+from repro.geo import Point
 from repro.model import (
     AccuracyModel,
     LocationDescriptor,
@@ -24,9 +25,19 @@ from repro.model import (
     SightingRecord,
 )
 from repro.spatial import SpatialIndex
+from repro.spatial.columnar import SlotHandle
+from repro.storage.columnar_db import ColumnarSightingDB
 from repro.storage.persistence import PersistentStore
 from repro.storage.sighting_db import DEFAULT_TTL, SightingDB
 from repro.storage.visitor_db import VisitorDB
+
+#: Sighting-storage backends selectable per store: ``objects`` is the
+#: record-per-visitor :class:`SightingDB`; ``columnar`` stores sightings
+#: as contiguous columns (:class:`ColumnarSightingDB`) for the
+#: million-object hot path and enables the array-native fast lane
+#: (:meth:`LocalDataStore.bulk_register_arrays` /
+#: :meth:`LocalDataStore.update_positions`).
+BACKENDS = ("objects", "columnar")
 
 
 class StoreMirror:
@@ -53,7 +64,7 @@ class StoreMirror:
 class LocalDataStore:
     """Leaf-server storage: sightings in memory, visitor records durable."""
 
-    __slots__ = ("sightings", "visitors", "accuracy", "_ttl", "_mirror")
+    __slots__ = ("sightings", "visitors", "accuracy", "backend", "_ttl", "_mirror")
 
     def __init__(
         self,
@@ -61,9 +72,23 @@ class LocalDataStore:
         index: SpatialIndex | None = None,
         store: PersistentStore | None = None,
         ttl: float = DEFAULT_TTL,
+        backend: str = "objects",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown storage backend {backend!r}; choose from {BACKENDS}"
+            )
         self.accuracy = accuracy if accuracy is not None else AccuracyModel()
-        self.sightings = SightingDB(index=index, default_ttl=ttl)
+        if backend == "columnar":
+            # ColumnarSightingDB builds its own ColumnarIndex when none is
+            # given and rejects non-columnar indexes (its extra columns
+            # live inside the index's column table).
+            self.sightings: SightingDB = ColumnarSightingDB(
+                index=index, default_ttl=ttl
+            )
+        else:
+            self.sightings = SightingDB(index=index, default_ttl=ttl)
+        self.backend = backend
         self.visitors = VisitorDB(store=store)
         self._ttl = ttl
         self._mirror: StoreMirror | None = None
@@ -204,6 +229,94 @@ class LocalDataStore:
         self.sightings.upsert_many(batch, now=now)
         for sighting, record in zip(batch, records):
             self._mirror.record_upsert(sighting, record.offered_acc, record.reg_info)
+
+    # -- array-native fast lane (columnar backend only) -----------------------
+
+    def _columnar_sightings(self) -> ColumnarSightingDB:
+        if not isinstance(self.sightings, ColumnarSightingDB):
+            raise StorageError(
+                "the array-native fast lane requires backend='columnar' "
+                f"(this store uses backend={self.backend!r})"
+            )
+        return self.sightings
+
+    def bulk_register_arrays(
+        self,
+        object_ids,
+        xs,
+        ys,
+        des_acc: float,
+        min_acc: float,
+        registrar: str,
+        now: float = 0.0,
+    ) -> SlotHandle:
+        """Admit a whole population from coordinate arrays in one pass.
+
+        The registration counterpart of :meth:`update_positions`: one
+        accuracy negotiation shared by the batch (the streaming workload
+        registers homogeneous populations), per-object visitor records,
+        and a single columnar bulk load for the sightings.  Returns the
+        slot handle for subsequent per-tick position scatters.
+        """
+        sightings = self._columnar_sightings()
+        offered = self.accuracy.negotiate(des_acc, min_acc)
+        if offered is None:
+            raise AccuracyUnavailableError(self.accuracy.achievable, min_acc)
+        reg_info = RegistrationInfo(registrar, des_acc, min_acc)
+        handle = sightings.bulk_insert_arrays(
+            object_ids, xs, ys, now=now, acc=offered
+        )
+        insert_leaf = self.visitors.insert_leaf
+        for oid in object_ids:
+            insert_leaf(oid, offered, reg_info)
+        if self._mirror is not None:
+            for oid in object_ids:
+                self._mirror.record_upsert(sightings.get(oid), offered, reg_info)
+        return handle
+
+    def resolve_update_handle(self, object_ids) -> SlotHandle:
+        """Resolve a population's slots for :meth:`update_positions`.
+
+        Registration is validated here, once — any id without a leaf
+        visitor record raises :class:`~repro.errors.UnknownObjectError`
+        like :meth:`update_many` would.  Later deregistrations are
+        covered by the handle's version stamp: any slot-mapping change
+        makes the handle stale.
+        """
+        sightings = self._columnar_sightings()
+        leaf_record = self.visitors.leaf_record
+        for oid in object_ids:
+            if leaf_record(oid) is None:
+                raise UnknownObjectError(oid)
+        return sightings.resolve_handle(object_ids)
+
+    def update_positions(self, handle: SlotHandle, xs, ys, now: float = 0.0) -> None:
+        """Tick-rate position scatter for a resolved population.
+
+        Semantically :meth:`update_many` for sightings whose ids were
+        validated at :meth:`resolve_update_handle` time; no records are
+        materialized.  While a migration mirror is attached the dual
+        writes need real :class:`SightingRecord` objects, so the scatter
+        falls back to the object path — correctness over speed for the
+        (rare, bounded) migration window.
+        """
+        sightings = self._columnar_sightings()
+        if self._mirror is None:
+            sightings.update_positions(handle, xs, ys, now=now)
+            return
+        index = sightings._index
+        index.check_handle(handle)  # same staleness contract as the fast path
+        col_acc = index.column("acc")
+        records = [
+            SightingRecord(
+                object_id=oid,
+                timestamp=now,
+                pos=Point(float(x), float(y)),
+                acc_sens=float(col_acc[slot]),
+            )
+            for oid, slot, x, y in zip(handle.object_ids, handle.slots, xs, ys)
+        ]
+        self.update_many(records, now=now)
 
     # -- migration bulk paths (repro.cluster) ---------------------------------
 

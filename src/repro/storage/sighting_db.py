@@ -285,7 +285,7 @@ class SightingDB:
         ring (accuracy filtering can disqualify near candidates, so the
         probe widens geometrically).
         """
-        total = len(self._records)
+        total = len(self)
         if total == 0:
             return NearestNeighborResult(nearest=None)
         k = min(probe_k, total)

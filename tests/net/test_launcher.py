@@ -12,6 +12,8 @@ from repro.model import SightingRecord
 from repro.net.bootstrap import ClusterLauncher, bfs_order
 from repro.runtime.base import Endpoint
 
+pytestmark = pytest.mark.slow
+
 
 def run(coro):
     return asyncio.run(coro)

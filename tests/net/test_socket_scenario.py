@@ -2,11 +2,15 @@
 real sockets, and the same driver runs them on the in-process asyncio
 runtime for the throughput comparison."""
 
+import pytest
+
 from repro.net.scenario import (
     run_workload_inprocess,
     run_workload_multiprocess,
 )
 from repro.sim.elastic import commuter_rush_workload, festival_surge_workload
+
+pytestmark = pytest.mark.slow
 
 
 class TestInProcessLane:

@@ -154,6 +154,7 @@ class TestLoopback:
 
         asyncio.run(scenario())
 
+    @pytest.mark.slow
     def test_timeout_and_retry_recover_from_drops(self, cls):
         """The RetryPolicy story end-to-end: a lossy sender-side link
         still converges because unanswered requests are re-sent."""
@@ -233,6 +234,7 @@ class TestFaultInjectorOnSockets:
 
         asyncio.run(scenario())
 
+    @pytest.mark.slow
     def test_injected_loss_recovered_by_retries(self, cls):
         """FaultInjector loss + protocol-style retries: zero lost."""
 

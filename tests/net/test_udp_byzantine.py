@@ -7,7 +7,11 @@ in-process lanes — is the wire layer itself: CRC32 rejection and
 retry lane turning every caught frame into a re-send instead of a loss.
 """
 
+import pytest
+
 from repro.sim.byzantine import run_udp_byzantine_lane
+
+pytestmark = pytest.mark.slow
 
 
 class TestUdpByzantineLane:

@@ -4,12 +4,16 @@ protocol lane's retries — zero lost sightings at the end."""
 
 import asyncio
 
+import pytest
+
 from repro.chaos import FaultInjector, LinkFaults
 from repro.core.hierarchy import build_table2_hierarchy
 from repro.core.server import LocationServer
 from repro.net.scenario import drive_workload
 from repro.runtime.asyncio_rt import AsyncioNetwork
 from repro.sim.elastic import festival_surge_workload
+
+pytestmark = pytest.mark.slow
 
 
 def test_festival_surge_through_injected_loss():

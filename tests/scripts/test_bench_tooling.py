@@ -1,0 +1,241 @@
+"""The bench tooling itself: trend gate, artifact validation, PR10 checks.
+
+``scripts/bench_trend.py`` and the artifact validation inside
+``scripts/bench_smoke.py`` are CI gates — a bug there merges silently
+and only shows up as a regression nobody caught.  These tests load the
+scripts as modules (they are not packages) and pin the gate logic:
+when the trend gate trips, what the validator flags, and what the
+``bench_check.py`` PR10 thresholds accept.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+SCRIPTS = pathlib.Path(__file__).resolve().parents[2] / "scripts"
+
+
+def load_script(name: str):
+    module = sys.modules.get(name)
+    if module is not None:
+        return module
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def trend():
+    return load_script("bench_trend")
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return load_script("bench_smoke")
+
+
+@pytest.fixture(scope="module")
+def check():
+    return load_script("bench_check")
+
+
+def series_of(trend, values_by_metric: dict[str, list]) -> dict:
+    """A schema-1 series whose nth entry holds each metric's nth value."""
+    nights = max(len(v) for v in values_by_metric.values())
+    entries = []
+    for night in range(nights):
+        metrics = {name: None for name in trend.TRACKED_METRICS}
+        for name, values in values_by_metric.items():
+            metrics[name] = values[night]
+        entries.append({"run": f"r{night}", "label": f"n{night}", "metrics": metrics})
+    return {"schema": trend.SCHEMA_VERSION, "series": entries}
+
+
+class TestTrendGate:
+    def test_fewer_than_four_entries_is_always_green(self, trend):
+        data = series_of(trend, {"pr10.tick_speedup": [50.0, 40.0, 30.0]})
+        assert trend.trend_failures(data) == []
+
+    def test_monotone_drift_past_the_limit_trips(self, trend):
+        data = series_of(trend, {"pr10.tick_speedup": [50.0, 47.5, 45.0, 42.5]})
+        failures = trend.trend_failures(data)
+        assert len(failures) == 1
+        assert "pr10.tick_speedup" in failures[0]
+        assert "15.0%" in failures[0]
+
+    def test_monotone_but_small_drift_stays_green(self, trend):
+        data = series_of(trend, {"pr10.tick_speedup": [50.0, 49.0, 48.0, 47.0]})
+        assert trend.trend_failures(data) == []
+
+    def test_non_monotone_drift_stays_green(self, trend):
+        # Same 15% total drop, but night 2 recovered: no trend call.
+        data = series_of(trend, {"pr10.tick_speedup": [50.0, 44.0, 45.0, 42.5]})
+        assert trend.trend_failures(data) == []
+
+    def test_none_breaks_the_chain(self, trend):
+        data = series_of(trend, {"pr10.tick_speedup": [50.0, 45.0, None, 40.0]})
+        assert trend.trend_failures(data) == []
+
+    def test_lower_is_better_metrics_trip_on_rises(self, trend):
+        assert trend.TRACKED_METRICS["pr5.round_reduction_ratio"][2] == "lower"
+        data = series_of(
+            trend, {"pr5.round_reduction_ratio": [0.40, 0.44, 0.48, 0.52]}
+        )
+        failures = trend.trend_failures(data)
+        assert len(failures) == 1
+        assert "pr5.round_reduction_ratio" in failures[0]
+
+    def test_only_the_trailing_window_counts(self, trend):
+        # An old collapse followed by three stable nights is not a trend.
+        data = series_of(
+            trend, {"pr10.tick_speedup": [50.0, 30.0, 30.0, 30.0, 30.0]}
+        )
+        assert trend.trend_failures(data) == []
+
+    def test_append_prunes_to_max_entries(self, trend):
+        data = {"schema": trend.SCHEMA_VERSION, "series": []}
+        for i in range(trend.MAX_ENTRIES + 10):
+            trend.append_entry(data, f"r{i}", f"n{i}", {})
+        assert len(data["series"]) == trend.MAX_ENTRIES
+        assert data["series"][0]["run"] == "r10"
+
+    def test_load_series_rejects_unknown_schema(self, trend, tmp_path):
+        path = tmp_path / "series.json"
+        path.write_text(json.dumps({"schema": 99, "series": []}))
+        with pytest.raises(SystemExit):
+            trend.load_series(path)
+
+    def test_extract_metrics_tolerates_broken_artifacts(self, trend, tmp_path):
+        # Only BENCH_PR10.json exists, and its speedup is a JSON NaN.
+        (tmp_path / "BENCH_PR10.json").write_text(
+            '{"tick_speedup": NaN, "columnar": {"updates_per_second": 1200.5}}'
+        )
+        metrics = trend.extract_metrics(tmp_path)
+        assert metrics["pr10.tick_speedup"] is None
+        assert metrics["pr10.updates_per_second"] == 1200.5
+        assert metrics["pr2.load_drop_factor"] is None
+
+    def test_main_append_report_check_round_trip(self, trend, tmp_path, capsys):
+        root = tmp_path / "artifacts"
+        root.mkdir()
+        (root / "BENCH_PR10.json").write_text(
+            json.dumps(
+                {"tick_speedup": 44.0, "columnar": {"updates_per_second": 1.2e6}}
+            )
+        )
+        series = tmp_path / "series.json"
+        argv = ["--series", str(series), "--root", str(root)]
+        assert trend.main([*argv, "--append", "--run", "one", "--check"]) == 0
+        data = json.loads(series.read_text())
+        assert data["series"][0]["metrics"]["pr10.tick_speedup"] == 44.0
+        assert "trend gate passed" in capsys.readouterr().out
+
+
+class TestSmokeArtifactValidation:
+    @pytest.fixture
+    def bench_root(self, monkeypatch, tmp_path):
+        # validate_artifact resolves paths through benchreport.ROOT, the
+        # same way the runners write them.
+        import benchreport
+
+        monkeypatch.setattr(benchreport, "ROOT", tmp_path)
+        return tmp_path
+
+    def write(self, root, payload):
+        (root / "BENCH_PR10.json").write_text(json.dumps(payload))
+
+    def test_valid_artifact_has_no_problems(self, smoke, bench_root):
+        self.write(
+            bench_root,
+            {
+                "objects": 1_000_000,
+                "tick_speedup": 44.0,
+                "answers_identical": True,
+                "load_monitor_bounded": True,
+            },
+        )
+        keys = smoke.ACCEPTANCE_KEYS["out_pr10"]
+        assert smoke.validate_artifact("BENCH_PR10.json", keys) == []
+
+    def test_missing_artifact_is_a_problem(self, smoke, bench_root):
+        problems = smoke.validate_artifact("BENCH_PR10.json", ("objects",))
+        assert problems and "missing" in problems[0]
+
+    def test_missing_key_is_a_problem(self, smoke, bench_root):
+        self.write(bench_root, {"objects": 1_000_000})
+        problems = smoke.validate_artifact(
+            "BENCH_PR10.json", ("objects", "tick_speedup")
+        )
+        assert problems == [
+            "BENCH_PR10.json: acceptance key 'tick_speedup' missing"
+        ]
+
+    def test_nan_is_a_problem_but_none_passes(self, smoke, bench_root):
+        self.write(bench_root, {"tick_speedup": float("nan"), "objects": None})
+        problems = smoke.validate_artifact(
+            "BENCH_PR10.json", ("tick_speedup", "objects")
+        )
+        assert len(problems) == 1
+        assert "non-finite" in problems[0]
+
+    def test_dotted_paths_descend_nested_payloads(self, smoke, bench_root):
+        self.write(bench_root, {"scenarios": {"flash_crowd": {}}})
+        problems = smoke.validate_artifact(
+            "BENCH_PR10.json", ("scenarios.flash_crowd.load_drop_factor",)
+        )
+        assert problems and "load_drop_factor" in problems[0]
+
+    def test_every_out_attr_has_acceptance_keys(self, smoke):
+        assert smoke.ACCEPTANCE_KEYS["out_pr10"] == (
+            "objects",
+            "tick_speedup",
+            "answers_identical",
+            "load_monitor_bounded",
+        )
+
+
+GOOD_PR10 = {
+    "objects": 1_000_000,
+    "tick_speedup": 44.0,
+    "answers_identical": True,
+    "load_monitor_bounded": True,
+    "equivalence": {"mismatches": []},
+    "load_monitor": {"tracked_rates": 16},
+}
+
+
+class TestBenchCheckPr10:
+    def run_checks(self, check, payload):
+        return {
+            c.description: c.run(payload)[0] for c in check.CHECKS["BENCH_PR10.json"]
+        }
+
+    def test_good_payload_passes_all_four(self, check):
+        results = self.run_checks(check, GOOD_PR10)
+        assert len(results) == 4
+        assert all(results.values()), results
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            pytest.param({"objects": 999_999}, id="too-few-objects"),
+            pytest.param({"tick_speedup": 4.9}, id="speedup-below-5x"),
+            pytest.param({"answers_identical": False}, id="answer-mismatch"),
+            pytest.param({"load_monitor_bounded": False}, id="unbounded-monitor"),
+        ],
+    )
+    def test_each_threshold_trips_alone(self, check, patch):
+        payload = {**GOOD_PR10, **patch}
+        results = self.run_checks(check, payload)
+        assert sum(1 for ok in results.values() if not ok) == 1
+
+    def test_missing_field_reports_not_raises(self, check):
+        for c in check.CHECKS["BENCH_PR10.json"]:
+            ok, observed = c.run({})
+            assert not ok
+            assert "missing field" in observed

@@ -9,11 +9,15 @@ real sockets and lives with the transport tests in
 ``tests/net/test_socket_scenario.py``'s environment instead.
 """
 
+import pytest
+
 from repro.sim.byzantine import (
     AGED_EPOCH,
     run_asyncio_byzantine_lane,
     run_sim_byzantine_lane,
 )
+
+pytestmark = pytest.mark.slow
 
 
 def _assert_defended(lane: dict) -> None:

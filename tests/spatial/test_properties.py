@@ -5,7 +5,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geo import Point, Rect
-from repro.spatial import GridIndex, LinearScanIndex, PointQuadtree, RTree
+from repro.spatial import (
+    ColumnarIndex,
+    GridIndex,
+    LinearScanIndex,
+    PointQuadtree,
+    RTree,
+)
 
 coord = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
 point = st.builds(Point, coord, coord)
@@ -15,6 +21,9 @@ FACTORIES = [
     pytest.param(lambda: RTree(max_entries=4), id="rtree-small-nodes"),
     pytest.param(lambda: RTree(max_entries=16), id="rtree-large-nodes"),
     pytest.param(lambda: GridIndex(cell_size=50.0), id="grid"),
+    # Tiny starting capacity so hypothesis batches force growth + reuse.
+    pytest.param(lambda: ColumnarIndex(capacity=4), id="columnar"),
+    pytest.param(lambda: ColumnarIndex(capacity=4, use_numpy=False), id="columnar-stdlib"),
 ]
 
 

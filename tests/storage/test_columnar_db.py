@@ -1,0 +1,151 @@
+"""ColumnarSightingDB: the SightingDB contract over columnar storage.
+
+The class stores every sighting as five float64 column entries (x, y,
+t, acc, deadline) behind a :class:`~repro.spatial.ColumnarIndex`
+instead of one ``SightingRecord`` per object, and replaces the expiry
+heap with a deadline column swept vectorized.  These tests pin the
+record round-trip, the soft-state semantics, the vectorized fast lane
+and the handle-staleness contract — on both storage engines.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.geo import Point, Rect
+from repro.model import NearestNeighborQuery, SightingRecord
+from repro.spatial import ColumnarIndex, StaleHandleError
+from repro.storage import ColumnarSightingDB, SightingDB
+
+
+def sighting(oid, x, y, t=0.0, acc=5.0):
+    return SightingRecord(oid, t, Point(x, y), acc)
+
+
+ENGINES = [
+    pytest.param(None, id="numpy"),
+    pytest.param(False, id="stdlib"),
+]
+
+
+@pytest.fixture(params=ENGINES)
+def db(request):
+    return ColumnarSightingDB(
+        index=ColumnarIndex(capacity=4, use_numpy=request.param), default_ttl=100.0
+    )
+
+
+class TestRecordRoundTrip:
+    def test_insert_materializes_identical_record(self, db):
+        db.insert(sighting("a", 1.5, 2.5, t=3.0, acc=7.5))
+        rec = db.get("a")
+        assert rec == SightingRecord("a", 3.0, Point(1.5, 2.5), 7.5)
+        assert "a" in db and len(db) == 1
+
+    def test_duplicate_insert_raises(self, db):
+        db.insert(sighting("a", 1, 2))
+        with pytest.raises(KeyError):
+            db.insert(sighting("a", 3, 4))
+
+    def test_update_unknown_raises(self, db):
+        with pytest.raises(KeyError):
+            db.update(sighting("ghost", 0, 0))
+
+    def test_remove_returns_the_record(self, db):
+        db.insert(sighting("a", 1, 2, t=4.0, acc=9.0))
+        removed = db.remove("a")
+        assert removed == SightingRecord("a", 4.0, Point(1.0, 2.0), 9.0)
+        assert len(db) == 0
+        assert db.get("a") is None
+
+    def test_records_iterates_live_rows_only(self, db):
+        for i in range(5):
+            db.insert(sighting(f"o{i}", float(i), 0.0))
+        db.remove("o2")
+        assert {r.object_id for r in db.records()} == {"o0", "o1", "o3", "o4"}
+        assert sorted(db.object_ids()) == ["o0", "o1", "o3", "o4"]
+
+    def test_rejects_non_columnar_index(self):
+        from repro.spatial import GridIndex
+
+        with pytest.raises(StorageError):
+            ColumnarSightingDB(index=GridIndex(cell_size=10.0))
+
+
+class TestSoftState:
+    def test_expire_due_sweeps_past_deadlines(self, db):
+        db.insert(sighting("fast", 0, 0), now=0.0, ttl=10.0)
+        db.insert(sighting("slow", 1, 1), now=0.0, ttl=50.0)
+        assert db.expire_due(5.0) == []
+        assert sorted(db.expire_due(20.0)) == ["fast"]
+        assert db.get("fast") is None
+        assert db.get("slow") is not None
+        assert db.expire_due(60.0) == ["slow"]
+
+    def test_update_renews_the_deadline(self, db):
+        db.insert(sighting("a", 0, 0), now=0.0, ttl=10.0)
+        db.update(sighting("a", 1, 1, t=8.0), now=8.0, ttl=10.0)
+        assert db.expire_due(15.0) == []
+        assert db.expire_due(20.0) == ["a"]
+
+    def test_next_expiry_tracks_the_minimum(self, db):
+        assert db.next_expiry() is None
+        db.insert(sighting("a", 0, 0), now=0.0, ttl=30.0)
+        db.insert(sighting("b", 1, 1), now=0.0, ttl=10.0)
+        assert db.next_expiry() == pytest.approx(10.0)
+        db.remove("b")
+        assert db.next_expiry() == pytest.approx(30.0)
+
+    def test_schedule_expiry_for_slotless_id_survives(self, db):
+        # Crash recovery replays expiry schedules before reinserting the
+        # records; a deadline for an id with no slot must not be lost.
+        db.schedule_expiry("ghost", now=0.0, ttl=5.0)
+        assert db.next_expiry() == pytest.approx(5.0)
+        assert db.expire_due(6.0) == ["ghost"]
+        assert db.expire_due(6.0) == []
+
+
+class TestVectorizedLane:
+    def test_bulk_insert_arrays_then_scatter(self, db):
+        ids = [f"o{i}" for i in range(6)]
+        handle = db.bulk_insert_arrays(
+            ids, [float(i) for i in range(6)], [0.0] * 6, now=0.0, acc=5.0, ttl=50.0
+        )
+        assert len(db) == 6
+        db.update_positions(
+            handle, [float(i) + 0.5 for i in range(6)], [9.0] * 6, now=10.0
+        )
+        rec = db.get("o3")
+        assert rec.pos == Point(3.5, 9.0)
+        assert rec.timestamp == 10.0
+        # The scatter renewed every deadline from now=10 at default_ttl.
+        assert db.expire_due(109.0) == []
+        assert sorted(db.expire_due(111.0)) == sorted(ids)
+
+    def test_handle_goes_stale_after_remove(self, db):
+        db.insert(sighting("a", 0, 0))
+        db.insert(sighting("b", 1, 1))
+        handle = db.resolve_handle(["a", "b"])
+        db.remove("b")
+        with pytest.raises(StaleHandleError):
+            db.update_positions(handle, [5.0, 6.0], [5.0, 6.0], now=1.0)
+
+    def test_counts_in_rects_matches_object_db(self, db):
+        oracle = SightingDB()
+        for i in range(20):
+            rec = sighting(f"o{i}", float(i * 7 % 50), float(i * 13 % 50))
+            db.insert(rec)
+            oracle.insert(rec)
+        rects = [Rect(0, 0, 25, 25), Rect(25, 25, 50, 50), Rect(10, 0, 30, 50)]
+        assert db.counts_in_rects(rects) == oracle.counts_in_rects(rects)
+
+    def test_nearest_neighbors_inherited_path(self, db):
+        for i in range(9):
+            db.insert(sighting(f"o{i}", float(i % 3) * 10, float(i // 3) * 10))
+        oracle = SightingDB()
+        for rec in db.records():
+            oracle.insert(rec)
+        query = NearestNeighborQuery(Point(1.0, 1.0), req_acc=50.0, near_qual=30.0)
+        got = db.nearest_neighbors(query, lambda oid: 10.0)
+        expected = oracle.nearest_neighbors(query, lambda oid: 10.0)
+        assert got == expected
+        assert got.nearest is not None and got.nearest[0] == "o0"
